@@ -1,0 +1,237 @@
+//! `aget` — an accelerated multi-connection downloader.
+//!
+//! Structure: like the real `aget`, the file is fetched over several
+//! parallel connections, one per downloader thread; each thread receives
+//! its byte range in chunks, writes them to its own region of the output
+//! file, and advances a shared progress counter that the UI/resume logic
+//! depends on (aget persists it to the `.aget` state file for resume).
+//!
+//! Seeded bug — [`AgetBug::ProgressAtomicity`], modeled after **aget's
+//! shared `bwritten` counter race** (an unprotected read-modify-write
+//! updated from every downloader's signal handler path). Lost updates make
+//! the recorded progress fall short of the bytes actually downloaded; a
+//! resume would then re-fetch or, worse, corrupt the tail. Class:
+//! single-variable atomicity violation.
+
+use crate::util::FUNC_DOWNLOAD;
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgetBug {
+    /// Atomic progress accounting.
+    None,
+    /// Unprotected read-modify-write on the progress counter.
+    ProgressAtomicity,
+}
+
+/// Downloader configuration.
+#[derive(Debug, Clone)]
+pub struct AgetConfig {
+    /// Parallel connections (threads).
+    pub connections: u32,
+    /// Chunks per connection.
+    pub chunks: u32,
+    /// Chunk size in bytes.
+    pub chunk_size: usize,
+    /// Virtual compute units per chunk (TLS, buffer copies…).
+    pub work_per_chunk: u64,
+    /// Active bug.
+    pub bug: AgetBug,
+}
+
+impl Default for AgetConfig {
+    fn default() -> Self {
+        AgetConfig {
+            connections: 4,
+            chunks: 5,
+            chunk_size: 32,
+            work_per_chunk: 60,
+            bug: AgetBug::ProgressAtomicity,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    /// Bytes downloaded so far (the racy counter).
+    progress: VarId,
+    out_lock: LockId,
+}
+
+/// The aget-style downloader program.
+#[derive(Debug, Clone)]
+pub struct Aget {
+    cfg: AgetConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Aget {
+    /// Builds the downloader with the given configuration.
+    pub fn new(cfg: AgetConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            progress: spec.var("progress", 0),
+            out_lock: spec.lock("out_lock"),
+        };
+        Aget { cfg, spec, rs }
+    }
+
+    fn total_bytes(&self) -> u64 {
+        u64::from(self.cfg.connections) * u64::from(self.cfg.chunks) * self.cfg.chunk_size as u64
+    }
+}
+
+fn downloader_body(ctx: &mut Ctx, cfg: &AgetConfig, rs: Resources, idx: u32) {
+    ctx.func(FUNC_DOWNLOAD);
+    // Each downloader accepts its own server connection (range request).
+    let Some(conn) = ctx.sys_accept() else {
+        ctx.fail("server refused a range connection");
+    };
+    let mut received: u64 = 0;
+    while let Some(data) = ctx.sys_recv(conn, cfg.chunk_size) {
+        ctx.bb(60);
+        // Heterogeneous per-chunk processing (TLS record sizes vary)
+        // desynchronizes the connections.
+        let pieces = 3 + (idx as u64 + received / cfg.chunk_size as u64 * 2) % 6;
+        for piece in 0..pieces {
+            ctx.bb(63 + piece as u32);
+            ctx.compute(cfg.work_per_chunk / pieces);
+        }
+        // Write this connection's region of the output file.
+        ctx.with_lock(rs.out_lock, |ctx| {
+            let fd = ctx.sys_open(&format!("/dl/part{idx}"));
+            ctx.sys_write(fd, &data);
+            ctx.sys_close(fd);
+        });
+        received += data.len() as u64;
+        let is_final_chunk =
+            received >= u64::from(cfg.chunks) * cfg.chunk_size as u64;
+        match cfg.bug {
+            // BUG: the end-of-range progress flush (the path the signal
+            // handler also takes) is an unprotected read-modify-write.
+            AgetBug::ProgressAtomicity if is_final_chunk => {
+                ctx.bb(61);
+                let p = ctx.read(rs.progress);
+                ctx.write(rs.progress, p + data.len() as u64);
+            }
+            _ => {
+                ctx.bb(62);
+                ctx.fetch_add(rs.progress, data.len() as i64);
+            }
+        }
+    }
+    ctx.sys_net_close(conn);
+    ctx.check(
+        received == u64::from(cfg.chunks) * cfg.chunk_size as u64,
+        "connection delivered short range",
+    );
+}
+
+impl Program for Aget {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            AgetBug::None => "aget".to_string(),
+            AgetBug::ProgressAtomicity => "aget-progress-atomicity".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        let mut world = WorldConfig::default();
+        let range_len = self.cfg.chunks as usize * self.cfg.chunk_size;
+        for c in 0..self.cfg.connections {
+            // Each connection serves one byte range of the file.
+            let payload: Vec<u8> = (0..range_len).map(|i| (i as u8).wrapping_add(c as u8)).collect();
+            world = world.with_session(Session::new(u64::from(c), payload));
+        }
+        world
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        let total = self.total_bytes();
+        Box::new(move |ctx| {
+            let downloaders: Vec<ThreadId> = (0..cfg.connections)
+                .map(|i| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("dl{i}"), move |ctx| {
+                        downloader_body(ctx, &cfg, rs, i);
+                    })
+                })
+                .collect();
+            for d in downloaders {
+                ctx.join(d);
+            }
+            // Persist the resume state and validate.
+            let progress = ctx.read(rs.progress);
+            let fd = ctx.sys_open("/dl/state.aget");
+            ctx.sys_write(fd, &progress.to_be_bytes());
+            ctx.sys_close(fd);
+            ctx.check(
+                progress == total,
+                "progress counter lost an update (resume state corrupt)",
+            );
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails};
+
+    #[test]
+    fn bug_free_downloader_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Aget::new(AgetConfig {
+                    bug: AgetBug::None,
+                    ..AgetConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn progress_race_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || Aget::new(AgetConfig::default()),
+            500,
+            "assert:progress counter lost an update (resume state corrupt)",
+        );
+    }
+
+    #[test]
+    fn all_parts_reach_disk() {
+        let prog = Aget::new(AgetConfig {
+            bug: AgetBug::None,
+            ..AgetConfig::default()
+        });
+        let body = prog.root();
+        let out = pres_tvm::vm::run(
+            pres_tvm::vm::VmConfig {
+                world: prog.world(),
+                ..Default::default()
+            },
+            prog.resources(),
+            &mut RandomScheduler::new(9),
+            &mut NullObserver,
+            move |ctx| body(ctx),
+        );
+        assert_eq!(out.status, RunStatus::Completed, "{}", out.status);
+        for i in 0..4 {
+            let part = out.files.get(&format!("/dl/part{i}")).expect("part file");
+            assert_eq!(part.len(), 5 * 32);
+        }
+        assert!(out.files.contains_key("/dl/state.aget"));
+    }
+}

@@ -1,0 +1,241 @@
+//! `barnes` — a SPLASH-2-style Barnes-Hut tree-building kernel.
+//!
+//! Structure: worker threads insert their particles into a shared octree;
+//! insertion descends the tree (virtual compute), claims the next free
+//! child slot of the target node, and stores the particle there. The slot
+//! claim is a two-variable protocol: bump the node's child count, then
+//! fill the claimed slot.
+//!
+//! Seeded bug — [`BarnesBug::TreeAtomicity`], modeled after the SPLASH-2
+//! Barnes tree-insertion races studied in the concurrency-bug literature:
+//! the claim-then-fill sequence runs without the node lock, so two
+//! inserters can claim the same slot; one particle overwrites the other
+//! and the tree silently loses a body. Class: atomicity violation.
+
+use crate::util::FUNC_PHASE;
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarnesBug {
+    /// Slot claims hold the node lock.
+    None,
+    /// Lock-free claim-then-fill (slot collisions possible).
+    TreeAtomicity,
+}
+
+/// Kernel configuration.
+#[derive(Debug, Clone)]
+pub struct BarnesConfig {
+    /// Worker threads.
+    pub workers: u32,
+    /// Particles per worker.
+    pub particles: u32,
+    /// Tree nodes (particles hash onto nodes).
+    pub nodes: u32,
+    /// Virtual compute units per tree descent.
+    pub work_per_insert: u64,
+    /// Active bug.
+    pub bug: BarnesBug,
+}
+
+impl Default for BarnesConfig {
+    fn default() -> Self {
+        BarnesConfig {
+            workers: 4,
+            particles: 4,
+            nodes: 2,
+            work_per_insert: 50,
+            bug: BarnesBug::TreeAtomicity,
+        }
+    }
+}
+
+/// Maximum children per node (slots array size per node).
+const NODE_SLOTS: u32 = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    /// Per-node child counts (contiguous).
+    counts0: VarId,
+    /// Per-node slot arrays (contiguous, `nodes * NODE_SLOTS`).
+    slots0: VarId,
+    /// Per-node locks.
+    locks0: LockId,
+    inserted: VarId,
+}
+
+/// The Barnes-Hut kernel program.
+#[derive(Debug, Clone)]
+pub struct Barnes {
+    cfg: BarnesConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Barnes {
+    /// Builds the kernel with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration could overflow a node's slot array.
+    pub fn new(cfg: BarnesConfig) -> Self {
+        assert!(
+            cfg.workers * cfg.particles <= cfg.nodes * NODE_SLOTS,
+            "too many particles for the slot arrays"
+        );
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            counts0: spec.var_array("node_count", cfg.nodes, 0),
+            slots0: spec.var_array("node_slot", cfg.nodes * NODE_SLOTS, 0),
+            locks0: spec.lock_array("node_lock", cfg.nodes),
+            inserted: spec.var("inserted", 0),
+        };
+        Barnes { cfg, spec, rs }
+    }
+}
+
+fn insert(ctx: &mut Ctx, cfg: &BarnesConfig, rs: Resources, node: u32, particle_id: u64) {
+    let count_var = VarId(rs.counts0.0 + node);
+    // The lock-free path is the cell-splitting insert, a fraction of all
+    // insertions (as in the original kernel's racy body-loading phase).
+    let splitting = particle_id % 4 == 0;
+    match cfg.bug {
+        BarnesBug::TreeAtomicity if splitting => {
+            // BUG: claim-then-fill without the node lock.
+            ctx.bb(100);
+            let idx = ctx.read(count_var);
+            ctx.write(count_var, idx + 1);
+            let slot = VarId(rs.slots0.0 + node * NODE_SLOTS + idx as u32 % NODE_SLOTS);
+            ctx.write(slot, particle_id);
+        }
+        _ => {
+            ctx.bb(101);
+            ctx.with_lock(LockId(rs.locks0.0 + node), |ctx| {
+                let idx = ctx.read(count_var);
+                ctx.write(count_var, idx + 1);
+                let slot = VarId(rs.slots0.0 + node * NODE_SLOTS + idx as u32 % NODE_SLOTS);
+                ctx.write(slot, particle_id);
+            });
+        }
+    }
+    ctx.fetch_add(rs.inserted, 1);
+}
+
+fn worker_body(ctx: &mut Ctx, cfg: &BarnesConfig, rs: Resources, w: u32) {
+    ctx.func(FUNC_PHASE);
+    for p in 0..cfg.particles {
+        // Tree descent: depth (and op count) varies per particle.
+        let depth = 2 + (w + 3 * p) % 6;
+        for level in 0..depth {
+            ctx.bb(102 + level);
+            ctx.compute(cfg.work_per_insert / u64::from(depth));
+        }
+        let particle_id = u64::from(w) * u64::from(cfg.particles) + u64::from(p) + 1;
+        let node = (w + p) % cfg.nodes;
+        insert(ctx, cfg, rs, node, particle_id);
+    }
+}
+
+impl Program for Barnes {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            BarnesBug::None => "barnes".to_string(),
+            BarnesBug::TreeAtomicity => "barnes-tree-atomicity".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        Box::new(move |ctx| {
+            let workers: Vec<ThreadId> = (0..cfg.workers)
+                .map(|w| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("barnes{w}"), move |ctx| {
+                        worker_body(ctx, &cfg, rs, w)
+                    })
+                })
+                .collect();
+            for t in workers {
+                ctx.join(t);
+            }
+            // Validate: every particle is in the tree exactly once.
+            let inserted = ctx.read(rs.inserted);
+            let total = u64::from(cfg.workers) * u64::from(cfg.particles);
+            ctx.check(inserted == total, "insert bookkeeping lost a particle");
+            let mut count_sum = 0u64;
+            for n in 0..cfg.nodes {
+                count_sum += ctx.read(VarId(rs.counts0.0 + n));
+            }
+            ctx.check(count_sum == total, "tree counts lost an insertion");
+            let mut filled = 0u64;
+            for n in 0..cfg.nodes {
+                let count = ctx.read(VarId(rs.counts0.0 + n)).min(u64::from(NODE_SLOTS));
+                for s in 0..count as u32 {
+                    let v = ctx.read(VarId(rs.slots0.0 + n * NODE_SLOTS + s));
+                    if v != 0 {
+                        filled += 1;
+                    }
+                }
+            }
+            ctx.check(filled == total, "a body vanished from the tree (slot collision)");
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::never_fails;
+
+    #[test]
+    fn locked_tree_build_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Barnes::new(BarnesConfig {
+                    bug: BarnesBug::None,
+                    ..BarnesConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn slot_collision_manifests_under_some_schedule() {
+        // The racy claim can fail two ways: a count RMW lost (counts short)
+        // or two fills on one slot (a body vanishes). Accept either.
+        let mut failing = None;
+        let mut clean = false;
+        for seed in 0..500 {
+            let prog = Barnes::new(BarnesConfig::default());
+            match crate::testutil::run_seed(&prog, seed) {
+                RunStatus::Failed(Failure::Assertion { message, .. }) => {
+                    assert!(
+                        message.contains("lost an insertion") || message.contains("vanished"),
+                        "unexpected failure: {message}"
+                    );
+                    failing.get_or_insert(seed);
+                }
+                RunStatus::Completed => clean = true,
+                other => panic!("seed {seed}: {other}"),
+            }
+            if failing.is_some() && clean {
+                break;
+            }
+        }
+        assert!(failing.is_some(), "tree race never manifested");
+        assert!(clean, "every schedule failed");
+    }
+}

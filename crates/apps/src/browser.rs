@@ -1,0 +1,229 @@
+//! `browser` — a Mozilla-style client with a shared document cache.
+//!
+//! Structure: the extract mirrors Mozilla's network cache as exercised by
+//! its UI: several network threads fetch documents and insert them into a
+//! shared cache whose bookkeeping spans *two correlated variables* — the
+//! entry count and the total cached size — while the UI thread
+//! periodically inspects the cache to drive eviction decisions and its
+//! "cache statistics" page.
+//!
+//! Seeded bug — [`BrowserBug::MultiVarAtomicity`], modeled after the
+//! Mozilla multi-variable cache races reported in the MUVI study (the same
+//! group's earlier work, which PRES draws its Mozilla bugs from): the
+//! insert path updates `count` and `size` without holding the cache lock,
+//! so a reader serializing the statistics can observe `count` already
+//! advanced but `size` not yet — the correlated invariant is broken.
+//! Class: multi-variable atomicity violation.
+
+use crate::util::{FUNC_CACHE_EVICT, FUNC_CACHE_INSERT};
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrowserBug {
+    /// Inserts hold the cache lock across both updates.
+    None,
+    /// Inserts update the correlated pair without the lock.
+    MultiVarAtomicity,
+}
+
+/// Browser configuration.
+#[derive(Debug, Clone)]
+pub struct BrowserConfig {
+    /// Network (fetch) threads.
+    pub net_threads: u32,
+    /// Documents fetched per network thread.
+    pub fetches: u32,
+    /// Bytes accounted per cached document.
+    pub doc_size: u64,
+    /// UI statistics inspections.
+    pub ui_checks: u32,
+    /// Virtual compute units per fetch (parse, layout…).
+    pub work_per_fetch: u64,
+    /// Active bug.
+    pub bug: BrowserBug,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        BrowserConfig {
+            net_threads: 3,
+            fetches: 6,
+            doc_size: 10,
+            ui_checks: 12,
+            work_per_fetch: 70,
+            bug: BrowserBug::MultiVarAtomicity,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    cache_lock: LockId,
+    /// Correlated pair: entry count and total size.
+    count: VarId,
+    size: VarId,
+    /// Regular locked state: the LRU clock hand.
+    lru_hand: VarId,
+    fetched: VarId,
+}
+
+/// The Mozilla-style browser program.
+#[derive(Debug, Clone)]
+pub struct Browser {
+    cfg: BrowserConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Browser {
+    /// Builds the browser with the given configuration.
+    pub fn new(cfg: BrowserConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            cache_lock: spec.lock("cache_lock"),
+            count: spec.var("cache_count", 0),
+            size: spec.var("cache_size", 0),
+            lru_hand: spec.var("lru_hand", 0),
+            fetched: spec.var("fetched", 0),
+        };
+        Browser { cfg, spec, rs }
+    }
+}
+
+fn net_body(ctx: &mut Ctx, cfg: &BrowserConfig, rs: Resources, idx: u32) {
+    for f in 0..cfg.fetches {
+        // "Fetch": read a document from the simulated filesystem.
+        let fd = ctx.sys_open(&format!("/docs/site{}", (idx + f) % 3));
+        let _doc = ctx.sys_read(fd, 32);
+        ctx.sys_close(fd);
+        // Parse/layout cost varies per document.
+        let pieces = 2 + (idx + 3 * f) % 6;
+        for piece in 0..pieces {
+            ctx.bb(74 + piece);
+            ctx.compute(cfg.work_per_fetch / u64::from(pieces));
+        }
+
+        ctx.func(FUNC_CACHE_INSERT);
+        let revalidation = (idx + 2 * f) % 6 == 0;
+        match cfg.bug {
+            BrowserBug::MultiVarAtomicity if revalidation => {
+                // BUG: each variable is updated atomically, but the *pair*
+                // is not — a reader between the two updates observes the
+                // correlated invariant broken (the MUVI multi-variable
+                // pattern).
+                ctx.bb(70);
+                ctx.fetch_add(rs.count, 1);
+                ctx.fetch_add(rs.size, cfg.doc_size as i64);
+            }
+            _ => {
+                ctx.bb(71);
+                ctx.with_lock(rs.cache_lock, |ctx| {
+                    let c = ctx.read(rs.count);
+                    ctx.write(rs.count, c + 1);
+                    let s = ctx.read(rs.size);
+                    ctx.write(rs.size, s + cfg.doc_size);
+                });
+            }
+        }
+        // Properly locked LRU maintenance either way.
+        ctx.with_lock(rs.cache_lock, |ctx| {
+            let h = ctx.read(rs.lru_hand);
+            ctx.write(rs.lru_hand, (h + 1) % 8);
+        });
+        ctx.fetch_add(rs.fetched, 1);
+    }
+}
+
+fn ui_body(ctx: &mut Ctx, cfg: &BrowserConfig, rs: Resources) {
+    for _ in 0..cfg.ui_checks {
+        ctx.func(FUNC_CACHE_EVICT);
+        ctx.bb(72);
+        // The UI reads the statistics under the cache lock (it is the
+        // insert path that is buggy, exactly as in the Mozilla reports).
+        let (c, s) = ctx.with_lock(rs.cache_lock, |ctx| {
+            let c = ctx.read(rs.count);
+            let s = ctx.read(rs.size);
+            (c, s)
+        });
+        ctx.check(
+            s == c * cfg.doc_size,
+            "cache statistics inconsistent (count/size split)",
+        );
+        ctx.compute(cfg.work_per_fetch / 2);
+    }
+}
+
+impl Program for Browser {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            BrowserBug::None => "browser".to_string(),
+            BrowserBug::MultiVarAtomicity => "browser-multivar-atomicity".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        WorldConfig::default()
+            .with_file("/docs/site0", vec![b'a'; 32])
+            .with_file("/docs/site1", vec![b'b'; 32])
+            .with_file("/docs/site2", vec![b'c'; 32])
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        Box::new(move |ctx| {
+            let ui = {
+                let cfg = cfg.clone();
+                ctx.spawn("ui", move |ctx| ui_body(ctx, &cfg, rs))
+            };
+            let nets: Vec<ThreadId> = (0..cfg.net_threads)
+                .map(|i| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("net{i}"), move |ctx| net_body(ctx, &cfg, rs, i))
+                })
+                .collect();
+            for t in nets {
+                ctx.join(t);
+            }
+            ctx.join(ui);
+            let fetched = ctx.read(rs.fetched);
+            let expected = u64::from(cfg.net_threads) * u64::from(cfg.fetches);
+            ctx.check(fetched == expected, "fetches were lost");
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails};
+
+    #[test]
+    fn bug_free_browser_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Browser::new(BrowserConfig {
+                    bug: BrowserBug::None,
+                    ..BrowserConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn multivar_split_is_observed_under_some_schedule() {
+        fails_for_some_seed_t(
+            || Browser::new(BrowserConfig::default()),
+            500,
+            "assert:cache statistics inconsistent (count/size split)",
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! `cherokee` — a lightweight single-worker web server.
+//!
+//! Structure: Cherokee's event-loop architecture dispatches accepted
+//! connections to a worker through a shared one-slot connection descriptor
+//! (the miniature of its connection-reuse table). The acceptor publishes
+//! the descriptor fields, then signals the worker through a
+//! condition-variable handshake; the worker consumes the descriptor,
+//! serves the request, and acknowledges the slot back to the acceptor.
+//!
+//! Seeded bug — [`CherokeeBug::ConnOrder`], modeled after Cherokee's
+//! connection-initialization race (bug #326 class): the acceptor signals
+//! the worker *before* the descriptor field is fully initialized. Most of
+//! the time the acceptor wins the race anyway and nothing happens; under
+//! the wrong interleaving the worker reads a stale descriptor. Class:
+//! order violation.
+
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CherokeeBug {
+    /// Correct publish-then-signal ordering.
+    None,
+    /// Signal-before-publish order violation.
+    ConnOrder,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct CherokeeConfig {
+    /// Scripted client requests.
+    pub requests: u32,
+    /// Virtual compute units per request.
+    pub work_per_request: u64,
+    /// Active bug.
+    pub bug: CherokeeBug,
+}
+
+impl Default for CherokeeConfig {
+    fn default() -> Self {
+        CherokeeConfig {
+            requests: 10,
+            work_per_request: 60,
+            bug: CherokeeBug::ConnOrder,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    slot_lock: LockId,
+    slot_ready: CondId,
+    slot_free: CondId,
+    /// 0 = empty; otherwise `conn_id + 1` of the published descriptor.
+    conn_desc: VarId,
+    /// Set when the descriptor slot holds an unconsumed connection.
+    ready: VarId,
+    /// Accept sequence number the descriptor belongs to (validation).
+    conn_seq: VarId,
+    served: VarId,
+    shutdown: VarId,
+}
+
+/// The Cherokee-style server program.
+#[derive(Debug, Clone)]
+pub struct Cherokee {
+    cfg: CherokeeConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Cherokee {
+    /// Builds the server with the given configuration.
+    pub fn new(cfg: CherokeeConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            slot_lock: spec.lock("slot_lock"),
+            slot_ready: spec.cond("slot_ready"),
+            slot_free: spec.cond("slot_free"),
+            conn_desc: spec.var("conn_desc", 0),
+            ready: spec.var("ready", 0),
+            conn_seq: spec.var("conn_seq", 0),
+            served: spec.var("served", 0),
+            shutdown: spec.var("shutdown", 0),
+        };
+        Cherokee { cfg, spec, rs }
+    }
+}
+
+fn worker_body(ctx: &mut Ctx, cfg: &CherokeeConfig, rs: Resources) {
+    let mut n: u64 = 0;
+    loop {
+        ctx.lock(rs.slot_lock);
+        while ctx.read(rs.ready) == 0 && ctx.read(rs.shutdown) == 0 {
+            ctx.cond_wait(rs.slot_ready, rs.slot_lock);
+        }
+        if ctx.read(rs.ready) == 0 {
+            // Shutdown with an empty slot.
+            ctx.unlock(rs.slot_lock);
+            break;
+        }
+        // Dequeue bookkeeping, then consume the descriptor.
+        ctx.bb(32);
+        ctx.compute(8);
+        let desc = ctx.read(rs.conn_desc);
+        let seq = ctx.read(rs.conn_seq);
+        ctx.write(rs.ready, 0);
+        ctx.notify_one(rs.slot_free);
+        ctx.unlock(rs.slot_lock);
+
+        // The descriptor published for accept #n must be conn n.
+        ctx.check(
+            desc == n + 1 && seq == n,
+            "worker consumed an uninitialized connection descriptor",
+        );
+        let conn = ConnId((desc - 1) as u32);
+        let request = ctx.sys_recv(conn, 64).unwrap_or_default();
+        ctx.compute(cfg.work_per_request);
+        ctx.sys_send(conn, &[b"200 ".as_ref(), &request].concat());
+        ctx.sys_net_close(conn);
+        ctx.fetch_add(rs.served, 1);
+        n += 1;
+    }
+}
+
+impl Program for Cherokee {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            CherokeeBug::None => "cherokee".to_string(),
+            CherokeeBug::ConnOrder => "cherokee-conn-order".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        let mut world = WorldConfig::default();
+        for i in 0..self.cfg.requests {
+            world = world.with_session(Session::new(
+                u64::from(i) * 2,
+                format!("GET /{i}").into_bytes(),
+            ));
+        }
+        world
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        Box::new(move |ctx| {
+            let worker = {
+                let cfg = cfg.clone();
+                ctx.spawn("worker", move |ctx| worker_body(ctx, &cfg, rs))
+            };
+            let mut seq: u64 = 0;
+            while let Some(conn) = ctx.sys_accept() {
+                match cfg.bug {
+                    CherokeeBug::ConnOrder => {
+                        // BUG: the ready flag and wakeup are issued before
+                        // the descriptor fields are written; the worker can
+                        // observe a half-initialized slot.
+                        ctx.bb(30);
+                        ctx.lock(rs.slot_lock);
+                        while ctx.read(rs.ready) == 1 {
+                            ctx.cond_wait(rs.slot_free, rs.slot_lock);
+                        }
+                        ctx.write(rs.ready, 1);
+                        ctx.notify_one(rs.slot_ready);
+                        ctx.unlock(rs.slot_lock);
+                        // Late initialization, outside the critical section.
+                        ctx.write(rs.conn_desc, u64::from(conn.0) + 1);
+                        ctx.write(rs.conn_seq, seq);
+                    }
+                    CherokeeBug::None => {
+                        ctx.bb(31);
+                        ctx.lock(rs.slot_lock);
+                        while ctx.read(rs.ready) == 1 {
+                            ctx.cond_wait(rs.slot_free, rs.slot_lock);
+                        }
+                        ctx.write(rs.conn_desc, u64::from(conn.0) + 1);
+                        ctx.write(rs.conn_seq, seq);
+                        ctx.write(rs.ready, 1);
+                        ctx.notify_one(rs.slot_ready);
+                        ctx.unlock(rs.slot_lock);
+                    }
+                }
+                seq += 1;
+            }
+            // Shutdown: wait until the last descriptor is consumed, then
+            // wake the worker with the shutdown flag.
+            ctx.lock(rs.slot_lock);
+            while ctx.read(rs.ready) == 1 {
+                ctx.cond_wait(rs.slot_free, rs.slot_lock);
+            }
+            ctx.write(rs.shutdown, 1);
+            ctx.notify_one(rs.slot_ready);
+            ctx.unlock(rs.slot_lock);
+            ctx.join(worker);
+            let served = ctx.read(rs.served);
+            ctx.check(
+                served == u64::from(cfg.requests),
+                "not every connection was served",
+            );
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails, run_seed};
+
+    #[test]
+    fn bug_free_server_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Cherokee::new(CherokeeConfig {
+                    bug: CherokeeBug::None,
+                    ..CherokeeConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn conn_order_bug_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || Cherokee::new(CherokeeConfig::default()),
+            500,
+            "assert:worker consumed an uninitialized connection descriptor",
+        );
+    }
+
+    #[test]
+    fn responses_echo_requests() {
+        let prog = Cherokee::new(CherokeeConfig {
+            bug: CherokeeBug::None,
+            requests: 4,
+            ..CherokeeConfig::default()
+        });
+        for seed in 0..20 {
+            if run_seed(&prog, seed) == RunStatus::Completed {
+                return;
+            }
+        }
+        panic!("no clean run");
+    }
+}

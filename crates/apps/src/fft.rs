@@ -1,0 +1,193 @@
+//! `fft` — a SPLASH-2-style staged FFT kernel.
+//!
+//! Structure: the six-step FFT of SPLASH-2 alternates local butterfly
+//! computation with an all-to-all transpose; correctness depends on a
+//! barrier between writing one's own partition and reading everyone
+//! else's. Each worker owns a contiguous partition of the (shared) signal
+//! array: stage 1 writes the partition, the barrier ends the stage, stage
+//! 2 (the transpose) reads the *partner's* partition and accumulates.
+//!
+//! Seeded bug — [`FftBug::BarrierOrder`]: the inter-stage barrier is
+//! missing, so a fast worker's transpose can read partition elements its
+//! partner has not written yet. Class: order violation.
+
+use crate::util::FUNC_PHASE;
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftBug {
+    /// Barrier between stages.
+    None,
+    /// Missing inter-stage barrier.
+    BarrierOrder,
+}
+
+/// Kernel configuration.
+#[derive(Debug, Clone)]
+pub struct FftConfig {
+    /// Worker threads (partitions).
+    pub workers: u32,
+    /// Elements per partition.
+    pub points: u32,
+    /// Virtual compute units per butterfly.
+    pub work_per_point: u64,
+    /// Active bug.
+    pub bug: FftBug,
+}
+
+impl Default for FftConfig {
+    fn default() -> Self {
+        FftConfig {
+            workers: 4,
+            points: 6,
+            work_per_point: 30,
+            bug: FftBug::BarrierOrder,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    /// The signal array, `workers * points` elements, initialized to 0.
+    signal0: VarId,
+    stage_barrier: BarrierId,
+    /// Per-worker transpose accumulators (disjoint).
+    accum0: VarId,
+}
+
+/// The FFT kernel program.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    cfg: FftConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Fft {
+    /// Builds the kernel with the given configuration.
+    pub fn new(cfg: FftConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            signal0: spec.var_array("signal", cfg.workers * cfg.points, 0),
+            stage_barrier: spec.barrier("stage", cfg.workers),
+            accum0: spec.var_array("accum", cfg.workers, 0),
+        };
+        Fft { cfg, spec, rs }
+    }
+
+    /// The stage-1 value of element `i` of worker `w` (never zero).
+    fn element(w: u32, i: u32) -> u64 {
+        u64::from(w + 1) * 1000 + u64::from(i) + 1
+    }
+
+    /// The transpose sum each worker must observe from its partner.
+    fn expected_accum(cfg: &FftConfig, partner: u32) -> u64 {
+        (0..cfg.points).map(|i| Self::element(partner, i)).sum()
+    }
+}
+
+fn worker_body(ctx: &mut Ctx, cfg: &FftConfig, rs: Resources, w: u32) {
+    // Stage 1: butterfly computation over the worker's own partition.
+    ctx.func(FUNC_PHASE);
+    ctx.bb(80);
+    for i in 0..cfg.points {
+        ctx.compute(cfg.work_per_point);
+        let idx = VarId(rs.signal0.0 + w * cfg.points + i);
+        ctx.write(idx, Fft::element(w, i));
+    }
+
+    if cfg.bug == FftBug::None {
+        ctx.barrier_wait(rs.stage_barrier);
+    }
+    // BUG: without the barrier, the transpose below can run ahead of the
+    // partner's stage-1 writes.
+
+    // Stage 2: transpose — read the partner's partition.
+    ctx.func(FUNC_PHASE);
+    ctx.bb(81);
+    let partner = (w + 1) % cfg.workers;
+    let mut sum = 0u64;
+    for i in 0..cfg.points {
+        let idx = VarId(rs.signal0.0 + partner * cfg.points + i);
+        sum += ctx.read(idx);
+        ctx.compute(cfg.work_per_point / 2);
+    }
+    ctx.write(VarId(rs.accum0.0 + w), sum);
+    ctx.check(
+        sum == Fft::expected_accum(cfg, partner),
+        "transpose read a stale stage-1 partition",
+    );
+}
+
+impl Program for Fft {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            FftBug::None => "fft".to_string(),
+            FftBug::BarrierOrder => "fft-barrier-order".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        Box::new(move |ctx| {
+            let workers: Vec<ThreadId> = (0..cfg.workers)
+                .map(|w| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("fft{w}"), move |ctx| worker_body(ctx, &cfg, rs, w))
+                })
+                .collect();
+            for t in workers {
+                ctx.join(t);
+            }
+            // Global validation: all accumulators correct.
+            for w in 0..cfg.workers {
+                let a = ctx.read(VarId(rs.accum0.0 + w));
+                let partner = (w + 1) % cfg.workers;
+                ctx.check(
+                    a == Fft::expected_accum(&cfg, partner),
+                    "final transform inconsistent",
+                );
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails};
+
+    #[test]
+    fn barriered_kernel_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Fft::new(FftConfig {
+                    bug: FftBug::None,
+                    ..FftConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn missing_barrier_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || Fft::new(FftConfig::default()),
+            500,
+            "assert:transpose read a stale stage-1 partition",
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! `httpd` — an Apache-style multi-threaded web server.
+//!
+//! Structure (a faithful miniature of the worker-MPM path): the main thread
+//! accepts connections and dispatches them to a pool of worker threads over
+//! a channel; workers parse the request line, serve either a cached object
+//! or a file from the simulated filesystem, append an access-log record to
+//! a shared in-memory log buffer (flushed to disk at shutdown), and manage
+//! a reference-counted cached object.
+//!
+//! Seeded bugs:
+//!
+//! * [`HttpdBug::LogAtomicity`] — modeled after **Apache #25520**: the
+//!   buffered-log append reads the buffer length and then writes the
+//!   record in a separate step. Two workers interleaving in that window
+//!   corrupt the log (records land at different offsets than reserved).
+//!   Class: single-variable atomicity violation.
+//! * [`HttpdBug::RefcountOrder`] — modeled after **Apache #21287**: a
+//!   worker drops its reference on the cached object *before* its last
+//!   use. If the other worker's drop lands in between and frees the
+//!   object, the late use hits freed memory. Class: order violation.
+
+use crate::util::{parse_path, FUNC_HANDLE, FUNC_LOG, FUNC_SERVE};
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpdBug {
+    /// No bug: fully synchronized server.
+    None,
+    /// Apache #25520-style buffered-log atomicity violation.
+    LogAtomicity,
+    /// Apache #21287-style refcount order violation.
+    RefcountOrder,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct HttpdConfig {
+    /// Worker-pool size.
+    pub workers: u32,
+    /// Number of scripted client requests.
+    pub requests: u32,
+    /// Virtual compute units per request (request handling work).
+    pub work_per_request: u64,
+    /// Active bug.
+    pub bug: HttpdBug,
+}
+
+impl Default for HttpdConfig {
+    fn default() -> Self {
+        HttpdConfig {
+            workers: 3,
+            requests: 12,
+            work_per_request: 120,
+            bug: HttpdBug::None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    /// Dispatch channel carrying accepted connection ids.
+    dispatch: ChanId,
+    /// The shared access-log buffer.
+    access_log: BufId,
+    /// Protects the access log (held correctly when the bug is off).
+    log_lock: LockId,
+    /// Cache object: reference count.
+    obj_refcount: VarId,
+    /// Cache object: freed flag.
+    obj_freed: VarId,
+    /// Cache object: payload version (regular locked shared state).
+    obj_version: VarId,
+    /// Protects obj_version.
+    obj_lock: LockId,
+    /// Served-request counter.
+    served: VarId,
+}
+
+/// The Apache-style server program.
+#[derive(Debug, Clone)]
+pub struct Httpd {
+    cfg: HttpdConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Httpd {
+    /// Builds the server with the given configuration.
+    pub fn new(cfg: HttpdConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            dispatch: spec.chan("dispatch"),
+            access_log: spec.buf("access_log"),
+            log_lock: spec.lock("log_lock"),
+            obj_refcount: spec.var("obj_refcount", 0),
+            obj_freed: spec.var("obj_freed", 0),
+            obj_version: spec.var("obj_version", 0),
+            obj_lock: spec.lock("obj_lock"),
+            served: spec.var("served", 0),
+        };
+        Httpd { cfg, spec, rs }
+    }
+}
+
+/// One fixed-width access-log record: `[reserved_offset:8][conn:4][path:4]`.
+const LOG_RECORD: usize = 16;
+
+fn log_record(offset: u64, conn: u32, path: u32) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(LOG_RECORD);
+    rec.extend_from_slice(&offset.to_be_bytes());
+    rec.extend_from_slice(&conn.to_be_bytes());
+    rec.extend_from_slice(&path.to_be_bytes());
+    rec
+}
+
+fn worker_body(ctx: &mut Ctx, cfg: &HttpdConfig, rs: Resources) {
+    while let Some(conn_raw) = ctx.recv(rs.dispatch) {
+        ctx.func(FUNC_HANDLE);
+        let conn = ConnId(conn_raw as u32);
+        let request = ctx.sys_recv(conn, 128).unwrap_or_default();
+        let path = parse_path(&request);
+        ctx.bb(10);
+
+        // Serve: cached object for /obj, filesystem otherwise.
+        ctx.func(FUNC_SERVE);
+        if path == 1 {
+            // Acquire a reference to the cached object.
+            if cfg.bug == HttpdBug::RefcountOrder {
+                // BUG (Apache #21287 pattern): the reference is dropped
+                // *before* the final use of the object.
+                ctx.bb(11);
+                let prev = ctx.fetch_add(rs.obj_refcount, -1);
+                if prev == 1 {
+                    // Last reference: free the object and take the fast
+                    // path out (the freeing thread itself is done).
+                    ctx.write(rs.obj_freed, 1);
+                } else {
+                    ctx.compute(cfg.work_per_request / 4);
+                    // Late use of the (possibly freed) object: if the final
+                    // drop landed inside our window, this is a use after
+                    // free.
+                    let freed = ctx.read(rs.obj_freed);
+                    ctx.check(freed == 0, "use-after-free of cached object");
+                    ctx.with_lock(rs.obj_lock, |ctx| {
+                        let v = ctx.read(rs.obj_version);
+                        ctx.write(rs.obj_version, v);
+                    });
+                }
+            } else {
+                // Correct: use, then drop.
+                ctx.bb(12);
+                ctx.with_lock(rs.obj_lock, |ctx| {
+                    let v = ctx.read(rs.obj_version);
+                    ctx.write(rs.obj_version, v);
+                });
+                let freed = ctx.read(rs.obj_freed);
+                ctx.check(freed == 0, "use-after-free of cached object");
+                let prev = ctx.fetch_add(rs.obj_refcount, -1);
+                if prev == 1 {
+                    ctx.write(rs.obj_freed, 1);
+                }
+            }
+        } else {
+            ctx.bb(13);
+            let fd = ctx.sys_open(&format!("/www/page{}", path % 3));
+            let body = ctx.sys_read(fd, 64);
+            ctx.sys_close(fd);
+            ctx.compute(body.len() as u64);
+        }
+        // Heterogeneous handling (templating, compression …) keeps the
+        // worker pool out of lockstep: the number of instrumentation
+        // points varies per request.
+        let pieces = 3 + (path + conn_raw as u32) % 5;
+        for piece in 0..pieces {
+            ctx.bb(17 + piece);
+            ctx.compute(cfg.work_per_request / u64::from(pieces));
+        }
+
+        // Respond.
+        ctx.sys_send(conn, format!("200 path={path}").as_bytes());
+        ctx.sys_net_close(conn);
+
+        // Access logging.
+        ctx.func(FUNC_LOG);
+        match cfg.bug {
+            // BUG (Apache #25520 pattern): the "fast" logging path taken
+            // for static-file responses reads the buffer length and
+            // appends in two steps, without the log lock.
+            HttpdBug::LogAtomicity if path % 4 == 2 => {
+                ctx.bb(14);
+                let offset = ctx.buf_len(rs.access_log) as u64;
+                ctx.buf_append(rs.access_log, &log_record(offset, conn_raw as u32, path));
+            }
+            _ => {
+                ctx.bb(15);
+                ctx.with_lock(rs.log_lock, |ctx| {
+                    let offset = ctx.buf_len(rs.access_log) as u64;
+                    ctx.buf_append(rs.access_log, &log_record(offset, conn_raw as u32, path));
+                });
+            }
+        }
+        ctx.fetch_add(rs.served, 1);
+        ctx.bb(16);
+    }
+}
+
+fn validate(ctx: &mut Ctx, cfg: &HttpdConfig, rs: Resources) {
+    // Log integrity: every record must sit at the offset it reserved.
+    let log = ctx.buf_read(rs.access_log);
+    ctx.check(
+        log.len() % LOG_RECORD == 0,
+        "access log corrupted: partial record",
+    );
+    for (i, rec) in log.chunks(LOG_RECORD).enumerate() {
+        let reserved = u64::from_be_bytes(rec[0..8].try_into().expect("record width"));
+        let actual = (i * LOG_RECORD) as u64;
+        ctx.check(
+            reserved == actual,
+            "access log corrupted: record landed at wrong offset",
+        );
+    }
+    let served = ctx.read(rs.served);
+    ctx.check(
+        served == u64::from(cfg.requests),
+        "not every request was served",
+    );
+}
+
+impl Program for Httpd {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            HttpdBug::None => "httpd".to_string(),
+            HttpdBug::LogAtomicity => "httpd-log-atomicity".to_string(),
+            HttpdBug::RefcountOrder => "httpd-refcount-order".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        let mut world = WorldConfig::default()
+            .with_file("/www/page0", b"<html>index</html>".to_vec())
+            .with_file("/www/page1", b"<html>about</html>".to_vec())
+            .with_file("/www/page2", b"<html>news</html>".to_vec());
+        for i in 0..self.cfg.requests {
+            // The refcount bug needs requests for /obj (path id 1); mix
+            // object hits with plain file requests.
+            let path = if self.cfg.bug == HttpdBug::RefcountOrder {
+                1
+            } else {
+                i % 4
+            };
+            world = world.with_session(Session::new(
+                u64::from(i) * 6,
+                format!("GET /{path}").into_bytes(),
+            ));
+        }
+        world.input_seed = 0x9e37_79b9u64.wrapping_mul(u64::from(self.cfg.requests) + 1);
+        world
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        Box::new(move |ctx| {
+            // The cached object starts with one reference per request that
+            // will touch it.
+            let obj_requests = if cfg.bug == HttpdBug::RefcountOrder {
+                u64::from(cfg.requests)
+            } else {
+                // Exactly the requests whose path id is 1 (i % 4 == 1).
+                (0..cfg.requests).filter(|i| i % 4 == 1).count() as u64
+            };
+            ctx.write(rs.obj_refcount, obj_requests);
+
+            let workers: Vec<ThreadId> = (0..cfg.workers)
+                .map(|i| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("worker{i}"), move |ctx| {
+                        worker_body(ctx, &cfg, rs);
+                    })
+                })
+                .collect();
+
+            // Accept loop: dispatch connections to the pool.
+            while let Some(conn) = ctx.sys_accept() {
+                ctx.send(rs.dispatch, u64::from(conn.0));
+            }
+            ctx.chan_close(rs.dispatch);
+            for w in workers {
+                ctx.join(w);
+            }
+
+            // Flush the access log to disk and validate.
+            let log = ctx.buf_read(rs.access_log);
+            let fd = ctx.sys_open("/var/log/access.log");
+            ctx.sys_write(fd, &log);
+            ctx.sys_close(fd);
+            validate(ctx, &cfg, rs);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails};
+
+    #[test]
+    fn bug_free_server_completes_under_many_schedules() {
+        never_fails(
+            || Httpd::new(HttpdConfig::default()),
+            40,
+        );
+    }
+
+    #[test]
+    fn log_atomicity_bug_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || {
+                Httpd::new(HttpdConfig {
+                    bug: HttpdBug::LogAtomicity,
+                    ..HttpdConfig::default()
+                })
+            },
+            400,
+            "assert:access log corrupted: record landed at wrong offset",
+        );
+    }
+
+    #[test]
+    fn refcount_order_bug_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || {
+                Httpd::new(HttpdConfig {
+                    bug: HttpdBug::RefcountOrder,
+                    workers: 3,
+                    requests: 8,
+                    ..HttpdConfig::default()
+                })
+            },
+            400,
+            "assert:use-after-free of cached object",
+        );
+    }
+
+    #[test]
+    fn responses_match_requests() {
+        let prog = Httpd::new(HttpdConfig::default());
+        let run = pres_core::recorder::run_traced(
+            &prog,
+            &pres_tvm::vm::VmConfig::default(),
+            3,
+        );
+        assert_eq!(run.status, RunStatus::Completed, "{}", run.status);
+        assert_eq!(run.conn_outputs.len(), 12);
+        for out in &run.conn_outputs {
+            assert!(out.starts_with(b"200 "), "{:?}", out);
+        }
+        // The access log reached disk.
+        assert!(run.files.contains_key("/var/log/access.log"));
+        assert_eq!(
+            run.files["/var/log/access.log"].len(),
+            12 * super::LOG_RECORD
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! `ldapd` — an OpenLDAP-style directory server.
+//!
+//! Structure: the directory is partitioned into three subtrees (`ou=users`,
+//! `ou=groups`, `ou=acls`), each protected by its own lock. A pool of
+//! operation threads serves scripted requests: searches lock one subtree;
+//! modifies that span two subtrees (a user change that also updates group
+//! membership, a group change that touches ACLs) lock both, and a
+//! rebalance/reindex maintenance operation locks ACLs together with users.
+//!
+//! Seeded bug — [`LdapdBug::Deadlock`], modeled after OpenLDAP's
+//! lock-cycle hangs (ITS #3494 class): the three two-lock operations each
+//! acquire their pair in a *locally* sensible order that is globally
+//! cyclic (users→groups, groups→acls, acls→users). Three operations in
+//! flight at the wrong moment form a 3-cycle and the server hangs. The
+//! correct build acquires every pair in the global subtree order.
+
+use crate::util::FUNC_DIROP;
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdapdBug {
+    /// Global lock order everywhere.
+    None,
+    /// Cyclic pairwise lock orders (3-way deadlock).
+    Deadlock,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct LdapdConfig {
+    /// Operation threads (3 keeps one of each op kind in flight).
+    pub workers: u32,
+    /// Scripted operations.
+    pub ops: u32,
+    /// Virtual compute units per operation.
+    pub work_per_op: u64,
+    /// Active bug.
+    pub bug: LdapdBug,
+}
+
+impl Default for LdapdConfig {
+    fn default() -> Self {
+        LdapdConfig {
+            workers: 3,
+            ops: 12,
+            work_per_op: 50,
+            bug: LdapdBug::Deadlock,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    dispatch: ChanId,
+    /// Subtree locks: users, groups, acls (contiguous).
+    subtree0: LockId,
+    /// Subtree entry counts (contiguous).
+    count0: VarId,
+    applied: VarId,
+}
+
+const USERS: u32 = 0;
+const GROUPS: u32 = 1;
+const ACLS: u32 = 2;
+
+/// The OpenLDAP-style server program.
+#[derive(Debug, Clone)]
+pub struct Ldapd {
+    cfg: LdapdConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Ldapd {
+    /// Builds the server with the given configuration.
+    pub fn new(cfg: LdapdConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            dispatch: spec.chan("dispatch"),
+            subtree0: spec.lock_array("subtree", 3),
+            count0: spec.var_array("count", 3, 0),
+            applied: spec.var("applied", 0),
+        };
+        Ldapd { cfg, spec, rs }
+    }
+}
+
+fn lock_of(rs: &Resources, subtree: u32) -> LockId {
+    LockId(rs.subtree0.0 + subtree)
+}
+
+fn count_of(rs: &Resources, subtree: u32) -> VarId {
+    VarId(rs.count0.0 + subtree)
+}
+
+/// A two-subtree modify: bump both counts under both locks.
+fn modify_pair(ctx: &mut Ctx, cfg: &LdapdConfig, rs: Resources, first: u32, second: u32) {
+    ctx.func(FUNC_DIROP);
+    let (a, b) = match cfg.bug {
+        // BUG: use the op's "natural" order, which is cyclic across ops.
+        LdapdBug::Deadlock => (first, second),
+        // Correct: global subtree order.
+        LdapdBug::None => (first.min(second), first.max(second)),
+    };
+    ctx.lock(lock_of(&rs, a));
+    ctx.compute(cfg.work_per_op / 4);
+    ctx.lock(lock_of(&rs, b));
+    for s in [first, second] {
+        let c = count_of(&rs, s);
+        let v = ctx.read(c);
+        ctx.write(c, v + 1);
+    }
+    ctx.compute(cfg.work_per_op);
+    ctx.unlock(lock_of(&rs, b));
+    ctx.unlock(lock_of(&rs, a));
+    ctx.fetch_add(rs.applied, 1);
+}
+
+fn search(ctx: &mut Ctx, cfg: &LdapdConfig, rs: Resources, subtree: u32) {
+    ctx.func(FUNC_DIROP);
+    ctx.lock(lock_of(&rs, subtree));
+    let _n = ctx.read(count_of(&rs, subtree));
+    ctx.compute(cfg.work_per_op);
+    ctx.unlock(lock_of(&rs, subtree));
+    ctx.fetch_add(rs.applied, 1);
+}
+
+fn worker_body(ctx: &mut Ctx, cfg: &LdapdConfig, rs: Resources) {
+    while let Some(op) = ctx.recv(rs.dispatch) {
+        ctx.bb(40 + (op % 4) as u32);
+        match op % 4 {
+            // modify user+group: users -> groups
+            0 => modify_pair(ctx, cfg, rs, USERS, GROUPS),
+            // modify group+acl: groups -> acls
+            1 => modify_pair(ctx, cfg, rs, GROUPS, ACLS),
+            // reindex acl+user: acls -> users (closes the cycle when buggy)
+            2 => modify_pair(ctx, cfg, rs, ACLS, USERS),
+            _ => search(ctx, cfg, rs, (op / 4) as u32 % 3),
+        }
+    }
+}
+
+impl Program for Ldapd {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            LdapdBug::None => "ldapd".to_string(),
+            LdapdBug::Deadlock => "ldapd-deadlock".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        Box::new(move |ctx| {
+            let workers: Vec<ThreadId> = (0..cfg.workers)
+                .map(|i| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("op{i}"), move |ctx| worker_body(ctx, &cfg, rs))
+                })
+                .collect();
+            for op in 0..u64::from(cfg.ops) {
+                ctx.send(rs.dispatch, op);
+            }
+            ctx.chan_close(rs.dispatch);
+            for w in workers {
+                ctx.join(w);
+            }
+            let applied = ctx.read(rs.applied);
+            ctx.check(applied == u64::from(cfg.ops), "operations were lost");
+            // Count consistency: every modify bumped exactly two counts.
+            let mut total = 0;
+            for s in 0..3 {
+                total += ctx.read(count_of(&rs, s));
+            }
+            let modifies = (0..u64::from(cfg.ops)).filter(|op| op % 4 != 3).count() as u64;
+            ctx.check(total == modifies * 2, "directory counts inconsistent");
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{never_fails, run_seed};
+
+    #[test]
+    fn bug_free_server_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Ldapd::new(LdapdConfig {
+                    bug: LdapdBug::None,
+                    ..LdapdConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn cyclic_lock_orders_deadlock_under_some_schedule() {
+        let mut saw_deadlock = false;
+        let mut saw_clean = false;
+        for seed in 0..500 {
+            let prog = Ldapd::new(LdapdConfig::default());
+            match run_seed(&prog, seed) {
+                RunStatus::Failed(Failure::Deadlock { threads, .. }) => {
+                    assert!(threads.len() >= 2, "cycle has at least two threads");
+                    saw_deadlock = true;
+                }
+                RunStatus::Completed => saw_clean = true,
+                other => panic!("seed {seed}: {other}"),
+            }
+            if saw_deadlock && saw_clean {
+                break;
+            }
+        }
+        assert!(saw_deadlock, "cycle never formed in 500 schedules");
+        assert!(saw_clean, "every schedule deadlocked");
+    }
+}

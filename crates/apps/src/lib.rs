@@ -1,0 +1,30 @@
+//! # pres-apps — the evaluation application corpus
+//!
+//! Faithful miniatures of the eleven applications (4 servers, 3
+//! desktop/client, 4 scientific) and thirteen real-world-style concurrency
+//! bugs the paper evaluates PRES on. Each application is a
+//! [`pres_core::program::Program`]: a realistic multi-threaded workload
+//! over the `pres-tvm` instrumented API with an optional seeded bug whose
+//! manifestation is interleaving-dependent and self-validating (the
+//! program `check`s its own invariants, so a manifested bug surfaces as an
+//! assertion, crash, or deadlock).
+//!
+//! See `DESIGN.md` §3.3 for the bug-by-bug provenance table and
+//! [`registry`] for the machine-readable index used by the benchmarks.
+
+pub mod fft;
+pub mod httpd;
+pub mod lu;
+pub mod aget;
+pub mod browser;
+pub mod barnes;
+pub mod cherokee;
+pub mod ldapd;
+pub mod pbzip;
+pub mod radix;
+pub mod registry;
+pub mod sqld;
+pub mod testutil;
+pub mod util;
+
+pub use registry::{all_apps, all_bugs, AppCase, AppCategory, BugCase, BugClass, WorkloadScale};

@@ -1,0 +1,206 @@
+//! `lu` — a SPLASH-2-style blocked LU factorization kernel.
+//!
+//! Structure: elimination proceeds in steps; within a step, workers pull
+//! block indices from a shared work counter (atomic — the correct dynamic
+//! scheduling idiom), reduce their blocks (pure compute plus writes to the
+//! block's own elements), and accumulate each block's contribution into a
+//! global residual used for the convergence check. Barriers separate
+//! elimination steps.
+//!
+//! Seeded bug — [`LuBug::ReductionAtomicity`]: the global-residual
+//! accumulation is a plain read-compute-write instead of an atomic add;
+//! concurrent blocks lose contributions and the convergence check fails.
+//! Class: single-variable atomicity violation.
+
+use crate::util::FUNC_PHASE;
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuBug {
+    /// Atomic residual accumulation.
+    None,
+    /// Racy residual accumulation.
+    ReductionAtomicity,
+}
+
+/// Kernel configuration.
+#[derive(Debug, Clone)]
+pub struct LuConfig {
+    /// Worker threads.
+    pub workers: u32,
+    /// Elimination steps.
+    pub steps: u32,
+    /// Blocks per step.
+    pub blocks_per_step: u32,
+    /// Virtual compute units per block reduction.
+    pub work_per_block: u64,
+    /// Active bug.
+    pub bug: LuBug,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        LuConfig {
+            workers: 4,
+            steps: 2,
+            blocks_per_step: 8,
+            work_per_block: 60,
+            bug: LuBug::ReductionAtomicity,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    /// Next block to claim, one counter per step (overshooting claims at a
+    /// step's end must not consume the next step's blocks).
+    next_block0: VarId,
+    /// Global residual accumulator.
+    residual: VarId,
+    /// Per-block storage (one representative element per block).
+    blocks0: VarId,
+    step_barrier: BarrierId,
+}
+
+/// The LU kernel program.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    cfg: LuConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Lu {
+    /// Builds the kernel with the given configuration.
+    pub fn new(cfg: LuConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            next_block0: spec.var_array("next_block", cfg.steps, 0),
+            residual: spec.var("residual", 0),
+            blocks0: spec.var_array("block", cfg.blocks_per_step, 0),
+            step_barrier: spec.barrier("step", cfg.workers),
+        };
+        Lu { cfg, spec, rs }
+    }
+
+    /// The contribution of block `b` in step `s`.
+    fn contribution(s: u32, b: u64) -> u64 {
+        u64::from(s + 1) * 100 + b + 1
+    }
+
+    /// The residual a correct run must produce.
+    fn expected_residual(cfg: &LuConfig) -> u64 {
+        (0..cfg.steps)
+            .flat_map(|s| (0..u64::from(cfg.blocks_per_step)).map(move |b| Self::contribution(s, b)))
+            .sum()
+    }
+}
+
+fn worker_body(ctx: &mut Ctx, cfg: &LuConfig, rs: Resources, _w: u32) {
+    for s in 0..cfg.steps {
+        ctx.func(FUNC_PHASE);
+        let step_counter = VarId(rs.next_block0.0 + s);
+        loop {
+            // Claim the next block (correct dynamic scheduling).
+            let b = ctx.fetch_add(step_counter, 1);
+            if b >= u64::from(cfg.blocks_per_step) {
+                break;
+            }
+            ctx.bb(90);
+            // Reduce the block: the inner elimination loop dominates the
+            // block's lifetime (keeps the racy window at the end narrow).
+            // Block cost varies with position in the matrix; the
+            // workers drift out of lockstep.
+            let inner = 6 + 5 * (b % 3);
+            for _ in 0..inner {
+                ctx.compute(cfg.work_per_block);
+                ctx.bb(93);
+            }
+            let block_var = VarId(rs.blocks0.0 + b as u32);
+            let v = ctx.read(block_var);
+            ctx.write(block_var, v + 1);
+            let contribution = Lu::contribution(s, b);
+            match cfg.bug {
+                // BUG: the diagonal-block path still uses the legacy racy
+                // accumulation into the global residual.
+                LuBug::ReductionAtomicity if b % 4 == 0 => {
+                    ctx.bb(91);
+                    let r = ctx.read(rs.residual);
+                    ctx.write(rs.residual, r + contribution);
+                }
+                _ => {
+                    ctx.bb(92);
+                    ctx.fetch_add(rs.residual, contribution as i64);
+                }
+            }
+        }
+        ctx.barrier_wait(rs.step_barrier);
+    }
+}
+
+impl Program for Lu {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            LuBug::None => "lu".to_string(),
+            LuBug::ReductionAtomicity => "lu-reduction-atomicity".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        let expected = Lu::expected_residual(&cfg);
+        Box::new(move |ctx| {
+            let workers: Vec<ThreadId> = (0..cfg.workers)
+                .map(|w| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("lu{w}"), move |ctx| worker_body(ctx, &cfg, rs, w))
+                })
+                .collect();
+            for t in workers {
+                ctx.join(t);
+            }
+            let residual = ctx.read(rs.residual);
+            ctx.check(residual == expected, "residual lost a block contribution");
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails};
+
+    #[test]
+    fn atomic_reduction_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Lu::new(LuConfig {
+                    bug: LuBug::None,
+                    ..LuConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn racy_reduction_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || Lu::new(LuConfig::default()),
+            500,
+            "assert:residual lost a block contribution",
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! `pbzip` — a PBZip2-style parallel block compressor.
+//!
+//! Structure: the main thread reads the input file in fixed-size blocks
+//! and feeds them through a work queue to a pool of compressor threads;
+//! each compressor "compresses" its block (checksums it under virtual
+//! compute cost), appends the result to the output file, and reports
+//! completion through a condition-variable-protected counter. When every
+//! block is done, the main thread tears the queue down and exits.
+//!
+//! Seeded bug — [`PbzipBug::QueueFreeOrder`], modeled after the well-known
+//! **PBZip2 queue teardown use-after-free** (the poster-child order
+//! violation in the concurrency-bug literature): a compressor reports
+//! completion *before* its final touch of the queue structure, so the main
+//! thread — which frees the queue as soon as the count reaches the block
+//! total — can free it under the compressor's feet.
+
+use crate::util::FUNC_COMPRESS;
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PbzipBug {
+    /// Correct teardown order.
+    None,
+    /// Completion reported before the final queue touch.
+    QueueFreeOrder,
+}
+
+/// Compressor configuration.
+#[derive(Debug, Clone)]
+pub struct PbzipConfig {
+    /// Compressor threads.
+    pub workers: u32,
+    /// Number of input blocks.
+    pub blocks: u32,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Virtual compute units per block ("compression" cost).
+    pub work_per_block: u64,
+    /// Active bug.
+    pub bug: PbzipBug,
+}
+
+impl Default for PbzipConfig {
+    fn default() -> Self {
+        PbzipConfig {
+            workers: 3,
+            blocks: 9,
+            block_size: 24,
+            work_per_block: 150,
+            bug: PbzipBug::QueueFreeOrder,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    queue: ChanId,
+    /// 1 while the queue structure is live; 0 after the main thread frees it.
+    queue_alive: VarId,
+    /// Queue bookkeeping the workers touch (models fifo->mut state).
+    queue_stat: VarId,
+    done_lock: LockId,
+    done_cond: CondId,
+    done: VarId,
+    checksum: VarId,
+    out_lock: LockId,
+}
+
+/// The PBZip2-style compressor program.
+#[derive(Debug, Clone)]
+pub struct Pbzip {
+    cfg: PbzipConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Pbzip {
+    /// Builds the compressor with the given configuration.
+    pub fn new(cfg: PbzipConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            queue: spec.chan("queue"),
+            queue_alive: spec.var("queue_alive", 1),
+            queue_stat: spec.var("queue_stat", 0),
+            done_lock: spec.lock("done_lock"),
+            done_cond: spec.cond("done_cond"),
+            done: spec.var("done", 0),
+            checksum: spec.var("checksum", 0),
+            out_lock: spec.lock("out_lock"),
+        };
+        Pbzip { cfg, spec, rs }
+    }
+
+    fn input_bytes(&self) -> Vec<u8> {
+        // Block-periodic content: every block has the same byte sum, so the
+        // archive checksum is independent of which worker compressed which
+        // block (workers read their own file cursors sequentially).
+        (0..self.cfg.blocks as usize * self.cfg.block_size)
+            .map(|i| ((i % self.cfg.block_size) * 7 + 13) as u8)
+            .collect()
+    }
+
+    /// The checksum a correct run must produce.
+    fn expected_checksum(&self) -> u64 {
+        self.input_bytes()
+            .chunks(self.cfg.block_size)
+            .map(|b| b.iter().map(|x| u64::from(*x)).sum::<u64>())
+            .sum()
+    }
+}
+
+fn touch_queue(ctx: &mut Ctx, rs: Resources) {
+    // The queue-structure access that must precede teardown. The stat
+    // update itself is atomic (the real queue's internal mutex); what races
+    // with teardown is touching the structure at all.
+    let alive = ctx.read(rs.queue_alive);
+    ctx.check(alive == 1, "compressor touched freed work queue");
+    ctx.fetch_add(rs.queue_stat, 1);
+}
+
+fn compressor_body(ctx: &mut Ctx, cfg: &PbzipConfig, rs: Resources, fd: FdId) {
+    while let Some(block_id) = ctx.recv(rs.queue) {
+        ctx.func(FUNC_COMPRESS);
+        ctx.bb(50);
+        // "Read" the block from the input file at its offset. (The fd
+        // cursor model is append/sequential, so compressors re-open.)
+        let data = ctx.sys_read(fd, cfg.block_size);
+        let local_sum: u64 = data.iter().map(|b| u64::from(*b)).sum();
+        ctx.compute(cfg.work_per_block);
+        ctx.fetch_add(rs.checksum, local_sum as i64);
+        ctx.with_lock(rs.out_lock, |ctx| {
+            let out = ctx.sys_open("/out/archive.bz2");
+            ctx.sys_write(out, &local_sum.to_be_bytes());
+            ctx.sys_close(out);
+        });
+
+        match cfg.bug {
+            PbzipBug::QueueFreeOrder => {
+                // BUG: completion is reported first; the final queue touch
+                // races with the main thread's teardown.
+                ctx.bb(51);
+                ctx.lock(rs.done_lock);
+                let d = ctx.read(rs.done);
+                ctx.write(rs.done, d + 1);
+                ctx.notify_one(rs.done_cond);
+                ctx.unlock(rs.done_lock);
+                ctx.compute(6);
+                touch_queue(ctx, rs);
+            }
+            PbzipBug::None => {
+                // Correct: last queue touch strictly before reporting.
+                ctx.bb(52);
+                touch_queue(ctx, rs);
+                ctx.lock(rs.done_lock);
+                let d = ctx.read(rs.done);
+                ctx.write(rs.done, d + 1);
+                ctx.notify_one(rs.done_cond);
+                ctx.unlock(rs.done_lock);
+            }
+        }
+        let _ = block_id;
+    }
+}
+
+impl Program for Pbzip {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            PbzipBug::None => "pbzip".to_string(),
+            PbzipBug::QueueFreeOrder => "pbzip-order".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        WorldConfig::default().with_file("/in/data", self.input_bytes())
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        let expected = self.expected_checksum();
+        Box::new(move |ctx| {
+            let workers: Vec<ThreadId> = (0..cfg.workers)
+                .map(|i| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("compress{i}"), move |ctx| {
+                        let fd = ctx.sys_open("/in/data");
+                        compressor_body(ctx, &cfg, rs, fd);
+                        ctx.sys_close(fd);
+                    })
+                })
+                .collect();
+            // Producer: enqueue block ids.
+            for b in 0..u64::from(cfg.blocks) {
+                ctx.send(rs.queue, b);
+            }
+            ctx.chan_close(rs.queue);
+
+            // Wait for completion via the counter (this is the PBZip2
+            // pattern: the main thread does NOT join before teardown).
+            ctx.lock(rs.done_lock);
+            while ctx.read(rs.done) < u64::from(cfg.blocks) {
+                ctx.cond_wait(rs.done_cond, rs.done_lock);
+            }
+            ctx.unlock(rs.done_lock);
+
+            // Tear the queue down.
+            ctx.write(rs.queue_alive, 0);
+
+            for w in workers {
+                ctx.join(w);
+            }
+            let sum = ctx.read(rs.checksum);
+            ctx.check(sum == expected, "archive checksum mismatch");
+            let stat = ctx.read(rs.queue_stat);
+            ctx.check(
+                stat == u64::from(cfg.blocks),
+                "queue bookkeeping lost a block",
+            );
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails, run_seed};
+
+    #[test]
+    fn bug_free_compressor_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Pbzip::new(PbzipConfig {
+                    bug: PbzipBug::None,
+                    ..PbzipConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn queue_teardown_bug_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || Pbzip::new(PbzipConfig::default()),
+            600,
+            "assert:compressor touched freed work queue",
+        );
+    }
+
+    #[test]
+    fn compressed_output_reaches_disk() {
+        let prog = Pbzip::new(PbzipConfig {
+            bug: PbzipBug::None,
+            ..PbzipConfig::default()
+        });
+        let body = prog.root();
+        let out = pres_tvm::vm::run(
+            pres_tvm::vm::VmConfig {
+                world: prog.world(),
+                ..Default::default()
+            },
+            prog.resources(),
+            &mut RandomScheduler::new(5),
+            &mut NullObserver,
+            move |ctx| body(ctx),
+        );
+        assert_eq!(out.status, RunStatus::Completed, "{}", out.status);
+        let archive = out.files.get("/out/archive.bz2").expect("archive written");
+        assert_eq!(archive.len(), 9 * 8);
+        let _ = run_seed(&prog, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! `radix` — a SPLASH-2-style parallel radix sort (rank phase).
+//!
+//! Structure: each worker computes a local histogram of its key partition
+//! into its own row of a shared histogram matrix, publishes it, and then
+//! every worker reads *all* rows to compute the global rank prefix for its
+//! digit range. The publish/consume boundary is a barrier in the correct
+//! kernel.
+//!
+//! Seeded bug — [`RadixBug::RankOrder`]: the barrier between histogram
+//! publication and rank computation is missing, so a fast worker can sum
+//! rows its peers have not written yet, producing short ranks. Class:
+//! order violation.
+
+use crate::util::FUNC_PHASE;
+use pres_core::program::Program;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+/// Which (if any) seeded bug is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadixBug {
+    /// Barrier between publish and rank.
+    None,
+    /// Missing publish barrier.
+    RankOrder,
+}
+
+/// Kernel configuration.
+#[derive(Debug, Clone)]
+pub struct RadixConfig {
+    /// Worker threads.
+    pub workers: u32,
+    /// Radix buckets (digits).
+    pub buckets: u32,
+    /// Keys per worker.
+    pub keys: u32,
+    /// Virtual compute units per key.
+    pub work_per_key: u64,
+    /// Active bug.
+    pub bug: RadixBug,
+}
+
+impl Default for RadixConfig {
+    fn default() -> Self {
+        RadixConfig {
+            workers: 4,
+            buckets: 4,
+            keys: 8,
+            work_per_key: 20,
+            bug: RadixBug::RankOrder,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resources {
+    /// Histogram matrix, `workers * buckets`, row-major by worker.
+    hist0: VarId,
+    /// Global ranks per worker (disjoint outputs).
+    rank0: VarId,
+    publish_barrier: BarrierId,
+}
+
+/// The radix-sort kernel program.
+#[derive(Debug, Clone)]
+pub struct Radix {
+    cfg: RadixConfig,
+    spec: ResourceSpec,
+    rs: Resources,
+}
+
+impl Radix {
+    /// Builds the kernel with the given configuration.
+    pub fn new(cfg: RadixConfig) -> Self {
+        let mut spec = ResourceSpec::new();
+        let rs = Resources {
+            hist0: spec.var_array("hist", cfg.workers * cfg.buckets, 0),
+            rank0: spec.var_array("rank", cfg.workers, 0),
+            publish_barrier: spec.barrier("publish", cfg.workers),
+        };
+        Radix { cfg, spec, rs }
+    }
+
+    /// The key stream of worker `w` (deterministic).
+    fn key(cfg: &RadixConfig, w: u32, i: u32) -> u32 {
+        (w * 7 + i * 13 + 3) % cfg.buckets
+    }
+
+    /// Expected total across the full histogram.
+    fn expected_total(cfg: &RadixConfig) -> u64 {
+        u64::from(cfg.workers) * u64::from(cfg.keys)
+    }
+}
+
+fn worker_body(ctx: &mut Ctx, cfg: &RadixConfig, rs: Resources, w: u32) {
+    // Phase 1: local histogram into this worker's own row.
+    ctx.func(FUNC_PHASE);
+    ctx.bb(110);
+    for i in 0..cfg.keys {
+        ctx.compute(cfg.work_per_key);
+        let bucket = Radix::key(cfg, w, i);
+        let cell = VarId(rs.hist0.0 + w * cfg.buckets + bucket);
+        let v = ctx.read(cell);
+        ctx.write(cell, v + 1);
+    }
+
+    if cfg.bug == RadixBug::None {
+        ctx.barrier_wait(rs.publish_barrier);
+    }
+    // BUG: without the barrier the rank sum below can read unpublished
+    // histogram rows.
+
+    // Local post-processing (sorting the worker's own bucket list) gives
+    // stragglers time; only an unlucky preemption exposes the race.
+    for _ in 0..8 {
+        ctx.compute(cfg.work_per_key);
+        ctx.bb(112);
+    }
+
+    // Phase 2: global rank — sum every worker's row.
+    ctx.func(FUNC_PHASE);
+    ctx.bb(111);
+    let mut total = 0u64;
+    for other in 0..cfg.workers {
+        for b in 0..cfg.buckets {
+            total += ctx.read(VarId(rs.hist0.0 + other * cfg.buckets + b));
+        }
+        ctx.compute(cfg.work_per_key);
+    }
+    ctx.write(VarId(rs.rank0.0 + w), total);
+    ctx.check(
+        total == Radix::expected_total(cfg),
+        "rank computed from unpublished histograms",
+    );
+}
+
+impl Program for Radix {
+    fn name(&self) -> String {
+        match self.cfg.bug {
+            RadixBug::None => "radix".to_string(),
+            RadixBug::RankOrder => "radix-rank-order".to_string(),
+        }
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        self.spec.clone()
+    }
+
+    fn world(&self) -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    fn root(&self) -> Box<dyn FnOnce(&mut Ctx) + Send> {
+        let cfg = self.cfg.clone();
+        let rs = self.rs;
+        Box::new(move |ctx| {
+            let workers: Vec<ThreadId> = (0..cfg.workers)
+                .map(|w| {
+                    let cfg = cfg.clone();
+                    ctx.spawn(&format!("radix{w}"), move |ctx| {
+                        worker_body(ctx, &cfg, rs, w)
+                    })
+                })
+                .collect();
+            for t in workers {
+                ctx.join(t);
+            }
+            for w in 0..cfg.workers {
+                let r = ctx.read(VarId(rs.rank0.0 + w));
+                ctx.check(r == Radix::expected_total(&cfg), "final ranks inconsistent");
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fails_for_some_seed_t, never_fails};
+
+    #[test]
+    fn barriered_sort_completes_under_many_schedules() {
+        never_fails(
+            || {
+                Radix::new(RadixConfig {
+                    bug: RadixBug::None,
+                    ..RadixConfig::default()
+                })
+            },
+            40,
+        );
+    }
+
+    #[test]
+    fn missing_publish_barrier_manifests_under_some_schedule() {
+        fails_for_some_seed_t(
+            || Radix::new(RadixConfig::default()),
+            500,
+            "assert:rank computed from unpublished histograms",
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! The machine-readable corpus index: 11 applications, 13 bugs.
+//!
+//! This is the source of truth the benchmark harness iterates over — the
+//! reproduction of the paper's Table 1 (applications) and Table 2 (bugs).
+
+use crate::aget::{Aget, AgetBug, AgetConfig};
+use crate::barnes::{Barnes, BarnesBug, BarnesConfig};
+use crate::browser::{Browser, BrowserBug, BrowserConfig};
+use crate::cherokee::{Cherokee, CherokeeBug, CherokeeConfig};
+use crate::fft::{Fft, FftBug, FftConfig};
+use crate::httpd::{Httpd, HttpdBug, HttpdConfig};
+use crate::ldapd::{Ldapd, LdapdBug, LdapdConfig};
+use crate::lu::{Lu, LuBug, LuConfig};
+use crate::pbzip::{Pbzip, PbzipBug, PbzipConfig};
+use crate::radix::{Radix, RadixBug, RadixConfig};
+use crate::sqld::{Sqld, SqldBug, SqldConfig};
+use pres_core::program::Program;
+use serde::{Deserialize, Serialize};
+
+/// Application category, as grouped in the paper ("4 servers, 3
+/// desktop/client applications, and 4 scientific/graphics applications").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppCategory {
+    /// Server applications.
+    Server,
+    /// Desktop / client applications.
+    Desktop,
+    /// Scientific / graphics kernels.
+    Scientific,
+}
+
+impl AppCategory {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppCategory::Server => "server",
+            AppCategory::Desktop => "desktop/client",
+            AppCategory::Scientific => "scientific",
+        }
+    }
+}
+
+/// Bug class, per the paper's taxonomy ("atomicity violations, order
+/// violations and deadlocks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugClass {
+    /// Single-variable atomicity violation.
+    Atomicity,
+    /// Multi-variable atomicity violation.
+    AtomicityMultiVar,
+    /// Order violation.
+    Order,
+    /// Deadlock.
+    Deadlock,
+}
+
+impl BugClass {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugClass::Atomicity => "atomicity",
+            BugClass::AtomicityMultiVar => "atomicity (multi-var)",
+            BugClass::Order => "order",
+            BugClass::Deadlock => "deadlock",
+        }
+    }
+}
+
+/// One of the 13 evaluated bugs.
+#[derive(Debug, Clone, Copy)]
+pub struct BugCase {
+    /// Stable identifier (matches DESIGN.md §3.3).
+    pub id: &'static str,
+    /// Hosting application.
+    pub app: &'static str,
+    /// Category of the hosting application.
+    pub category: AppCategory,
+    /// Bug class.
+    pub class: BugClass,
+    /// The real-world bug the miniature is modeled after.
+    pub modeled_after: &'static str,
+    build: fn() -> Box<dyn Program>,
+}
+
+impl BugCase {
+    /// Instantiates the buggy program with its standard evaluation
+    /// parameters.
+    pub fn program(&self) -> Box<dyn Program> {
+        (self.build)()
+    }
+}
+
+/// One of the 11 evaluated applications (bug-free build).
+#[derive(Debug, Clone, Copy)]
+pub struct AppCase {
+    /// Application name.
+    pub id: &'static str,
+    /// Category.
+    pub category: AppCategory,
+    /// Default thread/worker count.
+    pub default_threads: u32,
+    build: fn(WorkloadScale, u32) -> Box<dyn Program>,
+}
+
+/// Workload sizing for the overhead experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadScale {
+    /// Quick (unit tests, smoke benches).
+    Small,
+    /// The standard evaluation size.
+    Standard,
+}
+
+impl AppCase {
+    /// Instantiates the bug-free workload with its default thread count.
+    pub fn workload(&self, scale: WorkloadScale) -> Box<dyn Program> {
+        (self.build)(scale, self.default_threads)
+    }
+
+    /// Instantiates the workload with an explicit thread count (used by the
+    /// scalability experiment, which sizes the program to the machine).
+    /// Applications with a fixed thread structure (cherokee's single
+    /// worker) ignore the hint.
+    pub fn workload_with_threads(&self, scale: WorkloadScale, threads: u32) -> Box<dyn Program> {
+        (self.build)(scale, threads.max(1))
+    }
+}
+
+fn scale(scale: WorkloadScale, small: u32, standard: u32) -> u32 {
+    match scale {
+        WorkloadScale::Small => small,
+        WorkloadScale::Standard => standard,
+    }
+}
+
+/// The 13 evaluated bugs (paper Table 2 analogue).
+pub fn all_bugs() -> Vec<BugCase> {
+    vec![
+        BugCase {
+            id: "httpd-log-atomicity",
+            app: "httpd",
+            category: AppCategory::Server,
+            class: BugClass::Atomicity,
+            modeled_after: "Apache #25520 (buffered log corruption)",
+            build: || {
+                Box::new(Httpd::new(HttpdConfig {
+                    bug: HttpdBug::LogAtomicity,
+                    ..HttpdConfig::default()
+                }))
+            },
+        },
+        BugCase {
+            id: "httpd-refcount-order",
+            app: "httpd",
+            category: AppCategory::Server,
+            class: BugClass::Order,
+            modeled_after: "Apache #21287 (refcount decrement race)",
+            build: || {
+                Box::new(Httpd::new(HttpdConfig {
+                    bug: HttpdBug::RefcountOrder,
+                    requests: 8,
+                    ..HttpdConfig::default()
+                }))
+            },
+        },
+        BugCase {
+            id: "sqld-binlog-atomicity",
+            app: "sqld",
+            category: AppCategory::Server,
+            class: BugClass::AtomicityMultiVar,
+            modeled_after: "MySQL #791 (binlog vs. table order)",
+            build: || {
+                Box::new(Sqld::new(SqldConfig {
+                    bug: SqldBug::BinlogAtomicity,
+                    ..SqldConfig::default()
+                }))
+            },
+        },
+        BugCase {
+            id: "sqld-deadlock",
+            app: "sqld",
+            category: AppCategory::Server,
+            class: BugClass::Deadlock,
+            modeled_after: "MySQL lock-order inversion (update vs. flush)",
+            build: || {
+                Box::new(Sqld::new(SqldConfig {
+                    bug: SqldBug::Deadlock,
+                    ..SqldConfig::default()
+                }))
+            },
+        },
+        BugCase {
+            id: "cherokee-conn-order",
+            app: "cherokee",
+            category: AppCategory::Server,
+            class: BugClass::Order,
+            modeled_after: "Cherokee #326 (connection init race)",
+            build: || Box::new(Cherokee::new(CherokeeConfig::default())),
+        },
+        BugCase {
+            id: "ldapd-deadlock",
+            app: "ldapd",
+            category: AppCategory::Server,
+            class: BugClass::Deadlock,
+            modeled_after: "OpenLDAP ITS #3494 (three-lock cycle)",
+            build: || Box::new(Ldapd::new(LdapdConfig::default())),
+        },
+        BugCase {
+            id: "pbzip-order",
+            app: "pbzip",
+            category: AppCategory::Desktop,
+            class: BugClass::Order,
+            modeled_after: "PBZip2 queue teardown use-after-free",
+            build: || Box::new(Pbzip::new(PbzipConfig::default())),
+        },
+        BugCase {
+            id: "aget-progress-atomicity",
+            app: "aget",
+            category: AppCategory::Desktop,
+            class: BugClass::Atomicity,
+            modeled_after: "aget shared bwritten counter race",
+            build: || Box::new(Aget::new(AgetConfig::default())),
+        },
+        BugCase {
+            id: "browser-multivar-atomicity",
+            app: "browser",
+            category: AppCategory::Desktop,
+            class: BugClass::AtomicityMultiVar,
+            modeled_after: "Mozilla cache count/size race (MUVI corpus)",
+            build: || Box::new(Browser::new(BrowserConfig::default())),
+        },
+        BugCase {
+            id: "fft-barrier-order",
+            app: "fft",
+            category: AppCategory::Scientific,
+            class: BugClass::Order,
+            modeled_after: "SPLASH-2 FFT missing inter-stage barrier",
+            build: || Box::new(Fft::new(FftConfig::default())),
+        },
+        BugCase {
+            id: "lu-reduction-atomicity",
+            app: "lu",
+            category: AppCategory::Scientific,
+            class: BugClass::Atomicity,
+            modeled_after: "SPLASH-2 LU racy residual reduction",
+            build: || Box::new(Lu::new(LuConfig::default())),
+        },
+        BugCase {
+            id: "barnes-tree-atomicity",
+            app: "barnes",
+            category: AppCategory::Scientific,
+            class: BugClass::Atomicity,
+            modeled_after: "SPLASH-2 Barnes tree-insertion race",
+            build: || Box::new(Barnes::new(BarnesConfig::default())),
+        },
+        BugCase {
+            id: "radix-rank-order",
+            app: "radix",
+            category: AppCategory::Scientific,
+            class: BugClass::Order,
+            modeled_after: "SPLASH-2 Radix missing publish barrier",
+            build: || Box::new(Radix::new(RadixConfig::default())),
+        },
+    ]
+}
+
+/// The 11 evaluated applications, bug-free builds (paper Table 1 analogue).
+///
+/// `work_per_*` values are calibrated so that realistic instruction-stream
+/// densities hold (thousands of instruction units between synchronization
+/// operations — see the implicit-recording model in `pres-core`).
+pub fn all_apps() -> Vec<AppCase> {
+    vec![
+        AppCase {
+            id: "httpd",
+            category: AppCategory::Server,
+            default_threads: 3,
+            build: |s, t| {
+                Box::new(Httpd::new(HttpdConfig {
+                    bug: HttpdBug::None,
+                    workers: t,
+                    requests: scale(s, 8, 24),
+                    work_per_request: 30_000,
+                }))
+            },
+        },
+        AppCase {
+            id: "sqld",
+            category: AppCategory::Server,
+            default_threads: 3,
+            build: |s, t| {
+                Box::new(Sqld::new(SqldConfig {
+                    bug: SqldBug::None,
+                    workers: t,
+                    txns: scale(s, 8, 24),
+                    work_per_txn: 25_000,
+                    ..SqldConfig::default()
+                }))
+            },
+        },
+        AppCase {
+            id: "cherokee",
+            category: AppCategory::Server,
+            default_threads: 1,
+            build: |s, _| {
+                Box::new(Cherokee::new(CherokeeConfig {
+                    bug: CherokeeBug::None,
+                    requests: scale(s, 6, 20),
+                    work_per_request: 20_000,
+                }))
+            },
+        },
+        AppCase {
+            id: "ldapd",
+            category: AppCategory::Server,
+            default_threads: 3,
+            build: |s, t| {
+                Box::new(Ldapd::new(LdapdConfig {
+                    bug: LdapdBug::None,
+                    workers: t,
+                    ops: scale(s, 8, 24),
+                    work_per_op: 15_000,
+                }))
+            },
+        },
+        AppCase {
+            id: "pbzip",
+            category: AppCategory::Desktop,
+            default_threads: 3,
+            build: |s, t| {
+                Box::new(Pbzip::new(PbzipConfig {
+                    bug: PbzipBug::None,
+                    workers: t,
+                    blocks: scale(s, 6, 18),
+                    work_per_block: 40_000,
+                    ..PbzipConfig::default()
+                }))
+            },
+        },
+        AppCase {
+            id: "aget",
+            category: AppCategory::Desktop,
+            default_threads: 4,
+            build: |s, t| {
+                Box::new(Aget::new(AgetConfig {
+                    bug: AgetBug::None,
+                    connections: t,
+                    chunks: scale(s, 3, 10),
+                    work_per_chunk: 8_000,
+                    ..AgetConfig::default()
+                }))
+            },
+        },
+        AppCase {
+            id: "browser",
+            category: AppCategory::Desktop,
+            default_threads: 3,
+            build: |s, t| {
+                Box::new(Browser::new(BrowserConfig {
+                    bug: BrowserBug::None,
+                    net_threads: t,
+                    fetches: scale(s, 4, 12),
+                    work_per_fetch: 10_000,
+                    ..BrowserConfig::default()
+                }))
+            },
+        },
+        AppCase {
+            id: "fft",
+            category: AppCategory::Scientific,
+            default_threads: 4,
+            build: |s, t| {
+                Box::new(Fft::new(FftConfig {
+                    bug: FftBug::None,
+                    workers: t,
+                    points: scale(s, 4, 16),
+                    work_per_point: 10_000,
+                }))
+            },
+        },
+        AppCase {
+            id: "lu",
+            category: AppCategory::Scientific,
+            default_threads: 4,
+            build: |s, t| {
+                Box::new(Lu::new(LuConfig {
+                    bug: LuBug::None,
+                    workers: t,
+                    blocks_per_step: scale(s, 4, 12),
+                    work_per_block: 4_000,
+                    ..LuConfig::default()
+                }))
+            },
+        },
+        AppCase {
+            id: "barnes",
+            category: AppCategory::Scientific,
+            default_threads: 4,
+            build: |s, t| {
+                Box::new(Barnes::new(BarnesConfig {
+                    bug: BarnesBug::None,
+                    workers: t,
+                    particles: scale(s, 3, 8),
+                    nodes: t.max(2),
+                    work_per_insert: 25_000,
+                    ..BarnesConfig::default()
+                }))
+            },
+        },
+        AppCase {
+            id: "radix",
+            category: AppCategory::Scientific,
+            default_threads: 4,
+            build: |s, t| {
+                Box::new(Radix::new(RadixConfig {
+                    bug: RadixBug::None,
+                    workers: t,
+                    keys: scale(s, 6, 20),
+                    work_per_key: 6_000,
+                    ..RadixConfig::default()
+                }))
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_seed;
+    use pres_tvm::error::RunStatus;
+
+    #[test]
+    fn corpus_has_eleven_apps_and_thirteen_bugs() {
+        assert_eq!(all_apps().len(), 11);
+        assert_eq!(all_bugs().len(), 13);
+    }
+
+    #[test]
+    fn category_split_matches_the_paper() {
+        let apps = all_apps();
+        let count = |c: AppCategory| apps.iter().filter(|a| a.category == c).count();
+        assert_eq!(count(AppCategory::Server), 4);
+        assert_eq!(count(AppCategory::Desktop), 3);
+        assert_eq!(count(AppCategory::Scientific), 4);
+    }
+
+    #[test]
+    fn bug_class_split_covers_the_taxonomy() {
+        let bugs = all_bugs();
+        let count = |c: BugClass| bugs.iter().filter(|b| b.class == c).count();
+        assert_eq!(count(BugClass::Deadlock), 2);
+        assert!(count(BugClass::Order) >= 4);
+        assert!(count(BugClass::Atomicity) >= 4);
+        assert_eq!(count(BugClass::AtomicityMultiVar), 2);
+    }
+
+    #[test]
+    fn bug_ids_are_unique_and_programs_carry_them() {
+        let bugs = all_bugs();
+        let mut ids: Vec<&str> = bugs.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+        for bug in &bugs {
+            assert_eq!(bug.program().name(), bug.id);
+        }
+    }
+
+    #[test]
+    fn every_bugfree_workload_completes() {
+        for app in all_apps() {
+            let prog = app.workload(WorkloadScale::Small);
+            assert_eq!(prog.name(), app.id);
+            let status = run_seed(prog.as_ref(), 1);
+            assert_eq!(status, RunStatus::Completed, "{}: {status}", app.id);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Test support: schedule-sweep helpers shared by every application's
+//! bug-manifests / bug-free-is-clean tests.
+
+use pres_core::program::Program;
+use pres_tvm::error::RunStatus;
+use pres_tvm::sched::RandomScheduler;
+use pres_tvm::trace::{NullObserver, TraceMode};
+use pres_tvm::vm::{self, VmConfig};
+
+/// Runs the program once under a random schedule.
+pub fn run_seed(program: &dyn Program, seed: u64) -> RunStatus {
+    let body = program.root();
+    let out = vm::run(
+        VmConfig {
+            trace_mode: TraceMode::Off,
+            world: program.world(),
+            ..VmConfig::default()
+        },
+        program.resources(),
+        &mut RandomScheduler::new(seed),
+        &mut NullObserver,
+        move |ctx| body(ctx),
+    );
+    out.status
+}
+
+/// Asserts the bug manifests with the expected signature for *some* seed in
+/// `0..max_seeds`, and that at least one seed completes cleanly (the bug is
+/// interleaving-dependent, not deterministic). Returns the failing seed.
+pub fn fails_for_some_seed(
+    make: impl Fn() -> Box<dyn Program>,
+    max_seeds: u64,
+    expected_signature: &str,
+) -> u64 {
+    let mut failing = None;
+    let mut clean = false;
+    for seed in 0..max_seeds {
+        let prog = make();
+        match run_seed(prog.as_ref(), seed) {
+            RunStatus::Failed(f) => {
+                assert_eq!(
+                    f.signature(),
+                    expected_signature,
+                    "unexpected failure at seed {seed}: {f}"
+                );
+                if failing.is_none() {
+                    failing = Some(seed);
+                }
+            }
+            RunStatus::Completed => clean = true,
+            other => panic!("seed {seed}: unexpected status {other}"),
+        }
+        if failing.is_some() && clean {
+            break;
+        }
+    }
+    let failing = failing.unwrap_or_else(|| {
+        panic!("bug never manifested in {max_seeds} seeds (expected {expected_signature})")
+    });
+    assert!(clean, "every seed failed: the bug is not interleaving-dependent");
+    failing
+}
+
+/// Convenience for boxed-program closures over concrete types.
+pub fn fails_for_some_seed_t<P: Program + 'static>(
+    make: impl Fn() -> P,
+    max_seeds: u64,
+    expected_signature: &str,
+) -> u64 {
+    fails_for_some_seed(|| Box::new(make()) as Box<dyn Program>, max_seeds, expected_signature)
+}
+
+/// Asserts the program completes cleanly for every seed in `0..seeds`.
+pub fn never_fails<P: Program + 'static>(make: impl Fn() -> P, seeds: u64) {
+    for seed in 0..seeds {
+        let prog = make();
+        let status = run_seed(&prog, seed);
+        assert_eq!(
+            status,
+            RunStatus::Completed,
+            "bug-free program failed at seed {seed}: {status}"
+        );
+    }
+}

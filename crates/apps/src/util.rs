@@ -1,0 +1,79 @@
+//! Shared helpers for the application corpus.
+
+use pres_tvm::ids::FuncId;
+
+/// Function-identity constants used by FUNC sketching across the corpus.
+/// Each application uses a disjoint range so traces stay readable.
+pub const FUNC_HANDLE: FuncId = FuncId(1);
+/// Request-serving path.
+pub const FUNC_SERVE: FuncId = FuncId(2);
+/// Access-logging path.
+pub const FUNC_LOG: FuncId = FuncId(3);
+/// Transaction execution (sqld).
+pub const FUNC_TXN: FuncId = FuncId(10);
+/// Binlog flush (sqld).
+pub const FUNC_FLUSH: FuncId = FuncId(11);
+/// Directory operation (ldapd).
+pub const FUNC_DIROP: FuncId = FuncId(20);
+/// Block compression (pbzip).
+pub const FUNC_COMPRESS: FuncId = FuncId(30);
+/// Chunk download (aget).
+pub const FUNC_DOWNLOAD: FuncId = FuncId(40);
+/// Cache insert (browser).
+pub const FUNC_CACHE_INSERT: FuncId = FuncId(50);
+/// Cache evict (browser).
+pub const FUNC_CACHE_EVICT: FuncId = FuncId(51);
+/// Kernel phase (scientific apps).
+pub const FUNC_PHASE: FuncId = FuncId(60);
+
+/// Parses the numeric path id out of a `GET /<n>` request line; unknown
+/// requests map to path 0.
+pub fn parse_path(request: &[u8]) -> u32 {
+    let s = String::from_utf8_lossy(request);
+    s.trim()
+        .strip_prefix("GET /")
+        .and_then(|rest| {
+            rest.chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Parses a simple `VERB arg1 arg2` command into (verb, numeric args).
+pub fn parse_command(request: &[u8]) -> (String, Vec<u64>) {
+    let s = String::from_utf8_lossy(request);
+    let mut parts = s.split_whitespace();
+    let verb = parts.next().unwrap_or("").to_uppercase();
+    let args = parts.filter_map(|p| p.parse().ok()).collect();
+    (verb, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_path_extracts_ids() {
+        assert_eq!(parse_path(b"GET /3"), 3);
+        assert_eq!(parse_path(b"GET /42 HTTP/1.0"), 42);
+        assert_eq!(parse_path(b"GET /"), 0);
+        assert_eq!(parse_path(b"POST /1"), 0);
+        assert_eq!(parse_path(b""), 0);
+    }
+
+    #[test]
+    fn parse_command_splits_verb_and_args() {
+        let (verb, args) = parse_command(b"UPDATE 3 17");
+        assert_eq!(verb, "UPDATE");
+        assert_eq!(args, vec![3, 17]);
+        let (verb, args) = parse_command(b"select 9");
+        assert_eq!(verb, "SELECT");
+        assert_eq!(args, vec![9]);
+        let (verb, args) = parse_command(b"");
+        assert_eq!(verb, "");
+        assert!(args.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Corpus-wide behavioural validation: every application's *observable*
+//! outputs (responses, files, stdout) are correct on clean runs, buggy
+//! builds only ever fail with their documented signature, and workload
+//! scaling behaves.
+
+use pres_apps::registry::{all_apps, all_bugs, WorkloadScale};
+use pres_apps::testutil::run_seed;
+use pres_core::program::Program;
+use pres_core::recorder::run_traced;
+use pres_tvm::error::{Failure, RunStatus};
+use pres_tvm::vm::VmConfig;
+
+#[test]
+fn server_apps_answer_every_scripted_session() {
+    let config = VmConfig::default();
+    for app in all_apps() {
+        let prog = app.workload(WorkloadScale::Small);
+        let sessions = prog.world().sessions.len();
+        if sessions == 0 {
+            continue; // non-networked app
+        }
+        let out = run_traced(prog.as_ref(), &config, 3);
+        assert_eq!(out.status, RunStatus::Completed, "{}", app.id);
+        assert_eq!(out.conn_outputs.len(), sessions, "{}", app.id);
+        // Request/response servers must answer every session; client apps
+        // (aget downloads) only consume.
+        if app.category == pres_apps::AppCategory::Server {
+            let answered = out
+                .conn_outputs
+                .iter()
+                .filter(|o| !o.is_empty())
+                .count();
+            assert_eq!(answered, sessions, "{}: some session got no response", app.id);
+        }
+    }
+}
+
+#[test]
+fn buggy_builds_fail_only_with_their_documented_signature() {
+    for bug in all_bugs() {
+        let prog = bug.program();
+        let mut failures = std::collections::BTreeSet::new();
+        for seed in 0..120 {
+            if let RunStatus::Failed(f) = run_seed(prog.as_ref(), seed) {
+                failures.insert(match f {
+                    Failure::Deadlock { .. } => "deadlock".to_string(),
+                    other => other.signature(),
+                });
+            }
+        }
+        assert!(
+            failures.len() <= 2,
+            "{}: too many distinct failure modes: {failures:?}",
+            bug.id
+        );
+        if bug.id.contains("deadlock") {
+            assert!(
+                failures.iter().all(|f| f == "deadlock"),
+                "{}: non-deadlock failure: {failures:?}",
+                bug.id
+            );
+        }
+    }
+}
+
+#[test]
+fn standard_workloads_do_more_work_than_small_ones() {
+    let config = VmConfig::default();
+    for app in all_apps() {
+        let small = run_traced(app.workload(WorkloadScale::Small).as_ref(), &config, 1);
+        let standard = run_traced(app.workload(WorkloadScale::Standard).as_ref(), &config, 1);
+        assert_eq!(small.status, RunStatus::Completed, "{}", app.id);
+        assert_eq!(standard.status, RunStatus::Completed, "{}", app.id);
+        assert!(
+            standard.time.work > small.time.work,
+            "{}: standard {} vs small {}",
+            app.id,
+            standard.time.work,
+            small.time.work
+        );
+    }
+}
+
+#[test]
+fn thread_scaling_spawns_the_requested_workers() {
+    let config = VmConfig::default();
+    for app in all_apps() {
+        if app.id == "cherokee" {
+            continue; // fixed single-worker architecture
+        }
+        let p2 = run_traced(
+            app.workload_with_threads(WorkloadScale::Small, 2).as_ref(),
+            &config,
+            1,
+        );
+        let p6 = run_traced(
+            app.workload_with_threads(WorkloadScale::Small, 6).as_ref(),
+            &config,
+            1,
+        );
+        assert!(
+            p6.stats.spawns > p2.stats.spawns,
+            "{}: spawns {} vs {}",
+            app.id,
+            p2.stats.spawns,
+            p6.stats.spawns
+        );
+        assert_eq!(p6.status, RunStatus::Completed, "{}: {}", app.id, p6.status);
+    }
+}
+
+#[test]
+fn app_outputs_are_schedule_independent_when_bug_free() {
+    // Not the interleaving — the final observable state. Clean builds are
+    // properly synchronized, so files and response multisets must agree
+    // across schedules.
+    let config = VmConfig::default();
+    for app in all_apps() {
+        let prog = app.workload(WorkloadScale::Small);
+        let base = run_traced(prog.as_ref(), &config, 0);
+        assert_eq!(base.status, RunStatus::Completed, "{}", app.id);
+        for seed in 1..6 {
+            let out = run_traced(prog.as_ref(), &config, seed);
+            assert_eq!(out.status, RunStatus::Completed, "{}", app.id);
+            let mut a: Vec<&Vec<u8>> = base.conn_outputs.iter().collect();
+            let mut b: Vec<&Vec<u8>> = out.conn_outputs.iter().collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{} seed {seed}: response multiset changed", app.id);
+            assert_eq!(
+                base.files.keys().collect::<Vec<_>>(),
+                out.files.keys().collect::<Vec<_>>(),
+                "{} seed {seed}: file set changed",
+                app.id
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion bench: end-to-end reproduction cost — record a failing run,
+//! then run the exploration loop to the first successful replay (the E4
+//! pipeline, measured in wall-clock terms).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pres_apps::all_bugs;
+use pres_bench::experiments::{find_failing_seed, std_vm};
+use pres_core::explore::{reproduce, ExploreConfig};
+use pres_core::recorder::record;
+use pres_core::sketch::Mechanism;
+
+fn bench_reproduction(c: &mut Criterion) {
+    let bugs = all_bugs();
+    let bug = bugs
+        .iter()
+        .find(|b| b.id == "browser-multivar-atomicity")
+        .expect("bug exists");
+    let prog = bug.program();
+    let config = std_vm(4);
+    let seed = find_failing_seed(prog.as_ref(), &config).expect("failing seed");
+    let run = record(prog.as_ref(), Mechanism::Sync, &config, seed);
+
+    let mut group = c.benchmark_group("reproduce_browser");
+    group.sample_size(10);
+    group.bench_function("sync_feedback", |b| {
+        b.iter(|| {
+            let rep = reproduce(
+                prog.as_ref(),
+                &run.sketch,
+                &run.sketch.meta.failure_signature,
+                &config,
+                &ExploreConfig::default(),
+            );
+            assert!(rep.reproduced);
+            rep.attempts
+        });
+    });
+    // The minted certificate replays deterministically — measure that too.
+    let rep = reproduce(
+        prog.as_ref(),
+        &run.sketch,
+        &run.sketch.meta.failure_signature,
+        &config,
+        &ExploreConfig::default(),
+    );
+    let cert = rep.certificate.expect("certificate");
+    group.bench_function("certificate_replay", |b| {
+        b.iter(|| cert.replay(prog.as_ref()).expect("reproduces").stats.total_ops);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reproduction);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! E9: ablation of the feedback engine's design choices, under the
+//! informative SYNC sketch and the coarse SYS sketch.
+use pres_bench::experiments::{e9_ablation, render_ablation_for};
+use pres_core::sketch::Mechanism;
+
+fn main() {
+    for mech in [Mechanism::Sync, Mechanism::Sys] {
+        let rows = e9_ablation(200, mech);
+        println!("{}", render_ablation_for(&rows, 200, mech));
+    }
+}

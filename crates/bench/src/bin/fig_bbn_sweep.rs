@@ -1,0 +1,7 @@
+//! E8: BB-N sketch-granularity sweep.
+use pres_bench::experiments::{e8_bbn_sweep, render_bbn};
+
+fn main() {
+    let points = e8_bbn_sweep(&[1, 2, 4, 8, 16, 64]);
+    print!("{}", render_bbn(&points));
+}

@@ -1,0 +1,7 @@
+//! E10: attempt distribution across distinct failing production runs.
+use pres_bench::experiments::{e10_distribution, render_distribution};
+
+fn main() {
+    let rows = e10_distribution(8, 300);
+    print!("{}", render_distribution(&rows, 300));
+}

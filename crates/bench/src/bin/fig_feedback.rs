@@ -1,0 +1,7 @@
+//! E6: feedback-guided vs. independent random exploration.
+use pres_bench::experiments::{e6_feedback, render_feedback, ABLATION_CAP};
+
+fn main() {
+    let rows = e6_feedback(ABLATION_CAP);
+    print!("{}", render_feedback(&rows, ABLATION_CAP));
+}

@@ -1,0 +1,8 @@
+//! E2: production-run recording overhead per app per mechanism.
+use pres_apps::WorkloadScale;
+use pres_bench::experiments::{RecordingMatrix, OVERHEAD_PROCESSORS};
+
+fn main() {
+    let m = RecordingMatrix::run(OVERHEAD_PROCESSORS, WorkloadScale::Standard);
+    print!("{}", m.render_overhead());
+}

@@ -1,0 +1,7 @@
+//! E5: recording overhead and replay attempts vs. processor count.
+use pres_bench::experiments::{e5_scalability, render_scalability};
+
+fn main() {
+    let points = e5_scalability(&[2, 4, 8, 16]);
+    print!("{}", render_scalability(&points));
+}

@@ -1,0 +1,7 @@
+//! E4: replay attempts until reproduction, per bug per mechanism.
+use pres_bench::experiments::{e4_attempts, render_attempts, ATTEMPT_CAP};
+
+fn main() {
+    let rows = e4_attempts(ATTEMPT_CAP);
+    print!("{}", render_attempts(&rows, ATTEMPT_CAP));
+}

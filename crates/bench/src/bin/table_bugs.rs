@@ -1,0 +1,4 @@
+//! E1: the applications-and-bugs table.
+fn main() {
+    print!("{}", pres_bench::experiments::e1_table_bugs());
+}

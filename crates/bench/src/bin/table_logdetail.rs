@@ -1,0 +1,19 @@
+//! E3b: sketch composition — which event class each mechanism's log bytes
+//! go to, and the codec's density vs. a fixed-width encoding.
+use pres_apps::registry::{all_apps, WorkloadScale};
+use pres_bench::experiments::{standard_mechanisms, std_vm, OVERHEAD_PROCESSORS};
+use pres_core::recorder::record;
+use pres_core::stats::SketchStats;
+
+fn main() {
+    let apps = all_apps();
+    let app = apps.iter().find(|a| a.id == "httpd").expect("httpd");
+    let prog = app.workload(WorkloadScale::Standard);
+    let config = std_vm(OVERHEAD_PROCESSORS);
+    println!("E3b. Sketch composition on httpd (standard workload)\n");
+    for mech in standard_mechanisms() {
+        let sketch = record(prog.as_ref(), mech, &config, 7).sketch;
+        let stats = SketchStats::of(&sketch);
+        println!("{}: {}", mech.name(), stats);
+    }
+}

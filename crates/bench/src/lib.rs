@@ -1,0 +1,22 @@
+//! # pres-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the reconstructed evaluation
+//! (DESIGN.md §4). Each experiment has a binary that prints the table:
+//!
+//! | Binary | Experiment |
+//! |---|---|
+//! | `table_bugs` | E1 applications & bugs |
+//! | `fig_overhead` | E2 recording overhead |
+//! | `table_logsize` | E3 log sizes |
+//! | `table_attempts` | E4 replay attempts per bug per mechanism |
+//! | `fig_scalability` | E5 overhead/attempts vs. processor count |
+//! | `fig_feedback` | E6 feedback vs. random ablation |
+//! | `fig_bbn_sweep` | E8 BB-N granularity sweep |
+//! | `run_all` | everything, in EXPERIMENTS.md order (incl. E7) |
+//!
+//! The Criterion benches (`cargo bench`) measure the same pipelines in
+//! wall-clock terms: per-mechanism recording cost, replay-attempt cost,
+//! codec throughput, and the feedback analysis.
+
+pub mod experiments;
+pub mod render;

@@ -1,0 +1,88 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders rows as a fixed-width table with a header rule.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an overhead percentage the way the paper's tables do.
+pub fn pct(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.0}%", v)
+    } else if v >= 10.0 {
+        format!("{:.1}%", v)
+    } else {
+        format!("{:.2}%", v)
+    }
+}
+
+/// Formats a byte count with a unit.
+pub fn bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["app", "overhead"],
+            &[
+                vec!["httpd".into(), "1.2%".into()],
+                vec!["fft".into(), "4416%".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn pct_scales_precision() {
+        assert_eq!(pct(0.5), "0.50%");
+        assert_eq!(pct(42.0), "42.0%");
+        assert_eq!(pct(4416.0), "4416%");
+    }
+
+    #[test]
+    fn bytes_units() {
+        assert_eq!(bytes(10), "10 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert_eq!(bytes(3 << 20), "3.0 MiB");
+    }
+}

@@ -1,0 +1,263 @@
+//! `pres` — the command-line workflow of the PRES reproduction.
+//!
+//! ```text
+//! pres list                                       # the evaluation corpus
+//! pres record      --bug <id> [--mechanism SYNC] [--out sketch.pres]
+//! pres reproduce   --bug <id> --sketch sketch.pres [--cert cert.pres]
+//! pres replay      --bug <id> --cert cert.pres [--report]
+//! pres sketch-info --sketch sketch.pres
+//! pres overhead    --app <id> [--processors 8]
+//! ```
+//!
+//! `record` searches production schedules until the bug manifests while
+//! recording, then writes the binary sketch log. `reproduce` runs the
+//! coordinated-replay exploration and writes a reproduction certificate.
+//! `replay` reproduces deterministically from the certificate, optionally
+//! printing the diagnosis report.
+
+mod args;
+
+use args::{Args, UsageError};
+use pres_apps::registry::{all_apps, all_bugs, WorkloadScale};
+use pres_core::api::Pres;
+use pres_core::codec::{decode_sketch, encode_sketch};
+use pres_core::inspect::{failure_report, InspectOptions};
+use pres_core::stats::SketchStats;
+use pres_core::program::Program;
+use pres_core::sketch::Mechanism;
+use pres_core::Certificate;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  pres list
+  pres record      --bug <id> [--mechanism RW|BB|BB-N|FUNC|SYS|SYNC] [--seed N] [--out FILE]
+  pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--cert FILE]
+  pres replay      --bug <id> --cert FILE [--report]
+  pres sketch-info --sketch FILE
+  pres overhead    --app <id> [--mechanism SYNC] [--processors N]";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let result = match args.command.as_deref() {
+        Some("list") => cmd_list(&args),
+        Some("record") => cmd_record(&args),
+        Some("reproduce") => cmd_reproduce(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("sketch-info") => cmd_sketch_info(&args),
+        Some("overhead") => cmd_overhead(&args),
+        Some(other) => Err(UsageError(format!("unknown command '{other}'\n{USAGE}"))),
+        None => Err(UsageError(USAGE.to_string())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pres: {msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_mechanism(raw: &str) -> Result<Mechanism, UsageError> {
+    Ok(match raw.to_uppercase().as_str() {
+        "RW" => Mechanism::Rw,
+        "SYNC" => Mechanism::Sync,
+        "SYS" => Mechanism::Sys,
+        "FUNC" => Mechanism::Func,
+        "BB" => Mechanism::Bb,
+        other => {
+            if let Some(n) = other.strip_prefix("BB-") {
+                Mechanism::BbN(n.parse().map_err(|_| {
+                    UsageError(format!("bad BB-N mechanism '{raw}'"))
+                })?)
+            } else {
+                return Err(UsageError(format!(
+                    "unknown mechanism '{raw}' (RW, BB, BB-N, FUNC, SYS, SYNC)"
+                )));
+            }
+        }
+    })
+}
+
+fn bug_program(id: &str) -> Result<Box<dyn Program>, UsageError> {
+    all_bugs()
+        .into_iter()
+        .find(|b| b.id == id)
+        .map(|b| b.program())
+        .ok_or_else(|| {
+            UsageError(format!("unknown bug '{id}' — see `pres list`"))
+        })
+}
+
+fn cmd_list(args: &Args) -> Result<(), UsageError> {
+    args.finish()?;
+    println!("applications (bug-free workloads for `pres overhead`):");
+    for app in all_apps() {
+        println!("  {:10} [{}]", app.id, app.category.label());
+    }
+    println!("\nbugs (for `pres record` / `pres reproduce` / `pres replay`):");
+    for bug in all_bugs() {
+        println!(
+            "  {:28} {:22} {}",
+            bug.id,
+            bug.class.label(),
+            bug.modeled_after
+        );
+    }
+    Ok(())
+}
+
+fn cmd_record(args: &Args) -> Result<(), UsageError> {
+    let bug = args.required("bug")?;
+    let mechanism = parse_mechanism(&args.get("mechanism").unwrap_or_else(|| "SYNC".into()))?;
+    let seed: Option<u64> = args.get_parsed("seed")?;
+    let out = args.get("out").unwrap_or_else(|| format!("{bug}.sketch"));
+    args.finish()?;
+
+    let prog = bug_program(&bug)?;
+    let pres = Pres::new(mechanism);
+    let recorded = match seed {
+        Some(s) => {
+            let run = pres.record(prog.as_ref(), s);
+            if !run.failed() {
+                return Err(UsageError(format!(
+                    "seed {s} completed cleanly; omit --seed to search for a failing run"
+                )));
+            }
+            run
+        }
+        None => pres
+            .record_until_failure(prog.as_ref(), 0..10_000)
+            .ok_or_else(|| UsageError("no failing production run in 10000 schedules".into()))?,
+    };
+    println!(
+        "recorded failing run: {} (seed {}, {} sketch entries, overhead {:.2}%)",
+        recorded.sketch.meta.failure_signature,
+        recorded.sketch.meta.seed,
+        recorded.sketch.len(),
+        recorded.overhead_pct()
+    );
+    let bytes = encode_sketch(&recorded.sketch);
+    std::fs::write(&out, &bytes)
+        .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
+    println!("wrote {} ({} bytes)", out, bytes.len());
+    Ok(())
+}
+
+fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
+    let bug = args.required("bug")?;
+    let sketch_path = args.required("sketch")?;
+    let max_attempts: u32 = args.get_parsed("max-attempts")?.unwrap_or(1000);
+    let cert_path = args.get("cert").unwrap_or_else(|| format!("{bug}.cert"));
+    args.finish()?;
+
+    let prog = bug_program(&bug)?;
+    let data = std::fs::read(&sketch_path)
+        .map_err(|e| UsageError(format!("cannot read {sketch_path}: {e}")))?;
+    let sketch = decode_sketch(&data).map_err(|e| UsageError(e.to_string()))?;
+    if sketch.meta.program != prog.name() {
+        return Err(UsageError(format!(
+            "sketch was recorded from '{}', not '{}'",
+            sketch.meta.program,
+            prog.name()
+        )));
+    }
+    let pres = Pres::new(sketch.mechanism).with_max_attempts(max_attempts);
+    let mut recorded_like = pres.record(prog.as_ref(), sketch.meta.seed);
+    // Reproduce against the on-disk sketch (the run above re-derives the
+    // native/overhead context only).
+    recorded_like.sketch = sketch;
+    let repro = pres.reproduce(prog.as_ref(), &recorded_like);
+    for h in &repro.history {
+        println!(
+            "attempt {:3}: {} ({} constraints)",
+            h.index, h.status, h.constraints
+        );
+    }
+    if !repro.reproduced {
+        return Err(UsageError(format!(
+            "not reproduced within {max_attempts} attempts"
+        )));
+    }
+    println!("reproduced after {} attempt(s)", repro.attempts);
+    let cert = repro.certificate.expect("certificate exists on success");
+    let bytes = cert.encode();
+    std::fs::write(&cert_path, &bytes)
+        .map_err(|e| UsageError(format!("cannot write {cert_path}: {e}")))?;
+    println!("wrote {} ({} bytes)", cert_path, bytes.len());
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), UsageError> {
+    let bug = args.required("bug")?;
+    let cert_path = args.required("cert")?;
+    let report = args.has("report");
+    args.finish()?;
+
+    let prog = bug_program(&bug)?;
+    let data = std::fs::read(&cert_path)
+        .map_err(|e| UsageError(format!("cannot read {cert_path}: {e}")))?;
+    let cert = Certificate::decode(&data).map_err(|e| UsageError(e.to_string()))?;
+    let outcome = cert
+        .replay(prog.as_ref())
+        .map_err(|e| UsageError(e.to_string()))?;
+    println!("deterministic reproduction: {}", outcome.status);
+    if report {
+        println!("\n{}", failure_report(&outcome, &InspectOptions::default()));
+    }
+    Ok(())
+}
+
+fn cmd_sketch_info(args: &Args) -> Result<(), UsageError> {
+    let path = args.required("sketch")?;
+    args.finish()?;
+    let data = std::fs::read(&path)
+        .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+    let sketch = decode_sketch(&data).map_err(|e| UsageError(e.to_string()))?;
+    println!(
+        "program {} | mechanism {} | production seed {} | {} cores | failure: {}",
+        sketch.meta.program,
+        sketch.mechanism.name(),
+        sketch.meta.seed,
+        sketch.meta.processors,
+        if sketch.meta.failure_signature.is_empty() {
+            "(none)"
+        } else {
+            &sketch.meta.failure_signature
+        }
+    );
+    print!("{}", SketchStats::of(&sketch));
+    Ok(())
+}
+
+fn cmd_overhead(args: &Args) -> Result<(), UsageError> {
+    let app_id = args.required("app")?;
+    let mechanism = parse_mechanism(&args.get("mechanism").unwrap_or_else(|| "SYNC".into()))?;
+    let processors: u32 = args.get_parsed("processors")?.unwrap_or(8);
+    args.finish()?;
+
+    let apps = all_apps();
+    let app = apps
+        .iter()
+        .find(|a| a.id == app_id)
+        .ok_or_else(|| UsageError(format!("unknown app '{app_id}' — see `pres list`")))?;
+    let prog = app.workload(WorkloadScale::Standard);
+    let pres = Pres::new(mechanism).with_processors(processors);
+    let run = pres.record(prog.as_ref(), 7);
+    println!(
+        "{} under {} on {} cores: overhead {:.2}% (slowdown {:.2}x), log {} bytes ({} entries + {} implicit)",
+        app_id,
+        mechanism.name(),
+        processors,
+        run.overhead_pct(),
+        run.slowdown(),
+        run.log_bytes,
+        run.sketch.len(),
+        run.implicit_events,
+    );
+    Ok(())
+}

@@ -1,0 +1,689 @@
+//! Compact binary encoding of sketches — the on-disk log format.
+//!
+//! The paper reports recording overhead *and* log growth; both depend on a
+//! realistic log encoding. Entries are encoded with single-byte tags and
+//! LEB128 varints (thread ids and object ids are small; syscall payloads are
+//! length-prefixed raw bytes), which is representative of what a tuned
+//! production recorder writes.
+//!
+//! The same codec serializes reproduction certificates.
+
+use crate::sketch::{Mechanism, Sketch, SketchEntry, SketchMeta, SketchOp, SyncKind, SysKind};
+use pres_tvm::ids::ThreadId;
+use pres_tvm::op::{MemLoc, OpResult};
+use std::fmt;
+
+/// A decoding error: truncated or corrupt input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// LEB128 varint writer/reader plus raw-byte helpers.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a LEB128 varint.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends length-prefixed bytes.
+    pub fn bytes(&mut self, data: &[u8]) {
+        self.varint(data.len() as u64);
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Finishes, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reader over an encoded buffer.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn err(&self, message: &str) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.err("eof"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(self.err("varint overflow"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.varint()? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(self.err("byte slice past eof"));
+        }
+        let out = self.buf[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes()?).map_err(|_| self.err("invalid utf-8"))
+    }
+
+    /// Whether the whole buffer was consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// --- entry encoding ---------------------------------------------------------
+
+const TAG_START: u8 = 0;
+const TAG_EXIT: u8 = 1;
+const TAG_MEM_READ: u8 = 2;
+const TAG_MEM_WRITE: u8 = 3;
+const TAG_SYNC: u8 = 4;
+const TAG_SPAWN: u8 = 5;
+const TAG_JOIN: u8 = 6;
+const TAG_SYS: u8 = 7;
+const TAG_FUNC: u8 = 8;
+const TAG_BB: u8 = 9;
+
+const RES_UNIT: u8 = 0;
+const RES_VALUE: u8 = 1;
+const RES_BYTES: u8 = 2;
+const RES_MAYBE_BYTES_NONE: u8 = 3;
+const RES_MAYBE_BYTES_SOME: u8 = 4;
+const RES_MAYBE_VALUE_NONE: u8 = 5;
+const RES_MAYBE_VALUE_SOME: u8 = 6;
+const RES_MAYBE_CONN_NONE: u8 = 7;
+const RES_MAYBE_CONN_SOME: u8 = 8;
+const RES_FD: u8 = 9;
+const RES_TID: u8 = 10;
+
+fn sync_kind_code(k: SyncKind) -> u8 {
+    match k {
+        SyncKind::Lock => 0,
+        SyncKind::Unlock => 1,
+        SyncKind::RwRead => 2,
+        SyncKind::RwWrite => 3,
+        SyncKind::RwUnlock => 4,
+        SyncKind::Wait => 5,
+        SyncKind::Rewait => 6,
+        SyncKind::Signal => 7,
+        SyncKind::Broadcast => 8,
+        SyncKind::Barrier => 9,
+        SyncKind::BarrierResume => 10,
+        SyncKind::SemP => 11,
+        SyncKind::SemV => 12,
+        SyncKind::Send => 13,
+        SyncKind::Recv => 14,
+        SyncKind::ChanClose => 15,
+    }
+}
+
+fn sync_kind_from(code: u8) -> Option<SyncKind> {
+    Some(match code {
+        0 => SyncKind::Lock,
+        1 => SyncKind::Unlock,
+        2 => SyncKind::RwRead,
+        3 => SyncKind::RwWrite,
+        4 => SyncKind::RwUnlock,
+        5 => SyncKind::Wait,
+        6 => SyncKind::Rewait,
+        7 => SyncKind::Signal,
+        8 => SyncKind::Broadcast,
+        9 => SyncKind::Barrier,
+        10 => SyncKind::BarrierResume,
+        11 => SyncKind::SemP,
+        12 => SyncKind::SemV,
+        13 => SyncKind::Send,
+        14 => SyncKind::Recv,
+        15 => SyncKind::ChanClose,
+        _ => return None,
+    })
+}
+
+fn sys_kind_code(k: SysKind) -> u8 {
+    match k {
+        SysKind::Open => 0,
+        SysKind::Read => 1,
+        SysKind::Write => 2,
+        SysKind::Close => 3,
+        SysKind::Accept => 4,
+        SysKind::Recv => 5,
+        SysKind::Send => 6,
+        SysKind::NetClose => 7,
+        SysKind::Clock => 8,
+        SysKind::Random => 9,
+        SysKind::Stdout => 10,
+    }
+}
+
+fn sys_kind_from(code: u8) -> Option<SysKind> {
+    Some(match code {
+        0 => SysKind::Open,
+        1 => SysKind::Read,
+        2 => SysKind::Write,
+        3 => SysKind::Close,
+        4 => SysKind::Accept,
+        5 => SysKind::Recv,
+        6 => SysKind::Send,
+        7 => SysKind::NetClose,
+        8 => SysKind::Clock,
+        9 => SysKind::Random,
+        10 => SysKind::Stdout,
+        _ => return None,
+    })
+}
+
+fn encode_result(w: &mut ByteWriter, r: &OpResult) {
+    match r {
+        OpResult::Unit => w.u8(RES_UNIT),
+        OpResult::Value(v) => {
+            w.u8(RES_VALUE);
+            w.varint(*v);
+        }
+        OpResult::Bytes(b) => {
+            w.u8(RES_BYTES);
+            w.bytes(b);
+        }
+        OpResult::MaybeBytes(None) => w.u8(RES_MAYBE_BYTES_NONE),
+        OpResult::MaybeBytes(Some(b)) => {
+            w.u8(RES_MAYBE_BYTES_SOME);
+            w.bytes(b);
+        }
+        OpResult::MaybeValue(None) => w.u8(RES_MAYBE_VALUE_NONE),
+        OpResult::MaybeValue(Some(v)) => {
+            w.u8(RES_MAYBE_VALUE_SOME);
+            w.varint(*v);
+        }
+        OpResult::MaybeConn(None) => w.u8(RES_MAYBE_CONN_NONE),
+        OpResult::MaybeConn(Some(c)) => {
+            w.u8(RES_MAYBE_CONN_SOME);
+            w.varint(u64::from(c.0));
+        }
+        OpResult::Fd(fd) => {
+            w.u8(RES_FD);
+            w.varint(u64::from(fd.0));
+        }
+        OpResult::Tid(t) => {
+            w.u8(RES_TID);
+            w.varint(u64::from(t.0));
+        }
+    }
+}
+
+fn decode_result(r: &mut ByteReader<'_>) -> Result<OpResult, DecodeError> {
+    Ok(match r.u8()? {
+        RES_UNIT => OpResult::Unit,
+        RES_VALUE => OpResult::Value(r.varint()?),
+        RES_BYTES => OpResult::Bytes(r.bytes()?),
+        RES_MAYBE_BYTES_NONE => OpResult::MaybeBytes(None),
+        RES_MAYBE_BYTES_SOME => OpResult::MaybeBytes(Some(r.bytes()?)),
+        RES_MAYBE_VALUE_NONE => OpResult::MaybeValue(None),
+        RES_MAYBE_VALUE_SOME => OpResult::MaybeValue(Some(r.varint()?)),
+        RES_MAYBE_CONN_NONE => OpResult::MaybeConn(None),
+        RES_MAYBE_CONN_SOME => {
+            OpResult::MaybeConn(Some(pres_tvm::ids::ConnId(r.varint()? as u32)))
+        }
+        RES_FD => OpResult::Fd(pres_tvm::ids::FdId(r.varint()? as u32)),
+        RES_TID => OpResult::Tid(ThreadId(r.varint()? as u32)),
+        other => return Err(r.err(&format!("unknown result tag {other}"))),
+    })
+}
+
+/// Encodes one entry; returns bytes appended.
+pub fn encode_entry(w: &mut ByteWriter, e: &SketchEntry) -> usize {
+    let before = w.len();
+    w.varint(u64::from(e.tid.0));
+    match &e.op {
+        SketchOp::Start => w.u8(TAG_START),
+        SketchOp::Exit => w.u8(TAG_EXIT),
+        SketchOp::Mem { loc, write } => {
+            w.u8(if *write { TAG_MEM_WRITE } else { TAG_MEM_READ });
+            match loc {
+                MemLoc::Var(v) => {
+                    w.u8(0);
+                    w.varint(u64::from(v.0));
+                }
+                MemLoc::Buf(b) => {
+                    w.u8(1);
+                    w.varint(u64::from(b.0));
+                }
+            }
+        }
+        SketchOp::Sync { kind, obj } => {
+            w.u8(TAG_SYNC);
+            w.u8(sync_kind_code(*kind));
+            w.varint(u64::from(*obj));
+        }
+        SketchOp::Spawn => w.u8(TAG_SPAWN),
+        SketchOp::Join { target } => {
+            w.u8(TAG_JOIN);
+            w.varint(u64::from(*target));
+        }
+        SketchOp::Sys { kind, obj } => {
+            w.u8(TAG_SYS);
+            w.u8(sys_kind_code(*kind));
+            w.varint(u64::from(*obj));
+            encode_result(w, &e.result);
+        }
+        SketchOp::Func(f) => {
+            w.u8(TAG_FUNC);
+            w.varint(u64::from(*f));
+        }
+        SketchOp::Bb(b) => {
+            w.u8(TAG_BB);
+            w.varint(u64::from(*b));
+        }
+    }
+    w.len() - before
+}
+
+fn decode_entry(r: &mut ByteReader<'_>) -> Result<SketchEntry, DecodeError> {
+    let tid = ThreadId(r.varint()? as u32);
+    let tag = r.u8()?;
+    let mut result = OpResult::Unit;
+    let op = match tag {
+        TAG_START => SketchOp::Start,
+        TAG_EXIT => SketchOp::Exit,
+        TAG_MEM_READ | TAG_MEM_WRITE => {
+            let kind = r.u8()?;
+            let id = r.varint()? as u32;
+            let loc = match kind {
+                0 => MemLoc::Var(pres_tvm::ids::VarId(id)),
+                1 => MemLoc::Buf(pres_tvm::ids::BufId(id)),
+                other => return Err(r.err(&format!("unknown loc kind {other}"))),
+            };
+            SketchOp::Mem {
+                loc,
+                write: tag == TAG_MEM_WRITE,
+            }
+        }
+        TAG_SYNC => {
+            let code = r.u8()?;
+            let kind =
+                sync_kind_from(code).ok_or_else(|| r.err(&format!("bad sync kind {code}")))?;
+            SketchOp::Sync {
+                kind,
+                obj: r.varint()? as u32,
+            }
+        }
+        TAG_SPAWN => SketchOp::Spawn,
+        TAG_JOIN => SketchOp::Join {
+            target: r.varint()? as u32,
+        },
+        TAG_SYS => {
+            let code = r.u8()?;
+            let kind =
+                sys_kind_from(code).ok_or_else(|| r.err(&format!("bad sys kind {code}")))?;
+            let obj = r.varint()? as u32;
+            result = decode_result(r)?;
+            SketchOp::Sys { kind, obj }
+        }
+        TAG_FUNC => SketchOp::Func(r.varint()? as u32),
+        TAG_BB => SketchOp::Bb(r.varint()? as u32),
+        other => return Err(r.err(&format!("unknown entry tag {other}"))),
+    };
+    Ok(SketchEntry { tid, op, result })
+}
+
+impl ByteReader<'_> {
+    fn err_pub(&self, message: &str) -> DecodeError {
+        self.err(message)
+    }
+}
+
+const MAGIC: &[u8; 4] = b"PRES";
+const VERSION: u8 = 1;
+
+fn mechanism_code(m: Mechanism) -> (u8, u32) {
+    match m {
+        Mechanism::Rw => (0, 0),
+        Mechanism::Sync => (1, 0),
+        Mechanism::Sys => (2, 0),
+        Mechanism::Func => (3, 0),
+        Mechanism::Bb => (4, 0),
+        Mechanism::BbN(n) => (5, n),
+    }
+}
+
+fn mechanism_from(code: u8, arg: u32) -> Option<Mechanism> {
+    Some(match code {
+        0 => Mechanism::Rw,
+        1 => Mechanism::Sync,
+        2 => Mechanism::Sys,
+        3 => Mechanism::Func,
+        4 => Mechanism::Bb,
+        5 => Mechanism::BbN(arg),
+        _ => return None,
+    })
+}
+
+/// Serializes a sketch to its binary log form.
+pub fn encode_sketch(sketch: &Sketch) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    let (code, arg) = mechanism_code(sketch.mechanism);
+    w.u8(code);
+    w.varint(u64::from(arg));
+    w.string(&sketch.meta.program);
+    w.varint(sketch.meta.seed);
+    w.varint(u64::from(sketch.meta.processors));
+    w.varint(sketch.meta.total_ops);
+    w.string(&sketch.meta.failure_signature);
+    w.varint(sketch.entries.len() as u64);
+    for e in &sketch.entries {
+        encode_entry(&mut w, e);
+    }
+    w.finish()
+}
+
+/// Deserializes a sketch from its binary log form.
+pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
+    let mut r = ByteReader::new(data);
+    let mut magic = [0u8; 4];
+    for m in &mut magic {
+        *m = r.u8()?;
+    }
+    if &magic != MAGIC {
+        return Err(r.err_pub("bad magic"));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(r.err_pub(&format!("unsupported version {version}")));
+    }
+    let code = r.u8()?;
+    let arg = r.varint()? as u32;
+    let mechanism =
+        mechanism_from(code, arg).ok_or_else(|| r.err_pub(&format!("bad mechanism {code}")))?;
+    let meta = SketchMeta {
+        program: r.string()?,
+        seed: r.varint()?,
+        processors: r.varint()? as u32,
+        total_ops: r.varint()?,
+        failure_signature: r.string()?,
+    };
+    let n = r.varint()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        entries.push(decode_entry(&mut r)?);
+    }
+    if !r.at_end() {
+        return Err(r.err_pub("trailing bytes"));
+    }
+    Ok(Sketch {
+        mechanism,
+        entries,
+        meta,
+    })
+}
+
+/// The encoded size of a single entry, in bytes — the per-event payload the
+/// recorder charges to the virtual clock.
+pub fn entry_size(e: &SketchEntry) -> u64 {
+    let mut w = ByteWriter::new();
+    encode_entry(&mut w, e) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pres_tvm::ids::VarId;
+
+    fn entry(tid: u32, op: SketchOp) -> SketchEntry {
+        SketchEntry {
+            tid: ThreadId(tid),
+            op,
+            result: OpResult::Unit,
+        }
+    }
+
+    fn sample_sketch() -> Sketch {
+        Sketch {
+            mechanism: Mechanism::BbN(8),
+            entries: vec![
+                entry(0, SketchOp::Start),
+                entry(
+                    0,
+                    SketchOp::Mem {
+                        loc: MemLoc::Var(VarId(3)),
+                        write: true,
+                    },
+                ),
+                entry(
+                    1,
+                    SketchOp::Sync {
+                        kind: SyncKind::Lock,
+                        obj: 2,
+                    },
+                ),
+                entry(0, SketchOp::Spawn),
+                entry(0, SketchOp::Join { target: 1 }),
+                SketchEntry {
+                    tid: ThreadId(1),
+                    op: SketchOp::Sys {
+                        kind: SysKind::Recv,
+                        obj: 4,
+                    },
+                    result: OpResult::MaybeBytes(Some(b"hello".to_vec())),
+                },
+                entry(1, SketchOp::Func(9)),
+                entry(1, SketchOp::Bb(200)),
+                entry(1, SketchOp::Exit),
+            ],
+            meta: SketchMeta {
+                program: "httpd".into(),
+                seed: 42,
+                processors: 8,
+                total_ops: 12345,
+                failure_signature: "assert:log corrupted".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut w = ByteWriter::new();
+        for v in values {
+            w.varint(v);
+        }
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        for v in values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn small_varints_are_one_byte() {
+        let mut w = ByteWriter::new();
+        w.varint(100);
+        assert_eq!(w.len(), 1);
+        w.varint(200);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn sketch_round_trips() {
+        let s = sample_sketch();
+        let encoded = encode_sketch(&s);
+        let decoded = decode_sketch(&encoded).unwrap();
+        assert_eq!(s, decoded);
+    }
+
+    #[test]
+    fn all_mechanisms_round_trip() {
+        for m in Mechanism::all() {
+            let mut s = sample_sketch();
+            s.mechanism = m;
+            let decoded = decode_sketch(&encode_sketch(&s)).unwrap();
+            assert_eq!(decoded.mechanism, m);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let encoded = encode_sketch(&sample_sketch());
+        for cut in [0, 3, 5, 10, encoded.len() - 1] {
+            assert!(decode_sketch(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut encoded = encode_sketch(&sample_sketch());
+        encoded[0] = b'X';
+        let err = decode_sketch(&encoded).unwrap_err();
+        assert!(err.message.contains("magic"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut encoded = encode_sketch(&sample_sketch());
+        encoded.push(0xff);
+        let err = decode_sketch(&encoded).unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn sync_entries_are_compact() {
+        let e = entry(
+            3,
+            SketchOp::Sync {
+                kind: SyncKind::Unlock,
+                obj: 7,
+            },
+        );
+        // tid + tag + kind + obj = 4 bytes.
+        assert_eq!(entry_size(&e), 4);
+    }
+
+    #[test]
+    fn syscall_payload_dominates_its_entry_size() {
+        let small = SketchEntry {
+            tid: ThreadId(0),
+            op: SketchOp::Sys {
+                kind: SysKind::Clock,
+                obj: 0,
+            },
+            result: OpResult::Value(1),
+        };
+        let big = SketchEntry {
+            tid: ThreadId(0),
+            op: SketchOp::Sys {
+                kind: SysKind::Read,
+                obj: 1,
+            },
+            result: OpResult::Bytes(vec![0; 1000]),
+        };
+        assert!(entry_size(&big) > entry_size(&small) + 990);
+    }
+
+    #[test]
+    fn all_result_variants_round_trip() {
+        use pres_tvm::ids::{ConnId, FdId};
+        let results = vec![
+            OpResult::Unit,
+            OpResult::Value(u64::MAX),
+            OpResult::Bytes(vec![1, 2, 3]),
+            OpResult::MaybeBytes(None),
+            OpResult::MaybeBytes(Some(vec![])),
+            OpResult::MaybeValue(None),
+            OpResult::MaybeValue(Some(0)),
+            OpResult::MaybeConn(None),
+            OpResult::MaybeConn(Some(ConnId(9))),
+            OpResult::Fd(FdId(2)),
+            OpResult::Tid(ThreadId(5)),
+        ];
+        for res in results {
+            let mut w = ByteWriter::new();
+            encode_result(&mut w, &res);
+            let buf = w.finish();
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(decode_result(&mut r).unwrap(), res);
+            assert!(r.at_end());
+        }
+    }
+}

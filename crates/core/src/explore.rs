@@ -1,0 +1,515 @@
+//! The exploration engine: coordinated replay attempts until reproduction.
+//!
+//! PRES relaxes "reproduce on the first attempt" to "reproduce within a few
+//! attempts". The explorer drives that loop:
+//!
+//! 1. run a sketch-constrained replay attempt (full trace on);
+//! 2. if the target failure manifested — done; mint a certificate from the
+//!    attempt's scheduling decisions;
+//! 3. otherwise generate feedback: extract flip candidates from the
+//!    attempt's trace ([`crate::feedback`]) and append refined constraint
+//!    sets to a breadth-first frontier — single flips are all tried before
+//!    any pair of flips, because one reordering near the failure point is
+//!    usually sufficient;
+//! 4. take the next constraint set and go to 1.
+//!
+//! When the frontier drains without success the explorer starts a new
+//! *round* with a fresh exploration seed — coarse sketches sometimes leave
+//! so much freedom that a different base interleaving is needed before
+//! flipping becomes productive.
+//!
+//! The **random** strategy (no feedback, fresh seed each attempt) is the
+//! paper's ablation baseline: "PRES's feedback generation from unsuccessful
+//! replays is critical in bug reproduction".
+
+use crate::certificate::Certificate;
+use crate::feedback;
+use crate::oracle::{FailureOracle, StatusOracle};
+use crate::program::Program;
+use crate::replay::{OrderConstraint, PiReplayScheduler};
+use crate::sketch::Sketch;
+use pres_tvm::error::RunStatus;
+use pres_tvm::trace::{NullObserver, TraceMode};
+use pres_tvm::vm::{self, VmConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+
+/// How the explorer chooses the next attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// PRES: feedback-guided systematic flipping.
+    Feedback,
+    /// Ablation baseline: independent random attempts.
+    Random,
+}
+
+impl Strategy {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Feedback => "feedback",
+            Strategy::Random => "random",
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExploreConfig {
+    /// Attempt strategy.
+    pub strategy: Strategy,
+    /// Attempt budget (the paper caps tables at 1000).
+    pub max_attempts: u32,
+    /// Base exploration seed.
+    pub base_seed: u64,
+    /// Max flip candidates expanded per failed attempt (frontier fanout).
+    pub fanout: usize,
+    /// Every this many attempts, the feedback strategy restarts with a
+    /// fresh base interleaving (fresh seed, empty constraints) even if the
+    /// frontier is non-empty — insurance against an unlucky base schedule
+    /// trapping the search in a barren subtree. `0` disables restarts.
+    pub restart_period: u32,
+    /// Candidate ranking policy (ablation knob; see experiment E9).
+    pub ranking: feedback::Ranking,
+    /// Frontier discipline (ablation knob): breadth-first tries every
+    /// single flip before any composed set; depth-first commits to a
+    /// subtree.
+    pub search: SearchOrder,
+}
+
+/// Frontier discipline for the feedback strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchOrder {
+    /// Breadth-first (default).
+    Bfs,
+    /// Depth-first (the ablation alternative).
+    Dfs,
+}
+
+impl SearchOrder {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchOrder::Bfs => "bfs",
+            SearchOrder::Dfs => "dfs",
+        }
+    }
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            strategy: Strategy::Feedback,
+            max_attempts: 1000,
+            base_seed: 0x5eed,
+            fanout: 12,
+            restart_period: 10,
+            ranking: feedback::Ranking::LocksetThenRecency,
+            search: SearchOrder::Bfs,
+        }
+    }
+}
+
+/// One attempt's summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttemptRecord {
+    /// 1-based attempt number.
+    pub index: u32,
+    /// Whether the attempt ended in the target failure.
+    pub reproduced: bool,
+    /// Whether the attempt aborted on divergence/stall.
+    pub diverged: bool,
+    /// Final status, rendered.
+    pub status: String,
+    /// Number of flip constraints active.
+    pub constraints: usize,
+    /// Exploration seed used.
+    pub seed: u64,
+}
+
+/// The result of a reproduction effort.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reproduction {
+    /// Whether the bug was reproduced within budget.
+    pub reproduced: bool,
+    /// Attempts consumed (= index of the successful attempt if reproduced).
+    pub attempts: u32,
+    /// The minted certificate, if reproduced.
+    pub certificate: Option<Certificate>,
+    /// Per-attempt history.
+    pub history: Vec<AttemptRecord>,
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    seed: u64,
+    constraints: Vec<OrderConstraint>,
+}
+
+fn plan_signature(constraints: &[OrderConstraint], seed: u64) -> String {
+    let mut cs: Vec<String> = constraints.iter().map(|c| c.to_string()).collect();
+    cs.sort();
+    format!("{seed}|{}", cs.join(";"))
+}
+
+/// Runs the reproduction loop for a recorded failure.
+///
+/// `target_signature` is the failure signature the production run exhibited
+/// (from [`crate::sketch::SketchMeta::failure_signature`]).
+pub fn reproduce(
+    program: &dyn Program,
+    sketch: &Sketch,
+    target_signature: &str,
+    vm_config: &VmConfig,
+    explore: &ExploreConfig,
+) -> Reproduction {
+    reproduce_with_oracle(
+        program,
+        sketch,
+        &StatusOracle::new(target_signature),
+        vm_config,
+        explore,
+    )
+}
+
+/// As [`reproduce`], but the bug's manifestation is decided by an arbitrary
+/// [`FailureOracle`] — the hook through which silent-corruption bugs
+/// (wrong output, no crash) are reproduced. The minted certificate's
+/// expected signature is whatever the oracle reported; verify such
+/// certificates with [`Certificate::replay_with`].
+pub fn reproduce_with_oracle(
+    program: &dyn Program,
+    sketch: &Sketch,
+    oracle: &dyn FailureOracle,
+    vm_config: &VmConfig,
+    explore: &ExploreConfig,
+) -> Reproduction {
+    let mut history = Vec::new();
+    let mut frontier: VecDeque<Plan> = VecDeque::from([Plan {
+        seed: explore.base_seed,
+        constraints: Vec::new(),
+    }]);
+    let mut tried: BTreeSet<String> = BTreeSet::new();
+    tried.insert(plan_signature(&[], explore.base_seed));
+    let mut round: u64 = 0;
+
+    for attempt in 1..=explore.max_attempts {
+        let plan = match explore.strategy {
+            Strategy::Random => Plan {
+                seed: explore
+                    .base_seed
+                    .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                constraints: Vec::new(),
+            },
+            Strategy::Feedback => {
+                let restart = explore.restart_period > 0
+                    && attempt > 1
+                    && (attempt - 1) % explore.restart_period == 0;
+                let next = if restart {
+                    None
+                } else {
+                    match explore.search {
+                        SearchOrder::Bfs => frontier.pop_front(),
+                        SearchOrder::Dfs => frontier.pop_back(),
+                    }
+                };
+                match next {
+                    Some(p) => p,
+                    None => {
+                        // Frontier drained or periodic restart: fresh base
+                        // interleaving.
+                        round += 1;
+                        let p = Plan {
+                            seed: explore.base_seed.wrapping_add(round),
+                            constraints: Vec::new(),
+                        };
+                        tried.insert(plan_signature(&p.constraints, p.seed));
+                        p
+                    }
+                }
+            }
+        };
+
+        // Run the attempt with full tracing.
+        let mut sched = PiReplayScheduler::new(sketch, plan.constraints.clone(), plan.seed);
+        let body = program.root();
+        let mut cfg = vm_config.clone();
+        cfg.trace_mode = TraceMode::Full;
+        cfg.world = program.world();
+        let out = vm::run(
+            cfg,
+            program.resources(),
+            &mut sched,
+            &mut NullObserver,
+            move |ctx| body(ctx),
+        );
+
+        let verdict = oracle.judge(&out);
+        let reproduced = verdict.is_some();
+        let diverged = matches!(&out.status, RunStatus::Aborted(_));
+        history.push(AttemptRecord {
+            index: attempt,
+            reproduced,
+            diverged,
+            status: out.status.to_string(),
+            constraints: plan.constraints.len(),
+            seed: plan.seed,
+        });
+
+        if let Some(signature) = verdict {
+            let certificate = Certificate {
+                program: program.name(),
+                schedule: out.schedule,
+                expected_signature: signature,
+                processors: vm_config.processors,
+            };
+            return Reproduction {
+                reproduced: true,
+                attempts: attempt,
+                certificate: Some(certificate),
+                history,
+            };
+        }
+
+        if explore.strategy == Strategy::Feedback {
+            // Feedback: refine this plan with flip candidates from the
+            // attempt's trace, most promising popped first.
+            let cands = feedback::candidates_ranked(&out.trace, explore.ranking);
+            let cands: Vec<_> = cands.into_iter().take(explore.fanout).collect();
+            // DFS pops from the back, so highest priority must land last.
+            let ordered: Vec<_> = match explore.search {
+                SearchOrder::Bfs => cands,
+                SearchOrder::Dfs => cands.into_iter().rev().collect(),
+            };
+            for cand in ordered {
+                let mut constraints = plan.constraints.clone();
+                if constraints.contains(&cand.constraint) {
+                    continue;
+                }
+                constraints.push(cand.constraint);
+                let sig = plan_signature(&constraints, plan.seed);
+                if tried.insert(sig) {
+                    // Breadth-first: every single flip is tried before any
+                    // composed set; `cands` arrives best-first.
+                    frontier.push_back(Plan {
+                        seed: plan.seed,
+                        constraints,
+                    });
+                }
+            }
+        }
+    }
+
+    Reproduction {
+        reproduced: false,
+        attempts: explore.max_attempts,
+        certificate: None,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ClosureProgram;
+    use crate::recorder::record_until_failure;
+    use crate::sketch::Mechanism;
+    use pres_tvm::prelude::*;
+
+    /// The canonical atomicity violation: unprotected read-compute-write
+    /// with plenty of surrounding work so the window rarely splits.
+    fn atomicity_program() -> impl Program {
+        let mut spec = ResourceSpec::new();
+        let counter = spec.var("counter", 0);
+        let m = spec.lock("m");
+        let noise = spec.var("noise", 0);
+        ClosureProgram::new("atomicity", spec, WorldConfig::default(), move || {
+            Box::new(move |ctx: &mut Ctx| {
+                let kids: Vec<ThreadId> = (0..2)
+                    .map(|i| {
+                        ctx.spawn(&format!("w{i}"), move |ctx| {
+                            for k in 0..6u64 {
+                                // Plenty of properly-locked work.
+                                ctx.with_lock(m, |ctx| {
+                                    let v = ctx.read(noise);
+                                    ctx.write(noise, v + k);
+                                });
+                                ctx.compute(40);
+                            }
+                            // The buggy window: unprotected RMW.
+                            let v = ctx.read(counter);
+                            ctx.compute(8);
+                            ctx.write(counter, v + 1);
+                        })
+                    })
+                    .collect();
+                for k in kids {
+                    ctx.join(k);
+                }
+                let total = ctx.read(counter);
+                ctx.check(total == 2, "lost update");
+            })
+        })
+    }
+
+    #[test]
+    fn rw_sketch_reproduces_on_first_attempt() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Rw, &config, 0..2000)
+            .expect("failing seed exists");
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            &run.sketch.meta.failure_signature,
+            &config,
+            &ExploreConfig::default(),
+        );
+        assert!(rep.reproduced);
+        assert_eq!(rep.attempts, 1, "{:#?}", rep.history);
+    }
+
+    #[test]
+    fn sync_sketch_with_feedback_reproduces_quickly() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000)
+            .expect("failing seed exists");
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            &run.sketch.meta.failure_signature,
+            &config,
+            &ExploreConfig::default(),
+        );
+        assert!(rep.reproduced, "{:#?}", rep.history);
+        assert!(
+            rep.attempts <= 10,
+            "feedback should reproduce within 10 attempts, took {}",
+            rep.attempts
+        );
+        // The certificate reproduces deterministically.
+        let cert = rep.certificate.expect("certificate minted");
+        for _ in 0..5 {
+            cert.replay(&prog).expect("certificate replays");
+        }
+    }
+
+    #[test]
+    fn feedback_beats_random_on_attempts() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000)
+            .expect("failing seed exists");
+        let target = run.sketch.meta.failure_signature.clone();
+        let fb = reproduce(
+            &prog,
+            &run.sketch,
+            &target,
+            &config,
+            &ExploreConfig {
+                strategy: Strategy::Feedback,
+                max_attempts: 200,
+                ..ExploreConfig::default()
+            },
+        );
+        let rnd = reproduce(
+            &prog,
+            &run.sketch,
+            &target,
+            &config,
+            &ExploreConfig {
+                strategy: Strategy::Random,
+                max_attempts: 200,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(fb.reproduced);
+        let rnd_attempts = if rnd.reproduced { rnd.attempts } else { 201 };
+        assert!(
+            fb.attempts <= rnd_attempts,
+            "feedback {} vs random {rnd_attempts}",
+            fb.attempts
+        );
+    }
+
+    #[test]
+    fn unreproducible_target_exhausts_budget() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:some bug that does not exist",
+            &config,
+            &ExploreConfig {
+                max_attempts: 5,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(!rep.reproduced);
+        assert_eq!(rep.attempts, 5);
+        assert!(rep.certificate.is_none());
+        assert_eq!(rep.history.len(), 5);
+    }
+
+    #[test]
+    fn dfs_search_also_reproduces() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            &run.sketch.meta.failure_signature,
+            &config,
+            &ExploreConfig {
+                search: SearchOrder::Dfs,
+                max_attempts: 200,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(rep.reproduced, "{:#?}", rep.history);
+    }
+
+    #[test]
+    fn restarts_can_be_disabled() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            &run.sketch.meta.failure_signature,
+            &config,
+            &ExploreConfig {
+                restart_period: 0,
+                max_attempts: 200,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(rep.reproduced);
+        // Without restarts, every attempt uses the base seed.
+        assert!(rep.history.iter().all(|h| h.seed == ExploreConfig::default().base_seed));
+    }
+
+    #[test]
+    fn history_indices_are_sequential() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                max_attempts: 4,
+                ..ExploreConfig::default()
+            },
+        );
+        let idx: Vec<u32> = rep.history.iter().map(|h| h.index).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Feedback generation from unsuccessful replay attempts.
+//!
+//! This is the component the paper's evaluation singles out as *critical*:
+//! a failed attempt is not wasted — its full trace (cheap to capture at
+//! diagnosis time) is analysed for the ordering decisions the sketch left
+//! open, and each such decision becomes a *flip candidate* for the next
+//! attempt:
+//!
+//! * **racing memory-access pairs** found by happens-before analysis
+//!   (`pres-race`), deduplicated to one representative per static race;
+//! * **contended lock-acquisition pairs** — consecutive acquisitions of the
+//!   same lock by different threads — which is how lock-order bugs
+//!   (deadlocks) are explored under sketches that do not record
+//!   synchronization.
+//!
+//! Candidates are ranked: pairs on locations that also violate the lockset
+//! discipline come first (an unprotected location is the likelier root
+//! cause), then later-occurring pairs before earlier ones (the failure, had
+//! it manifested, would have been near the end of the recorded prefix).
+
+use crate::replay::{ActionKey, ActionObj, OrderConstraint};
+use pres_race::hb::{dedup_static, detect_races_in};
+use pres_race::lockset::LocksetDetector;
+use pres_tvm::ids::ThreadId;
+use pres_tvm::op::Op;
+use pres_tvm::trace::{Event, Trace};
+use std::collections::BTreeMap;
+
+/// A flip candidate extracted from a failed attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlipCandidate {
+    /// The constraint to install for the next attempt (the observed order,
+    /// reversed).
+    pub constraint: OrderConstraint,
+    /// Global sequence of the later of the two observed actions — the
+    /// recency used for ranking.
+    pub gseq: u64,
+    /// Whether the object also violates the lockset discipline.
+    pub lockset_flagged: bool,
+}
+
+/// How flip candidates are ordered before the explorer consumes them.
+/// The default is the full PRES heuristic; the alternatives exist for the
+/// ablation study (experiment E9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Ranking {
+    /// Lockset-flagged locations first, then most recent first (default).
+    LocksetThenRecency,
+    /// Most recent first, ignoring lockset analysis.
+    RecencyOnly,
+    /// Earliest first (the anti-heuristic: the failure was near the end).
+    Oldest,
+}
+
+impl Ranking {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ranking::LocksetThenRecency => "lockset+recency",
+            Ranking::RecencyOnly => "recency",
+            Ranking::Oldest => "oldest-first",
+        }
+    }
+}
+
+/// Extracts and ranks flip candidates from an attempt trace.
+///
+/// Returns candidates in **descending priority** (try the first one first).
+pub fn candidates(trace: &Trace) -> Vec<FlipCandidate> {
+    candidates_in(trace.events())
+}
+
+/// As [`candidates`], with an explicit ranking policy.
+pub fn candidates_ranked(trace: &Trace, ranking: Ranking) -> Vec<FlipCandidate> {
+    let mut out = candidates_in(trace.events());
+    match ranking {
+        Ranking::LocksetThenRecency => {}
+        Ranking::RecencyOnly => out.sort_by(|a, b| b.gseq.cmp(&a.gseq)),
+        Ranking::Oldest => out.sort_by(|a, b| a.gseq.cmp(&b.gseq)),
+    }
+    out
+}
+
+/// As [`candidates`], over an event slice (e.g. a failure prefix).
+pub fn candidates_in(events: &[Event]) -> Vec<FlipCandidate> {
+    let index = ActionIndex::build(events);
+
+    // Lockset analysis for ranking.
+    let mut lockset = LocksetDetector::new();
+    for e in events {
+        lockset.observe(e);
+    }
+    let flagged = lockset.violating_locs();
+
+    let mut out: Vec<FlipCandidate> = Vec::new();
+
+    // Racing memory pairs.
+    let races = dedup_static(&detect_races_in(events));
+    for r in races {
+        let obj = ActionObj::Mem(r.loc);
+        let (Some(first_idx), Some(second_idx)) =
+            (index.index_of(r.first.gseq), index.index_of(r.second.gseq))
+        else {
+            continue;
+        };
+        out.push(FlipCandidate {
+            constraint: OrderConstraint {
+                before: ActionKey {
+                    tid: r.second.tid,
+                    obj,
+                    index: second_idx,
+                },
+                after: ActionKey {
+                    tid: r.first.tid,
+                    obj,
+                    index: first_idx,
+                },
+            },
+            gseq: r.second.gseq,
+            lockset_flagged: flagged.contains(&r.loc),
+        });
+    }
+
+    // Contended lock-acquire pairs: consecutive acquires of the same lock
+    // by different threads.
+    let mut last_acquire: BTreeMap<u32, (ThreadId, u64)> = BTreeMap::new();
+    let mut seen_lock_pairs: std::collections::BTreeSet<(u32, ThreadId, ThreadId)> =
+        std::collections::BTreeSet::new();
+    for e in events {
+        if let Op::LockAcquire(l) = &e.op {
+            if let Some((prev_tid, prev_gseq)) = last_acquire.get(&l.0).copied() {
+                if prev_tid != e.tid && seen_lock_pairs.insert((l.0, prev_tid, e.tid)) {
+                    let obj = ActionObj::Lock(l.0);
+                    let (Some(first_idx), Some(second_idx)) =
+                        (index.index_of(prev_gseq), index.index_of(e.gseq))
+                    else {
+                        continue;
+                    };
+                    out.push(FlipCandidate {
+                        constraint: OrderConstraint {
+                            before: ActionKey {
+                                tid: e.tid,
+                                obj,
+                                index: second_idx,
+                            },
+                            after: ActionKey {
+                                tid: prev_tid,
+                                obj,
+                                index: first_idx,
+                            },
+                        },
+                        gseq: e.gseq,
+                        lockset_flagged: false,
+                    });
+                }
+            }
+            last_acquire.insert(l.0, (e.tid, e.gseq));
+        }
+    }
+
+    // Rank: lockset-flagged first, then most recent first.
+    out.sort_by(|a, b| {
+        b.lockset_flagged
+            .cmp(&a.lockset_flagged)
+            .then(b.gseq.cmp(&a.gseq))
+    });
+    out
+}
+
+/// Per-(thread, object) occurrence indices for the events of a trace: the
+/// bridge from trace positions (gseq) to replay-stable [`ActionKey`]s.
+#[derive(Debug, Default)]
+pub struct ActionIndex {
+    by_gseq: BTreeMap<u64, u32>,
+}
+
+impl ActionIndex {
+    /// Builds the index by scanning the events once.
+    pub fn build(events: &[Event]) -> Self {
+        let mut counters: BTreeMap<(ThreadId, ActionObj), u32> = BTreeMap::new();
+        let mut by_gseq = BTreeMap::new();
+        for e in events {
+            if let Some(obj) = ActionObj::of_op(&e.op) {
+                let c = counters.entry((e.tid, obj)).or_insert(0);
+                by_gseq.insert(e.gseq, *c);
+                *c += 1;
+            }
+        }
+        ActionIndex { by_gseq }
+    }
+
+    /// The per-(thread, object) occurrence index of the action at `gseq`.
+    pub fn index_of(&self, gseq: u64) -> Option<u32> {
+        self.by_gseq.get(&gseq).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pres_tvm::prelude::*;
+
+    fn traced(
+        seed: u64,
+        build: impl Fn(&mut ResourceSpec) -> Box<dyn FnOnce(&mut Ctx) + Send>,
+    ) -> Trace {
+        let mut spec = ResourceSpec::new();
+        let body = build(&mut spec);
+        let out = pres_tvm::vm::run(
+            VmConfig {
+                trace_mode: TraceMode::Full,
+                ..VmConfig::default()
+            },
+            spec,
+            &mut RandomScheduler::new(seed),
+            &mut NullObserver,
+            move |ctx| body(ctx),
+        );
+        out.trace
+    }
+
+    #[test]
+    fn race_yields_a_flip_candidate_reversing_observed_order() {
+        let trace = traced(1, |spec| {
+            let x = spec.var("x", 0);
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    ctx.write(x, 1);
+                });
+                ctx.write(x, 2);
+                ctx.join(t);
+            })
+        });
+        let cands = candidates(&trace);
+        assert!(!cands.is_empty());
+        let c = &cands[0];
+        // before/after are on the same object, different threads.
+        assert_eq!(c.constraint.before.obj, c.constraint.after.obj);
+        assert_ne!(c.constraint.before.tid, c.constraint.after.tid);
+        assert!(c.lockset_flagged, "unlocked shared var must be flagged");
+    }
+
+    #[test]
+    fn lock_contention_yields_lock_flip_candidates() {
+        let trace = traced(2, |spec| {
+            let m = spec.lock("m");
+            let x = spec.var("x", 0);
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    ctx.with_lock(m, |ctx| {
+                        let v = ctx.read(x);
+                        ctx.write(x, v + 1);
+                    });
+                });
+                ctx.with_lock(m, |ctx| {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                });
+                ctx.join(t);
+            })
+        });
+        let cands = candidates(&trace);
+        assert!(
+            cands
+                .iter()
+                .any(|c| matches!(c.constraint.before.obj, ActionObj::Lock(_))),
+            "contended lock must yield a flip candidate: {cands:?}"
+        );
+        // Properly locked variable: no memory-race candidates.
+        assert!(cands
+            .iter()
+            .all(|c| !matches!(c.constraint.before.obj, ActionObj::Mem(_))));
+    }
+
+    #[test]
+    fn quiet_programs_yield_no_candidates() {
+        let trace = traced(3, |spec| {
+            let x = spec.var("x", 0);
+            Box::new(move |ctx| {
+                for i in 0..5 {
+                    ctx.write(x, i);
+                }
+            })
+        });
+        assert!(candidates(&trace).is_empty());
+    }
+
+    #[test]
+    fn lockset_flagged_candidates_rank_first() {
+        let trace = traced(4, |spec| {
+            let unlocked = spec.var("unlocked", 0);
+            let m = spec.lock("m");
+            let x = spec.var("x", 0);
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    ctx.write(unlocked, 1);
+                    ctx.with_lock(m, |ctx| {
+                        let v = ctx.read(x);
+                        ctx.write(x, v + 1);
+                    });
+                });
+                ctx.write(unlocked, 2);
+                ctx.with_lock(m, |ctx| {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                });
+                ctx.join(t);
+            })
+        });
+        let cands = candidates(&trace);
+        assert!(!cands.is_empty());
+        assert!(
+            cands[0].lockset_flagged,
+            "lockset-flagged candidate must rank first: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn ranking_policies_reorder_candidates() {
+        let trace = traced(6, |spec| {
+            let x = spec.var("x", 0);
+            let y = spec.var("y", 0);
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    ctx.write(x, 1);
+                    ctx.compute(30);
+                    ctx.write(y, 1);
+                });
+                ctx.write(x, 2);
+                ctx.compute(30);
+                ctx.write(y, 2);
+                ctx.join(t);
+            })
+        });
+        let newest = candidates_ranked(&trace, Ranking::RecencyOnly);
+        let oldest = candidates_ranked(&trace, Ranking::Oldest);
+        assert!(newest.len() >= 2);
+        assert!(newest.windows(2).all(|w| w[0].gseq >= w[1].gseq));
+        assert!(oldest.windows(2).all(|w| w[0].gseq <= w[1].gseq));
+        // The default ranks lockset violations first, then recency.
+        let full = candidates_ranked(&trace, Ranking::LocksetThenRecency);
+        assert_eq!(full.len(), newest.len());
+    }
+
+    #[test]
+    fn action_index_counts_per_thread_per_object() {
+        let trace = traced(5, |spec| {
+            let x = spec.var("x", 0);
+            let y = spec.var("y", 0);
+            Box::new(move |ctx| {
+                ctx.write(x, 1); // x index 0
+                ctx.write(y, 1); // y index 0
+                ctx.write(x, 2); // x index 1
+            })
+        });
+        let idx = ActionIndex::build(trace.events());
+        let accesses: Vec<(u64, u32)> = trace
+            .events()
+            .iter()
+            .filter(|e| e.op.is_mem_access())
+            .map(|e| (e.gseq, idx.index_of(e.gseq).unwrap()))
+            .collect();
+        let indices: Vec<u32> = accesses.iter().map(|(_, i)| *i).collect();
+        assert_eq!(indices, vec![0, 0, 1]);
+    }
+}

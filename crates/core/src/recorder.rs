@@ -1,0 +1,418 @@
+//! Production-run recording: the sketch recorder and overhead accounting.
+//!
+//! The recorder is a `pres-tvm` [`Observer`]: it sees every applied event,
+//! filters by mechanism, appends matching entries to its in-memory log, and
+//! charges the virtual clock for each append — the thread-local cost of
+//! formatting the entry plus the serialized cost of claiming a slot in the
+//! single global order. Overhead is then measured exactly the way the paper
+//! does: run the same workload natively and recorded (the observer does not
+//! influence scheduling, so the interleaving is identical) and compare
+//! makespans.
+
+use crate::codec;
+use crate::sketch::{Mechanism, MechanismFilter, Sketch, SketchEntry, SketchMeta, SketchOp};
+use crate::program::Program;
+use pres_tvm::cost::CostModel;
+use pres_tvm::op::OpResult;
+use pres_tvm::sched::RandomScheduler;
+use pres_tvm::trace::{Event, NullObserver, Observer, ObserverCharge, TraceMode};
+use pres_tvm::vm::{self, RunOutcome, VmConfig};
+use serde::{Deserialize, Serialize};
+
+/// The sketch-recording observer.
+#[derive(Debug)]
+pub struct SketchRecorder {
+    filter: MechanismFilter,
+    cost: CostModel,
+    entries: Vec<SketchEntry>,
+    bytes: u64,
+    implicit_events: u64,
+}
+
+impl SketchRecorder {
+    /// A recorder for `mechanism` charging per the given cost model.
+    pub fn new(mechanism: Mechanism, cost: CostModel) -> Self {
+        SketchRecorder {
+            filter: MechanismFilter::new(mechanism),
+            cost,
+            entries: Vec::new(),
+            bytes: 0,
+            implicit_events: 0,
+        }
+    }
+
+    /// How many implicit instruction-stream events a `Compute(units)` block
+    /// contains under this recorder's mechanism (see
+    /// [`CostModel::units_per_implicit_access`]): a conservative binary
+    /// instrumentor logs the whole instruction stream, not just the
+    /// explicitly shared operations, and that is what the paper's RW/BB/
+    /// FUNC overheads are made of. SYNC and SYS log nothing implicit.
+    fn implicit_count(&self, units: u64) -> u64 {
+        let per = match self.filter.mechanism() {
+            Mechanism::Rw => self.cost.units_per_implicit_access,
+            Mechanism::Bb => self.cost.units_per_implicit_bb,
+            Mechanism::BbN(n) => self.cost.units_per_implicit_bb * u64::from(n.max(1)),
+            Mechanism::Func => self.cost.units_per_implicit_func,
+            Mechanism::Sync | Mechanism::Sys => return 0,
+        };
+        units / per.max(1)
+    }
+
+    /// Implicit (instruction-stream) events recorded so far.
+    pub fn implicit_events(&self) -> u64 {
+        self.implicit_events
+    }
+
+    /// Entries recorded so far.
+    pub fn entries(&self) -> &[SketchEntry] {
+        &self.entries
+    }
+
+    /// Encoded log bytes so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Finishes recording into a [`Sketch`].
+    pub fn finish(self, meta: SketchMeta) -> Sketch {
+        Sketch {
+            mechanism: self.filter.mechanism(),
+            entries: self.entries,
+            meta,
+        }
+    }
+}
+
+impl Observer for SketchRecorder {
+    fn on_event(&mut self, event: &Event) -> ObserverCharge {
+        // Thread-local computation: charge the implicit instruction-stream
+        // recording this mechanism performs inside the block.
+        if let pres_tvm::op::Op::Compute(units) = event.op {
+            let n = self.implicit_count(units);
+            if n == 0 {
+                return ObserverCharge::FREE;
+            }
+            self.implicit_events += n;
+            self.bytes += n * self.cost.implicit_bytes;
+            return ObserverCharge {
+                thread_cost: n * self.cost.implicit_record,
+                serial_cost: n * self.cost.implicit_serial,
+            };
+        }
+        if !self.filter.record_and_note(event.tid, &event.op) {
+            return ObserverCharge::FREE;
+        }
+        let Some(op) = SketchOp::from_op(&event.op) else {
+            return ObserverCharge::FREE;
+        };
+        let entry = SketchEntry {
+            tid: event.tid,
+            op,
+            result: if event.op.is_syscall() {
+                event.result.clone()
+            } else {
+                OpResult::Unit
+            },
+        };
+        let payload = codec::entry_size(&entry);
+        self.bytes += payload;
+        self.entries.push(entry);
+        // Every mechanism records a single global order, so every append
+        // pays the serialized slot-claim cost; the *total* serial section is
+        // what differs across mechanisms (few sync ops vs. millions of
+        // memory accesses), which is what produces the paper's scalability
+        // split between SYNC and RW.
+        let (thread_cost, serial_cost) = self.cost.record_cost(payload, true);
+        ObserverCharge {
+            thread_cost,
+            serial_cost,
+        }
+    }
+}
+
+/// Everything a recorded production run yields.
+#[derive(Debug)]
+pub struct RecordedRun {
+    /// The sketch (the only artifact that survives to diagnosis time).
+    pub sketch: Sketch,
+    /// The recorded run's outcome (status, time, stats).
+    pub outcome: RunOutcome,
+    /// The same workload run natively (no recording), for overhead math.
+    pub native: RunOutcome,
+    /// Encoded log size in bytes (explicit entries + implicit stream).
+    pub log_bytes: u64,
+    /// Implicit instruction-stream events recorded (RW/BB/FUNC mechanisms).
+    pub implicit_events: u64,
+}
+
+impl RecordedRun {
+    /// Recording slowdown: recorded makespan / native makespan.
+    pub fn slowdown(&self) -> f64 {
+        self.outcome.time.slowdown_vs(&self.native.time)
+    }
+
+    /// Recording overhead percentage, the paper's headline metric.
+    pub fn overhead_pct(&self) -> f64 {
+        self.outcome.time.overhead_pct_vs(&self.native.time)
+    }
+
+    /// Whether the production run failed (a bug manifested while recording).
+    pub fn failed(&self) -> bool {
+        self.outcome.status.is_failed()
+    }
+}
+
+/// Summary row for the overhead/log-size tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordingReport {
+    /// Program name.
+    pub program: String,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Overhead percentage vs. native.
+    pub overhead_pct: f64,
+    /// Slowdown factor vs. native.
+    pub slowdown: f64,
+    /// Explicit sketch entry count.
+    pub entries: u64,
+    /// Implicit instruction-stream events.
+    pub implicit_events: u64,
+    /// Encoded log bytes.
+    pub log_bytes: u64,
+    /// Native makespan (virtual units) — the run length the log amortizes
+    /// over, for bytes-per-unit-time comparisons.
+    pub native_makespan: u64,
+}
+
+impl RecordingReport {
+    /// Builds a report row from a recorded run.
+    pub fn from_run(run: &RecordedRun) -> Self {
+        RecordingReport {
+            program: run.sketch.meta.program.clone(),
+            mechanism: run.sketch.mechanism,
+            overhead_pct: run.overhead_pct(),
+            slowdown: run.slowdown(),
+            entries: run.sketch.entries.len() as u64,
+            implicit_events: run.implicit_events,
+            log_bytes: run.log_bytes,
+            native_makespan: run.native.time.makespan,
+        }
+    }
+}
+
+/// Records one production run of `program` under `mechanism`.
+///
+/// Runs the workload twice with the identical scheduler seed — once
+/// natively, once recorded — so the overhead comparison is exact. The
+/// returned [`RecordedRun`] carries both outcomes and the sketch.
+pub fn record(
+    program: &dyn Program,
+    mechanism: Mechanism,
+    config: &VmConfig,
+    seed: u64,
+) -> RecordedRun {
+    let native = run_once(program, config, seed, &mut NullObserver, TraceMode::Off);
+    let mut recorder = SketchRecorder::new(mechanism, config.cost_model.clone());
+    let outcome = run_once(program, config, seed, &mut recorder, TraceMode::Off);
+    debug_assert_eq!(
+        native.schedule, outcome.schedule,
+        "recording must not perturb scheduling"
+    );
+    let log_bytes = recorder.bytes();
+    let implicit_events = recorder.implicit_events();
+    let meta = SketchMeta {
+        program: program.name(),
+        seed,
+        processors: config.processors,
+        total_ops: outcome.stats.total_ops,
+        failure_signature: outcome
+            .status
+            .failure()
+            .map(|f| f.signature())
+            .unwrap_or_default(),
+    };
+    let sketch = recorder.finish(meta);
+    RecordedRun {
+        sketch,
+        outcome,
+        native,
+        log_bytes,
+        implicit_events,
+    }
+}
+
+/// Searches production seeds until the bug manifests while recording;
+/// returns the failing recorded run. This models the paper's setting: the
+/// production run that exhibited the failure is the one whose sketch is
+/// replayed.
+pub fn record_until_failure(
+    program: &dyn Program,
+    mechanism: Mechanism,
+    config: &VmConfig,
+    seeds: impl IntoIterator<Item = u64>,
+) -> Option<RecordedRun> {
+    for seed in seeds {
+        let run = record(program, mechanism, config, seed);
+        if run.failed() {
+            return Some(run);
+        }
+    }
+    None
+}
+
+fn run_once(
+    program: &dyn Program,
+    config: &VmConfig,
+    seed: u64,
+    observer: &mut dyn Observer,
+    trace_mode: TraceMode,
+) -> RunOutcome {
+    let mut cfg = config.clone();
+    cfg.trace_mode = trace_mode;
+    cfg.world = program.world();
+    let body = program.root();
+    vm::run(
+        cfg,
+        program.resources(),
+        &mut RandomScheduler::new(seed),
+        observer,
+        move |ctx| body(ctx),
+    )
+}
+
+/// Runs the program once with full tracing and no recording — used by
+/// tests and the replayer's ground-truth comparisons.
+pub fn run_traced(program: &dyn Program, config: &VmConfig, seed: u64) -> RunOutcome {
+    run_once(
+        program,
+        config,
+        seed,
+        &mut NullObserver,
+        TraceMode::Full,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ClosureProgram;
+    use pres_tvm::prelude::*;
+
+    fn compute_heavy_program() -> impl Program {
+        let mut spec = ResourceSpec::new();
+        let x = spec.var("x", 0);
+        let m = spec.lock("m");
+        ClosureProgram::new("compute-heavy", spec, WorldConfig::default(), move || {
+            Box::new(move |ctx: &mut Ctx| {
+                let kids: Vec<ThreadId> = (0..3)
+                    .map(|i| {
+                        ctx.spawn(&format!("w{i}"), move |ctx| {
+                            for b in 0..40u32 {
+                                ctx.bb(b);
+                                // Lots of unshared work, a few shared accesses,
+                                // rare sync: the scientific-app profile.
+                                ctx.compute(200);
+                                let v = ctx.read(x);
+                                ctx.write(x, v + 1);
+                                if b % 20 == 0 {
+                                    ctx.with_lock(m, |ctx| {
+                                        let v = ctx.read(x);
+                                        ctx.write(x, v);
+                                    });
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for k in kids {
+                    ctx.join(k);
+                }
+            })
+        })
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_schedule() {
+        let prog = compute_heavy_program();
+        let run = record(&prog, Mechanism::Rw, &VmConfig::default(), 3);
+        assert_eq!(run.native.schedule, run.outcome.schedule);
+        assert_eq!(run.native.stats, run.outcome.stats);
+    }
+
+    #[test]
+    fn overhead_ordering_matches_the_paper() {
+        let prog = compute_heavy_program();
+        let config = VmConfig {
+            processors: 8,
+            ..VmConfig::default()
+        };
+        let overhead = |m: Mechanism| record(&prog, m, &config, 7).overhead_pct();
+        let rw = overhead(Mechanism::Rw);
+        let bb = overhead(Mechanism::Bb);
+        let sync = overhead(Mechanism::Sync);
+        let sys = overhead(Mechanism::Sys);
+        assert!(rw > bb, "RW {rw} must exceed BB {bb}");
+        assert!(bb >= sync, "BB {bb} must be at least SYNC {sync}");
+        assert!(rw > 10.0 * sync.max(0.01), "RW {rw} vs SYNC {sync}: order-of-magnitude gap");
+        assert!(sys <= bb);
+    }
+
+    #[test]
+    fn sync_log_is_much_smaller_than_rw_log() {
+        let prog = compute_heavy_program();
+        let config = VmConfig::default();
+        let rw = record(&prog, Mechanism::Rw, &config, 7);
+        let sync = record(&prog, Mechanism::Sync, &config, 7);
+        assert!(rw.log_bytes > 5 * sync.log_bytes);
+        assert_eq!(rw.sketch.meta.program, "compute-heavy");
+    }
+
+    #[test]
+    fn recorder_matches_offline_filtering() {
+        let prog = compute_heavy_program();
+        let config = VmConfig::default();
+        let traced = run_traced(&prog, &config, 11);
+        for m in Mechanism::all() {
+            let online = record(&prog, m, &config, 11).sketch;
+            let offline = Sketch::from_events(m, traced.trace.events());
+            assert_eq!(online.entries, offline.entries, "mechanism {m}");
+        }
+    }
+
+    #[test]
+    fn record_until_failure_finds_a_failing_seed() {
+        let mut spec = ResourceSpec::new();
+        let x = spec.var("x", 0);
+        let prog = ClosureProgram::new("racy", spec, WorldConfig::default(), move || {
+            Box::new(move |ctx: &mut Ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    let v = ctx.read(x);
+                    ctx.compute(20);
+                    ctx.write(x, v + 1);
+                });
+                let v = ctx.read(x);
+                ctx.compute(20);
+                ctx.write(x, v + 1);
+                ctx.join(t);
+                let total = ctx.read(x);
+                ctx.check(total == 2, "lost update");
+            })
+        });
+        let config = VmConfig {
+            processors: 4,
+            ..VmConfig::default()
+        };
+        let found = record_until_failure(&prog, Mechanism::Sync, &config, 0..200);
+        let run = found.expect("some seed must lose an update");
+        assert!(run.failed());
+        assert_eq!(run.sketch.meta.failure_signature, "assert:lost update");
+    }
+
+    #[test]
+    fn bug_free_run_has_empty_signature() {
+        let prog = compute_heavy_program();
+        let run = record(&prog, Mechanism::Sync, &VmConfig::default(), 1);
+        assert!(!run.failed());
+        assert!(run.sketch.meta.failure_signature.is_empty());
+    }
+}

@@ -1,0 +1,623 @@
+//! Execution sketches: the five recording mechanisms and their filters.
+//!
+//! A *sketch* is the partial execution information PRES records during the
+//! production run. The paper implements five sketching mechanisms spanning
+//! the information/overhead spectrum, plus the prior-work RW baseline:
+//!
+//! | Mechanism | Records (in one global order)                        |
+//! |-----------|------------------------------------------------------|
+//! | `RW`      | every shared-memory access + everything below (prior work baseline: first-attempt deterministic replay) |
+//! | `BB`      | every basic-block marker + everything below          |
+//! | `BB-N`    | every N-th basic-block marker per thread + everything below |
+//! | `FUNC`    | every function entry + everything below              |
+//! | `SYNC`    | synchronization operations + `SYS`'s event classes   |
+//! | `SYS`     | system calls (with results) + thread spawn/join      |
+//!
+//! The spectrum is *cumulative*: synchronization operations are function
+//! calls and live inside basic blocks, so any mechanism that records
+//! function entries or basic blocks necessarily captures synchronization
+//! order too. All mechanisms record syscall results — without input
+//! determinism no replay is possible at all — and thread creation order.
+//! What varies is how much of the *interleaving* is pinned down, which is
+//! exactly the space the partial-information replayer must search.
+
+use pres_tvm::ids::ThreadId;
+use pres_tvm::op::{MemLoc, Op, OpResult, SyscallOp};
+use pres_tvm::trace::Event;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sketching mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Prior-work baseline: global order over all shared accesses.
+    Rw,
+    /// Synchronization-operation sketching.
+    Sync,
+    /// System-call sketching.
+    Sys,
+    /// Function-entry sketching.
+    Func,
+    /// Basic-block sketching.
+    Bb,
+    /// Every `N`-th basic block per thread (sampled BB).
+    BbN(u32),
+}
+
+impl Mechanism {
+    /// All mechanisms evaluated in the paper's tables, in overhead order.
+    pub fn all() -> Vec<Mechanism> {
+        vec![
+            Mechanism::Rw,
+            Mechanism::Bb,
+            Mechanism::BbN(4),
+            Mechanism::Func,
+            Mechanism::Sys,
+            Mechanism::Sync,
+        ]
+    }
+
+    /// Short display name, matching the paper's labels.
+    pub fn name(&self) -> String {
+        match self {
+            Mechanism::Rw => "RW".to_string(),
+            Mechanism::Sync => "SYNC".to_string(),
+            Mechanism::Sys => "SYS".to_string(),
+            Mechanism::Func => "FUNC".to_string(),
+            Mechanism::Bb => "BB".to_string(),
+            Mechanism::BbN(n) => format!("BB-{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Normalized operation identity stored in sketch entries.
+///
+/// Payloads (write values, appended bytes) are dropped — PRES records
+/// *ordering*, not data — but object identities are kept so the replayer
+/// can both match and detect divergence precisely.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SketchOp {
+    /// Thread began.
+    Start,
+    /// Thread exited.
+    Exit,
+    /// A shared-memory access.
+    Mem {
+        /// The location.
+        loc: MemLoc,
+        /// Whether it writes.
+        write: bool,
+    },
+    /// A synchronization operation on an object.
+    Sync {
+        /// Mnemonic of the operation (stable per op kind).
+        kind: SyncKind,
+        /// Raw id of the object (lock/cond/barrier/sem/chan id).
+        obj: u32,
+    },
+    /// A thread spawn.
+    Spawn,
+    /// A join on a specific thread.
+    Join {
+        /// The joined thread.
+        target: u32,
+    },
+    /// A system call.
+    Sys {
+        /// Which syscall.
+        kind: SysKind,
+        /// Salient object id (fd / conn), 0 when not applicable.
+        obj: u32,
+    },
+    /// A function entry.
+    Func(u32),
+    /// A basic-block marker.
+    Bb(u32),
+}
+
+/// Synchronization-operation kinds for sketch matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SyncKind {
+    Lock,
+    Unlock,
+    RwRead,
+    RwWrite,
+    RwUnlock,
+    Wait,
+    Rewait,
+    Signal,
+    Broadcast,
+    Barrier,
+    BarrierResume,
+    SemP,
+    SemV,
+    Send,
+    Recv,
+    ChanClose,
+}
+
+/// System-call kinds for sketch matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SysKind {
+    Open,
+    Read,
+    Write,
+    Close,
+    Accept,
+    Recv,
+    Send,
+    NetClose,
+    Clock,
+    Random,
+    Stdout,
+}
+
+impl SketchOp {
+    /// Normalizes a VM operation, or `None` for ops that never appear in
+    /// any sketch (pure computation, yields, failure announcements).
+    pub fn from_op(op: &Op) -> Option<SketchOp> {
+        Some(match op {
+            Op::ThreadStart => SketchOp::Start,
+            Op::ThreadExit => SketchOp::Exit,
+            Op::Read(_) | Op::Write(..) | Op::FetchAdd(..) | Op::CompareSwap(..) | Op::Buf(..) => {
+                SketchOp::Mem {
+                    loc: op.mem_location().expect("mem op has a location"),
+                    write: op.is_mem_write(),
+                }
+            }
+            Op::LockAcquire(l) => SketchOp::Sync {
+                kind: SyncKind::Lock,
+                obj: l.0,
+            },
+            Op::LockRelease(l) => SketchOp::Sync {
+                kind: SyncKind::Unlock,
+                obj: l.0,
+            },
+            Op::RwAcquireRead(r) => SketchOp::Sync {
+                kind: SyncKind::RwRead,
+                obj: r.0,
+            },
+            Op::RwAcquireWrite(r) => SketchOp::Sync {
+                kind: SyncKind::RwWrite,
+                obj: r.0,
+            },
+            Op::RwRelease(r) => SketchOp::Sync {
+                kind: SyncKind::RwUnlock,
+                obj: r.0,
+            },
+            Op::CondWait(c, _) => SketchOp::Sync {
+                kind: SyncKind::Wait,
+                obj: c.0,
+            },
+            Op::CondReacquire(c, _) => SketchOp::Sync {
+                kind: SyncKind::Rewait,
+                obj: c.0,
+            },
+            Op::CondNotifyOne(c) => SketchOp::Sync {
+                kind: SyncKind::Signal,
+                obj: c.0,
+            },
+            Op::CondNotifyAll(c) => SketchOp::Sync {
+                kind: SyncKind::Broadcast,
+                obj: c.0,
+            },
+            Op::BarrierWait(b) => SketchOp::Sync {
+                kind: SyncKind::Barrier,
+                obj: b.0,
+            },
+            Op::BarrierResume(b) => SketchOp::Sync {
+                kind: SyncKind::BarrierResume,
+                obj: b.0,
+            },
+            Op::SemAcquire(s) => SketchOp::Sync {
+                kind: SyncKind::SemP,
+                obj: s.0,
+            },
+            Op::SemRelease(s) => SketchOp::Sync {
+                kind: SyncKind::SemV,
+                obj: s.0,
+            },
+            Op::ChanSend(c, _) => SketchOp::Sync {
+                kind: SyncKind::Send,
+                obj: c.0,
+            },
+            Op::ChanRecv(c) => SketchOp::Sync {
+                kind: SyncKind::Recv,
+                obj: c.0,
+            },
+            Op::ChanClose(c) => SketchOp::Sync {
+                kind: SyncKind::ChanClose,
+                obj: c.0,
+            },
+            Op::Spawn => SketchOp::Spawn,
+            Op::Join(t) => SketchOp::Join { target: t.0 },
+            Op::Syscall(s) => {
+                let (kind, obj) = match s {
+                    SyscallOp::FileOpen { .. } => (SysKind::Open, 0),
+                    SyscallOp::FileRead { fd, .. } => (SysKind::Read, fd.0),
+                    SyscallOp::FileWrite { fd, .. } => (SysKind::Write, fd.0),
+                    SyscallOp::FileClose { fd } => (SysKind::Close, fd.0),
+                    SyscallOp::NetAccept => (SysKind::Accept, 0),
+                    SyscallOp::NetRecv { conn, .. } => (SysKind::Recv, conn.0),
+                    SyscallOp::NetSend { conn, .. } => (SysKind::Send, conn.0),
+                    SyscallOp::NetClose { conn } => (SysKind::NetClose, conn.0),
+                    SyscallOp::ClockNow => (SysKind::Clock, 0),
+                    SyscallOp::Random { .. } => (SysKind::Random, 0),
+                    SyscallOp::StdoutWrite { .. } => (SysKind::Stdout, 0),
+                };
+                SketchOp::Sys { kind, obj }
+            }
+            Op::Func(f) => SketchOp::Func(f.0),
+            Op::BasicBlock(b) => SketchOp::Bb(b.0),
+            Op::Compute(_) | Op::Yield | Op::Fail(_) => return None,
+        })
+    }
+
+    /// Whether this normalized op is a memory access.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, SketchOp::Mem { .. })
+    }
+}
+
+/// One sketch log entry: who did what, in recorded global order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchEntry {
+    /// The recorded thread.
+    pub tid: ThreadId,
+    /// The normalized operation.
+    pub op: SketchOp,
+    /// The syscall result, recorded for input determinism and value-based
+    /// divergence detection (always [`OpResult::Unit`] for non-syscalls).
+    pub result: OpResult,
+}
+
+/// The stateful filter deciding which events a mechanism records.
+///
+/// `BB-N` sampling keeps a per-thread basic-block counter, so the filter is
+/// split into a pure query ([`MechanismFilter::would_record`]) used by the
+/// replayer when *considering* a candidate, and a state update
+/// ([`MechanismFilter::note_executed`]) applied once the op actually runs.
+#[derive(Debug, Clone)]
+pub struct MechanismFilter {
+    mechanism: Mechanism,
+    bb_counters: Vec<u64>,
+}
+
+impl MechanismFilter {
+    /// A filter for the given mechanism.
+    pub fn new(mechanism: Mechanism) -> Self {
+        MechanismFilter {
+            mechanism,
+            bb_counters: Vec::new(),
+        }
+    }
+
+    /// The mechanism.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    fn bb_count(&self, tid: ThreadId) -> u64 {
+        self.bb_counters.get(tid.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether executing `op` on `tid` *now* would produce a sketch entry.
+    pub fn would_record(&self, tid: ThreadId, op: &Op) -> bool {
+        // Event classes common to every mechanism: thread lifecycle,
+        // spawn/join, and system calls (results are required for replay).
+        let common = matches!(
+            op,
+            Op::ThreadStart | Op::ThreadExit | Op::Spawn | Op::Join(_) | Op::Syscall(_)
+        );
+        match self.mechanism {
+            Mechanism::Rw => common || op.is_mem_access() || op.is_sync(),
+            Mechanism::Sync => common || op.is_sync(),
+            Mechanism::Sys => common,
+            // Sync operations are function calls inside basic blocks, so
+            // the finer mechanisms capture them too (cumulative spectrum).
+            Mechanism::Func => common || op.is_sync() || matches!(op, Op::Func(_)),
+            Mechanism::Bb => common || op.is_sync() || matches!(op, Op::BasicBlock(_)),
+            Mechanism::BbN(n) => {
+                common
+                    || op.is_sync()
+                    || (matches!(op, Op::BasicBlock(_))
+                        && self.bb_count(tid) % u64::from(n.max(1)) == 0)
+            }
+        }
+    }
+
+    /// Notes that `op` executed on `tid` (advances sampling counters).
+    pub fn note_executed(&mut self, tid: ThreadId, op: &Op) {
+        if matches!(op, Op::BasicBlock(_)) {
+            let idx = tid.index();
+            if idx >= self.bb_counters.len() {
+                self.bb_counters.resize(idx + 1, 0);
+            }
+            self.bb_counters[idx] += 1;
+        }
+    }
+
+    /// Convenience: query-and-update in one call (recorder side).
+    pub fn record_and_note(&mut self, tid: ThreadId, op: &Op) -> bool {
+        let yes = self.would_record(tid, op);
+        self.note_executed(tid, op);
+        yes
+    }
+}
+
+/// Metadata describing the recorded production run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SketchMeta {
+    /// Program name.
+    pub program: String,
+    /// Scheduler seed of the production run.
+    pub seed: u64,
+    /// Simulated processor count.
+    pub processors: u32,
+    /// Total operations the production run executed.
+    pub total_ops: u64,
+    /// The failure signature observed (empty for bug-free runs).
+    pub failure_signature: String,
+}
+
+/// A recorded execution sketch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sketch {
+    /// The mechanism that produced it.
+    pub mechanism: Mechanism,
+    /// Entries in recorded global order.
+    pub entries: Vec<SketchEntry>,
+    /// Production-run metadata.
+    pub meta: SketchMeta,
+}
+
+impl Sketch {
+    /// An empty sketch for a mechanism.
+    pub fn new(mechanism: Mechanism) -> Self {
+        Sketch {
+            mechanism,
+            entries: Vec::new(),
+            meta: SketchMeta::default(),
+        }
+    }
+
+    /// Builds a sketch by filtering a full event stream — the offline
+    /// equivalent of online recording, used by tests to cross-validate the
+    /// recorder.
+    pub fn from_events(mechanism: Mechanism, events: &[Event]) -> Self {
+        let mut filter = MechanismFilter::new(mechanism);
+        let mut entries = Vec::new();
+        for e in events {
+            if filter.record_and_note(e.tid, &e.op) {
+                if let Some(op) = SketchOp::from_op(&e.op) {
+                    entries.push(SketchEntry {
+                        tid: e.tid,
+                        op,
+                        result: if e.op.is_syscall() {
+                            e.result.clone()
+                        } else {
+                            OpResult::Unit
+                        },
+                    });
+                }
+            }
+        }
+        Sketch {
+            mechanism,
+            entries,
+            meta: SketchMeta::default(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sketch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The per-thread subsequence of entry indices (used by the replayer's
+    /// divergence monitor).
+    pub fn thread_indices(&self, tid: ThreadId) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.tid == tid)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pres_tvm::ids::{BbId, FuncId, LockId, VarId};
+
+    fn ev(gseq: u64, tid: u32, op: Op) -> Event {
+        Event {
+            gseq,
+            tid: ThreadId(tid),
+            tseq: 0,
+            op,
+            result: OpResult::Unit,
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            ev(0, 0, Op::ThreadStart),
+            ev(1, 0, Op::Read(VarId(0))),
+            ev(2, 0, Op::LockAcquire(LockId(1))),
+            ev(3, 0, Op::Func(FuncId(2))),
+            ev(4, 0, Op::BasicBlock(BbId(3))),
+            ev(5, 0, Op::BasicBlock(BbId(4))),
+            ev(6, 0, Op::Syscall(SyscallOp::ClockNow)),
+            ev(7, 0, Op::Compute(100)),
+            ev(8, 0, Op::LockRelease(LockId(1))),
+            ev(9, 0, Op::ThreadExit),
+        ]
+    }
+
+    #[test]
+    fn mechanism_names() {
+        assert_eq!(Mechanism::Rw.name(), "RW");
+        assert_eq!(Mechanism::Sync.name(), "SYNC");
+        assert_eq!(Mechanism::BbN(8).name(), "BB-8");
+        assert_eq!(Mechanism::BbN(8).to_string(), "BB-8");
+    }
+
+    #[test]
+    fn sync_sketch_keeps_sync_and_common_only() {
+        let s = Sketch::from_events(Mechanism::Sync, &sample_events());
+        let kinds: Vec<&SketchOp> = s.entries.iter().map(|e| &e.op).collect();
+        assert!(kinds.iter().any(|k| matches!(k, SketchOp::Sync { kind: SyncKind::Lock, obj: 1 })));
+        assert!(kinds.iter().all(|k| !k.is_mem()));
+        assert!(kinds.iter().all(|k| !matches!(k, SketchOp::Bb(_) | SketchOp::Func(_))));
+        // Syscall and lifecycle are kept.
+        assert!(kinds.iter().any(|k| matches!(k, SketchOp::Sys { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, SketchOp::Start)));
+    }
+
+    #[test]
+    fn rw_sketch_is_a_superset_of_sync_sketch() {
+        let rw = Sketch::from_events(Mechanism::Rw, &sample_events());
+        let sync = Sketch::from_events(Mechanism::Sync, &sample_events());
+        // Every SYNC entry appears in RW, in order.
+        let mut it = rw.entries.iter();
+        for se in &sync.entries {
+            assert!(
+                it.any(|re| re == se),
+                "SYNC entry {se:?} missing from RW sketch"
+            );
+        }
+        assert!(rw.len() > sync.len());
+    }
+
+    #[test]
+    fn sys_sketch_keeps_only_syscalls_and_lifecycle() {
+        let s = Sketch::from_events(Mechanism::Sys, &sample_events());
+        assert_eq!(s.len(), 3); // start, clock, exit
+    }
+
+    #[test]
+    fn func_and_bb_sketches() {
+        let f = Sketch::from_events(Mechanism::Func, &sample_events());
+        assert!(f.entries.iter().any(|e| matches!(e.op, SketchOp::Func(2))));
+        assert!(f.entries.iter().all(|e| !matches!(e.op, SketchOp::Bb(_))));
+        let b = Sketch::from_events(Mechanism::Bb, &sample_events());
+        assert_eq!(
+            b.entries.iter().filter(|e| matches!(e.op, SketchOp::Bb(_))).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn bbn_samples_every_nth_block_per_thread() {
+        let mut events = vec![ev(0, 0, Op::ThreadStart)];
+        for i in 0..10 {
+            events.push(ev(1 + i, 0, Op::BasicBlock(BbId(i as u32))));
+        }
+        let s = Sketch::from_events(Mechanism::BbN(4), &events);
+        let bbs: Vec<u32> = s
+            .entries
+            .iter()
+            .filter_map(|e| match e.op {
+                SketchOp::Bb(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bbs, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn bbn_counters_are_per_thread() {
+        let events = vec![
+            ev(0, 0, Op::BasicBlock(BbId(0))),
+            ev(1, 1, Op::BasicBlock(BbId(10))),
+            ev(2, 0, Op::BasicBlock(BbId(1))),
+            ev(3, 1, Op::BasicBlock(BbId(11))),
+        ];
+        let s = Sketch::from_events(Mechanism::BbN(2), &events);
+        let bbs: Vec<u32> = s
+            .entries
+            .iter()
+            .filter_map(|e| match e.op {
+                SketchOp::Bb(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        // Each thread's first block is its 0th — both sampled.
+        assert_eq!(bbs, vec![0, 10]);
+    }
+
+    #[test]
+    fn filter_split_query_and_update_agree_with_combined() {
+        let ops = vec![
+            Op::BasicBlock(BbId(0)),
+            Op::BasicBlock(BbId(1)),
+            Op::BasicBlock(BbId(2)),
+            Op::BasicBlock(BbId(3)),
+        ];
+        let mut combined = MechanismFilter::new(Mechanism::BbN(2));
+        let mut split = MechanismFilter::new(Mechanism::BbN(2));
+        for op in &ops {
+            let a = combined.record_and_note(ThreadId(0), op);
+            let b = split.would_record(ThreadId(0), op);
+            split.note_executed(ThreadId(0), op);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn syscall_results_are_kept_only_for_syscalls() {
+        let events = vec![
+            Event {
+                gseq: 0,
+                tid: ThreadId(0),
+                tseq: 0,
+                op: Op::Read(VarId(0)),
+                result: OpResult::Value(9),
+            },
+            Event {
+                gseq: 1,
+                tid: ThreadId(0),
+                tseq: 1,
+                op: Op::Syscall(SyscallOp::ClockNow),
+                result: OpResult::Value(42),
+            },
+        ];
+        let s = Sketch::from_events(Mechanism::Rw, &events);
+        assert_eq!(s.entries[0].result, OpResult::Unit);
+        assert_eq!(s.entries[1].result, OpResult::Value(42));
+    }
+
+    #[test]
+    fn thread_indices_partition_the_sketch() {
+        let events = vec![
+            ev(0, 0, Op::LockAcquire(LockId(0))),
+            ev(1, 1, Op::LockAcquire(LockId(1))),
+            ev(2, 0, Op::LockRelease(LockId(0))),
+        ];
+        let s = Sketch::from_events(Mechanism::Sync, &events);
+        assert_eq!(s.thread_indices(ThreadId(0)), vec![0, 2]);
+        assert_eq!(s.thread_indices(ThreadId(1)), vec![1]);
+    }
+
+    #[test]
+    fn fail_and_compute_never_sketch() {
+        assert!(SketchOp::from_op(&Op::Fail("x".into())).is_none());
+        assert!(SketchOp::from_op(&Op::Compute(5)).is_none());
+        assert!(SketchOp::from_op(&Op::Yield).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # pres-race — race analysis over `pres-tvm` traces
+//!
+//! Supporting analyses for the PRES reproduction:
+//!
+//! * [`vclock`] — vector clocks and access epochs;
+//! * [`hb`] — a FastTrack-style happens-before detector that reports the
+//!   concurrent conflicting access pairs a failed replay attempt exposed
+//!   (the raw material of PRES's feedback generation);
+//! * [`lockset`] — an Eraser-style lockset checker used to rank feedback
+//!   candidates (locations violating the locking discipline are likelier
+//!   root causes).
+//!
+//! ```
+//! use pres_race::hb::detect_races;
+//! use pres_tvm::prelude::*;
+//!
+//! let mut spec = ResourceSpec::new();
+//! let x = spec.var("x", 0);
+//! let out = pres_tvm::vm::run(
+//!     VmConfig { trace_mode: TraceMode::Full, ..VmConfig::default() },
+//!     spec,
+//!     &mut RandomScheduler::new(7),
+//!     &mut NullObserver,
+//!     move |ctx| {
+//!         let t = ctx.spawn("w", move |ctx| ctx.write(x, 1));
+//!         ctx.write(x, 2);
+//!         ctx.join(t);
+//!     },
+//! );
+//! let races = detect_races(&out.trace);
+//! assert!(!races.is_empty());
+//! ```
+
+pub mod hb;
+pub mod lockset;
+pub mod vclock;
+
+pub use hb::{dedup_static, detect_races, detect_races_in, Access, HbDetector, RacePair};
+pub use lockset::{check_lockset, LocksetDetector, LocksetViolation};
+pub use vclock::{Epoch, VectorClock};

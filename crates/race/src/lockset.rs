@@ -1,0 +1,264 @@
+//! Eraser-style lockset race detection.
+//!
+//! A complementary, cheaper detector: for every shared location, intersect
+//! the set of locks held across all accesses; an empty intersection with
+//! accesses from more than one thread flags a candidate race. Lockset
+//! analysis over-reports (it ignores fork/join and condvar ordering), so
+//! PRES uses it only to *rank* feedback candidates — a racing pair whose
+//! location also fails the lockset discipline is more likely to be the root
+//! cause than one ordered by happenstance.
+
+use pres_tvm::ids::{LockId, ThreadId};
+use pres_tvm::op::MemLoc;
+use pres_tvm::trace::{Event, Trace};
+use pres_tvm::op::Op;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A location that violates the lockset discipline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocksetViolation {
+    /// The shared location.
+    pub loc: MemLoc,
+    /// The first access that emptied the candidate set.
+    pub first_bad_gseq: u64,
+    /// Distinct threads that accessed the location.
+    pub threads: Vec<ThreadId>,
+    /// Whether any access was a write (read-only sharing is benign).
+    pub written: bool,
+}
+
+#[derive(Debug)]
+enum LocTrack {
+    /// Still within the discipline; candidate lockset so far.
+    Candidate {
+        set: BTreeSet<LockId>,
+        threads: BTreeSet<ThreadId>,
+        written: bool,
+    },
+    /// Discipline already violated.
+    Violated,
+}
+
+/// Streaming lockset detector.
+#[derive(Debug, Default)]
+pub struct LocksetDetector {
+    held: BTreeMap<ThreadId, BTreeSet<LockId>>,
+    locs: BTreeMap<MemLoc, LocTrack>,
+    violations: Vec<LocksetViolation>,
+}
+
+impl LocksetDetector {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one event.
+    pub fn observe(&mut self, event: &Event) {
+        match &event.op {
+            Op::LockAcquire(l) | Op::CondReacquire(_, l) => {
+                self.held.entry(event.tid).or_default().insert(*l);
+            }
+            Op::LockRelease(l) | Op::CondWait(_, l) => {
+                self.held.entry(event.tid).or_default().remove(l);
+            }
+            _ => {}
+        }
+        // Explicitly atomic operations are exempt from the locking
+        // discipline (the standard Eraser refinement).
+        if matches!(event.op, Op::FetchAdd(..) | Op::CompareSwap(..)) {
+            return;
+        }
+        let Some(loc) = event.op.mem_location() else {
+            return;
+        };
+        let is_write = event.op.is_mem_write();
+        let held = self
+            .held
+            .get(&event.tid)
+            .cloned()
+            .unwrap_or_default();
+        let track = self.locs.entry(loc).or_insert_with(|| LocTrack::Candidate {
+            set: held.clone(),
+            threads: BTreeSet::new(),
+            written: false,
+        });
+        if let LocTrack::Candidate {
+            set,
+            threads,
+            written,
+        } = track
+        {
+            threads.insert(event.tid);
+            *written |= is_write;
+            set.retain(|l| held.contains(l));
+            if set.is_empty() && threads.len() > 1 && *written {
+                self.violations.push(LocksetViolation {
+                    loc,
+                    first_bad_gseq: event.gseq,
+                    threads: threads.iter().copied().collect(),
+                    written: *written,
+                });
+                *track = LocTrack::Violated;
+            }
+        }
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[LocksetViolation] {
+        &self.violations
+    }
+
+    /// Consumes the detector.
+    pub fn into_violations(self) -> Vec<LocksetViolation> {
+        self.violations
+    }
+
+    /// The set of violating locations (for quick membership checks when
+    /// ranking feedback candidates).
+    pub fn violating_locs(&self) -> BTreeSet<MemLoc> {
+        self.violations.iter().map(|v| v.loc).collect()
+    }
+}
+
+/// Runs the detector over a whole trace.
+pub fn check_lockset(trace: &Trace) -> Vec<LocksetViolation> {
+    let mut det = LocksetDetector::new();
+    for e in trace.events() {
+        det.observe(e);
+    }
+    det.into_violations()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pres_tvm::prelude::*;
+
+    fn traced(
+        seed: u64,
+        build: impl Fn(&mut ResourceSpec) -> Box<dyn FnOnce(&mut Ctx) + Send>,
+    ) -> Trace {
+        let mut spec = ResourceSpec::new();
+        let body = build(&mut spec);
+        let out = pres_tvm::vm::run(
+            VmConfig {
+                trace_mode: TraceMode::Full,
+                ..VmConfig::default()
+            },
+            spec,
+            &mut RandomScheduler::new(seed),
+            &mut NullObserver,
+            move |ctx| body(ctx),
+        );
+        out.trace
+    }
+
+    #[test]
+    fn consistent_locking_passes() {
+        let trace = traced(1, |spec| {
+            let x = spec.var("x", 0);
+            let m = spec.lock("m");
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    ctx.with_lock(m, |ctx| {
+                        let v = ctx.read(x);
+                        ctx.write(x, v + 1);
+                    });
+                });
+                ctx.with_lock(m, |ctx| {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                });
+                ctx.join(t);
+            })
+        });
+        assert!(check_lockset(&trace).is_empty());
+    }
+
+    #[test]
+    fn unlocked_shared_write_is_flagged() {
+        let trace = traced(2, |spec| {
+            let x = spec.var("x", 0);
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    ctx.write(x, 1);
+                });
+                ctx.write(x, 2);
+                ctx.join(t);
+            })
+        });
+        let v = check_lockset(&trace);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].loc, MemLoc::Var(VarId(0)));
+        assert!(v[0].written);
+        assert!(v[0].threads.len() >= 2);
+    }
+
+    #[test]
+    fn read_only_sharing_is_benign() {
+        let trace = traced(3, |spec| {
+            let x = spec.var("x", 7);
+            Box::new(move |ctx| {
+                let t = ctx.spawn("r", move |ctx| {
+                    ctx.read(x);
+                });
+                ctx.read(x);
+                ctx.join(t);
+            })
+        });
+        assert!(check_lockset(&trace).is_empty());
+    }
+
+    #[test]
+    fn thread_local_data_is_benign() {
+        let trace = traced(4, |spec| {
+            let x = spec.var("x", 0);
+            Box::new(move |ctx| {
+                // Only the root thread touches x, with no lock: fine.
+                for i in 0..10 {
+                    ctx.write(x, i);
+                }
+            })
+        });
+        assert!(check_lockset(&trace).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_lock_choice_is_flagged() {
+        // Two threads each hold *a* lock, but different ones.
+        let trace = traced(5, |spec| {
+            let x = spec.var("x", 0);
+            let m1 = spec.lock("m1");
+            let m2 = spec.lock("m2");
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    ctx.with_lock(m1, |ctx| ctx.write(x, 1));
+                });
+                ctx.with_lock(m2, |ctx| ctx.write(x, 2));
+                ctx.join(t);
+            })
+        });
+        assert_eq!(check_lockset(&trace).len(), 1);
+    }
+
+    #[test]
+    fn violation_reported_once_per_location() {
+        let trace = traced(6, |spec| {
+            let x = spec.var("x", 0);
+            Box::new(move |ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    for _ in 0..20 {
+                        ctx.write(x, 1);
+                    }
+                });
+                for _ in 0..20 {
+                    ctx.write(x, 2);
+                }
+                ctx.join(t);
+            })
+        });
+        assert_eq!(check_lockset(&trace).len(), 1);
+    }
+}

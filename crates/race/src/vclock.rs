@@ -1,0 +1,185 @@
+//! Vector clocks over virtual threads.
+//!
+//! The standard partial-order machinery: one logical clock per thread,
+//! element-wise joins, and a happens-before comparison. Thread ids are the
+//! dense ids allocated by `pres-tvm`, so a plain vector suffices.
+
+use pres_tvm::ids::ThreadId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A vector clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for `tid`.
+    pub fn get(&self, tid: ThreadId) -> u32 {
+        self.entries.get(tid.index()).copied().unwrap_or(0)
+    }
+
+    fn grow_to(&mut self, idx: usize) {
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, 0);
+        }
+    }
+
+    /// Sets the component for `tid`.
+    pub fn set(&mut self, tid: ThreadId, value: u32) {
+        self.grow_to(tid.index());
+        self.entries[tid.index()] = value;
+    }
+
+    /// Increments `tid`'s component and returns the new value.
+    pub fn tick(&mut self, tid: ThreadId) -> u32 {
+        self.grow_to(tid.index());
+        self.entries[tid.index()] += 1;
+        self.entries[tid.index()]
+    }
+
+    /// Element-wise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        self.grow_to(other.entries.len().saturating_sub(1));
+        for (i, v) in other.entries.iter().enumerate() {
+            if *v > self.entries[i] {
+                self.entries[i] = *v;
+            }
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (component-wise ≤).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, v)| *v <= other.entries.get(i).copied().unwrap_or(0))
+    }
+
+    /// Partial-order comparison: `None` means concurrent.
+    pub fn partial_cmp_hb(&self, other: &VectorClock) -> Option<Ordering> {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Whether the two clocks are concurrent (no HB order either way).
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_hb(other).is_none()
+    }
+}
+
+/// An epoch: one thread's scalar clock at an access, plus where it happened.
+///
+/// The FastTrack insight: a single (thread, clock) pair represents "the last
+/// access" precisely when accesses are totally ordered, which covers the
+/// common case; we additionally carry the global sequence number so race
+/// reports can point at exact trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Epoch {
+    /// The accessing thread.
+    pub tid: ThreadId,
+    /// That thread's clock component at the access.
+    pub clock: u32,
+    /// Global sequence number of the access event.
+    pub gseq: u64,
+}
+
+impl Epoch {
+    /// Whether this epoch happened-before the observer clock `vc`.
+    pub fn happens_before(&self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.get(t(3)), 0);
+        assert_eq!(vc.tick(t(3)), 1);
+        assert_eq!(vc.tick(t(3)), 2);
+        assert_eq!(vc.get(t(3)), 2);
+        assert_eq!(vc.get(t(0)), 0);
+    }
+
+    #[test]
+    fn join_is_elementwise_max() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 5);
+        a.set(t(1), 1);
+        let mut b = VectorClock::new();
+        b.set(t(1), 7);
+        b.set(t(2), 2);
+        a.join(&b);
+        assert_eq!(a.get(t(0)), 5);
+        assert_eq!(a.get(t(1)), 7);
+        assert_eq!(a.get(t(2)), 2);
+    }
+
+    #[test]
+    fn hb_comparison() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 1);
+        let mut b = a.clone();
+        b.set(t(0), 2);
+        assert_eq!(a.partial_cmp_hb(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_hb(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_hb(&a.clone()), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn concurrent_clocks() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 1);
+        let mut b = VectorClock::new();
+        b.set(t(1), 1);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+        a.join(&b);
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn le_handles_different_lengths() {
+        let mut short = VectorClock::new();
+        short.set(t(0), 1);
+        let mut long = VectorClock::new();
+        long.set(t(0), 1);
+        long.set(t(5), 3);
+        assert!(short.le(&long));
+        assert!(!long.le(&short));
+    }
+
+    #[test]
+    fn epoch_happens_before_observer() {
+        let e = Epoch {
+            tid: t(1),
+            clock: 3,
+            gseq: 10,
+        };
+        let mut vc = VectorClock::new();
+        vc.set(t(1), 2);
+        assert!(!e.happens_before(&vc));
+        vc.set(t(1), 3);
+        assert!(e.happens_before(&vc));
+    }
+}

@@ -1,0 +1,243 @@
+//! Happens-before edge coverage on tricky synchronization shapes: the
+//! detector must stay silent where an edge exists (semaphores, channel
+//! close, barrier generations, rwlocks, atomics) and speak where none
+//! does — checked over many schedules, not one.
+
+use pres_race::hb::detect_races;
+use pres_race::lockset::check_lockset;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+fn sweep(
+    seeds: u64,
+    build: impl Fn(&mut ResourceSpec) -> Box<dyn FnOnce(&mut Ctx) + Send>,
+) -> (u64, u64) {
+    let mut racy = 0;
+    let mut clean = 0;
+    for seed in 0..seeds {
+        let mut spec = ResourceSpec::new();
+        let body = build(&mut spec);
+        let out = pres_tvm::vm::run(
+            VmConfig {
+                trace_mode: TraceMode::Full,
+                ..VmConfig::default()
+            },
+            spec,
+            &mut RandomScheduler::new(seed),
+            &mut NullObserver,
+            move |ctx| body(ctx),
+        );
+        assert_eq!(out.status, RunStatus::Completed, "seed {seed}: {}", out.status);
+        if detect_races(&out.trace).is_empty() {
+            clean += 1;
+        } else {
+            racy += 1;
+        }
+    }
+    (clean, racy)
+}
+
+#[test]
+fn semaphore_handoff_orders_the_protected_write() {
+    // A binary semaphore used as a mutex: P/V brackets create HB edges.
+    let (clean, racy) = sweep(15, |spec| {
+        let s = spec.sem("mutex", 1);
+        let x = spec.var("x", 0);
+        Box::new(move |ctx| {
+            let t = ctx.spawn("w", move |ctx| {
+                ctx.sem_acquire(s);
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+                ctx.sem_release(s);
+            });
+            ctx.sem_acquire(s);
+            let v = ctx.read(x);
+            ctx.write(x, v + 1);
+            ctx.sem_release(s);
+            ctx.join(t);
+        })
+    });
+    assert_eq!(racy, 0, "{clean} clean, {racy} racy");
+}
+
+#[test]
+fn channel_close_orders_post_drain_accesses() {
+    let (clean, racy) = sweep(15, |spec| {
+        let ch = spec.chan("q");
+        let x = spec.var("x", 0);
+        Box::new(move |ctx| {
+            let t = ctx.spawn("consumer", move |ctx| {
+                while ctx.recv(ch).is_some() {}
+                // Runs only after close: ordered after the producer's write.
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            });
+            ctx.write(x, 41);
+            ctx.send(ch, 1);
+            ctx.chan_close(ch);
+            ctx.join(t);
+        })
+    });
+    assert_eq!(racy, 0, "{clean} clean, {racy} racy");
+}
+
+#[test]
+fn barrier_generations_order_both_directions() {
+    let (clean, racy) = sweep(15, |spec| {
+        let bar = spec.barrier("b", 2);
+        let a = spec.var("a", 0);
+        let b = spec.var("b", 0);
+        Box::new(move |ctx| {
+            let t = ctx.spawn("peer", move |ctx| {
+                ctx.write(b, 1);
+                ctx.barrier_wait(bar);
+                let _ = ctx.read(a);
+                ctx.barrier_wait(bar);
+                ctx.write(b, 2);
+            });
+            ctx.write(a, 1);
+            ctx.barrier_wait(bar);
+            let _ = ctx.read(b);
+            ctx.barrier_wait(bar);
+            ctx.write(a, 2);
+            ctx.join(t);
+        })
+    });
+    assert_eq!(racy, 0, "{clean} clean, {racy} racy");
+}
+
+#[test]
+fn rwlock_orders_writers_against_readers() {
+    let (clean, racy) = sweep(15, |spec| {
+        let rw = spec.rwlock("t");
+        let x = spec.var("x", 0);
+        Box::new(move |ctx| {
+            let readers: Vec<ThreadId> = (0..2)
+                .map(|i| {
+                    ctx.spawn(&format!("r{i}"), move |ctx| {
+                        for _ in 0..3 {
+                            ctx.rw_read(rw);
+                            let _ = ctx.read(x);
+                            ctx.rw_unlock(rw);
+                            ctx.compute(5);
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..3 {
+                ctx.rw_write(rw);
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+                ctx.rw_unlock(rw);
+                ctx.compute(5);
+            }
+            for r in readers {
+                ctx.join(r);
+            }
+        })
+    });
+    assert_eq!(racy, 0, "{clean} clean, {racy} racy");
+}
+
+#[test]
+fn atomics_do_not_race_each_other_but_plain_reads_do() {
+    // Two threads fetch_add a counter (no race); a third reads it plainly
+    // (race with the atomic writers).
+    let mut saw_plain_race = false;
+    for seed in 0..30 {
+        let mut spec = ResourceSpec::new();
+        let c = spec.var("c", 0);
+        let out = pres_tvm::vm::run(
+            VmConfig {
+                trace_mode: TraceMode::Full,
+                ..VmConfig::default()
+            },
+            spec,
+            &mut RandomScheduler::new(seed),
+            &mut NullObserver,
+            move |ctx| {
+                let a = ctx.spawn("a", move |ctx| {
+                    for _ in 0..5 {
+                        ctx.fetch_add(c, 1);
+                    }
+                });
+                let b = ctx.spawn("b", move |ctx| {
+                    for _ in 0..5 {
+                        ctx.fetch_add(c, 1);
+                    }
+                });
+                let r = ctx.spawn("reader", move |ctx| {
+                    for _ in 0..5 {
+                        let _ = ctx.read(c); // unsynchronized plain read
+                        ctx.compute(4);
+                    }
+                });
+                ctx.join(a);
+                ctx.join(b);
+                ctx.join(r);
+            },
+        );
+        let races = detect_races(&out.trace);
+        // Atomic-atomic pairs must never be reported.
+        for race in &races {
+            let first = out.trace.get(race.first.gseq).unwrap();
+            let second = out.trace.get(race.second.gseq).unwrap();
+            let both_atomic = matches!(first.op, pres_tvm::op::Op::FetchAdd(..))
+                && matches!(second.op, pres_tvm::op::Op::FetchAdd(..));
+            assert!(!both_atomic, "atomic-atomic pair reported: {race:?}");
+        }
+        if !races.is_empty() {
+            saw_plain_race = true;
+        }
+    }
+    assert!(saw_plain_race, "plain read racing atomics never detected");
+}
+
+#[test]
+fn lockset_and_hb_agree_on_the_clean_cases() {
+    let (clean, racy) = sweep(10, |spec| {
+        let m = spec.lock("m");
+        let x = spec.var("x", 0);
+        Box::new(move |ctx| {
+            let t = ctx.spawn("w", move |ctx| {
+                ctx.with_lock(m, |ctx| {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                });
+            });
+            ctx.with_lock(m, |ctx| {
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            });
+            ctx.join(t);
+        })
+    });
+    assert_eq!(racy, 0, "{clean} clean");
+    // Lockset agrees on a sample schedule.
+    let mut spec = ResourceSpec::new();
+    let m = spec.lock("m");
+    let x = spec.var("x", 0);
+    let out = pres_tvm::vm::run(
+        VmConfig {
+            trace_mode: TraceMode::Full,
+            ..VmConfig::default()
+        },
+        spec,
+        &mut RandomScheduler::new(3),
+        &mut NullObserver,
+        move |ctx| {
+            let t = ctx.spawn("w", move |ctx| {
+                ctx.with_lock(m, |ctx| {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                });
+            });
+            ctx.with_lock(m, |ctx| {
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            });
+            ctx.join(t);
+        },
+    );
+    assert!(check_lockset(&out.trace).is_empty());
+}

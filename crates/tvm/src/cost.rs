@@ -1,0 +1,227 @@
+//! The virtual-instruction cost model.
+//!
+//! The original PRES prototype measured wall-clock recording overhead of
+//! Pin-instrumented binaries on an 8-core machine. This reproduction
+//! substitutes a *virtual-time* model (see DESIGN.md §2): every operation a
+//! thread performs carries a cost in abstract instruction units, and the
+//! recorder charges additional units for each event it logs. Overhead ratios
+//! — the quantity the paper reports — are then determined by event
+//! *frequencies* and per-event recording costs, which is exactly what drives
+//! the real numbers.
+
+use crate::op::{Op, SyscallOp};
+use serde::{Deserialize, Serialize};
+
+/// Per-operation base costs, in virtual instruction units.
+///
+/// The defaults are loosely calibrated to instruction counts on commodity
+/// hardware circa the paper (a cache-hitting load/store ≈ a few instructions,
+/// an uncontended lock ≈ tens, a syscall ≈ hundreds) but only the *relative*
+/// magnitudes matter for the reproduced shapes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of a shared scalar read or write.
+    pub mem_access: u64,
+    /// Cost of a shared buffer operation, plus this per byte moved.
+    pub buf_base: u64,
+    /// Additional buffer cost per byte.
+    pub buf_per_byte: u64,
+    /// Cost of a synchronization operation (lock, unlock, signal, ...).
+    pub sync_op: u64,
+    /// Cost of a simulated system call.
+    pub syscall: u64,
+    /// Additional syscall cost per byte moved.
+    pub syscall_per_byte: u64,
+    /// Cost of a function-entry marker.
+    pub func_marker: u64,
+    /// Cost of a basic-block marker.
+    pub bb_marker: u64,
+    /// Cost of spawning a thread.
+    pub spawn: u64,
+    /// Cost charged to the *recording* thread for appending one event to an
+    /// in-memory log (buffer write + bookkeeping).
+    pub record_event: u64,
+    /// Additional recording cost per payload byte (syscall results etc.).
+    pub record_per_byte: u64,
+    /// The portion of `record_event` that must execute inside the global
+    /// total-order section (atomic global sequence increment + slot claim).
+    /// Only mechanisms that need a global order over *high-frequency* events
+    /// pay this serially; it is what makes RW recording scale badly with
+    /// processor count (paper: "PRES scaled well with the number of
+    /// processors" — and the RW baseline did not).
+    pub record_serial: u64,
+    /// One memory access per this many instruction units inside a
+    /// [`crate::op::Op::Compute`] block. `Compute` models thread-local
+    /// computation, but a conservative binary instrumentor (the paper's
+    /// Pin-based RW recorder) cannot prove thread-locality and must log
+    /// every load/store in it — the dominant component of RW overhead.
+    pub units_per_implicit_access: u64,
+    /// One basic-block boundary per this many instruction units inside a
+    /// `Compute` block (BB sketching logs these).
+    pub units_per_implicit_bb: u64,
+    /// One function entry per this many instruction units inside a
+    /// `Compute` block (FUNC sketching logs these).
+    pub units_per_implicit_func: u64,
+    /// Cost per *implicit* logged event — cheaper than `record_event`
+    /// because the instrumentation loop is tight and amortized.
+    pub implicit_record: u64,
+    /// Serialized (global-order) portion of an implicit event's cost.
+    pub implicit_serial: u64,
+    /// Log bytes per implicit event (delta-encoded ids).
+    pub implicit_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            mem_access: 2,
+            buf_base: 4,
+            buf_per_byte: 1,
+            sync_op: 30,
+            syscall: 400,
+            syscall_per_byte: 1,
+            func_marker: 2,
+            bb_marker: 1,
+            spawn: 2_000,
+            record_event: 120,
+            record_per_byte: 2,
+            record_serial: 40,
+            units_per_implicit_access: 3,
+            units_per_implicit_bb: 16,
+            units_per_implicit_func: 240,
+            implicit_record: 34,
+            implicit_serial: 7,
+            implicit_bytes: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// The base execution cost of an op (excluding any recording charge).
+    pub fn op_cost(&self, op: &Op) -> u64 {
+        match op {
+            Op::ThreadStart | Op::ThreadExit | Op::Yield => 1,
+            Op::Read(_) | Op::Write(..) => self.mem_access,
+            Op::FetchAdd(..) | Op::CompareSwap(..) => self.mem_access + self.sync_op / 4,
+            Op::Buf(_, b) => {
+                let bytes = match b {
+                    crate::op::BufOp::Append(d) => d.len() as u64,
+                    _ => 0,
+                };
+                self.buf_base + self.buf_per_byte * bytes
+            }
+            Op::LockAcquire(_)
+            | Op::LockRelease(_)
+            | Op::RwAcquireRead(_)
+            | Op::RwAcquireWrite(_)
+            | Op::RwRelease(_)
+            | Op::CondWait(..)
+            | Op::CondReacquire(..)
+            | Op::CondNotifyOne(_)
+            | Op::CondNotifyAll(_)
+            | Op::BarrierWait(_)
+            | Op::BarrierResume(_)
+            | Op::SemAcquire(_)
+            | Op::SemRelease(_)
+            | Op::ChanSend(..)
+            | Op::ChanRecv(_)
+            | Op::ChanClose(_) => self.sync_op,
+            Op::Spawn => self.spawn,
+            Op::Join(_) => self.sync_op,
+            Op::Syscall(s) => {
+                let bytes = match s {
+                    SyscallOp::FileWrite { data, .. }
+                    | SyscallOp::NetSend { data, .. }
+                    | SyscallOp::StdoutWrite { data } => data.len() as u64,
+                    SyscallOp::FileRead { len, .. } | SyscallOp::NetRecv { len, .. } => {
+                        *len as u64
+                    }
+                    _ => 0,
+                };
+                self.syscall + self.syscall_per_byte * bytes
+            }
+            Op::Func(_) => self.func_marker,
+            Op::BasicBlock(_) => self.bb_marker,
+            Op::Compute(n) => *n,
+            Op::Fail(_) => 1,
+        }
+    }
+
+    /// The cost charged for recording one event with `payload_bytes` of
+    /// logged payload, split into (thread-local cost, serialized cost).
+    ///
+    /// `serialized` is non-zero only when the mechanism requires claiming a
+    /// slot in a single global order (see [`CostModel::record_serial`]).
+    pub fn record_cost(&self, payload_bytes: u64, needs_global_order: bool) -> (u64, u64) {
+        let local = self.record_event + self.record_per_byte * payload_bytes;
+        let serial = if needs_global_order {
+            self.record_serial
+        } else {
+            0
+        };
+        (local, serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BbId, BufId, FuncId, LockId, VarId};
+    use crate::op::BufOp;
+
+    #[test]
+    fn markers_are_cheaper_than_accesses_than_syncs_than_syscalls() {
+        let m = CostModel::default();
+        let bb = m.op_cost(&Op::BasicBlock(BbId(0)));
+        let rd = m.op_cost(&Op::Read(VarId(0)));
+        let lk = m.op_cost(&Op::LockAcquire(LockId(0)));
+        let sc = m.op_cost(&Op::Syscall(SyscallOp::ClockNow));
+        assert!(bb <= rd && rd < lk && lk < sc);
+    }
+
+    #[test]
+    fn compute_cost_is_exact() {
+        let m = CostModel::default();
+        assert_eq!(m.op_cost(&Op::Compute(1234)), 1234);
+    }
+
+    #[test]
+    fn buffer_cost_scales_with_payload() {
+        let m = CostModel::default();
+        let small = m.op_cost(&Op::Buf(BufId(0), BufOp::Append(vec![0; 4])));
+        let big = m.op_cost(&Op::Buf(BufId(0), BufOp::Append(vec![0; 400])));
+        assert!(big > small);
+        assert_eq!(big - small, 396 * m.buf_per_byte);
+    }
+
+    #[test]
+    fn syscall_cost_scales_with_bytes() {
+        let m = CostModel::default();
+        let a = m.op_cost(&Op::Syscall(SyscallOp::NetSend {
+            conn: crate::ids::ConnId(0),
+            data: vec![0; 100],
+        }));
+        let b = m.op_cost(&Op::Syscall(SyscallOp::NetSend {
+            conn: crate::ids::ConnId(0),
+            data: vec![],
+        }));
+        assert_eq!(a - b, 100 * m.syscall_per_byte);
+    }
+
+    #[test]
+    fn record_cost_splits_serial_component() {
+        let m = CostModel::default();
+        let (l1, s1) = m.record_cost(8, true);
+        let (l2, s2) = m.record_cost(8, false);
+        assert_eq!(l1, l2);
+        assert_eq!(s1, m.record_serial);
+        assert_eq!(s2, 0);
+        assert_eq!(l1, m.record_event + 8 * m.record_per_byte);
+    }
+
+    #[test]
+    fn func_marker_cost_is_small() {
+        let m = CostModel::default();
+        assert!(m.op_cost(&Op::Func(FuncId(0))) <= m.sync_op);
+    }
+}

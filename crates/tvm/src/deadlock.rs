@@ -1,0 +1,181 @@
+//! Wait-for-graph construction and cycle detection.
+//!
+//! When no announced thread is enabled (and the simulated world has no
+//! pending arrivals to fast-forward to), the run is stuck. This module
+//! classifies the stuck state: a cycle of lock waits is a classic deadlock
+//! (two of the paper's thirteen bugs); anything else — a lost notification,
+//! a starved semaphore, a channel nobody will ever feed — is reported with
+//! the full blocked set so the diagnosis story is still actionable.
+
+use crate::ids::{LockId, ThreadId};
+use crate::state::BlockReason;
+use std::collections::BTreeMap;
+
+/// One blocked thread and what it waits on.
+#[derive(Debug, Clone)]
+pub struct BlockedThread {
+    /// The blocked thread.
+    pub tid: ThreadId,
+    /// Why it cannot run.
+    pub reason: BlockReason,
+}
+
+/// The outcome of analysing a stuck state.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// Threads in the detected wait cycle, or the full blocked set when no
+    /// lock cycle exists.
+    pub threads: Vec<ThreadId>,
+    /// Locks on the cycle (empty for non-lock stuck states).
+    pub locks: Vec<LockId>,
+    /// Human-readable wait-for description.
+    pub description: String,
+    /// Whether a genuine lock cycle was found (vs. generic quiescence).
+    pub is_cycle: bool,
+}
+
+/// Analyses a set of blocked threads and produces a report.
+///
+/// Lock-wait edges `waiter → holder` are followed to find a cycle; the
+/// search is deterministic (threads visited in id order).
+pub fn analyze(blocked: &[BlockedThread]) -> DeadlockReport {
+    // waiter -> (lock, holder) for lock waits with a known holder.
+    let mut edges: BTreeMap<ThreadId, (LockId, ThreadId)> = BTreeMap::new();
+    for b in blocked {
+        if let BlockReason::Lock {
+            lock,
+            holder: Some(holder),
+        } = &b.reason
+        {
+            edges.insert(b.tid, (*lock, *holder));
+        }
+    }
+
+    // Follow chains from each waiter; the first repeated thread closes a
+    // cycle. Graph is functional (each waiter waits on one lock), so this
+    // is linear.
+    for &start in edges.keys() {
+        let mut path: Vec<(ThreadId, LockId)> = Vec::new();
+        let mut cur = start;
+        loop {
+            let Some(&(lock, holder)) = edges.get(&cur) else {
+                break; // chain ends at a runnable/absent thread: no cycle here
+            };
+            if let Some(pos) = path.iter().position(|(t, _)| *t == cur) {
+                let cycle = &path[pos..];
+                let threads: Vec<ThreadId> = cycle.iter().map(|(t, _)| *t).collect();
+                let locks: Vec<LockId> = cycle.iter().map(|(_, l)| *l).collect();
+                let description = cycle
+                    .iter()
+                    .map(|(t, l)| format!("{t} waits {l}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                return DeadlockReport {
+                    threads,
+                    locks,
+                    description,
+                    is_cycle: true,
+                };
+            }
+            path.push((cur, lock));
+            cur = holder;
+        }
+    }
+
+    // No lock cycle: report generic quiescence.
+    let threads: Vec<ThreadId> = blocked.iter().map(|b| b.tid).collect();
+    let description = blocked
+        .iter()
+        .map(|b| format!("{} blocked on {:?}", b.tid, b.reason))
+        .collect::<Vec<_>>()
+        .join("; ");
+    DeadlockReport {
+        threads,
+        locks: Vec::new(),
+        description,
+        is_cycle: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CondId;
+
+    fn lock_wait(tid: u32, lock: u32, holder: u32) -> BlockedThread {
+        BlockedThread {
+            tid: ThreadId(tid),
+            reason: BlockReason::Lock {
+                lock: LockId(lock),
+                holder: Some(ThreadId(holder)),
+            },
+        }
+    }
+
+    #[test]
+    fn abba_deadlock_is_a_cycle() {
+        // t1 holds m0 waits m1; t2 holds m1 waits m0.
+        let report = analyze(&[lock_wait(1, 1, 2), lock_wait(2, 0, 1)]);
+        assert!(report.is_cycle);
+        assert_eq!(report.threads.len(), 2);
+        assert!(report.locks.contains(&LockId(0)));
+        assert!(report.locks.contains(&LockId(1)));
+    }
+
+    #[test]
+    fn three_way_cycle_is_detected() {
+        let report = analyze(&[
+            lock_wait(1, 1, 2),
+            lock_wait(2, 2, 3),
+            lock_wait(3, 0, 1),
+        ]);
+        assert!(report.is_cycle);
+        assert_eq!(report.threads.len(), 3);
+        assert_eq!(report.locks.len(), 3);
+    }
+
+    #[test]
+    fn chain_without_cycle_is_not_a_cycle() {
+        // t1 waits on a lock held by t2, which is blocked on a condvar —
+        // a lost-notify hang, not a lock cycle.
+        let report = analyze(&[
+            lock_wait(1, 0, 2),
+            BlockedThread {
+                tid: ThreadId(2),
+                reason: BlockReason::CondNotify { cond: CondId(0) },
+            },
+        ]);
+        assert!(!report.is_cycle);
+        assert_eq!(report.threads, vec![ThreadId(1), ThreadId(2)]);
+        assert!(report.description.contains("CondNotify"));
+    }
+
+    #[test]
+    fn cycle_in_larger_blocked_set_only_reports_cycle_members() {
+        let report = analyze(&[
+            lock_wait(1, 1, 2),
+            lock_wait(2, 0, 1),
+            // t5 waits on t1's lock but is outside the cycle.
+            lock_wait(5, 0, 1),
+        ]);
+        assert!(report.is_cycle);
+        assert_eq!(report.threads.len(), 2);
+        assert!(!report.threads.contains(&ThreadId(5)));
+    }
+
+    #[test]
+    fn self_wait_is_a_unit_cycle() {
+        // A thread re-acquiring a lock it already holds (non-reentrant).
+        let report = analyze(&[lock_wait(3, 2, 3)]);
+        assert!(report.is_cycle);
+        assert_eq!(report.threads, vec![ThreadId(3)]);
+        assert_eq!(report.locks, vec![LockId(2)]);
+    }
+
+    #[test]
+    fn empty_blocked_set_reports_quiescence() {
+        let report = analyze(&[]);
+        assert!(!report.is_cycle);
+        assert!(report.threads.is_empty());
+    }
+}

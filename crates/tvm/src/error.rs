@@ -1,0 +1,200 @@
+//! Run outcomes, failures, and VM configuration errors.
+
+use crate::ids::{LockId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// Every thread exited normally.
+    Completed,
+    /// The run failed — a concurrency bug (or injected fault) manifested.
+    Failed(Failure),
+    /// A replay scheduler aborted the run (sketch divergence, constraint
+    /// conflict, or an explicit stop). Carries the scheduler's reason.
+    Aborted(String),
+    /// The configured step budget was exhausted (livelock guard).
+    StepLimit,
+}
+
+impl RunStatus {
+    /// Whether the run ended in an application failure.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RunStatus::Failed(_))
+    }
+
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            RunStatus::Failed(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Completed => f.write_str("completed"),
+            RunStatus::Failed(fail) => write!(f, "failed: {fail}"),
+            RunStatus::Aborted(why) => write!(f, "aborted: {why}"),
+            RunStatus::StepLimit => f.write_str("step limit exhausted"),
+        }
+    }
+}
+
+/// An observable manifestation of a bug — the three classes the paper's
+/// bug suite covers (crashes/assertion failures from atomicity and order
+/// violations, and deadlocks) plus wrong-output detection, which the
+/// diagnosis-time oracle checks after completion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Failure {
+    /// An application assertion fired (`ctx.check(..)` / `ctx.fail(..)`).
+    Assertion {
+        /// Thread that detected the violation.
+        thread: ThreadId,
+        /// Application-supplied message identifying the failure site.
+        message: String,
+    },
+    /// A virtual thread panicked (the analogue of a production crash).
+    Crash {
+        /// Thread that crashed.
+        thread: ThreadId,
+        /// Panic payload rendered to a string.
+        message: String,
+    },
+    /// No runnable thread remains and at least one thread is blocked.
+    Deadlock {
+        /// The threads involved in the wait cycle (or the full blocked set
+        /// when no simple cycle exists, e.g. a lost notify).
+        threads: Vec<ThreadId>,
+        /// The locks appearing in the cycle, for reports.
+        locks: Vec<LockId>,
+        /// Human-readable description of the wait-for structure.
+        description: String,
+    },
+}
+
+impl Failure {
+    /// A short stable signature for failure matching during replay: two
+    /// manifestations are "the same bug" if their signatures agree.
+    ///
+    /// Deadlock signatures deliberately ignore the thread *set*: different
+    /// interleavings of the same lock-order bug can trap different worker
+    /// threads, and the paper counts any deadlock on the same locks as a
+    /// successful reproduction.
+    pub fn signature(&self) -> String {
+        match self {
+            Failure::Assertion { message, .. } => format!("assert:{message}"),
+            Failure::Crash { message, .. } => format!("crash:{message}"),
+            Failure::Deadlock { locks, .. } => {
+                let mut ids: Vec<u32> = locks.iter().map(|l| l.0).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                format!(
+                    "deadlock:{}",
+                    ids.iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Assertion { thread, message } => {
+                write!(f, "assertion on {thread}: {message}")
+            }
+            Failure::Crash { thread, message } => write!(f, "crash on {thread}: {message}"),
+            Failure::Deadlock { description, .. } => write!(f, "deadlock: {description}"),
+        }
+    }
+}
+
+/// Errors raised when constructing or configuring a VM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A configuration field was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::InvalidConfig(msg) => write!(f, "invalid VM configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assertion_signatures_depend_on_message_only() {
+        let a = Failure::Assertion {
+            thread: ThreadId(1),
+            message: "log corrupted".into(),
+        };
+        let b = Failure::Assertion {
+            thread: ThreadId(5),
+            message: "log corrupted".into(),
+        };
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn deadlock_signatures_ignore_thread_identity_and_lock_order() {
+        let a = Failure::Deadlock {
+            threads: vec![ThreadId(1), ThreadId(2)],
+            locks: vec![LockId(3), LockId(1)],
+            description: "t1->m1->t2->m3->t1".into(),
+        };
+        let b = Failure::Deadlock {
+            threads: vec![ThreadId(4), ThreadId(9)],
+            locks: vec![LockId(1), LockId(3), LockId(3)],
+            description: "t4->m3->t9->m1->t4".into(),
+        };
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.signature(), "deadlock:1,3");
+    }
+
+    #[test]
+    fn different_failures_have_different_signatures() {
+        let a = Failure::Assertion {
+            thread: ThreadId(0),
+            message: "x".into(),
+        };
+        let c = Failure::Crash {
+            thread: ThreadId(0),
+            message: "x".into(),
+        };
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn status_helpers() {
+        let s = RunStatus::Failed(Failure::Crash {
+            thread: ThreadId(0),
+            message: "boom".into(),
+        });
+        assert!(s.is_failed());
+        assert!(s.failure().is_some());
+        assert!(!RunStatus::Completed.is_failed());
+        assert!(RunStatus::Completed.failure().is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RunStatus::Completed.to_string(), "completed");
+        let s = RunStatus::Aborted("divergence at gseq 42".into());
+        assert_eq!(s.to_string(), "aborted: divergence at gseq 42");
+    }
+}

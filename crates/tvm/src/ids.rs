@@ -1,0 +1,140 @@
+//! Identifier newtypes for every VM-managed resource.
+//!
+//! Every shared object in the virtual machine — threads, shared variables,
+//! buffers, locks, condition variables, barriers, semaphores, channels,
+//! connections, files — is referred to by a small integer id wrapped in a
+//! dedicated newtype. Ids are allocated densely by the VM, are stable for the
+//! lifetime of a run, and are the unit of identity in traces, sketches and
+//! race reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index backing this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A virtual thread. The root thread of every program is `ThreadId(0)`.
+    ThreadId,
+    "t"
+);
+define_id!(
+    /// A shared scalar variable (a single `u64` cell).
+    VarId,
+    "v"
+);
+define_id!(
+    /// A shared byte buffer.
+    BufId,
+    "buf"
+);
+define_id!(
+    /// A mutual-exclusion lock.
+    LockId,
+    "m"
+);
+define_id!(
+    /// A reader-writer lock.
+    RwLockId,
+    "rw"
+);
+define_id!(
+    /// A condition variable.
+    CondId,
+    "cv"
+);
+define_id!(
+    /// A cyclic barrier.
+    BarrierId,
+    "bar"
+);
+define_id!(
+    /// A counting semaphore.
+    SemId,
+    "sem"
+);
+define_id!(
+    /// A FIFO message channel.
+    ChanId,
+    "ch"
+);
+define_id!(
+    /// A simulated network connection.
+    ConnId,
+    "conn"
+);
+define_id!(
+    /// A file descriptor in the simulated filesystem.
+    FdId,
+    "fd"
+);
+define_id!(
+    /// A function identity used by FUNC sketching.
+    FuncId,
+    "fn"
+);
+define_id!(
+    /// A basic-block identity used by BB / BB-N sketching.
+    BbId,
+    "bb"
+);
+
+/// The id of the root (main) virtual thread.
+pub const ROOT_THREAD: ThreadId = ThreadId(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert_eq!(LockId(0).to_string(), "m0");
+        assert_eq!(BbId(17).to_string(), "bb17");
+        assert_eq!(ConnId(2).to_string(), "conn2");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let v = VarId::from(9);
+        assert_eq!(v.index(), 9);
+        assert_eq!(v, VarId(9));
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert!(VarId(0) < VarId(10));
+    }
+
+    #[test]
+    fn root_thread_is_zero() {
+        assert_eq!(ROOT_THREAD, ThreadId(0));
+    }
+}

@@ -1,0 +1,331 @@
+//! Scheduling policies: where interleaving nondeterminism lives.
+//!
+//! The coordinator asks the active [`Scheduler`] which enabled thread runs
+//! next at every step. Three stock policies are provided:
+//!
+//! * [`RandomScheduler`] — models a `P`-processor production machine: up to
+//!   `P` threads are "on core" at once with exponential-ish timeslices;
+//!   among on-core threads the next operation is chosen uniformly (true
+//!   parallel interleaving), and preempted/blocked threads are replaced at
+//!   random. Seeded, and therefore reproducible.
+//! * [`RoundRobinScheduler`] — deterministic cycling, handy in tests.
+//! * [`ScriptedScheduler`] — replays an exact pick sequence; the mechanism
+//!   behind total-order reproduction certificates.
+//!
+//! `pres-core` implements its own sketch-constrained exploration scheduler
+//! against the same trait.
+
+use crate::ids::ThreadId;
+use crate::op::Op;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One announced thread visible to the scheduler.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The thread.
+    pub tid: ThreadId,
+    /// Its announced (pending) operation.
+    pub op: Op,
+}
+
+/// What the scheduler sees at each step.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// Threads that can run now, ordered by thread id.
+    pub enabled: &'a [Candidate],
+    /// Threads announced but blocked, ordered by thread id.
+    pub blocked: &'a [Candidate],
+    /// Number of operations applied so far.
+    pub step: u64,
+    /// Simulated processor count.
+    pub processors: u32,
+}
+
+impl SchedView<'_> {
+    /// Whether `tid` is currently enabled.
+    pub fn is_enabled(&self, tid: ThreadId) -> bool {
+        self.enabled.iter().any(|c| c.tid == tid)
+    }
+}
+
+/// The scheduler's verdict for one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Run this thread's announced operation (must be enabled).
+    Run(ThreadId),
+    /// Abort the whole run with a reason (replay divergence etc.).
+    Abort(String),
+}
+
+/// A scheduling policy.
+pub trait Scheduler: Send {
+    /// Chooses the next thread among `view.enabled` (guaranteed non-empty).
+    fn pick(&mut self, view: &SchedView<'_>) -> Decision;
+
+    /// Called once per applied event so stateful policies can track
+    /// progress. Default: ignore.
+    fn on_applied(&mut self, _tid: ThreadId, _op: &Op) {}
+}
+
+/// Seeded random scheduler modeling a `P`-processor machine.
+///
+/// Threads are taken on and off virtual cores with random timeslices; the
+/// interleaving *between* on-core threads is uniformly random per step,
+/// which is the behaviour that makes multiprocessor concurrency bugs both
+/// possible and rare — exactly the production environment the paper records.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: ChaCha8Rng,
+    seed: u64,
+    mean_slice: u32,
+    active: Vec<(ThreadId, u32)>,
+}
+
+impl RandomScheduler {
+    /// Default mean timeslice, in operations.
+    pub const DEFAULT_MEAN_SLICE: u32 = 48;
+
+    /// A scheduler with the given seed and default timeslice.
+    pub fn new(seed: u64) -> Self {
+        Self::with_mean_slice(seed, Self::DEFAULT_MEAN_SLICE)
+    }
+
+    /// A scheduler with an explicit mean timeslice (operations per stint on
+    /// core). Shorter slices yield finer interleaving.
+    pub fn with_mean_slice(seed: u64, mean_slice: u32) -> Self {
+        RandomScheduler {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+            mean_slice: mean_slice.max(1),
+            active: Vec::new(),
+        }
+    }
+
+    /// The seed this scheduler was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn draw_slice(&mut self) -> u32 {
+        // Geometric-ish: uniform in [1, 2*mean] has the right mean and is
+        // cheap and deterministic.
+        self.rng.gen_range(1..=self.mean_slice * 2)
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, view: &SchedView<'_>) -> Decision {
+        // Drop finished slices and threads that are no longer enabled
+        // (blocked or exited): they lose their core.
+        self.active
+            .retain(|(tid, left)| *left > 0 && view.is_enabled(*tid));
+
+        // Fill free cores from the enabled-but-not-active pool, at random.
+        let capacity = view.processors.max(1) as usize;
+        while self.active.len() < capacity {
+            let pool: Vec<ThreadId> = view
+                .enabled
+                .iter()
+                .map(|c| c.tid)
+                .filter(|t| !self.active.iter().any(|(a, _)| a == t))
+                .collect();
+            if pool.is_empty() {
+                break;
+            }
+            let tid = pool[self.rng.gen_range(0..pool.len())];
+            let slice = self.draw_slice();
+            self.active.push((tid, slice));
+        }
+
+        debug_assert!(!self.active.is_empty(), "pick called with no enabled threads");
+        // Uniform interleaving among on-core threads.
+        let idx = self.rng.gen_range(0..self.active.len());
+        let (tid, ref mut left) = self.active[idx];
+        *left -= 1;
+        Decision::Run(tid)
+    }
+}
+
+/// Deterministic round-robin over enabled threads.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    last: Option<ThreadId>,
+}
+
+impl RoundRobinScheduler {
+    /// A fresh round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn pick(&mut self, view: &SchedView<'_>) -> Decision {
+        let next = match self.last {
+            None => view.enabled[0].tid,
+            Some(last) => view
+                .enabled
+                .iter()
+                .map(|c| c.tid)
+                .find(|t| *t > last)
+                .unwrap_or(view.enabled[0].tid),
+        };
+        self.last = Some(next);
+        Decision::Run(next)
+    }
+}
+
+/// Replays an exact sequence of picks.
+///
+/// If the scripted thread is not enabled at its step — which cannot happen
+/// when the script was produced by a run of the same program — the run is
+/// aborted rather than silently diverging.
+#[derive(Debug)]
+pub struct ScriptedScheduler {
+    script: Vec<ThreadId>,
+    cursor: usize,
+}
+
+impl ScriptedScheduler {
+    /// A scheduler replaying `script`.
+    pub fn new(script: Vec<ThreadId>) -> Self {
+        ScriptedScheduler { script, cursor: 0 }
+    }
+
+    /// How many picks have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn pick(&mut self, view: &SchedView<'_>) -> Decision {
+        let Some(&tid) = self.script.get(self.cursor) else {
+            return Decision::Abort(format!(
+                "schedule script exhausted after {} picks",
+                self.cursor
+            ));
+        };
+        if !view.is_enabled(tid) {
+            return Decision::Abort(format!(
+                "schedule script divergence at pick {}: {tid} not enabled",
+                self.cursor
+            ));
+        }
+        self.cursor += 1;
+        Decision::Run(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+
+    fn candidates(tids: &[u32]) -> Vec<Candidate> {
+        tids.iter()
+            .map(|t| Candidate {
+                tid: ThreadId(*t),
+                op: Op::Read(VarId(0)),
+            })
+            .collect()
+    }
+
+    fn view<'a>(enabled: &'a [Candidate], processors: u32) -> SchedView<'a> {
+        SchedView {
+            enabled,
+            blocked: &[],
+            step: 0,
+            processors,
+        }
+    }
+
+    fn run_picks(sched: &mut dyn Scheduler, enabled: &[Candidate], p: u32, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|_| match sched.pick(&view(enabled, p)) {
+                Decision::Run(t) => t.0,
+                Decision::Abort(why) => panic!("unexpected abort: {why}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn random_scheduler_is_seed_deterministic() {
+        let en = candidates(&[0, 1, 2, 3]);
+        let a = run_picks(&mut RandomScheduler::new(7), &en, 4, 200);
+        let b = run_picks(&mut RandomScheduler::new(7), &en, 4, 200);
+        let c = run_picks(&mut RandomScheduler::new(8), &en, 4, 200);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_scheduler_single_core_runs_coarse_stints() {
+        let en = candidates(&[0, 1]);
+        let picks = run_picks(&mut RandomScheduler::new(3), &en, 1, 400);
+        // Count context switches; with one core and mean slice 48 they must
+        // be far rarer than with two cores.
+        let switches = |v: &[u32]| v.windows(2).filter(|w| w[0] != w[1]).count();
+        let picks2 = run_picks(&mut RandomScheduler::new(3), &en, 2, 400);
+        assert!(
+            switches(&picks) * 4 < switches(&picks2),
+            "P=1 switches {} should be far below P=2 switches {}",
+            switches(&picks),
+            switches(&picks2)
+        );
+    }
+
+    #[test]
+    fn random_scheduler_eventually_runs_everyone() {
+        let en = candidates(&[0, 1, 2, 3, 4, 5]);
+        let picks = run_picks(&mut RandomScheduler::new(11), &en, 2, 3000);
+        for t in 0..6 {
+            assert!(picks.contains(&t), "thread {t} starved");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_tid_order() {
+        let en = candidates(&[1, 3, 5]);
+        let mut rr = RoundRobinScheduler::new();
+        let picks = run_picks(&mut rr, &en, 1, 7);
+        assert_eq!(picks, vec![1, 3, 5, 1, 3, 5, 1]);
+    }
+
+    #[test]
+    fn round_robin_skips_missing_threads() {
+        let mut rr = RoundRobinScheduler::new();
+        let en1 = candidates(&[1, 2]);
+        assert_eq!(run_picks(&mut rr, &en1, 1, 1), vec![1]);
+        // Thread 2 became blocked; only 5 remains above 1.
+        let en2 = candidates(&[5]);
+        assert_eq!(run_picks(&mut rr, &en2, 1, 1), vec![5]);
+        // Wrap around.
+        let en3 = candidates(&[1, 5]);
+        assert_eq!(run_picks(&mut rr, &en3, 1, 1), vec![1]);
+    }
+
+    #[test]
+    fn scripted_scheduler_replays_and_detects_divergence() {
+        let en = candidates(&[0, 1]);
+        let mut s = ScriptedScheduler::new(vec![ThreadId(1), ThreadId(0), ThreadId(9)]);
+        assert_eq!(s.pick(&view(&en, 1)), Decision::Run(ThreadId(1)));
+        assert_eq!(s.pick(&view(&en, 1)), Decision::Run(ThreadId(0)));
+        match s.pick(&view(&en, 1)) {
+            Decision::Abort(msg) => assert!(msg.contains("divergence")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scripted_scheduler_aborts_when_exhausted() {
+        let en = candidates(&[0]);
+        let mut s = ScriptedScheduler::new(vec![]);
+        match s.pick(&view(&en, 1)) {
+            Decision::Abort(msg) => assert!(msg.contains("exhausted")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.consumed(), 0);
+    }
+}

@@ -1,0 +1,1308 @@
+//! The virtual machine coordinator and the thread-side [`Ctx`] API.
+//!
+//! Each virtual thread is an OS thread gated by a baton: it *announces* its
+//! next operation and parks; the coordinator (running on the caller's
+//! thread inside [`run`]) applies operations one at a time according to the
+//! scheduler, so exactly one virtual thread executes user code at any
+//! moment. Execution is therefore a deterministic function of
+//! (program, world, scheduler decisions) — the property every recorder,
+//! replayer, and certificate in this workspace is built on.
+
+use crate::clock::{TimeReport, VClock};
+use crate::cost::CostModel;
+use crate::deadlock::{self, BlockedThread};
+use crate::error::{Failure, RunStatus, VmError};
+use crate::ids::{
+    BarrierId, BbId, BufId, ChanId, CondId, ConnId, FdId, FuncId, LockId, RwLockId, SemId,
+    ThreadId, VarId, ROOT_THREAD,
+};
+use crate::op::{BufOp, Op, OpResult, SyscallOp};
+use crate::sched::{Candidate, Decision, SchedView, Scheduler};
+use crate::state::{Applied, ResourceSpec, VmState};
+use crate::sys::{AcceptStatus, WorldConfig};
+use crate::trace::{Event, Observer, Trace, TraceMode};
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Configuration of one VM run.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Simulated processor count (`P` in the paper's scalability study).
+    pub processors: u32,
+    /// Step budget: livelock/runaway guard.
+    pub max_steps: u64,
+    /// Whether the VM retains the full event trace.
+    pub trace_mode: TraceMode,
+    /// The virtual-time cost model.
+    pub cost_model: CostModel,
+    /// The simulated world.
+    pub world: WorldConfig,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            processors: 4,
+            max_steps: 3_000_000,
+            trace_mode: TraceMode::Off,
+            cost_model: CostModel::default(),
+            world: WorldConfig::default(),
+        }
+    }
+}
+
+impl VmConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), VmError> {
+        if self.processors == 0 {
+            return Err(VmError::InvalidConfig("processors must be >= 1".into()));
+        }
+        if self.max_steps == 0 {
+            return Err(VmError::InvalidConfig("max_steps must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-class operation counts of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total applied operations.
+    pub total_ops: u64,
+    /// Shared-memory accesses.
+    pub mem_accesses: u64,
+    /// Synchronization operations.
+    pub sync_ops: u64,
+    /// System calls.
+    pub syscalls: u64,
+    /// Function-entry markers.
+    pub func_markers: u64,
+    /// Basic-block markers.
+    pub bb_markers: u64,
+    /// Threads spawned (excluding the root).
+    pub spawns: u64,
+}
+
+impl RunStats {
+    fn count(&mut self, op: &Op) {
+        self.total_ops += 1;
+        if op.is_mem_access() {
+            self.mem_accesses += 1;
+        } else if op.is_syscall() {
+            self.syscalls += 1;
+        } else if matches!(op, Op::Spawn) {
+            self.spawns += 1;
+            self.sync_ops += 1;
+        } else if op.is_sync() {
+            self.sync_ops += 1;
+        } else if matches!(op, Op::Func(_)) {
+            self.func_markers += 1;
+        } else if matches!(op, Op::BasicBlock(_)) {
+            self.bb_markers += 1;
+        }
+    }
+}
+
+/// Everything a completed run reports.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Full event trace (empty under [`TraceMode::Off`]).
+    pub trace: Trace,
+    /// Virtual-time report.
+    pub time: TimeReport,
+    /// Operation counts.
+    pub stats: RunStats,
+    /// The exact pick sequence the scheduler produced; replaying it through
+    /// a [`crate::sched::ScriptedScheduler`] reproduces this run exactly.
+    pub schedule: Vec<ThreadId>,
+    /// Names of every virtual thread, indexed by [`ThreadId`].
+    pub thread_names: Vec<String>,
+    /// Program standard output.
+    pub stdout: Vec<u8>,
+    /// Per-connection response bytes.
+    pub conn_outputs: Vec<Vec<u8>>,
+    /// Final filesystem snapshot.
+    pub files: BTreeMap<String, Vec<u8>>,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-side machinery.
+// ---------------------------------------------------------------------------
+
+/// Panic payload used to unwind parked threads at shutdown. Not a crash.
+struct Shutdown;
+
+enum Phase {
+    /// OS thread created; has not announced yet.
+    Starting,
+    /// Parked with a pending operation.
+    Announced(Op),
+    /// Result delivered; about to resume user code.
+    Granted,
+    /// Executing user code.
+    Running,
+    /// Done. `None` = clean exit, `Some(msg)` = crash.
+    Exited(Option<String>),
+}
+
+struct Slot {
+    phase: Phase,
+    result: Option<OpResult>,
+    fault: Option<String>,
+    name: String,
+    tseq: u32,
+    spawn_req: Option<SpawnReq>,
+    os_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+struct SpawnReq {
+    name: String,
+    body: Box<dyn FnOnce(&mut Ctx) + Send>,
+}
+
+struct Hub {
+    slots: Vec<Slot>,
+    poisoned: bool,
+}
+
+struct Shared {
+    hub: Mutex<Hub>,
+    cv: Condvar,
+}
+
+/// The handle a virtual thread uses for every interaction with shared
+/// state. Obtained only inside [`run`]; all methods are yield points.
+pub struct Ctx {
+    shared: Arc<Shared>,
+    tid: ThreadId,
+}
+
+impl Ctx {
+    /// This thread's id.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    fn op(&mut self, op: Op) -> OpResult {
+        let me = self.tid.index();
+        let mut hub = self.shared.hub.lock();
+        if hub.poisoned {
+            drop(hub);
+            std::panic::panic_any(Shutdown);
+        }
+        hub.slots[me].phase = Phase::Announced(op);
+        self.shared.cv.notify_all();
+        loop {
+            if hub.poisoned {
+                drop(hub);
+                std::panic::panic_any(Shutdown);
+            }
+            if matches!(hub.slots[me].phase, Phase::Granted) {
+                break;
+            }
+            self.shared.cv.wait(&mut hub);
+        }
+        if let Some(msg) = hub.slots[me].fault.take() {
+            hub.slots[me].phase = Phase::Running;
+            self.shared.cv.notify_all();
+            drop(hub);
+            panic!("{msg}");
+        }
+        let res = hub.slots[me]
+            .result
+            .take()
+            .expect("granted without a result");
+        hub.slots[me].phase = Phase::Running;
+        self.shared.cv.notify_all();
+        res
+    }
+
+    // ---- shared memory -------------------------------------------------
+
+    /// Reads a shared scalar.
+    pub fn read(&mut self, v: VarId) -> u64 {
+        self.op(Op::Read(v)).value()
+    }
+
+    /// Writes a shared scalar.
+    pub fn write(&mut self, v: VarId, val: u64) {
+        self.op(Op::Write(v, val));
+    }
+
+    /// Atomically adds `delta` and returns the previous value.
+    pub fn fetch_add(&mut self, v: VarId, delta: i64) -> u64 {
+        self.op(Op::FetchAdd(v, delta)).value()
+    }
+
+    /// Compare-and-swap; returns the previous value.
+    pub fn compare_swap(&mut self, v: VarId, expect: u64, new: u64) -> u64 {
+        self.op(Op::CompareSwap(v, expect, new)).value()
+    }
+
+    /// Appends to a shared buffer.
+    pub fn buf_append(&mut self, b: BufId, data: &[u8]) {
+        self.op(Op::Buf(b, BufOp::Append(data.to_vec())));
+    }
+
+    /// Reads a whole shared buffer.
+    pub fn buf_read(&mut self, b: BufId) -> Vec<u8> {
+        self.op(Op::Buf(b, BufOp::ReadAll)).bytes()
+    }
+
+    /// Length of a shared buffer.
+    pub fn buf_len(&mut self, b: BufId) -> usize {
+        self.op(Op::Buf(b, BufOp::Len)).value() as usize
+    }
+
+    /// Clears a shared buffer.
+    pub fn buf_clear(&mut self, b: BufId) {
+        self.op(Op::Buf(b, BufOp::Clear));
+    }
+
+    /// Overwrites one byte of a shared buffer.
+    pub fn buf_set(&mut self, b: BufId, index: usize, byte: u8) {
+        self.op(Op::Buf(b, BufOp::Set { index, byte }));
+    }
+
+    // ---- synchronization -----------------------------------------------
+
+    /// Acquires a mutex, blocking while it is held.
+    pub fn lock(&mut self, l: LockId) {
+        self.op(Op::LockAcquire(l));
+    }
+
+    /// Releases a mutex this thread holds.
+    pub fn unlock(&mut self, l: LockId) {
+        self.op(Op::LockRelease(l));
+    }
+
+    /// Runs `f` with the mutex held (acquire/release around it).
+    pub fn with_lock<R>(&mut self, l: LockId, f: impl FnOnce(&mut Ctx) -> R) -> R {
+        self.lock(l);
+        let r = f(self);
+        self.unlock(l);
+        r
+    }
+
+    /// Acquires a reader-writer lock for reading.
+    pub fn rw_read(&mut self, rw: RwLockId) {
+        self.op(Op::RwAcquireRead(rw));
+    }
+
+    /// Acquires a reader-writer lock for writing.
+    pub fn rw_write(&mut self, rw: RwLockId) {
+        self.op(Op::RwAcquireWrite(rw));
+    }
+
+    /// Releases a reader-writer lock.
+    pub fn rw_unlock(&mut self, rw: RwLockId) {
+        self.op(Op::RwRelease(rw));
+    }
+
+    /// Atomically releases `l` and waits on `c`; reacquires `l` before
+    /// returning. As with POSIX condition variables, spurious ordering is
+    /// possible and callers re-check their predicate in a loop.
+    pub fn cond_wait(&mut self, c: CondId, l: LockId) {
+        self.op(Op::CondWait(c, l));
+    }
+
+    /// Wakes one waiter of `c`.
+    pub fn notify_one(&mut self, c: CondId) {
+        self.op(Op::CondNotifyOne(c));
+    }
+
+    /// Wakes all waiters of `c`.
+    pub fn notify_all(&mut self, c: CondId) {
+        self.op(Op::CondNotifyAll(c));
+    }
+
+    /// Waits at a cyclic barrier.
+    pub fn barrier_wait(&mut self, b: BarrierId) {
+        self.op(Op::BarrierWait(b));
+    }
+
+    /// Acquires a semaphore permit (P).
+    pub fn sem_acquire(&mut self, s: SemId) {
+        self.op(Op::SemAcquire(s));
+    }
+
+    /// Releases a semaphore permit (V).
+    pub fn sem_release(&mut self, s: SemId) {
+        self.op(Op::SemRelease(s));
+    }
+
+    /// Sends on a FIFO channel (unbounded; never blocks).
+    pub fn send(&mut self, ch: ChanId, v: u64) {
+        self.op(Op::ChanSend(ch, v));
+    }
+
+    /// Receives from a FIFO channel; `None` once closed and drained.
+    pub fn recv(&mut self, ch: ChanId) -> Option<u64> {
+        self.op(Op::ChanRecv(ch)).maybe_value()
+    }
+
+    /// Closes a channel.
+    pub fn chan_close(&mut self, ch: ChanId) {
+        self.op(Op::ChanClose(ch));
+    }
+
+    /// Spawns a virtual thread running `body`; returns its id.
+    pub fn spawn(&mut self, name: &str, body: impl FnOnce(&mut Ctx) + Send + 'static) -> ThreadId {
+        {
+            let mut hub = self.shared.hub.lock();
+            let me = self.tid.index();
+            hub.slots[me].spawn_req = Some(SpawnReq {
+                name: name.to_string(),
+                body: Box::new(body),
+            });
+        }
+        self.op(Op::Spawn).tid()
+    }
+
+    /// Blocks until `t` has exited.
+    pub fn join(&mut self, t: ThreadId) {
+        self.op(Op::Join(t));
+    }
+
+    // ---- instrumentation markers ----------------------------------------
+
+    /// Function-entry marker (FUNC sketching).
+    pub fn func(&mut self, id: impl Into<FuncId>) {
+        self.op(Op::Func(id.into()));
+    }
+
+    /// Basic-block marker (BB / BB-N sketching).
+    pub fn bb(&mut self, id: impl Into<BbId>) {
+        self.op(Op::BasicBlock(id.into()));
+    }
+
+    /// Pure thread-local computation of the given virtual cost.
+    pub fn compute(&mut self, cost: u64) {
+        self.op(Op::Compute(cost));
+    }
+
+    /// Voluntary yield.
+    pub fn yield_now(&mut self) {
+        self.op(Op::Yield);
+    }
+
+    /// Application-level assertion: on failure, the run ends with
+    /// [`Failure::Assertion`] carrying `msg`. This never returns when the
+    /// condition is false.
+    pub fn check(&mut self, cond: bool, msg: &str) {
+        if !cond {
+            self.fail(msg);
+        }
+    }
+
+    /// Unconditionally manifests a failure.
+    pub fn fail(&mut self, msg: &str) -> ! {
+        self.op(Op::Fail(msg.to_string()));
+        unreachable!("Fail op never grants")
+    }
+
+    // ---- simulated system calls -----------------------------------------
+
+    /// Opens (creating if absent) a file.
+    pub fn sys_open(&mut self, path: &str) -> FdId {
+        self.op(Op::Syscall(SyscallOp::FileOpen {
+            path: path.to_string(),
+        }))
+        .fd()
+    }
+
+    /// Reads up to `len` bytes from an open file.
+    pub fn sys_read(&mut self, fd: FdId, len: usize) -> Vec<u8> {
+        self.op(Op::Syscall(SyscallOp::FileRead { fd, len })).bytes()
+    }
+
+    /// Appends bytes to an open file.
+    pub fn sys_write(&mut self, fd: FdId, data: &[u8]) {
+        self.op(Op::Syscall(SyscallOp::FileWrite {
+            fd,
+            data: data.to_vec(),
+        }));
+    }
+
+    /// Closes a file.
+    pub fn sys_close(&mut self, fd: FdId) {
+        self.op(Op::Syscall(SyscallOp::FileClose { fd }));
+    }
+
+    /// Accepts the next inbound connection; blocks until one arrives;
+    /// `None` once the workload script is exhausted.
+    pub fn sys_accept(&mut self) -> Option<ConnId> {
+        self.op(Op::Syscall(SyscallOp::NetAccept)).maybe_conn()
+    }
+
+    /// Receives up to `len` bytes; `None` at end of stream.
+    pub fn sys_recv(&mut self, conn: ConnId, len: usize) -> Option<Vec<u8>> {
+        self.op(Op::Syscall(SyscallOp::NetRecv { conn, len }))
+            .maybe_bytes()
+    }
+
+    /// Sends response bytes on a connection.
+    pub fn sys_send(&mut self, conn: ConnId, data: &[u8]) {
+        self.op(Op::Syscall(SyscallOp::NetSend {
+            conn,
+            data: data.to_vec(),
+        }));
+    }
+
+    /// Closes a connection.
+    pub fn sys_net_close(&mut self, conn: ConnId) {
+        self.op(Op::Syscall(SyscallOp::NetClose { conn }));
+    }
+
+    /// Reads the virtual clock.
+    pub fn now(&mut self) -> u64 {
+        self.op(Op::Syscall(SyscallOp::ClockNow)).value()
+    }
+
+    /// Draws from the input random stream; uniform in `[0, bound)` (or the
+    /// full `u64` range when `bound` is 0).
+    pub fn random(&mut self, bound: u64) -> u64 {
+        self.op(Op::Syscall(SyscallOp::Random { bound })).value()
+    }
+
+    /// Writes a line to the program's standard output.
+    pub fn println(&mut self, s: &str) {
+        let mut data = s.as_bytes().to_vec();
+        data.push(b'\n');
+        self.op(Op::Syscall(SyscallOp::StdoutWrite { data }));
+    }
+}
+
+/// Silences the default panic hook for virtual threads: their panics are
+/// part of normal VM operation (shutdown unwinds, simulated crashes) and are
+/// reported through [`RunOutcome::status`], not stderr.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_vthread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("vt-"));
+            if !in_vthread {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn thread_main(shared: Arc<Shared>, tid: ThreadId, body: Box<dyn FnOnce(&mut Ctx) + Send>) {
+    let mut ctx = Ctx {
+        shared: shared.clone(),
+        tid,
+    };
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        ctx.op(Op::ThreadStart);
+        body(&mut ctx);
+        ctx.op(Op::ThreadExit);
+    }));
+    let exit = match result {
+        Ok(()) => None,
+        Err(payload) => {
+            if payload.is::<Shutdown>() {
+                None
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                Some((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Some(s.clone())
+            } else {
+                Some("panic with non-string payload".to_string())
+            }
+        }
+    };
+    let mut hub = shared.hub.lock();
+    hub.slots[tid.index()].phase = Phase::Exited(exit);
+    shared.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator.
+// ---------------------------------------------------------------------------
+
+/// Runs a program to completion under the given scheduler and observer.
+///
+/// The root closure runs as thread `t0`; it may spawn further threads via
+/// [`Ctx::spawn`]. The call returns when every thread has exited, a failure
+/// manifested, the scheduler aborted, or the step budget ran out.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`VmConfig::validate`]) or if the
+/// scheduler returns a thread that is not enabled.
+pub fn run(
+    config: VmConfig,
+    resources: ResourceSpec,
+    scheduler: &mut dyn Scheduler,
+    observer: &mut dyn Observer,
+    root: impl FnOnce(&mut Ctx) + Send + 'static,
+) -> RunOutcome {
+    config.validate().expect("invalid VmConfig");
+    install_quiet_hook();
+    let shared = Arc::new(Shared {
+        hub: Mutex::new(Hub {
+            slots: Vec::new(),
+            poisoned: false,
+        }),
+        cv: Condvar::new(),
+    });
+
+    let mut state = VmState::new(resources, config.world.clone());
+    let mut clock = VClock::new();
+    let mut stats = RunStats::default();
+    let mut trace = Trace::new();
+    let mut schedule: Vec<ThreadId> = Vec::new();
+    let mut step: u64 = 0;
+    let mut known_exited: Vec<bool> = Vec::new();
+
+    // Spawn the root thread.
+    {
+        let mut hub = shared.hub.lock();
+        hub.slots.push(Slot {
+            phase: Phase::Starting,
+            result: None,
+            fault: None,
+            name: "main".to_string(),
+            tseq: 0,
+            spawn_req: None,
+            os_handle: None,
+        });
+        known_exited.push(false);
+        let sh = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("vt-main".to_string())
+            .spawn(move || thread_main(sh, ROOT_THREAD, Box::new(root)))
+            .expect("failed to spawn root vthread");
+        hub.slots[0].os_handle = Some(handle);
+    }
+
+    let status = 'run: loop {
+        // Wait for quiescence: every slot Announced or Exited.
+        let (candidates, crashed): (Vec<(ThreadId, Op)>, Option<(ThreadId, String)>) = {
+            let mut hub = shared.hub.lock();
+            loop {
+                let busy = hub.slots.iter().any(|s| {
+                    matches!(s.phase, Phase::Starting | Phase::Granted | Phase::Running)
+                });
+                if !busy {
+                    break;
+                }
+                shared.cv.wait(&mut hub);
+            }
+            // Detect crashes (newly exited with a message).
+            let mut crash = None;
+            for (i, slot) in hub.slots.iter().enumerate() {
+                if let Phase::Exited(exit) = &slot.phase {
+                    if !known_exited[i] {
+                        known_exited[i] = true;
+                        if let Some(msg) = exit {
+                            crash = Some((ThreadId(i as u32), msg.clone()));
+                        }
+                    }
+                }
+            }
+            let cands = hub
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match &s.phase {
+                    Phase::Announced(op) => Some((ThreadId(i as u32), op.clone())),
+                    _ => None,
+                })
+                .collect();
+            (cands, crash)
+        };
+
+        if let Some((tid, message)) = crashed {
+            break RunStatus::Failed(Failure::Crash { thread: tid, message });
+        }
+
+        if candidates.is_empty() {
+            break RunStatus::Completed;
+        }
+
+        if step >= config.max_steps {
+            break RunStatus::StepLimit;
+        }
+
+        // Partition into enabled / blocked.
+        let is_exited = |t: ThreadId| -> bool {
+            let hub = shared.hub.lock();
+            matches!(hub.slots[t.index()].phase, Phase::Exited(_))
+        };
+        let mut enabled: Vec<Candidate> = Vec::new();
+        let mut blocked: Vec<Candidate> = Vec::new();
+        for (tid, op) in &candidates {
+            let ok = match op {
+                Op::Join(target) => is_exited(*target),
+                other => state.enabled(*tid, other, step),
+            };
+            let cand = Candidate {
+                tid: *tid,
+                op: op.clone(),
+            };
+            if ok {
+                enabled.push(cand);
+            } else {
+                blocked.push(cand);
+            }
+        }
+
+        if enabled.is_empty() {
+            // Fast-forward to the next scripted arrival if someone is
+            // blocked on accept; otherwise the run is stuck.
+            let next_arrival = blocked.iter().find_map(|c| {
+                if matches!(c.op, Op::Syscall(SyscallOp::NetAccept)) {
+                    match state.world().accept_status(step) {
+                        AcceptStatus::WaitUntil(s) => Some(s),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            });
+            if let Some(arrival) = next_arrival {
+                step = arrival;
+                continue 'run;
+            }
+            let blocked_threads: Vec<BlockedThread> = blocked
+                .iter()
+                .map(|c| BlockedThread {
+                    tid: c.tid,
+                    reason: match &c.op {
+                        Op::Join(t) => crate::state::BlockReason::Other {
+                            what: if is_exited(*t) { "join" } else { "join-wait" },
+                        },
+                        op => state
+                            .block_reason(c.tid, op, step)
+                            .unwrap_or(crate::state::BlockReason::Other { what: "unknown" }),
+                    },
+                })
+                .collect();
+            let report = deadlock::analyze(&blocked_threads);
+            break RunStatus::Failed(Failure::Deadlock {
+                threads: report.threads,
+                locks: report.locks,
+                description: report.description,
+            });
+        }
+
+        // Ask the scheduler.
+        let decision = {
+            let view = SchedView {
+                enabled: &enabled,
+                blocked: &blocked,
+                step,
+                processors: config.processors,
+            };
+            scheduler.pick(&view)
+        };
+        let tid = match decision {
+            Decision::Run(t) => t,
+            Decision::Abort(reason) => break RunStatus::Aborted(reason),
+        };
+        let op = enabled
+            .iter()
+            .find(|c| c.tid == tid)
+            .unwrap_or_else(|| panic!("scheduler picked non-enabled thread {tid}"))
+            .op
+            .clone();
+        schedule.push(tid);
+        step += 1;
+
+        // Charge the base cost.
+        clock.charge(tid, config.cost_model.op_cost(&op));
+        stats.count(&op);
+
+        // Apply.
+        let mut fail: Option<Failure> = None;
+        let (granted, event_result) = match &op {
+            Op::Spawn => {
+                let (new_tid, parent_grant) = {
+                    let mut hub = shared.hub.lock();
+                    let req = hub.slots[tid.index()]
+                        .spawn_req
+                        .take()
+                        .expect("Spawn announced without a spawn request");
+                    let new_tid = ThreadId(hub.slots.len() as u32);
+                    hub.slots.push(Slot {
+                        phase: Phase::Starting,
+                        result: None,
+                        fault: None,
+                        name: req.name.clone(),
+                        tseq: 0,
+                        spawn_req: None,
+                        os_handle: None,
+                    });
+                    known_exited.push(false);
+                    let sh = shared.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("vt-{}", req.name))
+                        .spawn(move || thread_main(sh, new_tid, req.body))
+                        .expect("failed to spawn vthread");
+                    hub.slots[new_tid.index()].os_handle = Some(handle);
+                    (new_tid, OpResult::Tid(new_tid))
+                };
+                let _ = new_tid;
+                (Some(parent_grant.clone()), parent_grant)
+            }
+            Op::Join(_) => (Some(OpResult::Unit), OpResult::Unit),
+            Op::Fail(msg) => {
+                fail = Some(Failure::Assertion {
+                    thread: tid,
+                    message: msg.clone(),
+                });
+                (None, OpResult::Unit)
+            }
+            other => match state.apply(tid, other, clock.now(), step) {
+                Applied::Done(res) => (Some(res.clone()), res),
+                Applied::BlockedRewrite(new_op) => {
+                    let mut hub = shared.hub.lock();
+                    hub.slots[tid.index()].phase = Phase::Announced(new_op);
+                    (None, OpResult::Unit)
+                }
+                Applied::Fault(msg) => {
+                    // Grant with a fault: the thread resumes and panics,
+                    // which the crash path picks up.
+                    let mut hub = shared.hub.lock();
+                    hub.slots[tid.index()].fault = Some(msg);
+                    hub.slots[tid.index()].result = Some(OpResult::Unit);
+                    hub.slots[tid.index()].phase = Phase::Granted;
+                    shared.cv.notify_all();
+                    (None, OpResult::Unit)
+                }
+            },
+        };
+
+        // Emit the event.
+        let tseq = {
+            let mut hub = shared.hub.lock();
+            let t = hub.slots[tid.index()].tseq;
+            hub.slots[tid.index()].tseq += 1;
+            t
+        };
+        let event = Event {
+            gseq: schedule.len() as u64 - 1,
+            tid,
+            tseq,
+            op: op.clone(),
+            result: event_result,
+        };
+        let charge = observer.on_event(&event);
+        if charge.thread_cost > 0 {
+            clock.charge(tid, charge.thread_cost);
+        }
+        if charge.serial_cost > 0 {
+            clock.charge_serial(tid, charge.serial_cost);
+        }
+        if config.trace_mode == TraceMode::Full {
+            trace.push(event);
+        }
+        scheduler.on_applied(tid, &op);
+
+        if let Some(f) = fail {
+            break RunStatus::Failed(f);
+        }
+
+        // Grant the thread its result (unless it stays blocked/faulted).
+        if let Some(res) = granted {
+            let mut hub = shared.hub.lock();
+            hub.slots[tid.index()].result = Some(res);
+            hub.slots[tid.index()].phase = Phase::Granted;
+            shared.cv.notify_all();
+        }
+    };
+
+    // Shut down: poison parked threads and join every OS thread.
+    let (handles, thread_names): (Vec<std::thread::JoinHandle<()>>, Vec<String>) = {
+        let mut hub = shared.hub.lock();
+        hub.poisoned = true;
+        shared.cv.notify_all();
+        let names = hub.slots.iter().map(|s| s.name.clone()).collect();
+        let handles = hub
+            .slots
+            .iter_mut()
+            .filter_map(|s| s.os_handle.take())
+            .collect();
+        (handles, names)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let time = TimeReport::from_clock(&clock, config.processors);
+    let (stdout, conn_outputs, files) = {
+        let world = state.world();
+        (
+            world.stdout().to_vec(),
+            world.conn_outputs(),
+            world.files().clone(),
+        )
+    };
+    RunOutcome {
+        status,
+        trace,
+        time,
+        stats,
+        schedule,
+        thread_names,
+        stdout,
+        conn_outputs,
+        files,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{RandomScheduler, RoundRobinScheduler, ScriptedScheduler};
+    use crate::sys::Session;
+    use crate::trace::NullObserver;
+
+    fn quick_config() -> VmConfig {
+        VmConfig {
+            trace_mode: TraceMode::Full,
+            ..VmConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_program_completes() {
+        let mut spec = ResourceSpec::new();
+        let x = spec.var("x", 0);
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            move |ctx| {
+                ctx.write(x, 41);
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            },
+        );
+        assert_eq!(out.status, RunStatus::Completed);
+        assert!(out.stats.mem_accesses == 3);
+        // start, 3 accesses, exit
+        assert_eq!(out.stats.total_ops, 5);
+    }
+
+    #[test]
+    fn spawn_join_and_shared_counter() {
+        let mut spec = ResourceSpec::new();
+        let counter = spec.var("counter", 0);
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RandomScheduler::new(1),
+            &mut NullObserver,
+            move |ctx| {
+                let kids: Vec<ThreadId> = (0..4)
+                    .map(|i| {
+                        ctx.spawn(&format!("w{i}"), move |ctx| {
+                            for _ in 0..10 {
+                                ctx.fetch_add(counter, 1);
+                            }
+                        })
+                    })
+                    .collect();
+                for k in kids {
+                    ctx.join(k);
+                }
+                let total = ctx.read(counter);
+                ctx.check(total == 40, "lost updates");
+            },
+        );
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.stats.spawns, 4);
+    }
+
+    #[test]
+    fn racy_read_write_counter_loses_updates_under_some_seed() {
+        // The classic non-atomic increment: read, compute, write. Some seed
+        // must interleave two threads inside the window.
+        let lost_updates = |seed: u64| -> bool {
+            let mut spec = ResourceSpec::new();
+            let counter = spec.var("counter", 0);
+            let out = run(
+                VmConfig::default(),
+                spec,
+                &mut RandomScheduler::with_mean_slice(seed, 2),
+                &mut NullObserver,
+                move |ctx| {
+                    let kids: Vec<ThreadId> = (0..2)
+                        .map(|i| {
+                            ctx.spawn(&format!("w{i}"), move |ctx| {
+                                for _ in 0..20 {
+                                    let v = ctx.read(counter);
+                                    ctx.write(counter, v + 1);
+                                }
+                            })
+                        })
+                        .collect();
+                    for k in kids {
+                        ctx.join(k);
+                    }
+                    let total = ctx.read(counter);
+                    ctx.check(total == 40, "lost update");
+                },
+            );
+            out.status.is_failed()
+        };
+        let failures = (0..20).filter(|s| lost_updates(*s)).count();
+        assert!(failures > 0, "no seed lost an update");
+    }
+
+    #[test]
+    fn deadlock_is_detected_with_cycle() {
+        let mut spec = ResourceSpec::new();
+        let a = spec.lock("a");
+        let b = spec.lock("b");
+        // Force the ABBA interleaving with a scripted acquire order via
+        // channel handshake.
+        let ch = spec.chan("ready");
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            move |ctx| {
+                let t1 = ctx.spawn("t1", move |ctx| {
+                    ctx.lock(a);
+                    ctx.send(ch, 1);
+                    ctx.lock(b); // will deadlock
+                    ctx.unlock(b);
+                    ctx.unlock(a);
+                });
+                let t2 = ctx.spawn("t2", move |ctx| {
+                    ctx.lock(b);
+                    ctx.recv(ch);
+                    ctx.lock(a); // will deadlock
+                    ctx.unlock(a);
+                    ctx.unlock(b);
+                });
+                ctx.join(t1);
+                ctx.join(t2);
+            },
+        );
+        match out.status {
+            RunStatus::Failed(Failure::Deadlock { locks, .. }) => {
+                assert!(locks.contains(&a) && locks.contains(&b));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn assertion_failure_surfaces_with_message() {
+        let spec = ResourceSpec::new();
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            |ctx| {
+                ctx.check(1 + 1 == 3, "math is broken");
+            },
+        );
+        match out.status {
+            RunStatus::Failed(Failure::Assertion { message, .. }) => {
+                assert_eq!(message, "math is broken");
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_thread_is_a_crash() {
+        let spec = ResourceSpec::new();
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            |ctx| {
+                ctx.compute(1);
+                panic!("segfault simulated");
+            },
+        );
+        match out.status {
+            RunStatus::Failed(Failure::Crash { message, .. }) => {
+                assert!(message.contains("segfault"));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn lock_misuse_is_a_crash_not_a_hang() {
+        let mut spec = ResourceSpec::new();
+        let l = spec.lock("m");
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            move |ctx| {
+                ctx.unlock(l);
+            },
+        );
+        match out.status {
+            RunStatus::Failed(Failure::Crash { message, .. }) => {
+                assert!(message.contains("does not hold"));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn producer_consumer_with_condvar() {
+        let mut spec = ResourceSpec::new();
+        let l = spec.lock("m");
+        let cv = spec.cond("cv");
+        let q = spec.var("queued", 0);
+        let consumed = spec.var("consumed", 0);
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RandomScheduler::new(5),
+            &mut NullObserver,
+            move |ctx| {
+                let cons = ctx.spawn("consumer", move |ctx| {
+                    for _ in 0..5 {
+                        ctx.lock(l);
+                        while ctx.read(q) == 0 {
+                            ctx.cond_wait(cv, l);
+                        }
+                        let n = ctx.read(q);
+                        ctx.write(q, n - 1);
+                        ctx.fetch_add(consumed, 1);
+                        ctx.unlock(l);
+                    }
+                });
+                for _ in 0..5 {
+                    ctx.lock(l);
+                    let n = ctx.read(q);
+                    ctx.write(q, n + 1);
+                    ctx.notify_one(cv);
+                    ctx.unlock(l);
+                }
+                ctx.join(cons);
+                let total = ctx.read(consumed);
+                ctx.check(total == 5, "consumer missed items");
+            },
+        );
+        assert_eq!(out.status, RunStatus::Completed, "{}", out.status);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let mut spec = ResourceSpec::new();
+        let bar = spec.barrier("b", 3);
+        let phase_sum = spec.var("sum", 0);
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RandomScheduler::new(9),
+            &mut NullObserver,
+            move |ctx| {
+                let kids: Vec<ThreadId> = (0..3)
+                    .map(|i| {
+                        ctx.spawn(&format!("w{i}"), move |ctx| {
+                            ctx.fetch_add(phase_sum, 1);
+                            ctx.barrier_wait(bar);
+                            // After the barrier every thread must see all 3
+                            // phase-1 increments.
+                            let s = ctx.read(phase_sum);
+                            ctx.check(s >= 3, "barrier let a thread through early");
+                        })
+                    })
+                    .collect();
+                for k in kids {
+                    ctx.join(k);
+                }
+            },
+        );
+        assert_eq!(out.status, RunStatus::Completed, "{}", out.status);
+    }
+
+    #[test]
+    fn server_accepts_scripted_sessions_and_responds() {
+        let mut spec = ResourceSpec::new();
+        let served = spec.var("served", 0);
+        let mut config = quick_config();
+        config.world = WorldConfig::default()
+            .with_session(Session::new(0, b"GET /a".to_vec()))
+            .with_session(Session::new(10, b"GET /b".to_vec()));
+        let out = run(
+            config,
+            spec,
+            &mut RandomScheduler::new(2),
+            &mut NullObserver,
+            move |ctx| {
+                while let Some(conn) = ctx.sys_accept() {
+                    let req = ctx.sys_recv(conn, 64).unwrap_or_default();
+                    ctx.sys_send(conn, b"200 ");
+                    ctx.sys_send(conn, &req);
+                    ctx.sys_net_close(conn);
+                    ctx.fetch_add(served, 1);
+                }
+                let n = ctx.read(served);
+                ctx.check(n == 2, "not all sessions served");
+            },
+        );
+        assert_eq!(out.status, RunStatus::Completed, "{}", out.status);
+        assert_eq!(out.conn_outputs[0], b"200 GET /a".to_vec());
+        assert_eq!(out.conn_outputs[1], b"200 GET /b".to_vec());
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run_once = |seed: u64| -> (Vec<ThreadId>, u64) {
+            let mut spec = ResourceSpec::new();
+            let x = spec.var("x", 0);
+            let out = run(
+                quick_config(),
+                spec,
+                &mut RandomScheduler::new(seed),
+                &mut NullObserver,
+                move |ctx| {
+                    let kids: Vec<ThreadId> = (0..3)
+                        .map(|i| {
+                            ctx.spawn(&format!("w{i}"), move |ctx| {
+                                for _ in 0..15 {
+                                    let v = ctx.read(x);
+                                    ctx.write(x, v + 1);
+                                }
+                            })
+                        })
+                        .collect();
+                    for k in kids {
+                        ctx.join(k);
+                    }
+                },
+            );
+            let final_x = match out.trace.events().iter().rev().find_map(|e| match e.op {
+                Op::Write(_, v) => Some(v),
+                _ => None,
+            }) {
+                Some(v) => v,
+                None => 0,
+            };
+            (out.schedule, final_x)
+        };
+        let (s1, x1) = run_once(77);
+        let (s2, x2) = run_once(77);
+        assert_eq!(s1, s2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn scripted_replay_of_a_recorded_schedule_is_identical() {
+        let program = |ctx: &mut Ctx, x: VarId| {
+            let kids: Vec<ThreadId> = (0..3)
+                .map(|i| {
+                    ctx.spawn(&format!("w{i}"), move |ctx| {
+                        for _ in 0..10 {
+                            let v = ctx.read(x);
+                            ctx.compute(3);
+                            ctx.write(x, v + 1);
+                        }
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        };
+        let mut spec1 = ResourceSpec::new();
+        let x1 = spec1.var("x", 0);
+        let first = run(
+            quick_config(),
+            spec1,
+            &mut RandomScheduler::new(123),
+            &mut NullObserver,
+            move |ctx| program(ctx, x1),
+        );
+        let mut spec2 = ResourceSpec::new();
+        let x2 = spec2.var("x", 0);
+        let mut scripted = ScriptedScheduler::new(first.schedule.clone());
+        let second = run(
+            quick_config(),
+            spec2,
+            &mut scripted,
+            &mut NullObserver,
+            move |ctx| program(ctx, x2),
+        );
+        assert_eq!(second.status, RunStatus::Completed);
+        assert_eq!(first.schedule, second.schedule);
+        assert_eq!(first.trace.len(), second.trace.len());
+        for (a, b) in first.trace.events().iter().zip(second.trace.events()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_programs() {
+        let mut spec = ResourceSpec::new();
+        let x = spec.var("x", 0);
+        let mut config = quick_config();
+        config.max_steps = 500;
+        let out = run(
+            config,
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            move |ctx| loop {
+                ctx.fetch_add(x, 1);
+            },
+        );
+        assert_eq!(out.status, RunStatus::StepLimit);
+        assert!(out.stats.total_ops <= 501);
+    }
+
+    #[test]
+    fn stdout_and_files_are_captured() {
+        let spec = ResourceSpec::new();
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            |ctx| {
+                ctx.println("hello");
+                let fd = ctx.sys_open("data.log");
+                ctx.sys_write(fd, b"abc");
+                ctx.sys_close(fd);
+            },
+        );
+        assert_eq!(out.stdout, b"hello\n");
+        assert_eq!(out.files.get("data.log").unwrap(), &b"abc".to_vec());
+    }
+
+    #[test]
+    fn virtual_time_reflects_compute_costs() {
+        let spec = ResourceSpec::new();
+        let out = run(
+            quick_config(),
+            spec,
+            &mut RoundRobinScheduler::new(),
+            &mut NullObserver,
+            |ctx| {
+                ctx.compute(10_000);
+            },
+        );
+        assert!(out.time.work >= 10_000);
+        assert!(out.time.span >= 10_000);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the VM itself: structural invariants that must hold
+//! for arbitrary generated programs and seeds.
+
+use proptest::prelude::*;
+use pres_tvm::prelude::*;
+use pres_tvm::state::ResourceSpec;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Incr(u8),
+    LockedIncr(u8),
+    Send,
+    TryRecv,
+    Compute(u8),
+    Barrier,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Atomic and locked increments target disjoint variables:
+            // mixing them on one cell is a genuine (intentional-bug-style)
+            // race and would make the conservation property false.
+            Just(Step::Incr(0)),
+            Just(Step::LockedIncr(1)),
+            Just(Step::Send),
+            Just(Step::TryRecv),
+            (1u8..30).prop_map(Step::Compute),
+            Just(Step::Barrier),
+        ],
+        1..10,
+    )
+}
+
+const WORKERS: u32 = 3;
+
+fn run_generated(per_worker: &[Vec<Step>], seed: u64, p: u32) -> pres_tvm::vm::RunOutcome {
+    let mut spec = ResourceSpec::new();
+    let vars = spec.var_array("v", 2, 0);
+    let lock = spec.lock("m");
+    let chan = spec.chan("q");
+    let bar = spec.barrier("b", WORKERS);
+    let steps: Vec<Vec<Step>> = per_worker.to_vec();
+    pres_tvm::vm::run(
+        VmConfig {
+            processors: p,
+            trace_mode: TraceMode::Full,
+            max_steps: 50_000,
+            ..VmConfig::default()
+        },
+        spec,
+        &mut RandomScheduler::new(seed),
+        &mut NullObserver,
+        move |ctx| {
+            let kids: Vec<ThreadId> = steps
+                .into_iter()
+                .enumerate()
+                .map(|(i, ops)| {
+                    ctx.spawn(&format!("w{i}"), move |ctx| {
+                        for op in ops {
+                            match op {
+                                Step::Incr(v) => {
+                                    ctx.fetch_add(VarId(vars.0 + u32::from(v)), 1);
+                                }
+                                Step::LockedIncr(v) => {
+                                    ctx.with_lock(lock, |ctx| {
+                                        let x = ctx.read(VarId(vars.0 + u32::from(v)));
+                                        ctx.write(VarId(vars.0 + u32::from(v)), x + 1);
+                                    });
+                                }
+                                Step::Send => ctx.send(chan, 1),
+                                Step::TryRecv => {
+                                    // Barriers and channels both block; keep
+                                    // programs deadlock-free by only sending.
+                                    ctx.send(chan, 2);
+                                }
+                                Step::Compute(n) => ctx.compute(u64::from(n)),
+                                Step::Barrier => ctx.barrier_wait(bar),
+                            }
+                        }
+                        // Everyone reaches the final barrier generation the
+                        // same number of times: pad to a common count.
+                        ctx.barrier_wait(bar);
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        },
+    )
+}
+
+/// Equalize barrier counts so generated programs never deadlock: every
+/// worker gets the same number of `Barrier` steps (the max), appended.
+fn equalize(mut workers: Vec<Vec<Step>>) -> Vec<Vec<Step>> {
+    let max_barriers = workers
+        .iter()
+        .map(|w| w.iter().filter(|s| matches!(s, Step::Barrier)).count())
+        .max()
+        .unwrap_or(0);
+    for w in &mut workers {
+        let have = w.iter().filter(|s| matches!(s, Step::Barrier)).count();
+        for _ in have..max_barriers {
+            w.push(Step::Barrier);
+        }
+    }
+    workers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_programs_complete_and_balance(
+        w1 in arb_steps(), w2 in arb_steps(), w3 in arb_steps(),
+        seed in any::<u64>(),
+        p in 1u32..9,
+    ) {
+        let workers = equalize(vec![w1, w2, w3]);
+        let total_incrs: u64 = workers
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Step::Incr(_) | Step::LockedIncr(_)))
+            .count() as u64;
+        let out = run_generated(&workers, seed, p);
+        prop_assert_eq!(&out.status, &RunStatus::Completed);
+        // Every increment produced at least one memory access.
+        prop_assert!(out.stats.mem_accesses >= total_incrs);
+        // Structural invariants.
+        prop_assert_eq!(out.trace.len() as u64, out.stats.total_ops);
+        prop_assert_eq!(out.schedule.len() as u64, out.stats.total_ops);
+        for (i, e) in out.trace.events().iter().enumerate() {
+            prop_assert_eq!(e.gseq, i as u64);
+        }
+        // Per-thread sequence numbers are dense per thread.
+        for t in 0..=WORKERS {
+            let mut expected = 0u32;
+            for e in out.trace.thread_events(ThreadId(t)) {
+                prop_assert_eq!(e.tseq, expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn processor_count_never_changes_functional_results(
+        w1 in arb_steps(), w2 in arb_steps(), w3 in arb_steps(),
+        seed in any::<u64>(),
+    ) {
+        // Different P values change timing and interleaving, but a program
+        // whose shared updates are all atomic/locked must produce the same
+        // final variable sums.
+        let workers = equalize(vec![w1, w2, w3]);
+        let sum_of = |p: u32| -> u64 {
+            let out = run_generated(&workers, seed, p);
+            assert_eq!(out.status, RunStatus::Completed);
+            // Recover final values by replaying writes in trace order.
+            let mut v = [0u64; 2];
+            for e in out.trace.events() {
+                match e.op {
+                    pres_tvm::op::Op::Write(var, x) if var.0 < 2 => v[var.0 as usize] = x,
+                    pres_tvm::op::Op::FetchAdd(var, d) if var.0 < 2 => {
+                        v[var.0 as usize] = v[var.0 as usize].wrapping_add_signed(d)
+                    }
+                    _ => {}
+                }
+            }
+            v[0] + v[1]
+        };
+        let a = sum_of(1);
+        let b = sum_of(8);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! A fleet simulation: recording is always on in production; the first
+//! failing run triggers diagnosis; the resulting certificate becomes the
+//! regression test that reproduces the bug on every CI run thereafter.
+//!
+//! ```sh
+//! cargo run --example production_pipeline --release
+//! ```
+
+use pres_apps::pbzip::{Pbzip, PbzipConfig};
+use pres_core::api::Pres;
+use pres_core::sketch::Mechanism;
+
+fn main() {
+    let app = Pbzip::new(PbzipConfig::default());
+    let pres = Pres::new(Mechanism::Sync);
+
+    // Production fleet: run after run, recording always on.
+    let mut clean_runs = 0u32;
+    let mut overhead_sum = 0.0;
+    let mut failing = None;
+    for seed in 0..5000 {
+        let run = pres.record(&app, seed);
+        overhead_sum += run.overhead_pct();
+        if run.failed() {
+            println!(
+                "run {} FAILED: {} (after {clean_runs} clean runs, mean recording overhead {:.2}%)",
+                seed,
+                run.sketch.meta.failure_signature,
+                overhead_sum / f64::from(clean_runs + 1)
+            );
+            failing = Some(run);
+            break;
+        }
+        clean_runs += 1;
+    }
+    let recorded = failing.expect("the teardown race manifests eventually");
+
+    // Diagnosis: reproduce once.
+    let repro = pres.reproduce(&app, &recorded);
+    assert!(repro.reproduced);
+    println!("diagnosed in {} replay attempt(s)", repro.attempts);
+
+    // Regression: the encoded certificate is the artifact you commit.
+    let cert = repro.certificate.expect("certificate");
+    let bytes = cert.encode();
+    println!("certificate: {} bytes", bytes.len());
+    let restored = pres_core::Certificate::decode(&bytes).expect("round-trips");
+    let mut ok = 0;
+    for _ in 0..20 {
+        if restored.replay(&app).is_ok() {
+            ok += 1;
+        }
+    }
+    println!("CI regression replays: {ok}/20 deterministic reproductions");
+    assert_eq!(ok, 20);
+}

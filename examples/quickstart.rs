@@ -1,0 +1,64 @@
+//! Quickstart: record a production run cheaply, reproduce the concurrency
+//! bug at diagnosis time, keep a deterministic reproduction forever.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use pres_core::api::Pres;
+use pres_core::program::ClosureProgram;
+use pres_core::sketch::Mechanism;
+use pres_tvm::prelude::*;
+
+fn main() {
+    // A tiny "application": two workers increment a shared counter with a
+    // classic unprotected read-modify-write.
+    let mut spec = ResourceSpec::new();
+    let counter = spec.var("counter", 0);
+    let app = ClosureProgram::new("quickstart", spec, WorldConfig::default(), move || {
+        Box::new(move |ctx: &mut Ctx| {
+            let workers: Vec<ThreadId> = (0..2)
+                .map(|i| {
+                    ctx.spawn(&format!("w{i}"), move |ctx| {
+                        let v = ctx.read(counter); // BUG: not atomic
+                        ctx.compute(40);
+                        ctx.write(counter, v + 1);
+                    })
+                })
+                .collect();
+            for w in workers {
+                ctx.join(w);
+            }
+            let total = ctx.read(counter);
+            ctx.check(total == 2, "lost update");
+        })
+    });
+
+    // Production: SYNC sketching — the cheap recording mode.
+    let pres = Pres::new(Mechanism::Sync);
+    let recorded = pres
+        .record_until_failure(&app, 0..5000)
+        .expect("under some schedule the update is lost");
+    println!(
+        "production run failed (seed {}): {}",
+        recorded.sketch.meta.seed, recorded.sketch.meta.failure_signature
+    );
+    println!(
+        "recording overhead: {:.2}% | sketch: {} entries, {} bytes",
+        recorded.overhead_pct(),
+        recorded.sketch.len(),
+        recorded.log_bytes
+    );
+
+    // Diagnosis: explore the unrecorded interleaving space.
+    let repro = pres.reproduce(&app, &recorded);
+    assert!(repro.reproduced);
+    println!("reproduced after {} replay attempt(s)", repro.attempts);
+
+    // Forever after: the certificate replays the failure deterministically.
+    let cert = repro.certificate.expect("certificate minted");
+    for i in 1..=3 {
+        let out = cert.replay(&app).expect("reproduces every time");
+        println!("certificate replay #{i}: {}", out.status);
+    }
+}

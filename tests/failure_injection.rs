@@ -1,0 +1,145 @@
+//! Failure-path coverage through the public API: deadlock detection, step
+//! budgets, crashes, and misuse faults all surface as structured outcomes
+//! rather than hangs or panics of the harness itself.
+
+use pres_core::program::ClosureProgram;
+use pres_core::recorder::run_traced;
+use pres_suite::tvm::prelude::*;
+
+fn run_program(
+    prog: &dyn pres_core::program::Program,
+    seed: u64,
+    max_steps: u64,
+) -> pres_suite::tvm::vm::RunOutcome {
+    let body = prog.root();
+    pres_suite::tvm::vm::run(
+        VmConfig {
+            max_steps,
+            world: prog.world(),
+            ..VmConfig::default()
+        },
+        prog.resources(),
+        &mut RandomScheduler::new(seed),
+        &mut NullObserver,
+        move |ctx| body(ctx),
+    )
+}
+
+#[test]
+fn forced_deadlock_reports_the_cycle() {
+    let mut spec = ResourceSpec::new();
+    let a = spec.lock("a");
+    let b = spec.lock("b");
+    let gate = spec.chan("gate");
+    let prog = ClosureProgram::new("abba", spec, WorldConfig::default(), move || {
+        Box::new(move |ctx: &mut Ctx| {
+            let t = ctx.spawn("t", move |ctx| {
+                ctx.lock(b);
+                ctx.send(gate, 1);
+                ctx.lock(a);
+                ctx.unlock(a);
+                ctx.unlock(b);
+            });
+            ctx.lock(a);
+            ctx.recv(gate);
+            ctx.lock(b);
+            ctx.unlock(b);
+            ctx.unlock(a);
+            ctx.join(t);
+        })
+    });
+    match run_program(&prog, 0, 100_000).status {
+        RunStatus::Failed(Failure::Deadlock { locks, threads, .. }) => {
+            assert_eq!(locks.len(), 2);
+            assert_eq!(threads.len(), 2);
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn infinite_loops_hit_the_step_budget() {
+    let mut spec = ResourceSpec::new();
+    let x = spec.var("x", 0);
+    let prog = ClosureProgram::new("spin", spec, WorldConfig::default(), move || {
+        Box::new(move |ctx: &mut Ctx| loop {
+            ctx.fetch_add(x, 1);
+        })
+    });
+    assert_eq!(run_program(&prog, 0, 1_000).status, RunStatus::StepLimit);
+}
+
+#[test]
+fn vthread_panic_is_an_isolated_crash() {
+    let spec = ResourceSpec::new();
+    let prog = ClosureProgram::new("boom", spec, WorldConfig::default(), || {
+        Box::new(|ctx: &mut Ctx| {
+            let t = ctx.spawn("bomber", |ctx| {
+                ctx.compute(5);
+                panic!("simulated segfault");
+            });
+            ctx.join(t);
+        })
+    });
+    match run_program(&prog, 0, 100_000).status {
+        RunStatus::Failed(Failure::Crash { message, .. }) => {
+            assert!(message.contains("simulated segfault"));
+        }
+        other => panic!("expected crash, got {other}"),
+    }
+}
+
+#[test]
+fn lock_misuse_is_a_crash_with_context() {
+    let mut spec = ResourceSpec::new();
+    let l = spec.lock("m");
+    let prog = ClosureProgram::new("misuse", spec, WorldConfig::default(), move || {
+        Box::new(move |ctx: &mut Ctx| {
+            ctx.unlock(l);
+        })
+    });
+    match run_program(&prog, 0, 1_000).status {
+        RunStatus::Failed(Failure::Crash { message, .. }) => {
+            assert!(message.contains("does not hold"), "{message}");
+        }
+        other => panic!("expected misuse crash, got {other}"),
+    }
+}
+
+#[test]
+fn double_acquire_self_deadlocks_with_unit_cycle() {
+    let mut spec = ResourceSpec::new();
+    let l = spec.lock("m");
+    let prog = ClosureProgram::new("reenter", spec, WorldConfig::default(), move || {
+        Box::new(move |ctx: &mut Ctx| {
+            ctx.lock(l);
+            ctx.lock(l); // non-reentrant: self-deadlock
+        })
+    });
+    match run_program(&prog, 0, 1_000).status {
+        RunStatus::Failed(Failure::Deadlock { threads, .. }) => {
+            assert_eq!(threads.len(), 1);
+        }
+        other => panic!("expected self-deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn traced_runs_capture_failure_context() {
+    let mut spec = ResourceSpec::new();
+    let x = spec.var("x", 0);
+    let prog = ClosureProgram::new("assertfail", spec, WorldConfig::default(), move || {
+        Box::new(move |ctx: &mut Ctx| {
+            ctx.write(x, 41);
+            ctx.check(false, "invariant violated");
+        })
+    });
+    let out = run_traced(&prog, &VmConfig::default(), 0);
+    assert!(out.status.is_failed());
+    // The trace contains everything up to the failure.
+    assert!(out
+        .trace
+        .events()
+        .iter()
+        .any(|e| matches!(e.op, pres_tvm::op::Op::Write(v, 41) if v == x)));
+}

@@ -1,0 +1,103 @@
+//! Cross-crate sketch-mechanism properties checked on real application
+//! traces: the information spectrum is cumulative, online recording equals
+//! offline filtering, and every sketch round-trips through the codec.
+
+use pres_core::codec::{decode_sketch, encode_sketch};
+use pres_core::recorder::{record, run_traced};
+use pres_core::sketch::{Mechanism, Sketch, SketchOp};
+use pres_suite::apps::registry::{all_apps, WorkloadScale};
+use pres_tvm::vm::VmConfig;
+
+fn standard_mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism::Rw,
+        Mechanism::Bb,
+        Mechanism::BbN(4),
+        Mechanism::Func,
+        Mechanism::Sys,
+        Mechanism::Sync,
+    ]
+}
+
+/// a within b: every entry of `a` appears in `b` in order.
+fn is_subsequence(a: &Sketch, b: &Sketch) -> bool {
+    let mut it = b.entries.iter();
+    a.entries.iter().all(|ea| it.any(|eb| eb == ea))
+}
+
+#[test]
+fn online_recording_equals_offline_filtering_for_every_app() {
+    let config = VmConfig::default();
+    for app in all_apps() {
+        let prog = app.workload(WorkloadScale::Small);
+        let traced = run_traced(prog.as_ref(), &config, 11);
+        for mech in standard_mechanisms() {
+            let online = record(prog.as_ref(), mech, &config, 11).sketch;
+            let offline = Sketch::from_events(mech, traced.trace.events());
+            assert_eq!(
+                online.entries, offline.entries,
+                "{} under {}",
+                app.id, mech
+            );
+        }
+    }
+}
+
+#[test]
+fn information_spectrum_is_cumulative() {
+    let config = VmConfig::default();
+    for app in all_apps() {
+        let prog = app.workload(WorkloadScale::Small);
+        let sketch_of = |m: Mechanism| record(prog.as_ref(), m, &config, 3).sketch;
+        let rw = sketch_of(Mechanism::Rw);
+        let bb = sketch_of(Mechanism::Bb);
+        let bbn = sketch_of(Mechanism::BbN(4));
+        let func = sketch_of(Mechanism::Func);
+        let sync = sketch_of(Mechanism::Sync);
+        let sys = sketch_of(Mechanism::Sys);
+        assert!(is_subsequence(&sync, &rw), "{}: SYNC ⊆ RW", app.id);
+        assert!(is_subsequence(&sync, &bb), "{}: SYNC ⊆ BB", app.id);
+        assert!(is_subsequence(&sync, &func), "{}: SYNC ⊆ FUNC", app.id);
+        assert!(is_subsequence(&bbn, &bb), "{}: BB-4 ⊆ BB", app.id);
+        assert!(is_subsequence(&sys, &sync), "{}: SYS ⊆ SYNC", app.id);
+        // Sampling strictly reduces entries; RW vs BB entry *counts* are
+        // incomparable (RW records accesses, BB records block markers) -
+        // the informational ordering is the subsequence property above.
+        assert!(bb.len() >= bbn.len(), "{}: BB-4 samples BB", app.id);
+        assert!(rw.len() >= sync.len(), "{}: RW extends SYNC", app.id);
+    }
+}
+
+#[test]
+fn every_sketch_round_trips_through_the_codec() {
+    let config = VmConfig::default();
+    for app in all_apps() {
+        let prog = app.workload(WorkloadScale::Small);
+        for mech in standard_mechanisms() {
+            let sketch = record(prog.as_ref(), mech, &config, 5).sketch;
+            let decoded = decode_sketch(&encode_sketch(&sketch))
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", app.id, mech));
+            assert_eq!(sketch, decoded, "{} under {}", app.id, mech);
+        }
+    }
+}
+
+#[test]
+fn syscall_results_are_recorded_by_every_mechanism() {
+    let config = VmConfig::default();
+    let apps = all_apps();
+    let app = apps.iter().find(|a| a.id == "httpd").expect("httpd");
+    let prog = app.workload(WorkloadScale::Small);
+    for mech in standard_mechanisms() {
+        let sketch = record(prog.as_ref(), mech, &config, 5).sketch;
+        let sys_entries = sketch
+            .entries
+            .iter()
+            .filter(|e| matches!(e.op, SketchOp::Sys { .. }))
+            .count();
+        assert!(
+            sys_entries > 0,
+            "{mech}: syscalls must be recorded for input determinism"
+        );
+    }
+}

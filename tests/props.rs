@@ -1,0 +1,413 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! determinism invariants the whole system rests on.
+
+use proptest::prelude::*;
+use pres_core::codec::{decode_sketch, encode_sketch, ByteReader, ByteWriter};
+use pres_core::sketch::{Mechanism, Sketch, SketchEntry, SketchMeta, SketchOp, SyncKind, SysKind};
+use pres_race::vclock::VectorClock;
+use pres_suite::tvm::prelude::*;
+use pres_tvm::op::{MemLoc, OpResult};
+
+// ---------------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------------
+
+fn arb_mechanism() -> impl Strategy<Value = Mechanism> {
+    prop_oneof![
+        Just(Mechanism::Rw),
+        Just(Mechanism::Sync),
+        Just(Mechanism::Sys),
+        Just(Mechanism::Func),
+        Just(Mechanism::Bb),
+        (1u32..64).prop_map(Mechanism::BbN),
+    ]
+}
+
+fn arb_sync_kind() -> impl Strategy<Value = SyncKind> {
+    prop_oneof![
+        Just(SyncKind::Lock),
+        Just(SyncKind::Unlock),
+        Just(SyncKind::Wait),
+        Just(SyncKind::Rewait),
+        Just(SyncKind::Signal),
+        Just(SyncKind::Broadcast),
+        Just(SyncKind::Barrier),
+        Just(SyncKind::SemP),
+        Just(SyncKind::SemV),
+        Just(SyncKind::Send),
+        Just(SyncKind::Recv),
+    ]
+}
+
+fn arb_sketch_op() -> impl Strategy<Value = SketchOp> {
+    prop_oneof![
+        Just(SketchOp::Start),
+        Just(SketchOp::Exit),
+        Just(SketchOp::Spawn),
+        (0u32..100).prop_map(|t| SketchOp::Join { target: t }),
+        (any::<bool>(), 0u32..1000).prop_map(|(w, v)| SketchOp::Mem {
+            loc: MemLoc::Var(VarId(v)),
+            write: w,
+        }),
+        (any::<bool>(), 0u32..50).prop_map(|(w, b)| SketchOp::Mem {
+            loc: MemLoc::Buf(BufId(b)),
+            write: w,
+        }),
+        (arb_sync_kind(), 0u32..100)
+            .prop_map(|(kind, obj)| SketchOp::Sync { kind, obj }),
+        (0u32..10_000).prop_map(SketchOp::Func),
+        (0u32..100_000).prop_map(SketchOp::Bb),
+    ]
+}
+
+fn arb_result() -> impl Strategy<Value = OpResult> {
+    prop_oneof![
+        Just(OpResult::Unit),
+        any::<u64>().prop_map(OpResult::Value),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(OpResult::Bytes),
+        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(OpResult::MaybeBytes),
+        proptest::option::of(any::<u64>()).prop_map(OpResult::MaybeValue),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = SketchEntry> {
+    (0u32..32, arb_sketch_op(), arb_result()).prop_map(|(tid, op, result)| {
+        let result = if matches!(op, SketchOp::Sys { .. }) {
+            result
+        } else {
+            OpResult::Unit
+        };
+        SketchEntry {
+            tid: ThreadId(tid),
+            op,
+            result,
+        }
+    })
+}
+
+fn arb_sys_entry() -> impl Strategy<Value = SketchEntry> {
+    (0u32..32, 0u32..50, arb_result()).prop_map(|(tid, obj, result)| SketchEntry {
+        tid: ThreadId(tid),
+        op: SketchOp::Sys {
+            kind: SysKind::Read,
+            obj,
+        },
+        result,
+    })
+}
+
+fn arb_sketch() -> impl Strategy<Value = Sketch> {
+    (
+        arb_mechanism(),
+        proptest::collection::vec(prop_oneof![arb_entry(), arb_sys_entry()], 0..200),
+        "[a-z]{0,12}",
+        any::<u64>(),
+        1u32..64,
+    )
+        .prop_map(|(mechanism, entries, program, seed, processors)| Sketch {
+            mechanism,
+            entries,
+            meta: SketchMeta {
+                program,
+                seed,
+                processors,
+                total_ops: 0,
+                failure_signature: String::new(),
+            },
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Codec properties.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn codec_round_trips_any_sketch(sketch in arb_sketch()) {
+        let encoded = encode_sketch(&sketch);
+        let decoded = decode_sketch(&encoded).expect("well-formed input decodes");
+        prop_assert_eq!(sketch, decoded);
+    }
+
+    #[test]
+    fn codec_never_panics_on_corrupt_input(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Decoding arbitrary bytes must fail cleanly, not crash.
+        let _ = decode_sketch(&data);
+    }
+
+    #[test]
+    fn truncation_is_always_detected(sketch in arb_sketch(), cut_fraction in 0.0f64..1.0) {
+        let encoded = encode_sketch(&sketch);
+        let cut = (encoded.len() as f64 * cut_fraction) as usize;
+        if cut < encoded.len() {
+            prop_assert!(decode_sketch(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn varints_round_trip(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let mut w = ByteWriter::new();
+        for v in &values {
+            w.varint(*v);
+        }
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        for v in &values {
+            prop_assert_eq!(r.varint().unwrap(), *v);
+        }
+        prop_assert!(r.at_end());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector-clock laws.
+// ---------------------------------------------------------------------------
+
+fn arb_vclock() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..50, 0..8).prop_map(|entries| {
+        let mut vc = VectorClock::new();
+        for (i, v) in entries.into_iter().enumerate() {
+            vc.set(ThreadId(i as u32), v);
+        }
+        vc
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_is_an_upper_bound(a in arb_vclock(), b in arb_vclock()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent(a in arb_vclock(), b in arb_vclock()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(ab.clone(), ba);
+        let mut again = ab.clone();
+        again.join(&b);
+        prop_assert_eq!(ab, again);
+    }
+
+    #[test]
+    fn hb_is_antisymmetric(a in arb_vclock(), b in arb_vclock()) {
+        if a.le(&b) && b.le(&a) {
+            for i in 0..8u32 {
+                prop_assert_eq!(a.get(ThreadId(i)), b.get(ThreadId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrency_is_symmetric(a in arb_vclock(), b in arb_vclock()) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and sketch-filter invariants over generated programs.
+// ---------------------------------------------------------------------------
+
+/// A tiny generated concurrent program: N workers each run a generated
+/// sequence of operations over a few shared variables and a lock.
+#[derive(Debug, Clone)]
+enum MiniOp {
+    Read(u8),
+    Write(u8, u8),
+    FetchAdd(u8),
+    Locked(u8),
+    Compute(u8),
+    Bb(u8),
+}
+
+fn arb_mini_ops() -> impl Strategy<Value = Vec<MiniOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..3).prop_map(MiniOp::Read),
+            (0u8..3, any::<u8>()).prop_map(|(v, x)| MiniOp::Write(v, x)),
+            (0u8..3).prop_map(MiniOp::FetchAdd),
+            (0u8..3).prop_map(MiniOp::Locked),
+            (1u8..20).prop_map(MiniOp::Compute),
+            (0u8..16).prop_map(MiniOp::Bb),
+        ],
+        1..12,
+    )
+}
+
+fn run_mini(workers: Vec<Vec<MiniOp>>, seed: u64) -> pres_suite::tvm::vm::RunOutcome {
+    let mut spec = ResourceSpec::new();
+    let v0 = spec.var_array("v", 3, 0);
+    let lock = spec.lock("m");
+    pres_suite::tvm::vm::run(
+        VmConfig {
+            trace_mode: TraceMode::Full,
+            max_steps: 100_000,
+            ..VmConfig::default()
+        },
+        spec,
+        &mut RandomScheduler::new(seed),
+        &mut NullObserver,
+        move |ctx| {
+            let handles: Vec<ThreadId> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(i, ops)| {
+                    ctx.spawn(&format!("w{i}"), move |ctx| {
+                        for op in ops {
+                            match op {
+                                MiniOp::Read(v) => {
+                                    ctx.read(VarId(v0.0 + u32::from(v)));
+                                }
+                                MiniOp::Write(v, x) => {
+                                    ctx.write(VarId(v0.0 + u32::from(v)), u64::from(x));
+                                }
+                                MiniOp::FetchAdd(v) => {
+                                    ctx.fetch_add(VarId(v0.0 + u32::from(v)), 1);
+                                }
+                                MiniOp::Locked(v) => {
+                                    ctx.with_lock(lock, |ctx| {
+                                        let x = ctx.read(VarId(v0.0 + u32::from(v)));
+                                        ctx.write(VarId(v0.0 + u32::from(v)), x + 1);
+                                    });
+                                }
+                                MiniOp::Compute(n) => ctx.compute(u64::from(n) * 10),
+                                MiniOp::Bb(b) => ctx.bb(u32::from(b)),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                ctx.join(h);
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_programs_are_seed_deterministic(
+        w1 in arb_mini_ops(),
+        w2 in arb_mini_ops(),
+        w3 in arb_mini_ops(),
+        seed in any::<u64>(),
+    ) {
+        let a = run_mini(vec![w1.clone(), w2.clone(), w3.clone()], seed);
+        let b = run_mini(vec![w1, w2, w3], seed);
+        prop_assert_eq!(a.status, b.status);
+        prop_assert_eq!(a.schedule, b.schedule);
+        prop_assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn every_sketch_is_a_filtered_subsequence_of_rw(
+        w1 in arb_mini_ops(),
+        w2 in arb_mini_ops(),
+        seed in any::<u64>(),
+        mech in arb_mechanism(),
+    ) {
+        let out = run_mini(vec![w1, w2], seed);
+        let rw = Sketch::from_events(Mechanism::Rw, out.trace.events());
+        let other = Sketch::from_events(mech, out.trace.events());
+        // Every non-marker entry of any sketch appears in RW order.
+        let mut it = rw.entries.iter();
+        for e in other.entries.iter().filter(|e| {
+            !matches!(e.op, SketchOp::Func(_) | SketchOp::Bb(_))
+        }) {
+            prop_assert!(
+                it.any(|r| r == e),
+                "entry {:?} of {} missing from RW", e, mech
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_replay_reproduces_generated_runs(
+        w1 in arb_mini_ops(),
+        w2 in arb_mini_ops(),
+        seed in any::<u64>(),
+    ) {
+        let first = run_mini(vec![w1.clone(), w2.clone()], seed);
+        let mut scripted = ScriptedScheduler::new(first.schedule.clone());
+        let mut spec = ResourceSpec::new();
+        let v0 = spec.var_array("v", 3, 0);
+        let lock = spec.lock("m");
+        let workers = vec![w1, w2];
+        let second = pres_suite::tvm::vm::run(
+            VmConfig {
+                trace_mode: TraceMode::Full,
+                max_steps: 100_000,
+                ..VmConfig::default()
+            },
+            spec,
+            &mut scripted,
+            &mut NullObserver,
+            move |ctx| {
+                let handles: Vec<ThreadId> = workers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ops)| {
+                        ctx.spawn(&format!("w{i}"), move |ctx| {
+                            for op in ops {
+                                match op {
+                                    MiniOp::Read(v) => {
+                                        ctx.read(VarId(v0.0 + u32::from(v)));
+                                    }
+                                    MiniOp::Write(v, x) => {
+                                        ctx.write(VarId(v0.0 + u32::from(v)), u64::from(x));
+                                    }
+                                    MiniOp::FetchAdd(v) => {
+                                        ctx.fetch_add(VarId(v0.0 + u32::from(v)), 1);
+                                    }
+                                    MiniOp::Locked(v) => {
+                                        ctx.with_lock(lock, |ctx| {
+                                            let x = ctx.read(VarId(v0.0 + u32::from(v)));
+                                            ctx.write(VarId(v0.0 + u32::from(v)), x + 1);
+                                        });
+                                    }
+                                    MiniOp::Compute(n) => ctx.compute(u64::from(n) * 10),
+                                    MiniOp::Bb(b) => ctx.bb(u32::from(b)),
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    ctx.join(h);
+                }
+            },
+        );
+        prop_assert_eq!(first.schedule, second.schedule);
+        for (x, y) in first.trace.events().iter().zip(second.trace.events()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn hb_detection_is_deterministic_and_bounded(
+        w1 in arb_mini_ops(),
+        w2 in arb_mini_ops(),
+        seed in any::<u64>(),
+    ) {
+        let out = run_mini(vec![w1, w2], seed);
+        let a = pres_race::detect_races(&out.trace);
+        let b = pres_race::detect_races(&out.trace);
+        prop_assert_eq!(&a, &b);
+        // Race end points always reference in-trace accesses.
+        for r in &a {
+            prop_assert!(r.first.gseq < r.second.gseq);
+            prop_assert!(out.trace.get(r.second.gseq).is_some());
+        }
+    }
+}

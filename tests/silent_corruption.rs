@@ -1,0 +1,90 @@
+//! End-to-end reproduction of a *silent* bug: the program never crashes,
+//! never deadlocks, and passes no failing assertion — the only symptom is
+//! wrong output. The output oracle closes the loop: production monitoring
+//! flags the bad run, PRES records its sketch, the explorer searches until
+//! the oracle confirms the corrupted output, and the certificate replays
+//! it deterministically.
+
+use pres_core::explore::{reproduce_with_oracle, ExploreConfig};
+use pres_core::oracle::{FailureOracle, OutputOracle};
+use pres_core::program::{ClosureProgram, Program};
+use pres_core::recorder::{record, run_traced};
+use pres_core::sketch::Mechanism;
+use pres_tvm::prelude::*;
+
+/// A tiny report generator whose two sections must appear in a fixed
+/// order, but whose workers race on who appends first. No assertion
+/// checks the order — only the output shows it.
+fn report_program() -> impl Program {
+    let mut spec = ResourceSpec::new();
+    let buf = spec.buf("report");
+    ClosureProgram::new("reportgen", spec, WorldConfig::default(), move || {
+        Box::new(move |ctx: &mut Ctx| {
+            let header = ctx.spawn("header", move |ctx| {
+                ctx.compute(25);
+                ctx.buf_append(buf, b"HEADER;");
+            });
+            let body = ctx.spawn("body", move |ctx| {
+                ctx.compute(25);
+                ctx.buf_append(buf, b"BODY;");
+            });
+            ctx.join(header);
+            ctx.join(body);
+            let report = ctx.buf_read(buf);
+            let line = String::from_utf8_lossy(&report).to_string();
+            ctx.println(&line);
+        })
+    })
+}
+
+#[test]
+fn silent_output_corruption_reproduces_through_the_oracle() {
+    let prog = report_program();
+    let config = VmConfig::default();
+    let oracle = OutputOracle::new().expect_stdout(b"HEADER;BODY;\n".to_vec());
+
+    // Production monitoring: find a run whose output is corrupted.
+    let mut bad_seed = None;
+    for seed in 0..200 {
+        let out = run_traced(&prog, &config, seed);
+        assert_eq!(out.status, RunStatus::Completed, "this bug never crashes");
+        if oracle.judge(&out).is_some() {
+            bad_seed = Some(seed);
+            break;
+        }
+    }
+    let bad_seed = bad_seed.expect("some schedule reverses the sections");
+
+    // The recording that was running when the bad output shipped.
+    let recorded = record(&prog, Mechanism::Sync, &config, bad_seed);
+    assert!(
+        !recorded.failed(),
+        "status-wise the production run looked clean"
+    );
+
+    // Diagnosis with the output oracle.
+    let rep = reproduce_with_oracle(
+        &prog,
+        &recorded.sketch,
+        &oracle,
+        &config,
+        &ExploreConfig {
+            max_attempts: 200,
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(rep.reproduced, "{:#?}", rep.history);
+    assert!(rep.attempts <= 50, "took {} attempts", rep.attempts);
+
+    // The certificate replays the corrupted output deterministically.
+    let cert = rep.certificate.expect("certificate minted");
+    assert_eq!(cert.expected_signature, "output-mismatch:stdout");
+    for _ in 0..10 {
+        let out = cert
+            .replay_with(&prog, &oracle)
+            .expect("deterministic silent corruption");
+        assert_ne!(out.stdout, b"HEADER;BODY;\n".to_vec());
+    }
+    // The status-based replay API correctly refuses: there is no crash.
+    assert!(cert.replay(&prog).is_err());
+}
