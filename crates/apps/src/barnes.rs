@@ -101,7 +101,7 @@ fn insert(ctx: &mut Ctx, cfg: &BarnesConfig, rs: Resources, node: u32, particle_
     let count_var = VarId(rs.counts0.0 + node);
     // The lock-free path is the cell-splitting insert, a fraction of all
     // insertions (as in the original kernel's racy body-loading phase).
-    let splitting = particle_id % 4 == 0;
+    let splitting = particle_id.is_multiple_of(4);
     match cfg.bug {
         BarnesBug::TreeAtomicity if splitting => {
             // BUG: claim-then-fill without the node lock.

@@ -107,7 +107,7 @@ fn net_body(ctx: &mut Ctx, cfg: &BrowserConfig, rs: Resources, idx: u32) {
         }
 
         ctx.func(FUNC_CACHE_INSERT);
-        let revalidation = (idx + 2 * f) % 6 == 0;
+        let revalidation = (idx + 2 * f).is_multiple_of(6);
         match cfg.bug {
             BrowserBug::MultiVarAtomicity if revalidation => {
                 // BUG: each variable is updated atomically, but the *pair*

@@ -211,7 +211,7 @@ fn validate(ctx: &mut Ctx, cfg: &HttpdConfig, rs: Resources) {
     // Log integrity: every record must sit at the offset it reserved.
     let log = ctx.buf_read(rs.access_log);
     ctx.check(
-        log.len() % LOG_RECORD == 0,
+        log.len().is_multiple_of(LOG_RECORD),
         "access log corrupted: partial record",
     );
     for (i, rec) in log.chunks(LOG_RECORD).enumerate() {

@@ -126,7 +126,7 @@ fn worker_body(ctx: &mut Ctx, cfg: &LuConfig, rs: Resources, _w: u32) {
             match cfg.bug {
                 // BUG: the diagonal-block path still uses the legacy racy
                 // accumulation into the global residual.
-                LuBug::ReductionAtomicity if b % 4 == 0 => {
+                LuBug::ReductionAtomicity if b.is_multiple_of(4) => {
                     ctx.bb(91);
                     let r = ctx.read(rs.residual);
                     ctx.write(rs.residual, r + contribution);

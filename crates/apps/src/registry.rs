@@ -15,11 +15,10 @@ use crate::pbzip::{Pbzip, PbzipBug, PbzipConfig};
 use crate::radix::{Radix, RadixBug, RadixConfig};
 use crate::sqld::{Sqld, SqldBug, SqldConfig};
 use pres_core::program::Program;
-use serde::{Deserialize, Serialize};
 
 /// Application category, as grouped in the paper ("4 servers, 3
 /// desktop/client applications, and 4 scientific/graphics applications").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AppCategory {
     /// Server applications.
     Server,
@@ -42,7 +41,7 @@ impl AppCategory {
 
 /// Bug class, per the paper's taxonomy ("atomicity violations, order
 /// violations and deadlocks").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BugClass {
     /// Single-variable atomicity violation.
     Atomicity,
@@ -403,7 +402,6 @@ pub fn all_apps() -> Vec<AppCase> {
                     particles: scale(s, 3, 8),
                     nodes: t.max(2),
                     work_per_insert: 25_000,
-                    ..BarnesConfig::default()
                 }))
             },
         },

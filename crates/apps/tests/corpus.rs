@@ -5,7 +5,6 @@
 
 use pres_apps::registry::{all_apps, all_bugs, WorkloadScale};
 use pres_apps::testutil::run_seed;
-use pres_core::program::Program;
 use pres_core::recorder::run_traced;
 use pres_tvm::error::{Failure, RunStatus};
 use pres_tvm::vm::VmConfig;

@@ -1,15 +1,15 @@
-//! Criterion bench: end-to-end reproduction cost — record a failing run,
+//! Wall-clock bench: end-to-end reproduction cost — record a failing run,
 //! then run the exploration loop to the first successful replay (the E4
 //! pipeline, measured in wall-clock terms).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pres_apps::all_bugs;
 use pres_bench::experiments::{find_failing_seed, std_vm};
+use pres_bench::harness::bench;
 use pres_core::explore::{reproduce, ExploreConfig};
 use pres_core::recorder::record;
 use pres_core::sketch::Mechanism;
 
-fn bench_reproduction(c: &mut Criterion) {
+fn main() {
     let bugs = all_bugs();
     let bug = bugs
         .iter()
@@ -20,21 +20,18 @@ fn bench_reproduction(c: &mut Criterion) {
     let seed = find_failing_seed(prog.as_ref(), &config).expect("failing seed");
     let run = record(prog.as_ref(), Mechanism::Sync, &config, seed);
 
-    let mut group = c.benchmark_group("reproduce_browser");
-    group.sample_size(10);
-    group.bench_function("sync_feedback", |b| {
-        b.iter(|| {
-            let rep = reproduce(
-                prog.as_ref(),
-                &run.sketch,
-                &run.sketch.meta.failure_signature,
-                &config,
-                &ExploreConfig::default(),
-            );
-            assert!(rep.reproduced);
-            rep.attempts
-        });
+    bench("reproduce_browser/sync_feedback", 10, || {
+        let rep = reproduce(
+            prog.as_ref(),
+            &run.sketch,
+            &run.sketch.meta.failure_signature,
+            &config,
+            &ExploreConfig::default(),
+        );
+        assert!(rep.reproduced);
+        rep.attempts
     });
+
     // The minted certificate replays deterministically — measure that too.
     let rep = reproduce(
         prog.as_ref(),
@@ -44,11 +41,7 @@ fn bench_reproduction(c: &mut Criterion) {
         &ExploreConfig::default(),
     );
     let cert = rep.certificate.expect("certificate");
-    group.bench_function("certificate_replay", |b| {
-        b.iter(|| cert.replay(prog.as_ref()).expect("reproduces").stats.total_ops);
+    bench("reproduce_browser/certificate_replay", 10, || {
+        cert.replay(prog.as_ref()).expect("reproduces").stats.total_ops
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_reproduction);
-criterion_main!(benches);

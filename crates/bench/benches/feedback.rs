@@ -1,16 +1,16 @@
-//! Criterion bench: feedback-generation cost — happens-before analysis,
+//! Wall-clock bench: feedback-generation cost — happens-before analysis,
 //! lockset ranking, and flip-candidate extraction over a full attempt
 //! trace (the analysis PRES runs after every unsuccessful replay).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pres_apps::all_bugs;
 use pres_bench::experiments::std_vm;
+use pres_bench::harness::bench;
 use pres_core::feedback::candidates;
 use pres_core::recorder::run_traced;
 use pres_race::hb::detect_races;
 use pres_race::lockset::check_lockset;
 
-fn bench_feedback(c: &mut Criterion) {
+fn main() {
     let bugs = all_bugs();
     let bug = bugs
         .iter()
@@ -20,19 +20,13 @@ fn bench_feedback(c: &mut Criterion) {
     let out = run_traced(prog.as_ref(), &std_vm(4), 3);
     let trace = out.trace;
 
-    let mut group = c.benchmark_group("feedback_analysis");
-    group.sample_size(20);
-    group.bench_function("hb_detect_races", |b| {
-        b.iter(|| detect_races(&trace).len());
+    bench("feedback_analysis/hb_detect_races", 20, || {
+        detect_races(&trace).len()
     });
-    group.bench_function("lockset_check", |b| {
-        b.iter(|| check_lockset(&trace).len());
+    bench("feedback_analysis/lockset_check", 20, || {
+        check_lockset(&trace).len()
     });
-    group.bench_function("flip_candidates", |b| {
-        b.iter(|| candidates(&trace).len());
+    bench("feedback_analysis/flip_candidates", 20, || {
+        candidates(&trace).len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_feedback);
-criterion_main!(benches);

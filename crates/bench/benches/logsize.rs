@@ -1,32 +1,24 @@
-//! Criterion bench: codec throughput — encoding and decoding sketch logs
+//! Wall-clock bench: codec throughput — encoding and decoding sketch logs
 //! (the E3 artifact's serialization path).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pres_apps::registry::{all_apps, WorkloadScale};
 use pres_bench::experiments::std_vm;
+use pres_bench::harness::bench;
 use pres_core::codec::{decode_sketch, encode_sketch};
 use pres_core::recorder::record;
 use pres_core::sketch::Mechanism;
 
-fn bench_codec(c: &mut Criterion) {
+fn main() {
     let apps = all_apps();
     let app = apps.iter().find(|a| a.id == "sqld").expect("sqld exists");
     let prog = app.workload(WorkloadScale::Standard);
     let run = record(prog.as_ref(), Mechanism::Rw, &std_vm(8), 7);
     let sketch = run.sketch;
     let encoded = encode_sketch(&sketch);
+    println!("codec payload: {} bytes", encoded.len());
 
-    let mut group = c.benchmark_group("codec");
-    group.sample_size(20);
-    group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| encode_sketch(&sketch).len());
+    bench("codec/encode", 20, || encode_sketch(&sketch).len());
+    bench("codec/decode", 20, || {
+        decode_sketch(&encoded).expect("decodes").entries.len()
     });
-    group.bench_function("decode", |b| {
-        b.iter(|| decode_sketch(&encoded).expect("decodes").entries.len());
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

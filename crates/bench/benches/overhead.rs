@@ -1,34 +1,22 @@
-//! Criterion bench: wall-clock cost of recording one production run under
-//! each sketching mechanism (the E2 pipeline, measured for real).
+//! Wall-clock bench: cost of recording one production run under each
+//! sketching mechanism (the E2 pipeline, measured for real).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pres_apps::registry::{all_apps, WorkloadScale};
 use pres_bench::experiments::std_vm;
+use pres_bench::harness::bench;
 use pres_core::recorder::record;
 use pres_core::sketch::Mechanism;
 
-fn bench_recording(c: &mut Criterion) {
+fn main() {
     let apps = all_apps();
     let app = apps.iter().find(|a| a.id == "httpd").expect("httpd exists");
     let prog = app.workload(WorkloadScale::Small);
     let config = std_vm(8);
-    let mut group = c.benchmark_group("record_httpd");
-    group.sample_size(10);
     for mech in [Mechanism::Rw, Mechanism::Sync, Mechanism::Sys, Mechanism::Bb] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mech.name()),
-            &mech,
-            |b, mech| {
-                b.iter(|| {
-                    let run = record(prog.as_ref(), *mech, &config, 7);
-                    assert!(!run.failed());
-                    run.log_bytes
-                });
-            },
-        );
+        bench(&format!("record_httpd/{}", mech.name()), 10, || {
+            let run = record(prog.as_ref(), mech, &config, 7);
+            assert!(!run.failed());
+            run.log_bytes
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_recording);
-criterion_main!(benches);

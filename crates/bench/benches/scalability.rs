@@ -1,32 +1,24 @@
-//! Criterion bench: VM execution cost as the simulated machine grows (the
+//! Wall-clock bench: VM execution cost as the simulated machine grows (the
 //! E5 pipeline): the coordinator's work is schedule-driven, so wall time
 //! tracks the op count, not the simulated core count — this bench guards
 //! against the harness itself becoming superlinear in `P`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pres_apps::registry::{all_apps, WorkloadScale};
 use pres_bench::experiments::std_vm;
+use pres_bench::harness::bench;
 use pres_core::recorder::record;
 use pres_core::sketch::Mechanism;
 
-fn bench_processor_scaling(c: &mut Criterion) {
+fn main() {
     let apps = all_apps();
     let app = apps.iter().find(|a| a.id == "fft").expect("fft exists");
-    let mut group = c.benchmark_group("record_fft_by_processors");
-    group.sample_size(10);
     for p in [2u32, 8, 16] {
         let prog = app.workload_with_threads(WorkloadScale::Small, p.min(8));
         let config = std_vm(p);
-        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
-            b.iter(|| {
-                let run = record(prog.as_ref(), Mechanism::Sync, &config, 7);
-                assert!(!run.failed());
-                run.outcome.time.makespan
-            });
+        bench(&format!("record_fft_by_processors/{p}"), 10, || {
+            let run = record(prog.as_ref(), Mechanism::Sync, &config, 7);
+            assert!(!run.failed());
+            run.outcome.time.makespan
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_processor_scaling);
-criterion_main!(benches);

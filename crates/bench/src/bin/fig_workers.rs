@@ -1,0 +1,16 @@
+//! E11: parallel reproduction — wall-clock speedup by worker count.
+//!
+//! Runs under the coarse SYS sketch, where reproduction genuinely needs
+//! many attempts: that is the regime the worker pool accelerates. (Under
+//! SYNC most bugs reproduce in 1–3 attempts and the pool only adds
+//! coordination overhead.)
+use pres_bench::experiments::{e11_worker_scaling, render_worker_scaling, ATTEMPT_CAP};
+use pres_core::sketch::Mechanism;
+
+fn main() {
+    let counts = [1usize, 2, 4, 8];
+    for mechanism in [Mechanism::Sys, Mechanism::Sync] {
+        let rows = e11_worker_scaling(mechanism, &counts, ATTEMPT_CAP);
+        println!("{}", render_worker_scaling(&rows, &counts, mechanism));
+    }
+}

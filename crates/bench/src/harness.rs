@@ -1,0 +1,48 @@
+//! A minimal wall-clock bench harness (no external dependencies).
+//!
+//! The `[[bench]]` targets under `benches/` are plain `main()` programs
+//! (`harness = false`): each calls [`bench`] per measured closure. The
+//! harness warms up once, runs a fixed iteration count, and prints
+//! mean/min per-iteration wall time — enough to track regressions by eye
+//! or by scripting over the stable one-line-per-benchmark output.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` over `iters` iterations (after one warmup call) and prints
+/// `name: mean <t> min <t> (N iters)`. Returns the mean duration so
+/// callers can compute ratios (e.g. speedup across configurations).
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Duration {
+    assert!(iters > 0);
+    let warmup = f();
+    std::hint::black_box(warmup);
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed();
+        std::hint::black_box(out);
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters;
+    println!("{name}: mean {mean:?} min {min:?} ({iters} iters)");
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_mean() {
+        let mean = bench("noop-spin", 3, || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(mean > Duration::ZERO);
+    }
+}

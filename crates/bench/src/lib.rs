@@ -14,9 +14,11 @@
 //! | `fig_bbn_sweep` | E8 BB-N granularity sweep |
 //! | `run_all` | everything, in EXPERIMENTS.md order (incl. E7) |
 //!
-//! The Criterion benches (`cargo bench`) measure the same pipelines in
-//! wall-clock terms: per-mechanism recording cost, replay-attempt cost,
-//! codec throughput, and the feedback analysis.
+//! The wall-clock benches (`cargo bench`, driven by [`harness`]) measure
+//! the same pipelines in real time: per-mechanism recording cost,
+//! replay-attempt cost, codec throughput, the feedback analysis, and
+//! parallel-reproduction scaling.
 
 pub mod experiments;
+pub mod harness;
 pub mod render;

@@ -3,7 +3,7 @@
 //! ```text
 //! pres list                                       # the evaluation corpus
 //! pres record      --bug <id> [--mechanism SYNC] [--out sketch.pres]
-//! pres reproduce   --bug <id> --sketch sketch.pres [--cert cert.pres]
+//! pres reproduce   --bug <id> --sketch sketch.pres [--workers N] [--cert cert.pres]
 //! pres replay      --bug <id> --cert cert.pres [--report]
 //! pres sketch-info --sketch sketch.pres
 //! pres overhead    --app <id> [--processors 8]
@@ -22,7 +22,7 @@ use pres_apps::registry::{all_apps, all_bugs, WorkloadScale};
 use pres_core::api::Pres;
 use pres_core::codec::{decode_sketch, encode_sketch};
 use pres_core::inspect::{failure_report, InspectOptions};
-use pres_core::stats::SketchStats;
+use pres_core::stats::{ExploreStats, SketchStats};
 use pres_core::program::Program;
 use pres_core::sketch::Mechanism;
 use pres_core::Certificate;
@@ -31,7 +31,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   pres list
   pres record      --bug <id> [--mechanism RW|BB|BB-N|FUNC|SYS|SYNC] [--seed N] [--out FILE]
-  pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--cert FILE]
+  pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--workers N] [--cert FILE]
   pres replay      --bug <id> --cert FILE [--report]
   pres sketch-info --sketch FILE
   pres overhead    --app <id> [--mechanism SYNC] [--processors N]";
@@ -152,6 +152,9 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
     let bug = args.required("bug")?;
     let sketch_path = args.required("sketch")?;
     let max_attempts: u32 = args.get_parsed("max-attempts")?.unwrap_or(1000);
+    // `with_workers` clamps to >= 1; clamp here too so the summary line
+    // reports the worker count actually used.
+    let workers: usize = args.get_parsed("workers")?.unwrap_or(1).max(1);
     let cert_path = args.get("cert").unwrap_or_else(|| format!("{bug}.cert"));
     args.finish()?;
 
@@ -166,7 +169,9 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
             prog.name()
         )));
     }
-    let pres = Pres::new(sketch.mechanism).with_max_attempts(max_attempts);
+    let pres = Pres::new(sketch.mechanism)
+        .with_max_attempts(max_attempts)
+        .with_workers(workers);
     let mut recorded_like = pres.record(prog.as_ref(), sketch.meta.seed);
     // Reproduce against the on-disk sketch (the run above re-derives the
     // native/overhead context only).
@@ -178,12 +183,16 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
             h.index, h.status, h.constraints
         );
     }
+    println!("exploration: {}", ExploreStats::of(&repro));
     if !repro.reproduced {
         return Err(UsageError(format!(
             "not reproduced within {max_attempts} attempts"
         )));
     }
-    println!("reproduced after {} attempt(s)", repro.attempts);
+    println!(
+        "reproduced after {} attempt(s) ({} worker(s))",
+        repro.attempts, workers
+    );
     let cert = repro.certificate.expect("certificate exists on success");
     let bytes = cert.encode();
     std::fs::write(&cert_path, &bytes)

@@ -13,14 +13,13 @@ use pres_tvm::ids::ThreadId;
 use pres_tvm::sched::ScriptedScheduler;
 use pres_tvm::trace::{NullObserver, TraceMode};
 use pres_tvm::vm::{self, RunOutcome, VmConfig};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::oracle::{FailureOracle, StatusOracle};
 use crate::program::Program;
 
 /// A deterministic reproduction certificate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
     /// The program this certificate replays.
     pub program: String,

@@ -21,6 +21,20 @@
 //! The **random** strategy (no feedback, fresh seed each attempt) is the
 //! paper's ablation baseline: "PRES's feedback generation from unsuccessful
 //! replays is critical in bug reproduction".
+//!
+//! # Parallel exploration
+//!
+//! Attempts are independent executions of the deterministic VM, so the loop
+//! parallelizes naturally: [`ExploreConfig::workers`] threads drain one
+//! shared frontier. The shared state (frontier + the set of plan signatures
+//! ever tried) lives behind a mutex; a worker that finds the frontier empty
+//! while other attempts are still in flight waits on a condvar for their
+//! feedback rather than burning budget on restart rounds. Every attempt is
+//! numbered by a global atomic counter, and the first success publishes its
+//! attempt index as a cancellation flag: workers stop claiming new attempts
+//! numbered above it. When several attempts succeed concurrently the
+//! **lowest-numbered** success supplies the certificate and the reported
+//! attempt count, so the minted artifact does not depend on thread timing.
 
 use crate::certificate::Certificate;
 use crate::feedback;
@@ -29,13 +43,15 @@ use crate::program::Program;
 use crate::replay::{OrderConstraint, PiReplayScheduler};
 use crate::sketch::Sketch;
 use pres_tvm::error::RunStatus;
-use pres_tvm::trace::{NullObserver, TraceMode};
-use pres_tvm::vm::{self, VmConfig};
-use serde::{Deserialize, Serialize};
+use pres_tvm::sync::{Condvar, Mutex};
+use pres_tvm::trace::{NullObserver, Trace, TraceMode};
+use pres_tvm::vm::{self, RunOutcome, VmConfig};
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread;
 
 /// How the explorer chooses the next attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// PRES: feedback-guided systematic flipping.
     Feedback,
@@ -54,7 +70,7 @@ impl Strategy {
 }
 
 /// Exploration parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExploreConfig {
     /// Attempt strategy.
     pub strategy: Strategy,
@@ -75,10 +91,14 @@ pub struct ExploreConfig {
     /// single flip before any composed set; depth-first commits to a
     /// subtree.
     pub search: SearchOrder,
+    /// Worker threads draining the shared frontier concurrently. `1` (the
+    /// default) runs the classic serial loop; higher values race attempts
+    /// on OS threads and the lowest-numbered success wins.
+    pub workers: usize,
 }
 
 /// Frontier discipline for the feedback strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchOrder {
     /// Breadth-first (default).
     Bfs,
@@ -106,12 +126,13 @@ impl Default for ExploreConfig {
             restart_period: 10,
             ranking: feedback::Ranking::LocksetThenRecency,
             search: SearchOrder::Bfs,
+            workers: 1,
         }
     }
 }
 
 /// One attempt's summary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AttemptRecord {
     /// 1-based attempt number.
     pub index: u32,
@@ -125,10 +146,14 @@ pub struct AttemptRecord {
     pub constraints: usize,
     /// Exploration seed used.
     pub seed: u64,
+    /// Canonical plan signature (seed plus sorted constraints). Unique
+    /// across a reproduction's history: the explorer never spends budget
+    /// on a plan it has already tried.
+    pub plan: String,
 }
 
 /// The result of a reproduction effort.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Reproduction {
     /// Whether the bug was reproduced within budget.
     pub reproduced: bool,
@@ -136,7 +161,9 @@ pub struct Reproduction {
     pub attempts: u32,
     /// The minted certificate, if reproduced.
     pub certificate: Option<Certificate>,
-    /// Per-attempt history.
+    /// Per-attempt history, ordered by attempt index. In parallel mode
+    /// attempts numbered above the winning index may appear here too: they
+    /// were already in flight when the winner finished.
     pub history: Vec<AttemptRecord>,
 }
 
@@ -150,6 +177,174 @@ fn plan_signature(constraints: &[OrderConstraint], seed: u64) -> String {
     let mut cs: Vec<String> = constraints.iter().map(|c| c.to_string()).collect();
     cs.sort();
     format!("{seed}|{}", cs.join(";"))
+}
+
+/// The search state shared by every worker: the plan frontier plus the
+/// signature set of every plan ever scheduled. Serial exploration owns one
+/// directly; parallel exploration puts it behind a mutex.
+struct SearchState {
+    frontier: VecDeque<Plan>,
+    /// Signatures of every plan ever handed out — the dedup ledger.
+    tried: BTreeSet<String>,
+    /// Restart counter: round `k` proposes base seed + `k`.
+    round: u64,
+    /// Random-strategy seed cursor; monotone so concurrent claims never
+    /// derive the same seed.
+    random_cursor: u64,
+    /// Attempts currently executing (parallel mode). While nonzero, an
+    /// empty frontier may still be refilled by in-flight feedback, so idle
+    /// workers wait instead of burning restart rounds.
+    in_flight: usize,
+}
+
+impl SearchState {
+    fn new(explore: &ExploreConfig) -> SearchState {
+        let mut tried = BTreeSet::new();
+        tried.insert(plan_signature(&[], explore.base_seed));
+        SearchState {
+            frontier: VecDeque::from([Plan {
+                seed: explore.base_seed,
+                constraints: Vec::new(),
+            }]),
+            tried,
+            round: 0,
+            random_cursor: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// A fresh-seed restart plan that has never been tried. The round
+    /// counter advances until the signature is fresh, so a restart never
+    /// silently repeats an interleaving the budget already paid for.
+    fn restart_plan(&mut self, explore: &ExploreConfig) -> Plan {
+        loop {
+            self.round += 1;
+            let seed = explore.base_seed.wrapping_add(self.round);
+            if self.tried.insert(plan_signature(&[], seed)) {
+                return Plan {
+                    seed,
+                    constraints: Vec::new(),
+                };
+            }
+        }
+    }
+
+    /// The plan for global attempt `attempt`, or `None` when the frontier
+    /// is empty but in-flight attempts may still refill it (the caller
+    /// should wait and retry).
+    fn next_plan(&mut self, explore: &ExploreConfig, attempt: u32) -> Option<Plan> {
+        match explore.strategy {
+            Strategy::Random => loop {
+                // Random is the no-feedback ablation, but it still must not
+                // waste budget: advance the cursor until the derived seed's
+                // signature is fresh.
+                self.random_cursor += 1;
+                let seed = explore
+                    .base_seed
+                    .wrapping_add(self.random_cursor.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                if self.tried.insert(plan_signature(&[], seed)) {
+                    return Some(Plan {
+                        seed,
+                        constraints: Vec::new(),
+                    });
+                }
+            },
+            Strategy::Feedback => {
+                let restart = explore.restart_period > 0
+                    && attempt > 1
+                    && (attempt - 1).is_multiple_of(explore.restart_period);
+                if restart {
+                    return Some(self.restart_plan(explore));
+                }
+                let popped = match explore.search {
+                    SearchOrder::Bfs => self.frontier.pop_front(),
+                    SearchOrder::Dfs => self.frontier.pop_back(),
+                };
+                match popped {
+                    Some(p) => Some(p),
+                    None if self.in_flight > 0 => None,
+                    None => Some(self.restart_plan(explore)),
+                }
+            }
+        }
+    }
+
+    /// Merges pre-extracted flip candidates back into the frontier,
+    /// best-first, deduplicated against every plan ever scheduled.
+    ///
+    /// Candidate *extraction* ([`extract_candidates`]) is kept separate
+    /// because it runs happens-before analysis over the whole attempt
+    /// trace — far too expensive to do under the shared search lock.
+    fn merge_candidates(
+        &mut self,
+        explore: &ExploreConfig,
+        plan: &Plan,
+        cands: Vec<feedback::FlipCandidate>,
+    ) {
+        // DFS pops from the back, so highest priority must land last.
+        let ordered: Vec<_> = match explore.search {
+            SearchOrder::Bfs => cands,
+            SearchOrder::Dfs => cands.into_iter().rev().collect(),
+        };
+        for cand in ordered {
+            if plan.constraints.contains(&cand.constraint) {
+                continue;
+            }
+            let mut constraints = plan.constraints.clone();
+            constraints.push(cand.constraint);
+            if self.tried.insert(plan_signature(&constraints, plan.seed)) {
+                // Breadth-first: every single flip is tried before any
+                // composed set; `cands` arrives best-first.
+                self.frontier.push_back(Plan {
+                    seed: plan.seed,
+                    constraints,
+                });
+            }
+        }
+    }
+}
+
+/// Ranks and truncates the flip candidates from a failed attempt's trace.
+/// This is the expensive half of feedback (happens-before analysis over
+/// the full trace); callers run it *outside* any shared lock.
+fn extract_candidates(explore: &ExploreConfig, trace: &Trace) -> Vec<feedback::FlipCandidate> {
+    feedback::candidates_ranked(trace, explore.ranking)
+        .into_iter()
+        .take(explore.fanout)
+        .collect()
+}
+
+/// Runs one replay attempt for a plan, with full tracing on.
+fn run_attempt(
+    program: &dyn Program,
+    sketch: &Sketch,
+    vm_config: &VmConfig,
+    plan: &Plan,
+) -> RunOutcome {
+    let mut sched = PiReplayScheduler::new(sketch, plan.constraints.clone(), plan.seed);
+    let body = program.root();
+    let mut cfg = vm_config.clone();
+    cfg.trace_mode = TraceMode::Full;
+    cfg.world = program.world();
+    vm::run(
+        cfg,
+        program.resources(),
+        &mut sched,
+        &mut NullObserver,
+        move |ctx| body(ctx),
+    )
+}
+
+fn attempt_record(attempt: u32, plan: &Plan, out: &RunOutcome, reproduced: bool) -> AttemptRecord {
+    AttemptRecord {
+        index: attempt,
+        reproduced,
+        diverged: matches!(&out.status, RunStatus::Aborted(_)),
+        status: out.status.to_string(),
+        constraints: plan.constraints.len(),
+        seed: plan.seed,
+        plan: plan_signature(&plan.constraints, plan.seed),
+    }
 }
 
 /// Runs the reproduction loop for a recorded failure.
@@ -177,6 +372,10 @@ pub fn reproduce(
 /// (wrong output, no crash) are reproduced. The minted certificate's
 /// expected signature is whatever the oracle reported; verify such
 /// certificates with [`Certificate::replay_with`].
+///
+/// With [`ExploreConfig::workers`] > 1 attempts run concurrently on OS
+/// threads; the reported attempt count and certificate come from the
+/// lowest-numbered successful attempt.
 pub fn reproduce_with_oracle(
     program: &dyn Program,
     sketch: &Sketch,
@@ -184,77 +383,30 @@ pub fn reproduce_with_oracle(
     vm_config: &VmConfig,
     explore: &ExploreConfig,
 ) -> Reproduction {
+    if explore.workers > 1 {
+        reproduce_parallel(program, sketch, oracle, vm_config, explore)
+    } else {
+        reproduce_serial(program, sketch, oracle, vm_config, explore)
+    }
+}
+
+fn reproduce_serial(
+    program: &dyn Program,
+    sketch: &Sketch,
+    oracle: &dyn FailureOracle,
+    vm_config: &VmConfig,
+    explore: &ExploreConfig,
+) -> Reproduction {
     let mut history = Vec::new();
-    let mut frontier: VecDeque<Plan> = VecDeque::from([Plan {
-        seed: explore.base_seed,
-        constraints: Vec::new(),
-    }]);
-    let mut tried: BTreeSet<String> = BTreeSet::new();
-    tried.insert(plan_signature(&[], explore.base_seed));
-    let mut round: u64 = 0;
+    let mut search = SearchState::new(explore);
 
     for attempt in 1..=explore.max_attempts {
-        let plan = match explore.strategy {
-            Strategy::Random => Plan {
-                seed: explore
-                    .base_seed
-                    .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-                constraints: Vec::new(),
-            },
-            Strategy::Feedback => {
-                let restart = explore.restart_period > 0
-                    && attempt > 1
-                    && (attempt - 1) % explore.restart_period == 0;
-                let next = if restart {
-                    None
-                } else {
-                    match explore.search {
-                        SearchOrder::Bfs => frontier.pop_front(),
-                        SearchOrder::Dfs => frontier.pop_back(),
-                    }
-                };
-                match next {
-                    Some(p) => p,
-                    None => {
-                        // Frontier drained or periodic restart: fresh base
-                        // interleaving.
-                        round += 1;
-                        let p = Plan {
-                            seed: explore.base_seed.wrapping_add(round),
-                            constraints: Vec::new(),
-                        };
-                        tried.insert(plan_signature(&p.constraints, p.seed));
-                        p
-                    }
-                }
-            }
-        };
-
-        // Run the attempt with full tracing.
-        let mut sched = PiReplayScheduler::new(sketch, plan.constraints.clone(), plan.seed);
-        let body = program.root();
-        let mut cfg = vm_config.clone();
-        cfg.trace_mode = TraceMode::Full;
-        cfg.world = program.world();
-        let out = vm::run(
-            cfg,
-            program.resources(),
-            &mut sched,
-            &mut NullObserver,
-            move |ctx| body(ctx),
-        );
-
+        let plan = search
+            .next_plan(explore, attempt)
+            .expect("serial search always yields a plan");
+        let out = run_attempt(program, sketch, vm_config, &plan);
         let verdict = oracle.judge(&out);
-        let reproduced = verdict.is_some();
-        let diverged = matches!(&out.status, RunStatus::Aborted(_));
-        history.push(AttemptRecord {
-            index: attempt,
-            reproduced,
-            diverged,
-            status: out.status.to_string(),
-            constraints: plan.constraints.len(),
-            seed: plan.seed,
-        });
+        history.push(attempt_record(attempt, &plan, &out, verdict.is_some()));
 
         if let Some(signature) = verdict {
             let certificate = Certificate {
@@ -272,31 +424,8 @@ pub fn reproduce_with_oracle(
         }
 
         if explore.strategy == Strategy::Feedback {
-            // Feedback: refine this plan with flip candidates from the
-            // attempt's trace, most promising popped first.
-            let cands = feedback::candidates_ranked(&out.trace, explore.ranking);
-            let cands: Vec<_> = cands.into_iter().take(explore.fanout).collect();
-            // DFS pops from the back, so highest priority must land last.
-            let ordered: Vec<_> = match explore.search {
-                SearchOrder::Bfs => cands,
-                SearchOrder::Dfs => cands.into_iter().rev().collect(),
-            };
-            for cand in ordered {
-                let mut constraints = plan.constraints.clone();
-                if constraints.contains(&cand.constraint) {
-                    continue;
-                }
-                constraints.push(cand.constraint);
-                let sig = plan_signature(&constraints, plan.seed);
-                if tried.insert(sig) {
-                    // Breadth-first: every single flip is tried before any
-                    // composed set; `cands` arrives best-first.
-                    frontier.push_back(Plan {
-                        seed: plan.seed,
-                        constraints,
-                    });
-                }
-            }
+            let cands = extract_candidates(explore, &out.trace);
+            search.merge_candidates(explore, &plan, cands);
         }
     }
 
@@ -308,6 +437,157 @@ pub fn reproduce_with_oracle(
     }
 }
 
+/// State shared by the parallel workers.
+struct ParallelShared<'a> {
+    explore: &'a ExploreConfig,
+    search: Mutex<SearchState>,
+    /// Signalled whenever an attempt finishes: waiting workers recheck the
+    /// frontier and the cancellation flag.
+    work_ready: Condvar,
+    /// The next global attempt index to claim (1-based).
+    next_attempt: AtomicU32,
+    /// Lowest successful attempt index so far; `u32::MAX` means none. This
+    /// is both the first-success cancellation flag and the determinism
+    /// rule: no attempt numbered above it can change the outcome.
+    winner: AtomicU32,
+    results: Mutex<Vec<(AttemptRecord, Option<Certificate>)>>,
+}
+
+impl ParallelShared<'_> {
+    /// Whether attempt `attempt` is pointless: a lower-numbered attempt
+    /// already reproduced the failure.
+    fn cancelled_for(&self, attempt: u32) -> bool {
+        self.winner.load(Ordering::SeqCst) < attempt
+    }
+}
+
+fn parallel_worker(
+    program: &dyn Program,
+    sketch: &Sketch,
+    oracle: &dyn FailureOracle,
+    vm_config: &VmConfig,
+    shared: &ParallelShared<'_>,
+) {
+    loop {
+        // Claim a global attempt index; budget and cancellation are both
+        // judged against the claimed index.
+        let attempt = shared.next_attempt.fetch_add(1, Ordering::SeqCst);
+        if attempt > shared.explore.max_attempts || shared.cancelled_for(attempt) {
+            return;
+        }
+
+        // Obtain a plan under the search lock, waiting while the frontier
+        // is empty but in-flight attempts may still refill it.
+        let plan = {
+            let mut s = shared.search.lock();
+            loop {
+                if shared.cancelled_for(attempt) {
+                    return;
+                }
+                if let Some(plan) = s.next_plan(shared.explore, attempt) {
+                    s.in_flight += 1;
+                    break plan;
+                }
+                shared.work_ready.wait(&mut s);
+            }
+        };
+
+        let out = run_attempt(program, sketch, vm_config, &plan);
+        let verdict = oracle.judge(&out);
+        let reproduced = verdict.is_some();
+        let record = attempt_record(attempt, &plan, &out, reproduced);
+        let certificate = verdict.map(|signature| Certificate {
+            program: program.name(),
+            schedule: out.schedule,
+            expected_signature: signature,
+            processors: vm_config.processors,
+        });
+        shared.results.lock().push((record, certificate));
+
+        if reproduced {
+            // Publish this success, keeping the lowest index.
+            let mut cur = shared.winner.load(Ordering::SeqCst);
+            while attempt < cur {
+                match shared.winner.compare_exchange(
+                    cur,
+                    attempt,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        // Happens-before analysis is the expensive half of feedback; do it
+        // before taking the search lock so workers' analyses overlap.
+        let cands = (!reproduced && shared.explore.strategy == Strategy::Feedback)
+            .then(|| extract_candidates(shared.explore, &out.trace));
+        {
+            let mut s = shared.search.lock();
+            s.in_flight -= 1;
+            if let Some(cands) = cands {
+                s.merge_candidates(shared.explore, &plan, cands);
+            }
+        }
+        shared.work_ready.notify_all();
+        if reproduced {
+            return;
+        }
+    }
+}
+
+fn reproduce_parallel(
+    program: &dyn Program,
+    sketch: &Sketch,
+    oracle: &dyn FailureOracle,
+    vm_config: &VmConfig,
+    explore: &ExploreConfig,
+) -> Reproduction {
+    let shared = ParallelShared {
+        explore,
+        search: Mutex::new(SearchState::new(explore)),
+        work_ready: Condvar::new(),
+        next_attempt: AtomicU32::new(1),
+        winner: AtomicU32::new(u32::MAX),
+        results: Mutex::new(Vec::new()),
+    };
+
+    thread::scope(|scope| {
+        for _ in 0..explore.workers {
+            scope.spawn(|| parallel_worker(program, sketch, oracle, vm_config, &shared));
+        }
+    });
+
+    let mut entries = std::mem::take(&mut *shared.results.lock());
+    entries.sort_by_key(|(record, _)| record.index);
+    let winner = shared.winner.load(Ordering::SeqCst);
+    let mut certificate = None;
+    let mut history = Vec::with_capacity(entries.len());
+    for (record, cert) in entries {
+        if record.index == winner {
+            certificate = cert;
+        }
+        history.push(record);
+    }
+
+    if winner == u32::MAX {
+        Reproduction {
+            reproduced: false,
+            attempts: explore.max_attempts,
+            certificate: None,
+            history,
+        }
+    } else {
+        Reproduction {
+            reproduced: true,
+            attempts: winner,
+            certificate,
+            history,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +595,7 @@ mod tests {
     use crate::recorder::record_until_failure;
     use crate::sketch::Mechanism;
     use pres_tvm::prelude::*;
+    use std::collections::BTreeSet;
 
     /// The canonical atomicity violation: unprotected read-compute-write
     /// with plenty of surrounding work so the window rarely splits.
@@ -491,7 +772,10 @@ mod tests {
         );
         assert!(rep.reproduced);
         // Without restarts, every attempt uses the base seed.
-        assert!(rep.history.iter().all(|h| h.seed == ExploreConfig::default().base_seed));
+        assert!(rep
+            .history
+            .iter()
+            .all(|h| h.seed == ExploreConfig::default().base_seed));
     }
 
     #[test]
@@ -511,5 +795,134 @@ mod tests {
         );
         let idx: Vec<u32> = rep.history.iter().map(|h| h.index).collect();
         assert_eq!(idx, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn serial_history_never_repeats_a_plan() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        // An unmatchable target forces the full budget, restarts included.
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                max_attempts: 60,
+                restart_period: 3,
+                ..ExploreConfig::default()
+            },
+        );
+        let plans: BTreeSet<&str> = rep.history.iter().map(|h| h.plan.as_str()).collect();
+        assert_eq!(
+            plans.len(),
+            rep.history.len(),
+            "duplicate (seed, constraints) plan in serial history"
+        );
+    }
+
+    #[test]
+    fn random_strategy_never_repeats_a_seed() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                strategy: Strategy::Random,
+                max_attempts: 60,
+                ..ExploreConfig::default()
+            },
+        );
+        let seeds: BTreeSet<u64> = rep.history.iter().map(|h| h.seed).collect();
+        assert_eq!(seeds.len(), rep.history.len());
+        // And none of them equals the pre-seeded base plan's seed.
+        assert!(seeds.iter().all(|&s| s != ExploreConfig::default().base_seed));
+    }
+
+    #[test]
+    fn parallel_workers_reproduce_and_mint_replayable_certificate() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            &run.sketch.meta.failure_signature,
+            &config,
+            &ExploreConfig {
+                workers: 4,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(rep.reproduced, "{:#?}", rep.history);
+        // The winner is the lowest-numbered success in the history.
+        let lowest = rep
+            .history
+            .iter()
+            .filter(|h| h.reproduced)
+            .map(|h| h.index)
+            .min()
+            .expect("a successful attempt is recorded");
+        assert_eq!(rep.attempts, lowest);
+        let cert = rep.certificate.expect("certificate minted");
+        for _ in 0..5 {
+            cert.replay(&prog).expect("certificate replays");
+        }
+    }
+
+    #[test]
+    fn parallel_failure_spends_exactly_the_budget() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                workers: 4,
+                max_attempts: 16,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(!rep.reproduced);
+        assert_eq!(rep.attempts, 16);
+        let idx: Vec<u32> = rep.history.iter().map(|h| h.index).collect();
+        assert_eq!(idx, (1..=16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn parallel_history_never_repeats_a_plan() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        for strategy in [Strategy::Feedback, Strategy::Random] {
+            let rep = reproduce(
+                &prog,
+                &run.sketch,
+                "assert:never",
+                &config,
+                &ExploreConfig {
+                    strategy,
+                    workers: 4,
+                    max_attempts: 60,
+                    restart_period: 3,
+                    ..ExploreConfig::default()
+                },
+            );
+            let plans: BTreeSet<&str> = rep.history.iter().map(|h| h.plan.as_str()).collect();
+            assert_eq!(
+                plans.len(),
+                rep.history.len(),
+                "duplicate plan under {} strategy",
+                strategy.name()
+            );
+        }
     }
 }

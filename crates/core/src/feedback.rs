@@ -42,7 +42,7 @@ pub struct FlipCandidate {
 /// How flip candidates are ordered before the explorer consumes them.
 /// The default is the full PRES heuristic; the alternatives exist for the
 /// ablation study (experiment E9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ranking {
     /// Lockset-flagged locations first, then most recent first (default).
     LocksetThenRecency,
@@ -75,8 +75,8 @@ pub fn candidates_ranked(trace: &Trace, ranking: Ranking) -> Vec<FlipCandidate> 
     let mut out = candidates_in(trace.events());
     match ranking {
         Ranking::LocksetThenRecency => {}
-        Ranking::RecencyOnly => out.sort_by(|a, b| b.gseq.cmp(&a.gseq)),
-        Ranking::Oldest => out.sort_by(|a, b| a.gseq.cmp(&b.gseq)),
+        Ranking::RecencyOnly => out.sort_by_key(|a| std::cmp::Reverse(a.gseq)),
+        Ranking::Oldest => out.sort_by_key(|a| a.gseq),
     }
     out
 }

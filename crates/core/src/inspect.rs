@@ -96,18 +96,13 @@ pub fn failure_report(outcome: &RunOutcome, options: &InspectOptions) -> String 
     if !races.is_empty() {
         let _ = writeln!(out, "\n--- racing access pairs (static, ranked) ---");
         let ranked = feedback::candidates(&outcome.trace);
-        let mut shown = 0;
-        for cand in ranked {
-            if shown >= options.max_races {
-                break;
-            }
+        for cand in ranked.into_iter().take(options.max_races) {
             let flag = if cand.lockset_flagged {
                 " [lockset violation]"
             } else {
                 ""
             };
             let _ = writeln!(out, "  flip {}{}", cand.constraint, flag);
-            shown += 1;
         }
     }
 

@@ -17,7 +17,6 @@ use pres_tvm::op::OpResult;
 use pres_tvm::sched::RandomScheduler;
 use pres_tvm::trace::{Event, NullObserver, Observer, ObserverCharge, TraceMode};
 use pres_tvm::vm::{self, RunOutcome, VmConfig};
-use serde::{Deserialize, Serialize};
 
 /// The sketch-recording observer.
 #[derive(Debug)]
@@ -163,7 +162,7 @@ impl RecordedRun {
 }
 
 /// Summary row for the overhead/log-size tables.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RecordingReport {
     /// Program name.
     pub program: String,

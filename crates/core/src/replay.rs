@@ -23,14 +23,13 @@ use crate::sketch::{MechanismFilter, Sketch, SketchOp};
 use pres_tvm::ids::ThreadId;
 use pres_tvm::op::{MemLoc, Op};
 use pres_tvm::sched::{Decision, SchedView, Scheduler};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+
+use pres_tvm::rng::ChaCha8Rng;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// The object an order constraint talks about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ActionObj {
     /// A shared-memory location.
     Mem(MemLoc),
@@ -64,7 +63,7 @@ impl fmt::Display for ActionObj {
 
 /// One side of an order constraint: the `index`-th action of `tid` on `obj`
 /// (indices count that thread's accesses/acquires of that object, from 0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ActionKey {
     /// The acting thread.
     pub tid: ThreadId,
@@ -81,7 +80,7 @@ impl fmt::Display for ActionKey {
 }
 
 /// A feedback flip: `before` must execute before `after` may run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct OrderConstraint {
     /// Must happen first.
     pub before: ActionKey,

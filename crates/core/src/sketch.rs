@@ -24,11 +24,10 @@
 use pres_tvm::ids::ThreadId;
 use pres_tvm::op::{MemLoc, Op, OpResult, SyscallOp};
 use pres_tvm::trace::Event;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A sketching mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Mechanism {
     /// Prior-work baseline: global order over all shared accesses.
     Rw,
@@ -81,7 +80,7 @@ impl fmt::Display for Mechanism {
 /// Payloads (write values, appended bytes) are dropped — PRES records
 /// *ordering*, not data — but object identities are kept so the replayer
 /// can both match and detect divergence precisely.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SketchOp {
     /// Thread began.
     Start,
@@ -122,7 +121,7 @@ pub enum SketchOp {
 }
 
 /// Synchronization-operation kinds for sketch matching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum SyncKind {
     Lock,
@@ -144,7 +143,7 @@ pub enum SyncKind {
 }
 
 /// System-call kinds for sketch matching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum SysKind {
     Open,
@@ -268,7 +267,7 @@ impl SketchOp {
 }
 
 /// One sketch log entry: who did what, in recorded global order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchEntry {
     /// The recorded thread.
     pub tid: ThreadId,
@@ -329,7 +328,7 @@ impl MechanismFilter {
                 common
                     || op.is_sync()
                     || (matches!(op, Op::BasicBlock(_))
-                        && self.bb_count(tid) % u64::from(n.max(1)) == 0)
+                        && self.bb_count(tid).is_multiple_of(u64::from(n.max(1))))
             }
         }
     }
@@ -354,7 +353,7 @@ impl MechanismFilter {
 }
 
 /// Metadata describing the recorded production run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SketchMeta {
     /// Program name.
     pub program: String,
@@ -369,7 +368,7 @@ pub struct SketchMeta {
 }
 
 /// A recorded execution sketch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sketch {
     /// The mechanism that produced it.
     pub mechanism: Mechanism,

@@ -5,14 +5,19 @@
 //! contributes — which is how one decides *what to stop recording next*
 //! when production overhead must come down. Also computes the compression
 //! ratio of the varint codec against a naive fixed-width encoding.
+//!
+//! Also home to [`ExploreStats`]: the per-reproduction summary the CLI
+//! prints after an exploration run — attempts, divergences, distinct base
+//! interleavings, constraint depth.
 
 use crate::codec;
+use crate::explore::Reproduction;
 use crate::sketch::{Sketch, SketchOp};
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// The event classes a sketch entry can belong to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EntryClass {
     /// Thread lifecycle (start/exit/spawn/join).
     Lifecycle,
@@ -69,7 +74,7 @@ impl EntryClass {
 }
 
 /// Entry and byte counts for one class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassStats {
     /// Number of entries.
     pub entries: u64,
@@ -78,7 +83,7 @@ pub struct ClassStats {
 }
 
 /// The composition of a sketch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SketchStats {
     /// Per-class breakdown, indexed in [`EntryClass::all`] order.
     pub per_class: Vec<(EntryClass, ClassStats)>,
@@ -169,6 +174,60 @@ impl fmt::Display for SketchStats {
             }
         }
         Ok(())
+    }
+}
+
+/// Summary statistics over one reproduction effort's attempt history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Attempts recorded in the history.
+    pub attempts: u64,
+    /// Attempts that aborted on divergence/stall.
+    pub diverged: u64,
+    /// Distinct exploration seeds (base interleavings) tried.
+    pub distinct_seeds: u64,
+    /// Distinct `(seed, constraints)` plans tried. Equals `attempts`
+    /// unless the dedup ledger is broken — wasted attempts show up as a
+    /// gap between these two numbers.
+    pub distinct_plans: u64,
+    /// Deepest constraint set executed.
+    pub max_constraints: u64,
+}
+
+impl ExploreStats {
+    /// Analyses a reproduction's history.
+    pub fn of(rep: &Reproduction) -> ExploreStats {
+        let seeds: BTreeSet<u64> = rep.history.iter().map(|h| h.seed).collect();
+        let plans: BTreeSet<&str> = rep.history.iter().map(|h| h.plan.as_str()).collect();
+        ExploreStats {
+            attempts: rep.history.len() as u64,
+            diverged: rep.history.iter().filter(|h| h.diverged).count() as u64,
+            distinct_seeds: seeds.len() as u64,
+            distinct_plans: plans.len() as u64,
+            max_constraints: rep
+                .history
+                .iter()
+                .map(|h| h.constraints as u64)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Attempts spent on a plan already tried before — always zero with a
+    /// healthy explorer.
+    pub fn wasted_attempts(&self) -> u64 {
+        self.attempts - self.distinct_plans
+    }
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempts ({} diverged), {} seeds, {} distinct plans, depth {}",
+            self.attempts, self.diverged, self.distinct_seeds, self.distinct_plans,
+            self.max_constraints
+        )
     }
 }
 
@@ -263,6 +322,48 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("sync"));
         assert!(!text.contains(" memory"));
+    }
+
+    #[test]
+    fn explore_stats_count_attempts_and_plans() {
+        use crate::explore::{reproduce, ExploreConfig};
+        use crate::recorder::record_until_failure;
+
+        let mut spec = ResourceSpec::new();
+        let x = spec.var("x", 0);
+        let prog = ClosureProgram::new("racy", spec, WorldConfig::default(), move || {
+            Box::new(move |ctx: &mut Ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    let v = ctx.read(x);
+                    ctx.compute(20);
+                    ctx.write(x, v + 1);
+                });
+                let v = ctx.read(x);
+                ctx.compute(20);
+                ctx.write(x, v + 1);
+                ctx.join(t);
+                let total = ctx.read(x);
+                ctx.check(total == 2, "lost update");
+            })
+        });
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                max_attempts: 12,
+                ..ExploreConfig::default()
+            },
+        );
+        let stats = ExploreStats::of(&rep);
+        assert_eq!(stats.attempts, 12);
+        assert_eq!(stats.wasted_attempts(), 0);
+        assert!(stats.distinct_seeds >= 1);
+        let text = stats.to_string();
+        assert!(text.contains("12 attempts"));
     }
 
     #[test]

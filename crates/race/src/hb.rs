@@ -28,11 +28,10 @@ use crate::vclock::{Epoch, VectorClock};
 use pres_tvm::ids::ThreadId;
 use pres_tvm::op::{MemLoc, Op, OpResult};
 use pres_tvm::trace::{Event, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One side of a race: a shared-memory access in the trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Access {
     /// Global sequence number of the access event.
     pub gseq: u64,
@@ -43,7 +42,7 @@ pub struct Access {
 }
 
 /// A pair of conflicting, concurrent accesses (`first.gseq < second.gseq`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RacePair {
     /// The contended location.
     pub loc: MemLoc,

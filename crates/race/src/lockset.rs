@@ -12,11 +12,10 @@ use pres_tvm::ids::{LockId, ThreadId};
 use pres_tvm::op::MemLoc;
 use pres_tvm::trace::{Event, Trace};
 use pres_tvm::op::Op;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A location that violates the lockset discipline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocksetViolation {
     /// The shared location.
     pub loc: MemLoc,

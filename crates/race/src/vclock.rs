@@ -5,11 +5,10 @@
 //! dense ids allocated by `pres-tvm`, so a plain vector suffices.
 
 use pres_tvm::ids::ThreadId;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// A vector clock.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VectorClock {
     entries: Vec<u32>,
 }
@@ -86,7 +85,7 @@ impl VectorClock {
 /// access" precisely when accesses are totally ordered, which covers the
 /// common case; we additionally carry the global sequence number so race
 /// reports can point at exact trace events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Epoch {
     /// The accessing thread.
     pub tid: ThreadId,

@@ -17,10 +17,9 @@
 //! of the paper (DESIGN.md §2, experiments E2/E5).
 
 use crate::ids::ThreadId;
-use serde::{Deserialize, Serialize};
 
 /// Accumulates virtual time for one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VClock {
     per_thread: Vec<u64>,
     work: u64,
@@ -90,7 +89,7 @@ impl VClock {
 }
 
 /// Timing summary of a completed run, as reported in [`crate::vm::RunOutcome`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeReport {
     /// Number of simulated processors.
     pub processors: u32,

@@ -10,7 +10,6 @@
 //! the real numbers.
 
 use crate::op::{Op, SyscallOp};
-use serde::{Deserialize, Serialize};
 
 /// Per-operation base costs, in virtual instruction units.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// hardware circa the paper (a cache-hitting load/store ≈ a few instructions,
 /// an uncontended lock ≈ tens, a syscall ≈ hundreds) but only the *relative*
 /// magnitudes matter for the reproduced shapes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     /// Cost of a shared scalar read or write.
     pub mem_access: u64,

@@ -57,10 +57,8 @@ pub fn analyze(blocked: &[BlockedThread]) -> DeadlockReport {
     for &start in edges.keys() {
         let mut path: Vec<(ThreadId, LockId)> = Vec::new();
         let mut cur = start;
-        loop {
-            let Some(&(lock, holder)) = edges.get(&cur) else {
-                break; // chain ends at a runnable/absent thread: no cycle here
-            };
+        // Chain ends at a runnable/absent thread: no cycle from this start.
+        while let Some(&(lock, holder)) = edges.get(&cur) {
             if let Some(pos) = path.iter().position(|(t, _)| *t == cur) {
                 let cycle = &path[pos..];
                 let threads: Vec<ThreadId> = cycle.iter().map(|(t, _)| *t).collect();

@@ -1,11 +1,10 @@
 //! Run outcomes, failures, and VM configuration errors.
 
 use crate::ids::{LockId, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How a run ended.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunStatus {
     /// Every thread exited normally.
     Completed,
@@ -48,7 +47,7 @@ impl fmt::Display for RunStatus {
 /// bug suite covers (crashes/assertion failures from atomicity and order
 /// violations, and deadlocks) plus wrong-output detection, which the
 /// diagnosis-time oracle checks after completion.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Failure {
     /// An application assertion fired (`ctx.check(..)` / `ctx.fail(..)`).
     Assertion {

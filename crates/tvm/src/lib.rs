@@ -53,8 +53,10 @@ pub mod deadlock;
 pub mod error;
 pub mod ids;
 pub mod op;
+pub mod rng;
 pub mod sched;
 pub mod state;
+pub mod sync;
 pub mod sys;
 pub mod trace;
 pub mod vm;

@@ -16,7 +16,6 @@ use crate::ids::{
     BarrierId, BbId, BufId, ChanId, CondId, ConnId, FdId, FuncId, LockId, RwLockId, SemId,
     ThreadId, VarId,
 };
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A simulated system call request.
@@ -25,7 +24,7 @@ use std::fmt;
 /// their results are produced by the simulated world ([`crate::sys`]) and are
 /// recorded by every sketching mechanism (as in the paper, where syscall
 /// results must be logged for any replay to be possible at all).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyscallOp {
     /// Open (creating if absent) a file in the simulated filesystem.
     FileOpen { path: String },
@@ -74,7 +73,7 @@ impl SyscallOp {
 }
 
 /// An operation on a shared byte buffer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BufOp {
     /// Append bytes to the end of the buffer.
     Append(Vec<u8>),
@@ -101,7 +100,7 @@ impl BufOp {
 /// `Op` is pure data (no closures): thread-spawn bodies travel through a
 /// side channel in the coordinator, so that ops can be cloned into traces
 /// and serialized into logs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// First announcement of a freshly spawned thread.
     ThreadStart,
@@ -311,7 +310,7 @@ impl fmt::Display for Op {
 }
 
 /// A shared-memory location: either a scalar cell or a whole buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemLoc {
     /// A scalar variable.
     Var(VarId),
@@ -329,7 +328,7 @@ impl fmt::Display for MemLoc {
 }
 
 /// The value handed back to a thread when its announced op completes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpResult {
     /// No interesting result.
     Unit,

@@ -17,8 +17,7 @@
 
 use crate::ids::ThreadId;
 use crate::op::Op;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 /// One announced thread visible to the scheduler.
 #[derive(Debug, Clone)]

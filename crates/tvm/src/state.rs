@@ -13,7 +13,6 @@ use crate::ids::{
 };
 use crate::op::{BufOp, Op, OpResult, SyscallOp};
 use crate::sys::{AcceptStatus, World, WorldConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Up-front declaration of every shared resource a program uses.
@@ -31,7 +30,7 @@ use std::collections::VecDeque;
 /// assert_eq!(spec.var_name(counter), "requests_served");
 /// # let _ = (queue_lock, not_empty);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ResourceSpec {
     vars: Vec<(String, u64)>,
     bufs: Vec<String>,

@@ -16,13 +16,12 @@
 
 use crate::ids::{ConnId, FdId};
 use crate::op::{OpResult, SyscallOp};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+
+use crate::rng::ChaCha8Rng;
 use std::collections::BTreeMap;
 
 /// One scripted client session.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Session {
     /// The VM step at which the connection becomes acceptable.
     pub arrival_step: u64,
@@ -41,7 +40,7 @@ impl Session {
 }
 
 /// Initial state of the simulated world.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WorldConfig {
     /// Initial filesystem contents (path → bytes).
     pub files: BTreeMap<String, Vec<u8>>,
@@ -212,7 +211,7 @@ impl World {
             }
             SyscallOp::ClockNow => Ok(OpResult::Value(now)),
             SyscallOp::Random { bound } => {
-                let raw: u64 = self.rng.gen();
+                let raw: u64 = self.rng.next_u64();
                 Ok(OpResult::Value(if *bound == 0 { raw } else { raw % bound }))
             }
             SyscallOp::StdoutWrite { data } => {

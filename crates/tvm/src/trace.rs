@@ -9,10 +9,9 @@
 
 use crate::ids::ThreadId;
 use crate::op::{Op, OpResult};
-use serde::{Deserialize, Serialize};
 
 /// One applied operation in global order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Position in the global total order of applied operations (0-based).
     pub gseq: u64,
@@ -80,7 +79,7 @@ impl Observer for NullObserver {
 }
 
 /// Whether and how the VM itself retains the full event trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceMode {
     /// Keep nothing (production recording: the observer keeps its own log).
     Off,
@@ -90,7 +89,7 @@ pub enum TraceMode {
 }
 
 /// The full event trace of a run (when [`TraceMode::Full`]).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<Event>,
 }

@@ -21,8 +21,7 @@ use crate::sched::{Candidate, Decision, SchedView, Scheduler};
 use crate::state::{Applied, ResourceSpec, VmState};
 use crate::sys::{AcceptStatus, WorldConfig};
 use crate::trace::{Event, Observer, Trace, TraceMode};
-use parking_lot::{Condvar, Mutex};
-use serde::{Deserialize, Serialize};
+use crate::sync::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -68,7 +67,7 @@ impl VmConfig {
 }
 
 /// Per-class operation counts of a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total applied operations.
     pub total_ops: u64,
@@ -586,9 +585,12 @@ pub fn run(
         hub.slots[0].os_handle = Some(handle);
     }
 
+    // Announced ops ready to schedule, plus any crash observed this quiescence.
+    type Quiescence = (Vec<(ThreadId, Op)>, Option<(ThreadId, String)>);
+
     let status = 'run: loop {
         // Wait for quiescence: every slot Announced or Exited.
-        let (candidates, crashed): (Vec<(ThreadId, Op)>, Option<(ThreadId, String)>) = {
+        let (candidates, crashed): Quiescence = {
             let mut hub = shared.hub.lock();
             loop {
                 let busy = hub.slots.iter().any(|s| {
@@ -1192,13 +1194,16 @@ mod tests {
                     }
                 },
             );
-            let final_x = match out.trace.events().iter().rev().find_map(|e| match e.op {
-                Op::Write(_, v) => Some(v),
-                _ => None,
-            }) {
-                Some(v) => v,
-                None => 0,
-            };
+            let final_x = out
+                .trace
+                .events()
+                .iter()
+                .rev()
+                .find_map(|e| match e.op {
+                    Op::Write(_, v) => Some(v),
+                    _ => None,
+                })
+                .unwrap_or_default();
             (out.schedule, final_x)
         };
         let (s1, x1) = run_once(77);

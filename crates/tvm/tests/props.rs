@@ -1,8 +1,12 @@
-//! Property tests for the VM itself: structural invariants that must hold
-//! for arbitrary generated programs and seeds.
+//! Randomized property tests for the VM itself: structural invariants that
+//! must hold for arbitrary generated programs and seeds.
+//!
+//! Originally proptest properties; now driven by the crate's own
+//! deterministic generator ([`pres_tvm::rng`]) so the suite builds offline
+//! with zero external dependencies.
 
-use proptest::prelude::*;
 use pres_tvm::prelude::*;
+use pres_tvm::rng::ChaCha8Rng;
 use pres_tvm::state::ResourceSpec;
 
 #[derive(Debug, Clone)]
@@ -15,21 +19,21 @@ enum Step {
     Barrier,
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        prop_oneof![
+fn gen_steps(rng: &mut ChaCha8Rng) -> Vec<Step> {
+    let n = rng.gen_range(1..10usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..6usize) {
             // Atomic and locked increments target disjoint variables:
             // mixing them on one cell is a genuine (intentional-bug-style)
             // race and would make the conservation property false.
-            Just(Step::Incr(0)),
-            Just(Step::LockedIncr(1)),
-            Just(Step::Send),
-            Just(Step::TryRecv),
-            (1u8..30).prop_map(Step::Compute),
-            Just(Step::Barrier),
-        ],
-        1..10,
-    )
+            0 => Step::Incr(0),
+            1 => Step::LockedIncr(1),
+            2 => Step::Send,
+            3 => Step::TryRecv,
+            4 => Step::Compute(rng.gen_range(1..=29u32) as u8),
+            _ => Step::Barrier,
+        })
+        .collect()
 }
 
 const WORKERS: u32 = 3;
@@ -108,50 +112,54 @@ fn equalize(mut workers: Vec<Vec<Step>>) -> Vec<Vec<Step>> {
     workers
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generated_programs_complete_and_balance(
-        w1 in arb_steps(), w2 in arb_steps(), w3 in arb_steps(),
-        seed in any::<u64>(),
-        p in 1u32..9,
-    ) {
-        let workers = equalize(vec![w1, w2, w3]);
+#[test]
+fn generated_programs_complete_and_balance() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xbea7);
+    for _ in 0..24 {
+        let workers = equalize(vec![
+            gen_steps(&mut rng),
+            gen_steps(&mut rng),
+            gen_steps(&mut rng),
+        ]);
+        let seed = rng.next_u64();
+        let p = rng.gen_range(1..=8u32);
         let total_incrs: u64 = workers
             .iter()
             .flatten()
             .filter(|s| matches!(s, Step::Incr(_) | Step::LockedIncr(_)))
             .count() as u64;
         let out = run_generated(&workers, seed, p);
-        prop_assert_eq!(&out.status, &RunStatus::Completed);
+        assert_eq!(&out.status, &RunStatus::Completed);
         // Every increment produced at least one memory access.
-        prop_assert!(out.stats.mem_accesses >= total_incrs);
+        assert!(out.stats.mem_accesses >= total_incrs);
         // Structural invariants.
-        prop_assert_eq!(out.trace.len() as u64, out.stats.total_ops);
-        prop_assert_eq!(out.schedule.len() as u64, out.stats.total_ops);
+        assert_eq!(out.trace.len() as u64, out.stats.total_ops);
+        assert_eq!(out.schedule.len() as u64, out.stats.total_ops);
         for (i, e) in out.trace.events().iter().enumerate() {
-            prop_assert_eq!(e.gseq, i as u64);
+            assert_eq!(e.gseq, i as u64);
         }
         // Per-thread sequence numbers are dense per thread.
         for t in 0..=WORKERS {
-            let mut expected = 0u32;
-            for e in out.trace.thread_events(ThreadId(t)) {
-                prop_assert_eq!(e.tseq, expected);
-                expected += 1;
+            for (i, e) in out.trace.thread_events(ThreadId(t)).enumerate() {
+                assert_eq!(e.tseq, i as u32);
             }
         }
     }
+}
 
-    #[test]
-    fn processor_count_never_changes_functional_results(
-        w1 in arb_steps(), w2 in arb_steps(), w3 in arb_steps(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn processor_count_never_changes_functional_results() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xfa57);
+    for _ in 0..24 {
         // Different P values change timing and interleaving, but a program
         // whose shared updates are all atomic/locked must produce the same
         // final variable sums.
-        let workers = equalize(vec![w1, w2, w3]);
+        let workers = equalize(vec![
+            gen_steps(&mut rng),
+            gen_steps(&mut rng),
+            gen_steps(&mut rng),
+        ]);
+        let seed = rng.next_u64();
         let sum_of = |p: u32| -> u64 {
             let out = run_generated(&workers, seed, p);
             assert_eq!(out.status, RunStatus::Completed);
@@ -170,6 +178,6 @@ proptest! {
         };
         let a = sum_of(1);
         let b = sum_of(8);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

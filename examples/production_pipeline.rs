@@ -14,24 +14,22 @@ fn main() {
     let app = Pbzip::new(PbzipConfig::default());
     let pres = Pres::new(Mechanism::Sync);
 
-    // Production fleet: run after run, recording always on.
-    let mut clean_runs = 0u32;
+    // Production fleet: run after run, recording always on. Seeds are tried
+    // in order, so when run `seed` fails there were exactly `seed` clean runs.
     let mut overhead_sum = 0.0;
     let mut failing = None;
-    for seed in 0..5000 {
-        let run = pres.record(&app, seed);
+    for seed in 0..5000u32 {
+        let run = pres.record(&app, u64::from(seed));
         overhead_sum += run.overhead_pct();
         if run.failed() {
             println!(
-                "run {} FAILED: {} (after {clean_runs} clean runs, mean recording overhead {:.2}%)",
-                seed,
+                "run {seed} FAILED: {} (after {seed} clean runs, mean recording overhead {:.2}%)",
                 run.sketch.meta.failure_signature,
-                overhead_sum / f64::from(clean_runs + 1)
+                overhead_sum / f64::from(seed + 1)
             );
             failing = Some(run);
             break;
         }
-        clean_runs += 1;
     }
     let recorded = failing.expect("the teardown race manifests eventually");
 

@@ -1,152 +1,186 @@
-//! Property-based tests (proptest) over the core data structures and the
+//! Randomized property tests over the core data structures and the
 //! determinism invariants the whole system rests on.
+//!
+//! These were originally proptest properties; they are now driven by the
+//! workspace's own deterministic generator ([`pres_tvm::rng`]) so the test
+//! suite builds offline with zero external dependencies. Each property runs
+//! over a fixed-seed stream of generated cases, which keeps failures
+//! reproducible by construction.
 
-use proptest::prelude::*;
 use pres_core::codec::{decode_sketch, encode_sketch, ByteReader, ByteWriter};
 use pres_core::sketch::{Mechanism, Sketch, SketchEntry, SketchMeta, SketchOp, SyncKind, SysKind};
 use pres_race::vclock::VectorClock;
 use pres_suite::tvm::prelude::*;
 use pres_tvm::op::{MemLoc, OpResult};
+use pres_tvm::rng::ChaCha8Rng;
 
 // ---------------------------------------------------------------------------
 // Generators.
 // ---------------------------------------------------------------------------
 
-fn arb_mechanism() -> impl Strategy<Value = Mechanism> {
-    prop_oneof![
-        Just(Mechanism::Rw),
-        Just(Mechanism::Sync),
-        Just(Mechanism::Sys),
-        Just(Mechanism::Func),
-        Just(Mechanism::Bb),
-        (1u32..64).prop_map(Mechanism::BbN),
-    ]
+fn gen_mechanism(rng: &mut ChaCha8Rng) -> Mechanism {
+    match rng.gen_range(0..6usize) {
+        0 => Mechanism::Rw,
+        1 => Mechanism::Sync,
+        2 => Mechanism::Sys,
+        3 => Mechanism::Func,
+        4 => Mechanism::Bb,
+        _ => Mechanism::BbN(rng.gen_range(1..=63u32)),
+    }
 }
 
-fn arb_sync_kind() -> impl Strategy<Value = SyncKind> {
-    prop_oneof![
-        Just(SyncKind::Lock),
-        Just(SyncKind::Unlock),
-        Just(SyncKind::Wait),
-        Just(SyncKind::Rewait),
-        Just(SyncKind::Signal),
-        Just(SyncKind::Broadcast),
-        Just(SyncKind::Barrier),
-        Just(SyncKind::SemP),
-        Just(SyncKind::SemV),
-        Just(SyncKind::Send),
-        Just(SyncKind::Recv),
-    ]
+fn gen_sync_kind(rng: &mut ChaCha8Rng) -> SyncKind {
+    match rng.gen_range(0..11usize) {
+        0 => SyncKind::Lock,
+        1 => SyncKind::Unlock,
+        2 => SyncKind::Wait,
+        3 => SyncKind::Rewait,
+        4 => SyncKind::Signal,
+        5 => SyncKind::Broadcast,
+        6 => SyncKind::Barrier,
+        7 => SyncKind::SemP,
+        8 => SyncKind::SemV,
+        9 => SyncKind::Send,
+        _ => SyncKind::Recv,
+    }
 }
 
-fn arb_sketch_op() -> impl Strategy<Value = SketchOp> {
-    prop_oneof![
-        Just(SketchOp::Start),
-        Just(SketchOp::Exit),
-        Just(SketchOp::Spawn),
-        (0u32..100).prop_map(|t| SketchOp::Join { target: t }),
-        (any::<bool>(), 0u32..1000).prop_map(|(w, v)| SketchOp::Mem {
-            loc: MemLoc::Var(VarId(v)),
-            write: w,
-        }),
-        (any::<bool>(), 0u32..50).prop_map(|(w, b)| SketchOp::Mem {
-            loc: MemLoc::Buf(BufId(b)),
-            write: w,
-        }),
-        (arb_sync_kind(), 0u32..100)
-            .prop_map(|(kind, obj)| SketchOp::Sync { kind, obj }),
-        (0u32..10_000).prop_map(SketchOp::Func),
-        (0u32..100_000).prop_map(SketchOp::Bb),
-    ]
-}
-
-fn arb_result() -> impl Strategy<Value = OpResult> {
-    prop_oneof![
-        Just(OpResult::Unit),
-        any::<u64>().prop_map(OpResult::Value),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(OpResult::Bytes),
-        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(OpResult::MaybeBytes),
-        proptest::option::of(any::<u64>()).prop_map(OpResult::MaybeValue),
-    ]
-}
-
-fn arb_entry() -> impl Strategy<Value = SketchEntry> {
-    (0u32..32, arb_sketch_op(), arb_result()).prop_map(|(tid, op, result)| {
-        let result = if matches!(op, SketchOp::Sys { .. }) {
-            result
-        } else {
-            OpResult::Unit
-        };
-        SketchEntry {
-            tid: ThreadId(tid),
-            op,
-            result,
-        }
-    })
-}
-
-fn arb_sys_entry() -> impl Strategy<Value = SketchEntry> {
-    (0u32..32, 0u32..50, arb_result()).prop_map(|(tid, obj, result)| SketchEntry {
-        tid: ThreadId(tid),
-        op: SketchOp::Sys {
-            kind: SysKind::Read,
-            obj,
+fn gen_sketch_op(rng: &mut ChaCha8Rng) -> SketchOp {
+    match rng.gen_range(0..9usize) {
+        0 => SketchOp::Start,
+        1 => SketchOp::Exit,
+        2 => SketchOp::Spawn,
+        3 => SketchOp::Join {
+            target: rng.gen_range(0..=99u32),
         },
-        result,
-    })
+        4 => SketchOp::Mem {
+            loc: MemLoc::Var(VarId(rng.gen_range(0..=999u32))),
+            write: rng.next_u32() & 1 == 0,
+        },
+        5 => SketchOp::Mem {
+            loc: MemLoc::Buf(BufId(rng.gen_range(0..=49u32))),
+            write: rng.next_u32() & 1 == 0,
+        },
+        6 => SketchOp::Sync {
+            kind: gen_sync_kind(rng),
+            obj: rng.gen_range(0..=99u32),
+        },
+        7 => SketchOp::Func(rng.gen_range(0..=9_999u32)),
+        _ => SketchOp::Bb(rng.gen_range(0..=99_999u32)),
+    }
 }
 
-fn arb_sketch() -> impl Strategy<Value = Sketch> {
-    (
-        arb_mechanism(),
-        proptest::collection::vec(prop_oneof![arb_entry(), arb_sys_entry()], 0..200),
-        "[a-z]{0,12}",
-        any::<u64>(),
-        1u32..64,
-    )
-        .prop_map(|(mechanism, entries, program, seed, processors)| Sketch {
-            mechanism,
-            entries,
-            meta: SketchMeta {
-                program,
-                seed,
-                processors,
-                total_ops: 0,
-                failure_signature: String::new(),
+fn gen_bytes(rng: &mut ChaCha8Rng, max: usize) -> Vec<u8> {
+    let n = rng.gen_range(0..max);
+    (0..n).map(|_| rng.next_u32() as u8).collect()
+}
+
+fn gen_result(rng: &mut ChaCha8Rng) -> OpResult {
+    match rng.gen_range(0..6usize) {
+        0 => OpResult::Unit,
+        1 => OpResult::Value(rng.next_u64()),
+        2 => OpResult::Bytes(gen_bytes(rng, 64)),
+        3 => OpResult::MaybeBytes(Some(gen_bytes(rng, 64))),
+        4 => OpResult::MaybeBytes(None),
+        _ => {
+            if rng.next_u32() & 1 == 0 {
+                OpResult::MaybeValue(Some(rng.next_u64()))
+            } else {
+                OpResult::MaybeValue(None)
+            }
+        }
+    }
+}
+
+fn gen_entry(rng: &mut ChaCha8Rng) -> SketchEntry {
+    if rng.gen_range(0..4usize) == 0 {
+        // Sys entries carry their results.
+        SketchEntry {
+            tid: ThreadId(rng.gen_range(0..=31u32)),
+            op: SketchOp::Sys {
+                kind: SysKind::Read,
+                obj: rng.gen_range(0..=49u32),
             },
-        })
+            result: gen_result(rng),
+        }
+    } else {
+        SketchEntry {
+            tid: ThreadId(rng.gen_range(0..=31u32)),
+            op: gen_sketch_op(rng),
+            result: OpResult::Unit,
+        }
+    }
+}
+
+fn gen_sketch(rng: &mut ChaCha8Rng) -> Sketch {
+    let n = rng.gen_range(0..200usize);
+    let name_len = rng.gen_range(0..13usize);
+    let program: String = (0..name_len)
+        .map(|_| char::from(b'a' + (rng.gen_range(0..26usize) as u8)))
+        .collect();
+    Sketch {
+        mechanism: gen_mechanism(rng),
+        entries: (0..n).map(|_| gen_entry(rng)).collect(),
+        meta: SketchMeta {
+            program,
+            seed: rng.next_u64(),
+            processors: rng.gen_range(1..=63u32),
+            total_ops: 0,
+            failure_signature: String::new(),
+        },
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Codec properties.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn codec_round_trips_any_sketch(sketch in arb_sketch()) {
+#[test]
+fn codec_round_trips_any_sketch() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc0dec);
+    for _ in 0..64 {
+        let sketch = gen_sketch(&mut rng);
         let encoded = encode_sketch(&sketch);
         let decoded = decode_sketch(&encoded).expect("well-formed input decodes");
-        prop_assert_eq!(sketch, decoded);
+        assert_eq!(sketch, decoded);
     }
+}
 
-    #[test]
-    fn codec_never_panics_on_corrupt_input(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn codec_never_panics_on_corrupt_input() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xbad);
+    for _ in 0..256 {
         // Decoding arbitrary bytes must fail cleanly, not crash.
+        let data = gen_bytes(&mut rng, 512);
         let _ = decode_sketch(&data);
     }
+}
 
-    #[test]
-    fn truncation_is_always_detected(sketch in arb_sketch(), cut_fraction in 0.0f64..1.0) {
+#[test]
+fn truncation_is_always_detected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x77);
+    for _ in 0..64 {
+        let sketch = gen_sketch(&mut rng);
         let encoded = encode_sketch(&sketch);
-        let cut = (encoded.len() as f64 * cut_fraction) as usize;
+        let cut = rng.gen_range(0..encoded.len().max(1));
         if cut < encoded.len() {
-            prop_assert!(decode_sketch(&encoded[..cut]).is_err());
+            assert!(decode_sketch(&encoded[..cut]).is_err());
         }
     }
+}
 
-    #[test]
-    fn varints_round_trip(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+#[test]
+fn varints_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xa1);
+    for _ in 0..64 {
+        let n = rng.gen_range(0..100usize);
+        // Mix small and full-width values to cover all varint lengths.
+        let values: Vec<u64> = (0..n)
+            .map(|_| {
+                let raw = rng.next_u64();
+                raw >> (rng.gen_range(0..64usize) as u32)
+            })
+            .collect();
         let mut w = ByteWriter::new();
         for v in &values {
             w.varint(*v);
@@ -154,9 +188,9 @@ proptest! {
         let buf = w.finish();
         let mut r = ByteReader::new(&buf);
         for v in &values {
-            prop_assert_eq!(r.varint().unwrap(), *v);
+            assert_eq!(r.varint().unwrap(), *v);
         }
-        prop_assert!(r.at_end());
+        assert!(r.at_end());
     }
 }
 
@@ -164,49 +198,66 @@ proptest! {
 // Vector-clock laws.
 // ---------------------------------------------------------------------------
 
-fn arb_vclock() -> impl Strategy<Value = VectorClock> {
-    proptest::collection::vec(0u32..50, 0..8).prop_map(|entries| {
-        let mut vc = VectorClock::new();
-        for (i, v) in entries.into_iter().enumerate() {
-            vc.set(ThreadId(i as u32), v);
-        }
-        vc
-    })
+fn gen_vclock(rng: &mut ChaCha8Rng) -> VectorClock {
+    let n = rng.gen_range(0..8usize);
+    let mut vc = VectorClock::new();
+    for i in 0..n {
+        vc.set(ThreadId(i as u32), rng.gen_range(0..=49u32));
+    }
+    vc
 }
 
-proptest! {
-    #[test]
-    fn join_is_an_upper_bound(a in arb_vclock(), b in arb_vclock()) {
+#[test]
+fn join_is_an_upper_bound() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for _ in 0..128 {
+        let a = gen_vclock(&mut rng);
+        let b = gen_vclock(&mut rng);
         let mut j = a.clone();
         j.join(&b);
-        prop_assert!(a.le(&j));
-        prop_assert!(b.le(&j));
+        assert!(a.le(&j));
+        assert!(b.le(&j));
     }
+}
 
-    #[test]
-    fn join_is_commutative_and_idempotent(a in arb_vclock(), b in arb_vclock()) {
+#[test]
+fn join_is_commutative_and_idempotent() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for _ in 0..128 {
+        let a = gen_vclock(&mut rng);
+        let b = gen_vclock(&mut rng);
         let mut ab = a.clone();
         ab.join(&b);
         let mut ba = b.clone();
         ba.join(&a);
-        prop_assert_eq!(ab.clone(), ba);
+        assert_eq!(ab, ba);
         let mut again = ab.clone();
         again.join(&b);
-        prop_assert_eq!(ab, again);
+        assert_eq!(ab, again);
     }
+}
 
-    #[test]
-    fn hb_is_antisymmetric(a in arb_vclock(), b in arb_vclock()) {
+#[test]
+fn hb_is_antisymmetric() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for _ in 0..256 {
+        let a = gen_vclock(&mut rng);
+        let b = gen_vclock(&mut rng);
         if a.le(&b) && b.le(&a) {
             for i in 0..8u32 {
-                prop_assert_eq!(a.get(ThreadId(i)), b.get(ThreadId(i)));
+                assert_eq!(a.get(ThreadId(i)), b.get(ThreadId(i)));
             }
         }
     }
+}
 
-    #[test]
-    fn concurrency_is_symmetric(a in arb_vclock(), b in arb_vclock()) {
-        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+#[test]
+fn concurrency_is_symmetric() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for _ in 0..128 {
+        let a = gen_vclock(&mut rng);
+        let b = gen_vclock(&mut rng);
+        assert_eq!(a.concurrent(&b), b.concurrent(&a));
     }
 }
 
@@ -226,18 +277,59 @@ enum MiniOp {
     Bb(u8),
 }
 
-fn arb_mini_ops() -> impl Strategy<Value = Vec<MiniOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..3).prop_map(MiniOp::Read),
-            (0u8..3, any::<u8>()).prop_map(|(v, x)| MiniOp::Write(v, x)),
-            (0u8..3).prop_map(MiniOp::FetchAdd),
-            (0u8..3).prop_map(MiniOp::Locked),
-            (1u8..20).prop_map(MiniOp::Compute),
-            (0u8..16).prop_map(MiniOp::Bb),
-        ],
-        1..12,
-    )
+fn gen_mini_ops(rng: &mut ChaCha8Rng) -> Vec<MiniOp> {
+    let n = rng.gen_range(1..12usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..6usize) {
+            0 => MiniOp::Read(rng.gen_range(0..3usize) as u8),
+            1 => MiniOp::Write(rng.gen_range(0..3usize) as u8, rng.next_u32() as u8),
+            2 => MiniOp::FetchAdd(rng.gen_range(0..3usize) as u8),
+            3 => MiniOp::Locked(rng.gen_range(0..3usize) as u8),
+            4 => MiniOp::Compute(rng.gen_range(1..=19u32) as u8),
+            _ => MiniOp::Bb(rng.gen_range(0..16usize) as u8),
+        })
+        .collect()
+}
+
+fn mini_body(
+    workers: Vec<Vec<MiniOp>>,
+    v0: VarId,
+    lock: LockId,
+) -> impl FnOnce(&mut Ctx) + Send + 'static {
+    move |ctx: &mut Ctx| {
+        let handles: Vec<ThreadId> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                ctx.spawn(&format!("w{i}"), move |ctx| {
+                    for op in ops {
+                        match op {
+                            MiniOp::Read(v) => {
+                                ctx.read(VarId(v0.0 + u32::from(v)));
+                            }
+                            MiniOp::Write(v, x) => {
+                                ctx.write(VarId(v0.0 + u32::from(v)), u64::from(x));
+                            }
+                            MiniOp::FetchAdd(v) => {
+                                ctx.fetch_add(VarId(v0.0 + u32::from(v)), 1);
+                            }
+                            MiniOp::Locked(v) => {
+                                ctx.with_lock(lock, |ctx| {
+                                    let x = ctx.read(VarId(v0.0 + u32::from(v)));
+                                    ctx.write(VarId(v0.0 + u32::from(v)), x + 1);
+                                });
+                            }
+                            MiniOp::Compute(n) => ctx.compute(u64::from(n) * 10),
+                            MiniOp::Bb(b) => ctx.bb(u32::from(b)),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            ctx.join(h);
+        }
+    }
 }
 
 fn run_mini(workers: Vec<Vec<MiniOp>>, seed: u64) -> pres_suite::tvm::vm::RunOutcome {
@@ -253,97 +345,64 @@ fn run_mini(workers: Vec<Vec<MiniOp>>, seed: u64) -> pres_suite::tvm::vm::RunOut
         spec,
         &mut RandomScheduler::new(seed),
         &mut NullObserver,
-        move |ctx| {
-            let handles: Vec<ThreadId> = workers
-                .into_iter()
-                .enumerate()
-                .map(|(i, ops)| {
-                    ctx.spawn(&format!("w{i}"), move |ctx| {
-                        for op in ops {
-                            match op {
-                                MiniOp::Read(v) => {
-                                    ctx.read(VarId(v0.0 + u32::from(v)));
-                                }
-                                MiniOp::Write(v, x) => {
-                                    ctx.write(VarId(v0.0 + u32::from(v)), u64::from(x));
-                                }
-                                MiniOp::FetchAdd(v) => {
-                                    ctx.fetch_add(VarId(v0.0 + u32::from(v)), 1);
-                                }
-                                MiniOp::Locked(v) => {
-                                    ctx.with_lock(lock, |ctx| {
-                                        let x = ctx.read(VarId(v0.0 + u32::from(v)));
-                                        ctx.write(VarId(v0.0 + u32::from(v)), x + 1);
-                                    });
-                                }
-                                MiniOp::Compute(n) => ctx.compute(u64::from(n) * 10),
-                                MiniOp::Bb(b) => ctx.bb(u32::from(b)),
-                            }
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                ctx.join(h);
-            }
-        },
+        mini_body(workers, v0, lock),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn generated_programs_are_seed_deterministic(
-        w1 in arb_mini_ops(),
-        w2 in arb_mini_ops(),
-        w3 in arb_mini_ops(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn generated_programs_are_seed_deterministic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for _ in 0..32 {
+        let w1 = gen_mini_ops(&mut rng);
+        let w2 = gen_mini_ops(&mut rng);
+        let w3 = gen_mini_ops(&mut rng);
+        let seed = rng.next_u64();
         let a = run_mini(vec![w1.clone(), w2.clone(), w3.clone()], seed);
         let b = run_mini(vec![w1, w2, w3], seed);
-        prop_assert_eq!(a.status, b.status);
-        prop_assert_eq!(a.schedule, b.schedule);
-        prop_assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.trace.len(), b.trace.len());
         for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y);
         }
     }
+}
 
-    #[test]
-    fn every_sketch_is_a_filtered_subsequence_of_rw(
-        w1 in arb_mini_ops(),
-        w2 in arb_mini_ops(),
-        seed in any::<u64>(),
-        mech in arb_mechanism(),
-    ) {
+#[test]
+fn every_sketch_is_a_filtered_subsequence_of_rw() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for _ in 0..32 {
+        let w1 = gen_mini_ops(&mut rng);
+        let w2 = gen_mini_ops(&mut rng);
+        let seed = rng.next_u64();
+        let mech = gen_mechanism(&mut rng);
         let out = run_mini(vec![w1, w2], seed);
         let rw = Sketch::from_events(Mechanism::Rw, out.trace.events());
         let other = Sketch::from_events(mech, out.trace.events());
         // Every non-marker entry of any sketch appears in RW order.
         let mut it = rw.entries.iter();
-        for e in other.entries.iter().filter(|e| {
-            !matches!(e.op, SketchOp::Func(_) | SketchOp::Bb(_))
-        }) {
-            prop_assert!(
-                it.any(|r| r == e),
-                "entry {:?} of {} missing from RW", e, mech
-            );
+        for e in other
+            .entries
+            .iter()
+            .filter(|e| !matches!(e.op, SketchOp::Func(_) | SketchOp::Bb(_)))
+        {
+            assert!(it.any(|r| r == e), "entry {e:?} of {mech} missing from RW");
         }
     }
+}
 
-    #[test]
-    fn scripted_replay_reproduces_generated_runs(
-        w1 in arb_mini_ops(),
-        w2 in arb_mini_ops(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn scripted_replay_reproduces_generated_runs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for _ in 0..32 {
+        let w1 = gen_mini_ops(&mut rng);
+        let w2 = gen_mini_ops(&mut rng);
+        let seed = rng.next_u64();
         let first = run_mini(vec![w1.clone(), w2.clone()], seed);
         let mut scripted = ScriptedScheduler::new(first.schedule.clone());
         let mut spec = ResourceSpec::new();
         let v0 = spec.var_array("v", 3, 0);
         let lock = spec.lock("m");
-        let workers = vec![w1, w2];
         let second = pres_suite::tvm::vm::run(
             VmConfig {
                 trace_mode: TraceMode::Full,
@@ -353,61 +412,30 @@ proptest! {
             spec,
             &mut scripted,
             &mut NullObserver,
-            move |ctx| {
-                let handles: Vec<ThreadId> = workers
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, ops)| {
-                        ctx.spawn(&format!("w{i}"), move |ctx| {
-                            for op in ops {
-                                match op {
-                                    MiniOp::Read(v) => {
-                                        ctx.read(VarId(v0.0 + u32::from(v)));
-                                    }
-                                    MiniOp::Write(v, x) => {
-                                        ctx.write(VarId(v0.0 + u32::from(v)), u64::from(x));
-                                    }
-                                    MiniOp::FetchAdd(v) => {
-                                        ctx.fetch_add(VarId(v0.0 + u32::from(v)), 1);
-                                    }
-                                    MiniOp::Locked(v) => {
-                                        ctx.with_lock(lock, |ctx| {
-                                            let x = ctx.read(VarId(v0.0 + u32::from(v)));
-                                            ctx.write(VarId(v0.0 + u32::from(v)), x + 1);
-                                        });
-                                    }
-                                    MiniOp::Compute(n) => ctx.compute(u64::from(n) * 10),
-                                    MiniOp::Bb(b) => ctx.bb(u32::from(b)),
-                                }
-                            }
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    ctx.join(h);
-                }
-            },
+            mini_body(vec![w1, w2], v0, lock),
         );
-        prop_assert_eq!(first.schedule, second.schedule);
+        assert_eq!(first.schedule, second.schedule);
         for (x, y) in first.trace.events().iter().zip(second.trace.events()) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y);
         }
     }
+}
 
-    #[test]
-    fn hb_detection_is_deterministic_and_bounded(
-        w1 in arb_mini_ops(),
-        w2 in arb_mini_ops(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn hb_detection_is_deterministic_and_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    for _ in 0..32 {
+        let w1 = gen_mini_ops(&mut rng);
+        let w2 = gen_mini_ops(&mut rng);
+        let seed = rng.next_u64();
         let out = run_mini(vec![w1, w2], seed);
         let a = pres_race::detect_races(&out.trace);
         let b = pres_race::detect_races(&out.trace);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         // Race end points always reference in-trace accesses.
         for r in &a {
-            prop_assert!(r.first.gseq < r.second.gseq);
-            prop_assert!(out.trace.get(r.second.gseq).is_some());
+            assert!(r.first.gseq < r.second.gseq);
+            assert!(out.trace.get(r.second.gseq).is_some());
         }
     }
 }
