@@ -1,0 +1,121 @@
+//! E12: attempt throughput — streaming vs. buffered feedback.
+//!
+//! Every run targets an unmatchable failure signature so the explorer
+//! spends exactly the attempt cap, making attempts-per-second a pure
+//! measure of the attempt hot path (scheduler setup, VM stepping, feedback
+//! extraction). The buffered mode is the pre-streaming pipeline, so each
+//! row is a before/after comparison inside one binary.
+//!
+//! ```text
+//! fig_throughput [--reduced-corpus] [--cap N] [--out FILE]
+//! ```
+//!
+//! Prints the table and writes the measurements as JSON (for the CI
+//! artifact) to `BENCH_throughput.json` unless `--out` overrides it.
+use pres_apps::registry::all_bugs;
+use pres_bench::experiments::{e12_attempt_throughput, render_throughput, ThroughputRow};
+use pres_core::explore::FeedbackMode;
+use pres_core::sketch::Mechanism;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn to_json(rows: &[ThroughputRow], mechanism: Mechanism, cap: u32) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"E12\",\n  \"mechanism\": \"{}\",\n  \"cap\": {cap},\n  \"rows\": [\n",
+        json_escape(&mechanism.name())
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bug\": \"{}\", \"points\": [",
+            json_escape(&r.bug)
+        ));
+        for (j, p) in r.points.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"mode\": \"{}\", \"workers\": {}, \"attempts\": {}, \"wall_ms\": {:.3}, \"attempts_per_sec\": {:.1}}}",
+                if j > 0 { ", " } else { "" },
+                p.mode.name(),
+                p.workers,
+                p.attempts,
+                p.wall_clock.as_secs_f64() * 1e3,
+                p.attempts_per_sec()
+            ));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut reduced = false;
+    let mut cap: u32 = 200;
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reduced-corpus" => reduced = true,
+            "--cap" => {
+                cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cap needs a number");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    let mut bugs = all_bugs();
+    if reduced {
+        // CI smoke: three bugs keep the release-mode step under a minute
+        // while still exercising every (mode, workers) cell.
+        bugs.truncate(3);
+    }
+    let mechanism = Mechanism::Sync;
+    let rows = e12_attempt_throughput(&bugs, mechanism, &WORKER_COUNTS, cap);
+    println!("{}", render_throughput(&rows, &WORKER_COUNTS, mechanism, cap));
+
+    // Overall headline at the widest worker count.
+    let widest = *WORKER_COUNTS.last().unwrap();
+    let spds: Vec<f64> = rows.iter().filter_map(|r| r.speedup_at(widest)).collect();
+    if !spds.is_empty() {
+        let mean = spds.iter().sum::<f64>() / spds.len() as f64;
+        println!("overall: mean {mean:.2}x streaming-over-buffered throughput at {widest} workers");
+    }
+    // Sanity: every cell ran the full cap in both modes.
+    for r in &rows {
+        for p in &r.points {
+            assert_eq!(p.attempts, cap, "bug {} did not spend the cap", r.bug);
+        }
+        assert_eq!(
+            r.points.len(),
+            WORKER_COUNTS.len() * 2,
+            "bug {} missing (mode, workers) cells",
+            r.bug
+        );
+        for w in WORKER_COUNTS {
+            assert!(r.point(FeedbackMode::Streaming, w).is_some());
+            assert!(r.point(FeedbackMode::Buffered, w).is_some());
+        }
+    }
+
+    let json = to_json(&rows, mechanism, cap);
+    std::fs::write(&out_path, &json).expect("write throughput JSON");
+    println!("wrote {out_path} ({} bytes)", json.len());
+}

@@ -7,7 +7,7 @@
 
 use crate::render::{bytes, pct, table};
 use pres_apps::registry::{all_apps, all_bugs, BugCase, WorkloadScale};
-use pres_core::explore::{ExploreConfig, Strategy};
+use pres_core::explore::{ExploreConfig, FeedbackMode, Strategy};
 use pres_core::program::Program;
 use pres_core::recorder::{record, RecordingReport};
 use pres_core::sketch::Mechanism;
@@ -1078,5 +1078,165 @@ pub fn render_distribution(rows: &[DistributionRow], cap: u32) -> String {
         "\nheadline: median attempts below 10 for {} — reproduction effort is robust to which production run failed\n",
         if all_small { "every bug" } else { "most bugs" }
     ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E12 — attempt throughput: streaming vs. buffered feedback, by workers.
+// ---------------------------------------------------------------------------
+
+/// One measured point of the throughput experiment: a feedback mode at a
+/// worker count.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Feedback mode the explorer ran under.
+    pub mode: FeedbackMode,
+    /// Worker threads.
+    pub workers: usize,
+    /// Attempts executed (always the cap: the target is unmatchable).
+    pub attempts: u32,
+    /// Wall clock for the whole reproduction.
+    pub wall_clock: std::time::Duration,
+}
+
+impl ThroughputPoint {
+    /// Replay attempts per wall-clock second.
+    pub fn attempts_per_sec(&self) -> f64 {
+        let secs = self.wall_clock.as_secs_f64();
+        if secs > 0.0 {
+            f64::from(self.attempts) / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One bug's throughput measurements.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Bug id.
+    pub bug: String,
+    /// All measured (mode × workers) points.
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputRow {
+    /// The point for a mode at a worker count, if measured.
+    pub fn point(&self, mode: FeedbackMode, workers: usize) -> Option<&ThroughputPoint> {
+        self.points
+            .iter()
+            .find(|p| p.mode == mode && p.workers == workers)
+    }
+
+    /// Streaming-over-buffered throughput ratio at a worker count.
+    pub fn speedup_at(&self, workers: usize) -> Option<f64> {
+        let streaming = self.point(FeedbackMode::Streaming, workers)?.attempts_per_sec();
+        let buffered = self.point(FeedbackMode::Buffered, workers)?.attempts_per_sec();
+        (buffered > 0.0).then(|| streaming / buffered)
+    }
+}
+
+/// Measures pure attempt throughput for each bug in `bugs`: an unmatchable
+/// target signature forces the explorer to spend exactly `cap` attempts
+/// (every one a failed feedback attempt — the worst case the streaming
+/// path optimizes), so attempts-per-second is `cap / wall-clock`. Each bug
+/// is measured under both feedback modes at every worker count; the
+/// buffered mode *is* the pre-streaming pipeline, so the ratio is a true
+/// before/after comparison inside one binary.
+pub fn e12_attempt_throughput(
+    bugs: &[BugCase],
+    mechanism: Mechanism,
+    worker_counts: &[usize],
+    cap: u32,
+) -> Vec<ThroughputRow> {
+    let config = std_vm(REPRO_PROCESSORS);
+    let mut rows = Vec::new();
+    for bug in bugs {
+        let prog = bug.program();
+        let Some(seed) = find_failing_seed(prog.as_ref(), &config) else {
+            continue;
+        };
+        let run = record(prog.as_ref(), mechanism, &config, seed);
+        let mut points = Vec::new();
+        for &workers in worker_counts {
+            for mode in [FeedbackMode::Buffered, FeedbackMode::Streaming] {
+                let start = std::time::Instant::now();
+                let rep = explore::reproduce(
+                    prog.as_ref(),
+                    &run.sketch,
+                    "assert:__throughput_probe__",
+                    &config,
+                    &ExploreConfig {
+                        max_attempts: cap,
+                        workers,
+                        feedback_mode: mode,
+                        ..ExploreConfig::default()
+                    },
+                );
+                assert!(!rep.reproduced, "probe target must be unmatchable");
+                points.push(ThroughputPoint {
+                    mode,
+                    workers,
+                    attempts: rep.attempts,
+                    wall_clock: start.elapsed(),
+                });
+            }
+        }
+        rows.push(ThroughputRow {
+            bug: bug.id.to_string(),
+            points,
+        });
+    }
+    rows
+}
+
+/// Renders the throughput table: per bug, buffered and streaming
+/// attempts-per-second at each worker count plus the streaming speedup.
+pub fn render_throughput(
+    rows: &[ThroughputRow],
+    worker_counts: &[usize],
+    mechanism: Mechanism,
+    cap: u32,
+) -> String {
+    let mut header: Vec<String> = vec!["bug".into()];
+    for &w in worker_counts {
+        header.push(format!("{w}w buf a/s"));
+        header.push(format!("{w}w str a/s"));
+        header.push(format!("{w}w spd"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut trows = Vec::new();
+    for r in rows {
+        let mut row = vec![r.bug.clone()];
+        for &w in worker_counts {
+            for mode in [FeedbackMode::Buffered, FeedbackMode::Streaming] {
+                match r.point(mode, w) {
+                    Some(p) => row.push(format!("{:.0}", p.attempts_per_sec())),
+                    None => row.push("-".into()),
+                }
+            }
+            match r.speedup_at(w) {
+                Some(s) => row.push(format!("{s:.2}x")),
+                None => row.push("-".into()),
+            }
+        }
+        trows.push(row);
+    }
+    let mut out = format!(
+        "E12. Attempt throughput: streaming vs. buffered feedback ({} sketch, cap {cap})\n\n",
+        mechanism.name()
+    );
+    out.push_str(&table(&header_refs, &trows));
+    for &w in worker_counts {
+        let spds: Vec<f64> = rows.iter().filter_map(|r| r.speedup_at(w)).collect();
+        if !spds.is_empty() {
+            let mean = spds.iter().sum::<f64>() / spds.len() as f64;
+            out.push_str(&format!(
+                "\nheadline: mean {mean:.2}x streaming throughput at {w} workers over {} bugs",
+                spds.len()
+            ));
+        }
+    }
+    out.push('\n');
     out
 }

@@ -25,13 +25,15 @@ use pres_core::inspect::{failure_report, InspectOptions};
 use pres_core::stats::{ExploreStats, SketchStats};
 use pres_core::program::Program;
 use pres_core::sketch::Mechanism;
-use pres_core::Certificate;
+use pres_core::{Certificate, FeedbackMode};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "usage:
   pres list
   pres record      --bug <id> [--mechanism RW|BB|BB-N|FUNC|SYS|SYNC] [--seed N] [--out FILE]
-  pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--workers N] [--cert FILE]
+  pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--workers N]
+                   [--feedback streaming|buffered] [--cert FILE]
   pres replay      --bug <id> --cert FILE [--report]
   pres sketch-info --sketch FILE
   pres overhead    --app <id> [--mechanism SYNC] [--processors N]";
@@ -155,6 +157,15 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
     // `with_workers` clamps to >= 1; clamp here too so the summary line
     // reports the worker count actually used.
     let workers: usize = args.get_parsed("workers")?.unwrap_or(1).max(1);
+    let feedback_mode = match args.get("feedback").as_deref() {
+        None | Some("streaming") => FeedbackMode::Streaming,
+        Some("buffered") => FeedbackMode::Buffered,
+        Some(other) => {
+            return Err(UsageError(format!(
+                "bad --feedback '{other}' (expected streaming or buffered)"
+            )))
+        }
+    };
     let cert_path = args.get("cert").unwrap_or_else(|| format!("{bug}.cert"));
     args.finish()?;
 
@@ -171,12 +182,15 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
     }
     let pres = Pres::new(sketch.mechanism)
         .with_max_attempts(max_attempts)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_feedback_mode(feedback_mode);
     let mut recorded_like = pres.record(prog.as_ref(), sketch.meta.seed);
     // Reproduce against the on-disk sketch (the run above re-derives the
     // native/overhead context only).
     recorded_like.sketch = sketch;
+    let started = Instant::now();
     let repro = pres.reproduce(prog.as_ref(), &recorded_like);
+    let elapsed = started.elapsed();
     for h in &repro.history {
         println!(
             "attempt {:3}: {} ({} constraints)",
@@ -184,6 +198,16 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
         );
     }
     println!("exploration: {}", ExploreStats::of(&repro));
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        println!(
+            "throughput: {:.1} attempts/s ({} attempts in {:.3}s, {} feedback)",
+            f64::from(repro.attempts) / secs,
+            repro.attempts,
+            secs,
+            feedback_mode.name()
+        );
+    }
     if !repro.reproduced {
         return Err(UsageError(format!(
             "not reproduced within {max_attempts} attempts"

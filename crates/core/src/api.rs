@@ -40,7 +40,7 @@
 //! cert.replay(&prog).expect("reproduces every time");
 //! ```
 
-use crate::explore::{self, ExploreConfig, Reproduction, Strategy};
+use crate::explore::{self, ExploreConfig, FeedbackMode, Reproduction, Strategy};
 use crate::recorder::{self, RecordedRun, RecordingReport};
 use crate::sketch::Mechanism;
 use crate::program::Program;
@@ -89,6 +89,14 @@ impl Pres {
     /// `1` (the default) keeps the classic serial exploration loop.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.explore.workers = workers.max(1);
+        self
+    }
+
+    /// Sets how failed attempts feed candidate extraction: streaming (the
+    /// default; no per-attempt trace buffering) or buffered post-hoc
+    /// analysis. Both produce identical search behavior.
+    pub fn with_feedback_mode(mut self, mode: FeedbackMode) -> Self {
+        self.explore.feedback_mode = mode;
         self
     }
 
@@ -196,11 +204,13 @@ mod tests {
             .with_processors(16)
             .with_strategy(Strategy::Random)
             .with_max_attempts(50)
-            .with_workers(4);
+            .with_workers(4)
+            .with_feedback_mode(FeedbackMode::Buffered);
         assert_eq!(pres.vm.processors, 16);
         assert_eq!(pres.explore.strategy, Strategy::Random);
         assert_eq!(pres.explore.max_attempts, 50);
         assert_eq!(pres.explore.workers, 4);
+        assert_eq!(pres.explore.feedback_mode, FeedbackMode::Buffered);
     }
 
     #[test]

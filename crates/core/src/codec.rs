@@ -498,11 +498,55 @@ pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
     })
 }
 
+/// The number of bytes a value occupies as a LEB128 varint.
+fn varint_size(v: u64) -> u64 {
+    if v == 0 {
+        1
+    } else {
+        u64::from((64 - v.leading_zeros()).div_ceil(7))
+    }
+}
+
+/// The number of bytes [`encode_result`] writes for a result.
+fn result_size(r: &OpResult) -> u64 {
+    1 + match r {
+        OpResult::Unit
+        | OpResult::MaybeBytes(None)
+        | OpResult::MaybeValue(None)
+        | OpResult::MaybeConn(None) => 0,
+        OpResult::Value(v) | OpResult::MaybeValue(Some(v)) => varint_size(*v),
+        OpResult::Bytes(b) | OpResult::MaybeBytes(Some(b)) => {
+            varint_size(b.len() as u64) + b.len() as u64
+        }
+        OpResult::MaybeConn(Some(c)) => varint_size(u64::from(c.0)),
+        OpResult::Fd(fd) => varint_size(u64::from(fd.0)),
+        OpResult::Tid(t) => varint_size(u64::from(t.0)),
+    }
+}
+
 /// The encoded size of a single entry, in bytes — the per-event payload the
 /// recorder charges to the virtual clock.
+///
+/// Computed arithmetically (this runs once per recorded event on the
+/// recorder's hot path); a test pins it to [`encode_entry`]'s actual byte
+/// count for every op and result variant.
 pub fn entry_size(e: &SketchEntry) -> u64 {
-    let mut w = ByteWriter::new();
-    encode_entry(&mut w, e) as u64
+    let op = match &e.op {
+        SketchOp::Start | SketchOp::Exit | SketchOp::Spawn => 1,
+        SketchOp::Mem { loc, .. } => {
+            let id = match loc {
+                MemLoc::Var(v) => v.0,
+                MemLoc::Buf(b) => b.0,
+            };
+            1 + 1 + varint_size(u64::from(id))
+        }
+        SketchOp::Sync { obj, .. } => 1 + 1 + varint_size(u64::from(*obj)),
+        SketchOp::Join { target } => 1 + varint_size(u64::from(*target)),
+        SketchOp::Sys { obj, .. } => 1 + 1 + varint_size(u64::from(*obj)) + result_size(&e.result),
+        SketchOp::Func(f) => 1 + varint_size(u64::from(*f)),
+        SketchOp::Bb(b) => 1 + varint_size(u64::from(*b)),
+    };
+    varint_size(u64::from(e.tid.0)) + op
 }
 
 #[cfg(test)]
@@ -659,6 +703,81 @@ mod tests {
             result: OpResult::Bytes(vec![0; 1000]),
         };
         assert!(entry_size(&big) > entry_size(&small) + 990);
+    }
+
+    #[test]
+    fn entry_size_matches_encoded_bytes_for_every_variant() {
+        use pres_tvm::ids::{BufId, ConnId, FdId};
+        // Boundary ids across varint length changes.
+        let ids: Vec<u32> = vec![0, 1, 127, 128, 16383, 16384, u32::MAX];
+        let results = vec![
+            OpResult::Unit,
+            OpResult::Value(0),
+            OpResult::Value(u64::MAX),
+            OpResult::Bytes(vec![]),
+            OpResult::Bytes(vec![7; 300]),
+            OpResult::MaybeBytes(None),
+            OpResult::MaybeBytes(Some(vec![1, 2, 3])),
+            OpResult::MaybeValue(None),
+            OpResult::MaybeValue(Some(128)),
+            OpResult::MaybeConn(None),
+            OpResult::MaybeConn(Some(ConnId(u32::MAX))),
+            OpResult::Fd(FdId(127)),
+            OpResult::Tid(ThreadId(16384)),
+        ];
+        let mut entries: Vec<SketchEntry> = Vec::new();
+        for &id in &ids {
+            let mut ops = vec![
+                SketchOp::Start,
+                SketchOp::Exit,
+                SketchOp::Spawn,
+                SketchOp::Mem {
+                    loc: MemLoc::Var(VarId(id)),
+                    write: false,
+                },
+                SketchOp::Mem {
+                    loc: MemLoc::Buf(BufId(id)),
+                    write: true,
+                },
+                SketchOp::Join { target: id },
+                SketchOp::Func(id),
+                SketchOp::Bb(id),
+            ];
+            // Every sync and sys kind the codec knows.
+            ops.extend((0..16).map(|c| SketchOp::Sync {
+                kind: sync_kind_from(c).unwrap(),
+                obj: id,
+            }));
+            for op in ops {
+                entries.push(SketchEntry {
+                    tid: ThreadId(id),
+                    op,
+                    result: OpResult::Unit,
+                });
+            }
+            // Sys entries carry results: cross every kind with every result.
+            for c in 0..11 {
+                for res in &results {
+                    entries.push(SketchEntry {
+                        tid: ThreadId(id),
+                        op: SketchOp::Sys {
+                            kind: sys_kind_from(c).unwrap(),
+                            obj: id,
+                        },
+                        result: res.clone(),
+                    });
+                }
+            }
+        }
+        for e in &entries {
+            let mut w = ByteWriter::new();
+            let encoded = encode_entry(&mut w, e);
+            assert_eq!(
+                entry_size(e),
+                encoded as u64,
+                "arithmetic size diverges from encoder for {e:?}"
+            );
+        }
     }
 
     #[test]

@@ -3,15 +3,21 @@
 //! PRES relaxes "reproduce on the first attempt" to "reproduce within a few
 //! attempts". The explorer drives that loop:
 //!
-//! 1. run a sketch-constrained replay attempt (full trace on);
+//! 1. run a sketch-constrained replay attempt (streaming the events through
+//!    a [`feedback::StreamingExtractor`] rather than buffering a trace —
+//!    see [`FeedbackMode`]);
 //! 2. if the target failure manifested — done; mint a certificate from the
 //!    attempt's scheduling decisions;
-//! 3. otherwise generate feedback: extract flip candidates from the
-//!    attempt's trace ([`crate::feedback`]) and append refined constraint
+//! 3. otherwise generate feedback: rank the flip candidates the extractor
+//!    accumulated ([`crate::feedback`]) and append refined constraint
 //!    sets to a breadth-first frontier — single flips are all tried before
 //!    any pair of flips, because one reordering near the failure point is
 //!    usually sufficient;
 //! 4. take the next constraint set and go to 1.
+//!
+//! The sketch itself is consulted through a [`SketchIndex`] built **once**
+//! per reproduction and shared (via `Arc`) by every attempt and worker, so
+//! per-attempt scheduler setup allocates only the cursor state.
 //!
 //! When the frontier drains without success the explorer starts a new
 //! *round* with a fresh exploration seed — coarse sketches sometimes leave
@@ -41,13 +47,14 @@ use crate::feedback;
 use crate::oracle::{FailureOracle, StatusOracle};
 use crate::program::Program;
 use crate::replay::{OrderConstraint, PiReplayScheduler};
-use crate::sketch::Sketch;
+use crate::sketch::{Sketch, SketchIndex};
 use pres_tvm::error::RunStatus;
 use pres_tvm::sync::{Condvar, Mutex};
 use pres_tvm::trace::{NullObserver, Trace, TraceMode};
 use pres_tvm::vm::{self, RunOutcome, VmConfig};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use std::thread;
 
 /// How the explorer chooses the next attempt.
@@ -91,10 +98,38 @@ pub struct ExploreConfig {
     /// single flip before any composed set; depth-first commits to a
     /// subtree.
     pub search: SearchOrder,
+    /// How failed attempts feed candidate extraction: streaming (no trace
+    /// buffering, the default) or buffered post-hoc analysis.
+    pub feedback_mode: FeedbackMode,
     /// Worker threads draining the shared frontier concurrently. `1` (the
     /// default) runs the classic serial loop; higher values race attempts
     /// on OS threads and the lowest-numbered success wins.
     pub workers: usize,
+}
+
+/// How a failed feedback-strategy attempt is turned into flip candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackMode {
+    /// Stream events through a [`feedback::StreamingExtractor`] installed
+    /// as the run's observer ([`TraceMode::Feedback`]): the attempt's full
+    /// event vector is never buffered, only the extractor's bounded
+    /// analysis state. The default.
+    Streaming,
+    /// Buffer the full trace ([`TraceMode::Full`]) and analyse it after the
+    /// run — the pre-streaming behavior, kept for the A/B throughput
+    /// measurement (experiment E12) and the equivalence suite. Both modes
+    /// produce identical candidates, attempt counts, and certificates.
+    Buffered,
+}
+
+impl FeedbackMode {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeedbackMode::Streaming => "streaming",
+            FeedbackMode::Buffered => "buffered",
+        }
+    }
 }
 
 /// Frontier discipline for the feedback strategy.
@@ -126,6 +161,7 @@ impl Default for ExploreConfig {
             restart_period: 10,
             ranking: feedback::Ranking::LocksetThenRecency,
             search: SearchOrder::Bfs,
+            feedback_mode: FeedbackMode::Streaming,
             workers: 1,
         }
     }
@@ -175,6 +211,15 @@ struct Plan {
 
 fn plan_signature(constraints: &[OrderConstraint], seed: u64) -> String {
     let mut cs: Vec<String> = constraints.iter().map(|c| c.to_string()).collect();
+    cs.sort();
+    format!("{seed}|{}", cs.join(";"))
+}
+
+/// The signature the plan `base + [extra]` *would* have — lets the dedup
+/// check run before the constraint vector is cloned.
+fn plan_signature_with(base: &[OrderConstraint], extra: &OrderConstraint, seed: u64) -> String {
+    let mut cs: Vec<String> = base.iter().map(|c| c.to_string()).collect();
+    cs.push(extra.to_string());
     cs.sort();
     format!("{seed}|{}", cs.join(";"))
 }
@@ -290,9 +335,13 @@ impl SearchState {
             if plan.constraints.contains(&cand.constraint) {
                 continue;
             }
-            let mut constraints = plan.constraints.clone();
-            constraints.push(cand.constraint);
-            if self.tried.insert(plan_signature(&constraints, plan.seed)) {
+            // Signature first: the constraint vector is cloned only for
+            // plans that actually enter the frontier, not for every
+            // candidate the dedup ledger rejects.
+            let signature = plan_signature_with(&plan.constraints, &cand.constraint, plan.seed);
+            if self.tried.insert(signature) {
+                let mut constraints = plan.constraints.clone();
+                constraints.push(cand.constraint);
                 // Breadth-first: every single flip is tried before any
                 // composed set; `cands` arrives best-first.
                 self.frontier.push_back(Plan {
@@ -304,35 +353,73 @@ impl SearchState {
     }
 }
 
-/// Ranks and truncates the flip candidates from a failed attempt's trace.
-/// This is the expensive half of feedback (happens-before analysis over
-/// the full trace); callers run it *outside* any shared lock.
-fn extract_candidates(explore: &ExploreConfig, trace: &Trace) -> Vec<feedback::FlipCandidate> {
-    feedback::candidates_ranked(trace, explore.ranking)
-        .into_iter()
-        .take(explore.fanout)
-        .collect()
+/// Ranks and truncates a failed attempt's flip candidates. In streaming
+/// mode the extractor already did the happens-before analysis during the
+/// run; in buffered mode it is done here over the retained trace. Either
+/// way, callers finish the work *outside* any shared lock.
+fn extract_candidates(
+    explore: &ExploreConfig,
+    trace: &Trace,
+    extractor: Option<feedback::StreamingExtractor>,
+) -> Vec<feedback::FlipCandidate> {
+    let ranked = match extractor {
+        Some(ext) => ext.finish_ranked(explore.ranking),
+        None => feedback::candidates_ranked(trace, explore.ranking),
+    };
+    ranked.into_iter().take(explore.fanout).collect()
 }
 
-/// Runs one replay attempt for a plan, with full tracing on.
+/// Runs one replay attempt for a plan against the shared sketch index.
+///
+/// The trace mode is the cheapest one the strategy allows: feedback
+/// attempts in streaming mode deliver events to a
+/// [`feedback::StreamingExtractor`] and buffer nothing; buffered mode
+/// retains the full trace for post-hoc analysis; random attempts need
+/// neither (the oracle judges status and schedule only).
 fn run_attempt(
     program: &dyn Program,
-    sketch: &Sketch,
+    index: &Arc<SketchIndex>,
     vm_config: &VmConfig,
+    explore: &ExploreConfig,
     plan: &Plan,
-) -> RunOutcome {
-    let mut sched = PiReplayScheduler::new(sketch, plan.constraints.clone(), plan.seed);
+) -> (RunOutcome, Option<feedback::StreamingExtractor>) {
+    let mut sched =
+        PiReplayScheduler::with_index(Arc::clone(index), plan.constraints.clone(), plan.seed);
     let body = program.root();
     let mut cfg = vm_config.clone();
-    cfg.trace_mode = TraceMode::Full;
     cfg.world = program.world();
-    vm::run(
-        cfg,
-        program.resources(),
-        &mut sched,
-        &mut NullObserver,
-        move |ctx| body(ctx),
-    )
+    match (explore.strategy, explore.feedback_mode) {
+        (Strategy::Feedback, FeedbackMode::Streaming) => {
+            cfg.trace_mode = TraceMode::Feedback;
+            let mut ext = feedback::StreamingExtractor::new();
+            let out = vm::run(cfg, program.resources(), &mut sched, &mut ext, move |ctx| {
+                body(ctx)
+            });
+            (out, Some(ext))
+        }
+        (Strategy::Feedback, FeedbackMode::Buffered) => {
+            cfg.trace_mode = TraceMode::Full;
+            let out = vm::run(
+                cfg,
+                program.resources(),
+                &mut sched,
+                &mut NullObserver,
+                move |ctx| body(ctx),
+            );
+            (out, None)
+        }
+        (Strategy::Random, _) => {
+            cfg.trace_mode = TraceMode::Off;
+            let out = vm::run(
+                cfg,
+                program.resources(),
+                &mut sched,
+                &mut NullObserver,
+                move |ctx| body(ctx),
+            );
+            (out, None)
+        }
+    }
 }
 
 fn attempt_record(attempt: u32, plan: &Plan, out: &RunOutcome, reproduced: bool) -> AttemptRecord {
@@ -383,16 +470,20 @@ pub fn reproduce_with_oracle(
     vm_config: &VmConfig,
     explore: &ExploreConfig,
 ) -> Reproduction {
+    // One immutable index serves every attempt (and every worker): the
+    // sketch is scanned exactly once per reproduction, not once per
+    // scheduler construction.
+    let index = Arc::new(SketchIndex::new(sketch));
     if explore.workers > 1 {
-        reproduce_parallel(program, sketch, oracle, vm_config, explore)
+        reproduce_parallel(program, &index, oracle, vm_config, explore)
     } else {
-        reproduce_serial(program, sketch, oracle, vm_config, explore)
+        reproduce_serial(program, &index, oracle, vm_config, explore)
     }
 }
 
 fn reproduce_serial(
     program: &dyn Program,
-    sketch: &Sketch,
+    index: &Arc<SketchIndex>,
     oracle: &dyn FailureOracle,
     vm_config: &VmConfig,
     explore: &ExploreConfig,
@@ -404,7 +495,7 @@ fn reproduce_serial(
         let plan = search
             .next_plan(explore, attempt)
             .expect("serial search always yields a plan");
-        let out = run_attempt(program, sketch, vm_config, &plan);
+        let (out, extractor) = run_attempt(program, index, vm_config, explore, &plan);
         let verdict = oracle.judge(&out);
         history.push(attempt_record(attempt, &plan, &out, verdict.is_some()));
 
@@ -424,7 +515,7 @@ fn reproduce_serial(
         }
 
         if explore.strategy == Strategy::Feedback {
-            let cands = extract_candidates(explore, &out.trace);
+            let cands = extract_candidates(explore, &out.trace, extractor);
             search.merge_candidates(explore, &plan, cands);
         }
     }
@@ -463,7 +554,7 @@ impl ParallelShared<'_> {
 
 fn parallel_worker(
     program: &dyn Program,
-    sketch: &Sketch,
+    index: &Arc<SketchIndex>,
     oracle: &dyn FailureOracle,
     vm_config: &VmConfig,
     shared: &ParallelShared<'_>,
@@ -492,7 +583,7 @@ fn parallel_worker(
             }
         };
 
-        let out = run_attempt(program, sketch, vm_config, &plan);
+        let (out, extractor) = run_attempt(program, index, vm_config, shared.explore, &plan);
         let verdict = oracle.judge(&out);
         let reproduced = verdict.is_some();
         let record = attempt_record(attempt, &plan, &out, reproduced);
@@ -519,10 +610,11 @@ fn parallel_worker(
                 }
             }
         }
-        // Happens-before analysis is the expensive half of feedback; do it
-        // before taking the search lock so workers' analyses overlap.
+        // Finishing the candidate ranking is the expensive half of
+        // feedback; do it before taking the search lock so workers'
+        // analyses overlap.
         let cands = (!reproduced && shared.explore.strategy == Strategy::Feedback)
-            .then(|| extract_candidates(shared.explore, &out.trace));
+            .then(|| extract_candidates(shared.explore, &out.trace, extractor));
         {
             let mut s = shared.search.lock();
             s.in_flight -= 1;
@@ -539,7 +631,7 @@ fn parallel_worker(
 
 fn reproduce_parallel(
     program: &dyn Program,
-    sketch: &Sketch,
+    index: &Arc<SketchIndex>,
     oracle: &dyn FailureOracle,
     vm_config: &VmConfig,
     explore: &ExploreConfig,
@@ -555,7 +647,7 @@ fn reproduce_parallel(
 
     thread::scope(|scope| {
         for _ in 0..explore.workers {
-            scope.spawn(|| parallel_worker(program, sketch, oracle, vm_config, &shared));
+            scope.spawn(|| parallel_worker(program, index, oracle, vm_config, &shared));
         }
     });
 
@@ -895,6 +987,38 @@ mod tests {
         assert_eq!(rep.attempts, 16);
         let idx: Vec<u32> = rep.history.iter().map(|h| h.index).collect();
         assert_eq!(idx, (1..=16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn streaming_and_buffered_feedback_explore_identically() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        // An unmatchable target forces the full budget, so the two modes'
+        // entire frontier evolutions are compared plan by plan.
+        let explore_with = |mode| ExploreConfig {
+            feedback_mode: mode,
+            max_attempts: 30,
+            ..ExploreConfig::default()
+        };
+        let streaming = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &explore_with(FeedbackMode::Streaming),
+        );
+        let buffered = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &explore_with(FeedbackMode::Buffered),
+        );
+        let plans = |rep: &Reproduction| -> Vec<String> {
+            rep.history.iter().map(|h| h.plan.clone()).collect()
+        };
+        assert_eq!(plans(&streaming), plans(&buffered));
     }
 
     #[test]

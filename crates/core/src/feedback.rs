@@ -19,12 +19,12 @@
 //! it manifested, would have been near the end of the recorded prefix).
 
 use crate::replay::{ActionKey, ActionObj, OrderConstraint};
-use pres_race::hb::{dedup_static, detect_races_in};
+use pres_race::hb::{dedup_static, HbDetector};
 use pres_race::lockset::LocksetDetector;
 use pres_tvm::ids::ThreadId;
 use pres_tvm::op::Op;
-use pres_tvm::trace::{Event, Trace};
-use std::collections::BTreeMap;
+use pres_tvm::trace::{Event, Observer, ObserverCharge, Trace};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A flip candidate extracted from a failed attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,88 +83,188 @@ pub fn candidates_ranked(trace: &Trace, ranking: Ranking) -> Vec<FlipCandidate> 
 
 /// As [`candidates`], over an event slice (e.g. a failure prefix).
 pub fn candidates_in(events: &[Event]) -> Vec<FlipCandidate> {
-    let index = ActionIndex::build(events);
-
-    // Lockset analysis for ranking.
-    let mut lockset = LocksetDetector::new();
+    let mut ext = StreamingExtractor::new();
     for e in events {
-        lockset.observe(e);
+        ext.observe(e);
     }
-    let flagged = lockset.violating_locs();
+    ext.finish()
+}
 
-    let mut out: Vec<FlipCandidate> = Vec::new();
+/// A contended lock-acquisition pair observed in the event stream: two
+/// consecutive acquisitions of the same lock by different threads.
+#[derive(Debug, Clone)]
+struct LockPairObs {
+    lock: u32,
+    first_tid: ThreadId,
+    first_gseq: u64,
+    second_tid: ThreadId,
+    second_gseq: u64,
+}
 
-    // Racing memory pairs.
-    let races = dedup_static(&detect_races_in(events));
-    for r in races {
-        let obj = ActionObj::Mem(r.loc);
-        let (Some(first_idx), Some(second_idx)) =
-            (index.index_of(r.first.gseq), index.index_of(r.second.gseq))
-        else {
-            continue;
-        };
-        out.push(FlipCandidate {
-            constraint: OrderConstraint {
-                before: ActionKey {
-                    tid: r.second.tid,
-                    obj,
-                    index: second_idx,
-                },
-                after: ActionKey {
-                    tid: r.first.tid,
-                    obj,
-                    index: first_idx,
-                },
-            },
-            gseq: r.second.gseq,
-            lockset_flagged: flagged.contains(&r.loc),
-        });
+/// Streaming flip-candidate extraction: consumes events one at a time
+/// (as an [`Observer`] installed on the VM, or fed from a buffered trace)
+/// and assembles the ranked candidate list at the end of the run.
+///
+/// This maintains only bounded analysis state — the happens-before
+/// detector's vector clocks and last-access tables, lockset state, the
+/// per-(thread, object) occurrence counters, and the contended-lock pairs
+/// seen so far — instead of buffering the full event vector. Feeding every
+/// event of a trace through [`StreamingExtractor::observe`] and calling
+/// [`StreamingExtractor::finish`] produces *exactly* the output of
+/// [`candidates_in`] on that trace (the post-hoc path is implemented as
+/// this wrapper), so replay attempts can run with
+/// [`pres_tvm::trace::TraceMode::Feedback`] and still feed the explorer
+/// identical candidates.
+#[derive(Debug)]
+pub struct StreamingExtractor {
+    hb: HbDetector,
+    lockset: LocksetDetector,
+    /// Per-(thread, object) occurrence counters (the streaming form of
+    /// [`ActionIndex::build`]).
+    counters: BTreeMap<(ThreadId, ActionObj), u32>,
+    /// gseq → per-(thread, object) occurrence index.
+    by_gseq: BTreeMap<u64, u32>,
+    /// Most recent acquisition of each lock.
+    last_acquire: BTreeMap<u32, (ThreadId, u64)>,
+    /// (lock, first thread, second thread) pairs already emitted.
+    seen_lock_pairs: BTreeSet<(u32, ThreadId, ThreadId)>,
+    /// Contended-lock observations, in stream order.
+    lock_pairs: Vec<LockPairObs>,
+}
+
+impl Default for StreamingExtractor {
+    fn default() -> Self {
+        Self::new()
     }
+}
 
-    // Contended lock-acquire pairs: consecutive acquires of the same lock
-    // by different threads.
-    let mut last_acquire: BTreeMap<u32, (ThreadId, u64)> = BTreeMap::new();
-    let mut seen_lock_pairs: std::collections::BTreeSet<(u32, ThreadId, ThreadId)> =
-        std::collections::BTreeSet::new();
-    for e in events {
-        if let Op::LockAcquire(l) = &e.op {
-            if let Some((prev_tid, prev_gseq)) = last_acquire.get(&l.0).copied() {
-                if prev_tid != e.tid && seen_lock_pairs.insert((l.0, prev_tid, e.tid)) {
-                    let obj = ActionObj::Lock(l.0);
-                    let (Some(first_idx), Some(second_idx)) =
-                        (index.index_of(prev_gseq), index.index_of(e.gseq))
-                    else {
-                        continue;
-                    };
-                    out.push(FlipCandidate {
-                        constraint: OrderConstraint {
-                            before: ActionKey {
-                                tid: e.tid,
-                                obj,
-                                index: second_idx,
-                            },
-                            after: ActionKey {
-                                tid: prev_tid,
-                                obj,
-                                index: first_idx,
-                            },
-                        },
-                        gseq: e.gseq,
-                        lockset_flagged: false,
-                    });
-                }
-            }
-            last_acquire.insert(l.0, (e.tid, e.gseq));
+impl StreamingExtractor {
+    /// Creates an extractor with empty analysis state.
+    pub fn new() -> Self {
+        StreamingExtractor {
+            hb: HbDetector::new(),
+            lockset: LocksetDetector::new(),
+            counters: BTreeMap::new(),
+            by_gseq: BTreeMap::new(),
+            last_acquire: BTreeMap::new(),
+            seen_lock_pairs: BTreeSet::new(),
+            lock_pairs: Vec::new(),
         }
     }
 
-    // Rank: lockset-flagged first, then most recent first.
-    out.sort_by(|a, b| {
-        b.lockset_flagged
-            .cmp(&a.lockset_flagged)
-            .then(b.gseq.cmp(&a.gseq))
-    });
-    out
+    /// Feeds one event through every analysis.
+    pub fn observe(&mut self, e: &Event) {
+        self.hb.observe(e);
+        self.lockset.observe(e);
+        if let Some(obj) = ActionObj::of_op(&e.op) {
+            let c = self.counters.entry((e.tid, obj)).or_insert(0);
+            self.by_gseq.insert(e.gseq, *c);
+            *c += 1;
+        }
+        if let Op::LockAcquire(l) = &e.op {
+            if let Some((prev_tid, prev_gseq)) = self.last_acquire.get(&l.0).copied() {
+                if prev_tid != e.tid && self.seen_lock_pairs.insert((l.0, prev_tid, e.tid)) {
+                    self.lock_pairs.push(LockPairObs {
+                        lock: l.0,
+                        first_tid: prev_tid,
+                        first_gseq: prev_gseq,
+                        second_tid: e.tid,
+                        second_gseq: e.gseq,
+                    });
+                }
+            }
+            self.last_acquire.insert(l.0, (e.tid, e.gseq));
+        }
+    }
+
+    /// The per-(thread, object) occurrence index of the action at `gseq`.
+    fn index_of(&self, gseq: u64) -> Option<u32> {
+        self.by_gseq.get(&gseq).copied()
+    }
+
+    /// Assembles the ranked candidate list (descending priority).
+    pub fn finish(self) -> Vec<FlipCandidate> {
+        let flagged = self.lockset.violating_locs();
+        let mut out: Vec<FlipCandidate> = Vec::new();
+
+        // Racing memory pairs, one representative per static race.
+        for r in dedup_static(self.hb.races()) {
+            let obj = ActionObj::Mem(r.loc);
+            let (Some(first_idx), Some(second_idx)) =
+                (self.index_of(r.first.gseq), self.index_of(r.second.gseq))
+            else {
+                continue;
+            };
+            out.push(FlipCandidate {
+                constraint: OrderConstraint {
+                    before: ActionKey {
+                        tid: r.second.tid,
+                        obj,
+                        index: second_idx,
+                    },
+                    after: ActionKey {
+                        tid: r.first.tid,
+                        obj,
+                        index: first_idx,
+                    },
+                },
+                gseq: r.second.gseq,
+                lockset_flagged: flagged.contains(&r.loc),
+            });
+        }
+
+        // Contended lock-acquire pairs, in stream order.
+        for p in &self.lock_pairs {
+            let obj = ActionObj::Lock(p.lock);
+            let (Some(first_idx), Some(second_idx)) =
+                (self.index_of(p.first_gseq), self.index_of(p.second_gseq))
+            else {
+                continue;
+            };
+            out.push(FlipCandidate {
+                constraint: OrderConstraint {
+                    before: ActionKey {
+                        tid: p.second_tid,
+                        obj,
+                        index: second_idx,
+                    },
+                    after: ActionKey {
+                        tid: p.first_tid,
+                        obj,
+                        index: first_idx,
+                    },
+                },
+                gseq: p.second_gseq,
+                lockset_flagged: false,
+            });
+        }
+
+        // Rank: lockset-flagged first, then most recent first.
+        out.sort_by(|a, b| {
+            b.lockset_flagged
+                .cmp(&a.lockset_flagged)
+                .then(b.gseq.cmp(&a.gseq))
+        });
+        out
+    }
+
+    /// As [`StreamingExtractor::finish`], with an explicit ranking policy.
+    pub fn finish_ranked(self, ranking: Ranking) -> Vec<FlipCandidate> {
+        let mut out = self.finish();
+        match ranking {
+            Ranking::LocksetThenRecency => {}
+            Ranking::RecencyOnly => out.sort_by_key(|a| std::cmp::Reverse(a.gseq)),
+            Ranking::Oldest => out.sort_by_key(|a| a.gseq),
+        }
+        out
+    }
+}
+
+impl Observer for StreamingExtractor {
+    fn on_event(&mut self, event: &Event) -> ObserverCharge {
+        self.observe(event);
+        ObserverCharge::FREE
+    }
 }
 
 /// Per-(thread, object) occurrence indices for the events of a trace: the
@@ -340,6 +440,48 @@ mod tests {
         // The default ranks lockset violations first, then recency.
         let full = candidates_ranked(&trace, Ranking::LocksetThenRecency);
         assert_eq!(full.len(), newest.len());
+    }
+
+    #[test]
+    fn streaming_extractor_matches_post_hoc_candidates() {
+        // Feeding a trace event-by-event through the streaming extractor
+        // must produce exactly the post-hoc candidate list, under every
+        // ranking policy. (Programs chosen to exercise races, lock
+        // contention, and the lockset flag together.)
+        for seed in [1u64, 2, 4, 6] {
+            let trace = traced(seed, |spec| {
+                let unlocked = spec.var("unlocked", 0);
+                let m = spec.lock("m");
+                let x = spec.var("x", 0);
+                Box::new(move |ctx| {
+                    let t = ctx.spawn("w", move |ctx| {
+                        ctx.write(unlocked, 1);
+                        ctx.with_lock(m, |ctx| {
+                            let v = ctx.read(x);
+                            ctx.write(x, v + 1);
+                        });
+                    });
+                    ctx.write(unlocked, 2);
+                    ctx.with_lock(m, |ctx| {
+                        let v = ctx.read(x);
+                        ctx.write(x, v + 1);
+                    });
+                    ctx.join(t);
+                })
+            });
+            for ranking in [Ranking::LocksetThenRecency, Ranking::RecencyOnly, Ranking::Oldest] {
+                let mut ext = StreamingExtractor::new();
+                for e in trace.events() {
+                    ext.on_event(e);
+                }
+                assert_eq!(
+                    ext.finish_ranked(ranking),
+                    candidates_ranked(&trace, ranking),
+                    "streaming and post-hoc extraction diverged (seed {seed}, {})",
+                    ranking.name()
+                );
+            }
+        }
     }
 
     #[test]

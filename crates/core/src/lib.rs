@@ -50,9 +50,9 @@ pub mod stats;
 
 pub use api::Pres;
 pub use certificate::{Certificate, CertificateError};
-pub use explore::{ExploreConfig, Reproduction, SearchOrder, Strategy};
+pub use explore::{ExploreConfig, FeedbackMode, Reproduction, SearchOrder, Strategy};
 pub use oracle::{AnyOracle, FailureOracle, OutputOracle, StatusOracle};
 pub use program::{ClosureProgram, Program};
 pub use recorder::{RecordedRun, RecordingReport, SketchRecorder};
 pub use replay::{ActionKey, ActionObj, OrderConstraint, PiReplayScheduler};
-pub use sketch::{Mechanism, Sketch, SketchEntry, SketchMeta, SketchOp};
+pub use sketch::{Mechanism, Sketch, SketchEntry, SketchIndex, SketchMeta, SketchOp};

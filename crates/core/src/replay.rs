@@ -19,14 +19,15 @@
 //! prefix), all ordering is free — the failure typically manifests at or
 //! near this frontier, since production recording stopped at the failure.
 
-use crate::sketch::{MechanismFilter, Sketch, SketchOp};
+use crate::sketch::{MechanismFilter, Sketch, SketchIndex, SketchOp};
 use pres_tvm::ids::ThreadId;
 use pres_tvm::op::{MemLoc, Op};
 use pres_tvm::sched::{Decision, SchedView, Scheduler};
 
 use pres_tvm::rng::ChaCha8Rng;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// The object an order constraint talks about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -137,11 +138,15 @@ impl fmt::Display for Divergence {
 
 /// The sketch-constrained exploration scheduler.
 pub struct PiReplayScheduler {
-    entries_op: Vec<SketchOp>,
+    /// The shared, immutable sketch index (normalized ops + per-thread
+    /// entry lists). Built once per reproduction and borrowed by every
+    /// attempt on every worker; only the cursors below are per-attempt.
+    index: Arc<SketchIndex>,
     filter: MechanismFilter,
     cursor: usize,
-    /// Per-thread queues of global sketch indices not yet consumed.
-    thread_queues: Vec<VecDeque<usize>>,
+    /// Per-thread positions into the index's per-thread entry lists —
+    /// `thread_pos[t]` entries of thread `t` have been consumed.
+    thread_pos: Vec<usize>,
     constraints: Vec<OrderConstraint>,
     satisfied: Vec<bool>,
     counters: BTreeMap<(ThreadId, ActionObj), u32>,
@@ -163,22 +168,28 @@ pub struct PiReplayScheduler {
 
 impl PiReplayScheduler {
     /// Builds a replay scheduler for `sketch` with the given flip
-    /// constraints and exploration seed.
+    /// constraints and exploration seed. Convenience wrapper over
+    /// [`PiReplayScheduler::with_index`] for one-off replays; loops that
+    /// run many attempts against one sketch should build the
+    /// [`SketchIndex`] once and share it.
     pub fn new(sketch: &Sketch, constraints: Vec<OrderConstraint>, seed: u64) -> Self {
-        let mut thread_queues: Vec<VecDeque<usize>> = Vec::new();
-        for (i, e) in sketch.entries.iter().enumerate() {
-            let idx = e.tid.index();
-            if idx >= thread_queues.len() {
-                thread_queues.resize_with(idx + 1, VecDeque::new);
-            }
-            thread_queues[idx].push_back(i);
-        }
+        Self::with_index(Arc::new(SketchIndex::new(sketch)), constraints, seed)
+    }
+
+    /// Builds a replay scheduler over a pre-built, shared sketch index.
+    /// The scheduler's per-attempt state is just cursors and constraint
+    /// bookkeeping; the index itself is never copied.
+    pub fn with_index(
+        index: Arc<SketchIndex>,
+        constraints: Vec<OrderConstraint>,
+        seed: u64,
+    ) -> Self {
         let satisfied = vec![false; constraints.len()];
         PiReplayScheduler {
-            entries_op: sketch.entries.iter().map(|e| e.op.clone()).collect(),
-            filter: MechanismFilter::new(sketch.mechanism),
+            filter: MechanismFilter::new(index.mechanism()),
+            thread_pos: vec![0; index.threads()],
+            index,
             cursor: 0,
-            thread_queues,
             constraints,
             satisfied,
             counters: BTreeMap::new(),
@@ -202,16 +213,22 @@ impl PiReplayScheduler {
 
     /// How much of the sketch has been consumed (0..=1).
     pub fn progress(&self) -> f64 {
-        if self.entries_op.is_empty() {
+        if self.index.is_empty() {
             1.0
         } else {
-            self.cursor as f64 / self.entries_op.len() as f64
+            self.cursor as f64 / self.index.len() as f64
         }
     }
 
     /// Whether the full recorded prefix has been replayed.
     pub fn sketch_exhausted(&self) -> bool {
-        self.cursor >= self.entries_op.len()
+        self.cursor >= self.index.len()
+    }
+
+    /// The next unconsumed sketch entry of `tid`, if any.
+    fn thread_front(&self, tid: ThreadId) -> Option<usize> {
+        let pos = self.thread_pos.get(tid.index()).copied()?;
+        self.index.thread_indices(tid).get(pos).copied()
     }
 
     fn counter(&self, tid: ThreadId, obj: ActionObj) -> u32 {
@@ -245,11 +262,7 @@ impl PiReplayScheduler {
         let Some(normalized) = SketchOp::from_op(op) else {
             return CandidateClass::Free; // Fail op: always schedulable
         };
-        let Some(&front) = self
-            .thread_queues
-            .get(tid.index())
-            .and_then(|q| q.front())
-        else {
+        let Some(front) = self.thread_front(tid) else {
             // This thread has no recorded entries left. Production
             // recording stopped at the failure, so anything past a
             // thread's recorded prefix either blocked or never ran before
@@ -261,9 +274,9 @@ impl PiReplayScheduler {
                 CandidateClass::StalledBySketch
             };
         };
-        if self.entries_op[front] != normalized {
+        if *self.index.op(front) != normalized {
             return CandidateClass::Diverged {
-                expected: format!("{:?}", self.entries_op[front]),
+                expected: format!("{:?}", self.index.op(front)),
                 announced: format!("{normalized:?}"),
             };
         }
@@ -343,17 +356,15 @@ impl Scheduler for PiReplayScheduler {
         let relevant = self.filter.would_record(tid, op) && SketchOp::from_op(op).is_some();
         self.filter.note_executed(tid, op);
         if relevant {
-            if let Some(q) = self.thread_queues.get_mut(tid.index()) {
-                if let Some(&front) = q.front() {
-                    if front == self.cursor {
-                        q.pop_front();
-                        self.cursor += 1;
-                    }
-                    // `front != cursor` can only mean the thread is past its
-                    // recorded prefix in a region the filter still matches —
-                    // impossible by construction (pick stalls it), except
-                    // when its queue drained: handled by the None arm.
+            if let Some(front) = self.thread_front(tid) {
+                if front == self.cursor {
+                    self.thread_pos[tid.index()] += 1;
+                    self.cursor += 1;
                 }
+                // `front != cursor` can only mean the thread is past its
+                // recorded prefix in a region the filter still matches —
+                // impossible by construction (pick stalls it), except
+                // when its list drained: handled by thread_front's None.
             }
         }
         // Advance action counters and mark satisfied constraints.

@@ -428,13 +428,83 @@ impl Sketch {
 
     /// The per-thread subsequence of entry indices (used by the replayer's
     /// divergence monitor).
+    #[deprecated(
+        note = "O(n) scan per call — build a `SketchIndex` once and use \
+                `SketchIndex::thread_indices`, which serves a cached slice"
+    )]
     pub fn thread_indices(&self, tid: ThreadId) -> Vec<usize> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.tid == tid)
-            .map(|(i, _)| i)
-            .collect()
+        SketchIndex::new(self).thread_indices(tid).to_vec()
+    }
+}
+
+/// An immutable, shareable index over a sketch's entries.
+///
+/// Replay attempts need two derived views of the sketch: the normalized
+/// per-entry [`SketchOp`] table (for divergence checks) and the per-thread
+/// subsequences of entry indices (the replayer's thread queues). Both are
+/// pure functions of the sketch, so the explorer builds this index **once
+/// per reproduction** and every [`crate::replay::PiReplayScheduler`] —
+/// across attempts and across workers — borrows it through an
+/// `Arc<SketchIndex>` instead of re-cloning the sketch per attempt.
+#[derive(Debug, Clone)]
+pub struct SketchIndex {
+    mechanism: Mechanism,
+    /// Normalized op of every entry, in recorded global order.
+    entries_op: Vec<SketchOp>,
+    /// Per-thread lists of global entry indices, indexed by `ThreadId`.
+    per_thread: Vec<Vec<usize>>,
+}
+
+impl SketchIndex {
+    /// Builds the index by scanning the sketch's entries once.
+    pub fn new(sketch: &Sketch) -> Self {
+        let mut per_thread: Vec<Vec<usize>> = Vec::new();
+        for (i, e) in sketch.entries.iter().enumerate() {
+            let idx = e.tid.index();
+            if idx >= per_thread.len() {
+                per_thread.resize_with(idx + 1, Vec::new);
+            }
+            per_thread[idx].push(i);
+        }
+        SketchIndex {
+            mechanism: sketch.mechanism,
+            entries_op: sketch.entries.iter().map(|e| e.op.clone()).collect(),
+            per_thread,
+        }
+    }
+
+    /// The recording mechanism of the indexed sketch.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries_op.len()
+    }
+
+    /// Whether the indexed sketch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries_op.is_empty()
+    }
+
+    /// The normalized op of entry `i`.
+    pub fn op(&self, i: usize) -> &SketchOp {
+        &self.entries_op[i]
+    }
+
+    /// The per-thread subsequence of entry indices, as a cached slice
+    /// (empty for threads with no recorded entries).
+    pub fn thread_indices(&self, tid: ThreadId) -> &[usize] {
+        self.per_thread
+            .get(tid.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of thread slots the index covers (max recorded tid + 1).
+    pub fn threads(&self) -> usize {
+        self.per_thread.len()
     }
 }
 
@@ -602,6 +672,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn thread_indices_partition_the_sketch() {
         let events = vec![
             ev(0, 0, Op::LockAcquire(LockId(0))),
@@ -611,6 +682,29 @@ mod tests {
         let s = Sketch::from_events(Mechanism::Sync, &events);
         assert_eq!(s.thread_indices(ThreadId(0)), vec![0, 2]);
         assert_eq!(s.thread_indices(ThreadId(1)), vec![1]);
+    }
+
+    #[test]
+    fn sketch_index_caches_ops_and_thread_lists() {
+        let events = vec![
+            ev(0, 0, Op::LockAcquire(LockId(0))),
+            ev(1, 2, Op::LockAcquire(LockId(1))),
+            ev(2, 0, Op::LockRelease(LockId(0))),
+        ];
+        let s = Sketch::from_events(Mechanism::Sync, &events);
+        let index = SketchIndex::new(&s);
+        assert_eq!(index.mechanism(), Mechanism::Sync);
+        assert_eq!(index.len(), s.len());
+        for (i, e) in s.entries.iter().enumerate() {
+            assert_eq!(index.op(i), &e.op);
+        }
+        assert_eq!(index.thread_indices(ThreadId(0)), &[0, 2]);
+        // tid 1 has a slot (it is below the max recorded tid) but no entries.
+        assert_eq!(index.thread_indices(ThreadId(1)), &[] as &[usize]);
+        assert_eq!(index.thread_indices(ThreadId(2)), &[1]);
+        // Out-of-range tids serve the empty slice, not a panic.
+        assert_eq!(index.thread_indices(ThreadId(9)), &[] as &[usize]);
+        assert_eq!(index.threads(), 3);
     }
 
     #[test]

@@ -83,8 +83,13 @@ impl Observer for NullObserver {
 pub enum TraceMode {
     /// Keep nothing (production recording: the observer keeps its own log).
     Off,
-    /// Keep every event (diagnosis-time replay attempts: the feedback
-    /// engine analyses the full trace).
+    /// Keep nothing, but the run exists to *feed an observer*: every event
+    /// is delivered to the installed [`Observer`], which maintains its own
+    /// bounded analysis state (vector clocks, last-access tables) instead
+    /// of the VM buffering the full event vector. Replay attempts under the
+    /// feedback strategy run in this mode.
+    Feedback,
+    /// Keep every event (inspection, certificates, trace-diffing tests).
     Full,
 }
 

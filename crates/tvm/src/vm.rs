@@ -1,12 +1,15 @@
 //! The virtual machine coordinator and the thread-side [`Ctx`] API.
 //!
 //! Each virtual thread is an OS thread gated by a baton: it *announces* its
-//! next operation and parks; the coordinator (running on the caller's
-//! thread inside [`run`]) applies operations one at a time according to the
-//! scheduler, so exactly one virtual thread executes user code at any
-//! moment. Execution is therefore a deterministic function of
-//! (program, world, scheduler decisions) — the property every recorder,
-//! replayer, and certificate in this workspace is built on.
+//! next operation and the coordinator step applies operations one at a time
+//! according to the scheduler, so exactly one virtual thread executes user
+//! code at any moment. The coordinator is not a thread but a function
+//! ([`coordinate`]) run by whichever virtual thread completed quiescence —
+//! so consecutive picks of the same thread cost no context switch, and a
+//! handoff to another thread costs exactly one. Execution is a
+//! deterministic function of (program, world, scheduler decisions) — the
+//! property every recorder, replayer, and certificate in this workspace is
+//! built on.
 
 use crate::clock::{TimeReport, VClock};
 use crate::cost::CostModel;
@@ -21,7 +24,7 @@ use crate::sched::{Candidate, Decision, SchedView, Scheduler};
 use crate::state::{Applied, ResourceSpec, VmState};
 use crate::sys::{AcceptStatus, WorldConfig};
 use crate::trace::{Event, Observer, Trace, TraceMode};
-use crate::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -153,25 +156,75 @@ struct Slot {
     phase: Phase,
     result: Option<OpResult>,
     fault: Option<String>,
-    name: String,
+    /// Interned: shared with the spawn request instead of re-copied.
+    name: Arc<str>,
     tseq: u32,
     spawn_req: Option<SpawnReq>,
     os_handle: Option<std::thread::JoinHandle<()>>,
+    /// This thread's private wakeup: a grant (or shutdown poison) wakes
+    /// exactly this thread, never the whole herd.
+    cv: Arc<Condvar>,
 }
 
 struct SpawnReq {
-    name: String,
+    name: Arc<str>,
     body: Box<dyn FnOnce(&mut Ctx) + Send>,
 }
 
 struct Hub {
     slots: Vec<Slot>,
     poisoned: bool,
+    coord: Coord,
 }
+
+/// Coordinator state: the scheduler, the observer, and everything the step
+/// loop mutates. It lives *inside* the hub mutex so that the virtual
+/// threads themselves can run scheduling steps ([`coordinate`]): whichever
+/// thread completes quiescence (by announcing or exiting) picks, applies,
+/// and grants while already holding the lock. When the scheduler picks the
+/// announcing thread again, the grant is observed on the way out of the
+/// same critical section — no context switch at all. A dedicated
+/// coordinator thread would instead pay two switches per event (to the
+/// coordinator and back), which dominated replay attempt wall-clock.
+///
+/// `scheduler` and `observer` are lifetime-erased pointers to the borrows
+/// passed to [`run`]. Safety: they are dereferenced only while holding the
+/// hub mutex, and `run` joins every virtual OS thread before returning, so
+/// every dereference happens strictly within the lifetime of the erased
+/// borrows. Both trait objects are `Send` by supertrait bound.
+struct Coord {
+    scheduler: *mut dyn Scheduler,
+    observer: *mut dyn Observer,
+    state: VmState,
+    clock: VClock,
+    stats: RunStats,
+    trace: Trace,
+    schedule: Vec<ThreadId>,
+    step: u64,
+    /// Mirrors `Phase::Exited` per slot so `Join` enabledness is answered
+    /// without re-scanning phases.
+    known_exited: Vec<bool>,
+    /// Candidate buffers, reused across scheduling rounds: cleared and
+    /// refilled each quiescence instead of reallocated.
+    enabled: Vec<Candidate>,
+    blocked: Vec<Candidate>,
+    /// Set exactly once, when the run's outcome is decided.
+    status: Option<RunStatus>,
+    processors: u32,
+    max_steps: u64,
+    trace_mode: TraceMode,
+    cost_model: CostModel,
+}
+
+// SAFETY: the raw pointers target `Send` trait objects (`Scheduler: Send`,
+// `Observer: Send`), are dereferenced only under the hub mutex (one thread
+// at a time), and never escape the `run` frame that erased them.
+unsafe impl Send for Coord {}
 
 struct Shared {
     hub: Mutex<Hub>,
-    cv: Condvar,
+    /// Wakes the `run` caller once the run's status is decided.
+    done: Condvar,
 }
 
 /// The handle a virtual thread uses for every interaction with shared
@@ -195,7 +248,11 @@ impl Ctx {
             std::panic::panic_any(Shutdown);
         }
         hub.slots[me].phase = Phase::Announced(op);
-        self.shared.cv.notify_all();
+        // The announcing thread carries the baton: if this announce
+        // completed quiescence, run scheduling steps right here. A
+        // self-grant is then observed immediately below without parking.
+        coordinate(&mut hub, &self.shared, Some(self.tid));
+        let cv = hub.slots[me].cv.clone();
         loop {
             if hub.poisoned {
                 drop(hub);
@@ -204,11 +261,13 @@ impl Ctx {
             if matches!(hub.slots[me].phase, Phase::Granted) {
                 break;
             }
-            self.shared.cv.wait(&mut hub);
+            cv.wait(&mut hub);
         }
+        // Granted -> Running needs no notification: nothing waits on that
+        // transition; the next scheduling step runs at this thread's next
+        // announce (or exit).
         if let Some(msg) = hub.slots[me].fault.take() {
             hub.slots[me].phase = Phase::Running;
-            self.shared.cv.notify_all();
             drop(hub);
             panic!("{msg}");
         }
@@ -217,7 +276,6 @@ impl Ctx {
             .take()
             .expect("granted without a result");
         hub.slots[me].phase = Phase::Running;
-        self.shared.cv.notify_all();
         res
     }
 
@@ -356,7 +414,7 @@ impl Ctx {
             let mut hub = self.shared.hub.lock();
             let me = self.tid.index();
             hub.slots[me].spawn_req = Some(SpawnReq {
-                name: name.to_string(),
+                name: Arc::from(name),
                 body: Box::new(body),
             });
         }
@@ -522,7 +580,9 @@ fn thread_main(shared: Arc<Shared>, tid: ThreadId, body: Box<dyn FnOnce(&mut Ctx
     };
     let mut hub = shared.hub.lock();
     hub.slots[tid.index()].phase = Phase::Exited(exit);
-    shared.cv.notify_all();
+    // An exit can complete quiescence too; the exiting thread runs the
+    // next scheduling steps before its OS thread terminates.
+    coordinate(&mut hub, &shared, None);
 }
 
 // ---------------------------------------------------------------------------
@@ -548,21 +608,38 @@ pub fn run(
 ) -> RunOutcome {
     config.validate().expect("invalid VmConfig");
     install_quiet_hook();
+    // Erase the borrow lifetimes so the coordinator state can live inside
+    // the hub; see `Coord` for the safety argument (hub-mutex-only access,
+    // every virtual thread joined before this frame returns).
+    let scheduler: *mut dyn Scheduler =
+        unsafe { std::mem::transmute::<&mut dyn Scheduler, *mut dyn Scheduler>(scheduler) };
+    let observer: *mut dyn Observer =
+        unsafe { std::mem::transmute::<&mut dyn Observer, *mut dyn Observer>(observer) };
     let shared = Arc::new(Shared {
         hub: Mutex::new(Hub {
             slots: Vec::new(),
             poisoned: false,
+            coord: Coord {
+                scheduler,
+                observer,
+                state: VmState::new(resources, config.world.clone()),
+                clock: VClock::new(),
+                stats: RunStats::default(),
+                trace: Trace::new(),
+                schedule: Vec::new(),
+                step: 0,
+                known_exited: Vec::new(),
+                enabled: Vec::new(),
+                blocked: Vec::new(),
+                status: None,
+                processors: config.processors,
+                max_steps: config.max_steps,
+                trace_mode: config.trace_mode,
+                cost_model: config.cost_model.clone(),
+            },
         }),
-        cv: Condvar::new(),
+        done: Condvar::new(),
     });
-
-    let mut state = VmState::new(resources, config.world.clone());
-    let mut clock = VClock::new();
-    let mut stats = RunStats::default();
-    let mut trace = Trace::new();
-    let mut schedule: Vec<ThreadId> = Vec::new();
-    let mut step: u64 = 0;
-    let mut known_exited: Vec<bool> = Vec::new();
 
     // Spawn the root thread.
     {
@@ -571,12 +648,13 @@ pub fn run(
             phase: Phase::Starting,
             result: None,
             fault: None,
-            name: "main".to_string(),
+            name: Arc::from("main"),
             tseq: 0,
             spawn_req: None,
             os_handle: None,
+            cv: Arc::new(Condvar::new()),
         });
-        known_exited.push(false);
+        hub.coord.known_exited.push(false);
         let sh = shared.clone();
         let handle = std::thread::Builder::new()
             .name("vt-main".to_string())
@@ -585,266 +663,37 @@ pub fn run(
         hub.slots[0].os_handle = Some(handle);
     }
 
-    // Announced ops ready to schedule, plus any crash observed this quiescence.
-    type Quiescence = (Vec<(ThreadId, Op)>, Option<(ThreadId, String)>);
-
-    let status = 'run: loop {
-        // Wait for quiescence: every slot Announced or Exited.
-        let (candidates, crashed): Quiescence = {
-            let mut hub = shared.hub.lock();
-            loop {
-                let busy = hub.slots.iter().any(|s| {
-                    matches!(s.phase, Phase::Starting | Phase::Granted | Phase::Running)
-                });
-                if !busy {
-                    break;
-                }
-                shared.cv.wait(&mut hub);
-            }
-            // Detect crashes (newly exited with a message).
-            let mut crash = None;
-            for (i, slot) in hub.slots.iter().enumerate() {
-                if let Phase::Exited(exit) = &slot.phase {
-                    if !known_exited[i] {
-                        known_exited[i] = true;
-                        if let Some(msg) = exit {
-                            crash = Some((ThreadId(i as u32), msg.clone()));
-                        }
-                    }
-                }
-            }
-            let cands = hub
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| match &s.phase {
-                    Phase::Announced(op) => Some((ThreadId(i as u32), op.clone())),
-                    _ => None,
-                })
-                .collect();
-            (cands, crash)
-        };
-
-        if let Some((tid, message)) = crashed {
-            break RunStatus::Failed(Failure::Crash { thread: tid, message });
+    // Wait for the outcome; the virtual threads coordinate themselves.
+    let status = {
+        let mut hub = shared.hub.lock();
+        while hub.coord.status.is_none() {
+            shared.done.wait(&mut hub);
         }
-
-        if candidates.is_empty() {
-            break RunStatus::Completed;
-        }
-
-        if step >= config.max_steps {
-            break RunStatus::StepLimit;
-        }
-
-        // Partition into enabled / blocked.
-        let is_exited = |t: ThreadId| -> bool {
-            let hub = shared.hub.lock();
-            matches!(hub.slots[t.index()].phase, Phase::Exited(_))
-        };
-        let mut enabled: Vec<Candidate> = Vec::new();
-        let mut blocked: Vec<Candidate> = Vec::new();
-        for (tid, op) in &candidates {
-            let ok = match op {
-                Op::Join(target) => is_exited(*target),
-                other => state.enabled(*tid, other, step),
-            };
-            let cand = Candidate {
-                tid: *tid,
-                op: op.clone(),
-            };
-            if ok {
-                enabled.push(cand);
-            } else {
-                blocked.push(cand);
-            }
-        }
-
-        if enabled.is_empty() {
-            // Fast-forward to the next scripted arrival if someone is
-            // blocked on accept; otherwise the run is stuck.
-            let next_arrival = blocked.iter().find_map(|c| {
-                if matches!(c.op, Op::Syscall(SyscallOp::NetAccept)) {
-                    match state.world().accept_status(step) {
-                        AcceptStatus::WaitUntil(s) => Some(s),
-                        _ => None,
-                    }
-                } else {
-                    None
-                }
-            });
-            if let Some(arrival) = next_arrival {
-                step = arrival;
-                continue 'run;
-            }
-            let blocked_threads: Vec<BlockedThread> = blocked
-                .iter()
-                .map(|c| BlockedThread {
-                    tid: c.tid,
-                    reason: match &c.op {
-                        Op::Join(t) => crate::state::BlockReason::Other {
-                            what: if is_exited(*t) { "join" } else { "join-wait" },
-                        },
-                        op => state
-                            .block_reason(c.tid, op, step)
-                            .unwrap_or(crate::state::BlockReason::Other { what: "unknown" }),
-                    },
-                })
-                .collect();
-            let report = deadlock::analyze(&blocked_threads);
-            break RunStatus::Failed(Failure::Deadlock {
-                threads: report.threads,
-                locks: report.locks,
-                description: report.description,
-            });
-        }
-
-        // Ask the scheduler.
-        let decision = {
-            let view = SchedView {
-                enabled: &enabled,
-                blocked: &blocked,
-                step,
-                processors: config.processors,
-            };
-            scheduler.pick(&view)
-        };
-        let tid = match decision {
-            Decision::Run(t) => t,
-            Decision::Abort(reason) => break RunStatus::Aborted(reason),
-        };
-        let op = enabled
-            .iter()
-            .find(|c| c.tid == tid)
-            .unwrap_or_else(|| panic!("scheduler picked non-enabled thread {tid}"))
-            .op
-            .clone();
-        schedule.push(tid);
-        step += 1;
-
-        // Charge the base cost.
-        clock.charge(tid, config.cost_model.op_cost(&op));
-        stats.count(&op);
-
-        // Apply.
-        let mut fail: Option<Failure> = None;
-        let (granted, event_result) = match &op {
-            Op::Spawn => {
-                let (new_tid, parent_grant) = {
-                    let mut hub = shared.hub.lock();
-                    let req = hub.slots[tid.index()]
-                        .spawn_req
-                        .take()
-                        .expect("Spawn announced without a spawn request");
-                    let new_tid = ThreadId(hub.slots.len() as u32);
-                    hub.slots.push(Slot {
-                        phase: Phase::Starting,
-                        result: None,
-                        fault: None,
-                        name: req.name.clone(),
-                        tseq: 0,
-                        spawn_req: None,
-                        os_handle: None,
-                    });
-                    known_exited.push(false);
-                    let sh = shared.clone();
-                    let handle = std::thread::Builder::new()
-                        .name(format!("vt-{}", req.name))
-                        .spawn(move || thread_main(sh, new_tid, req.body))
-                        .expect("failed to spawn vthread");
-                    hub.slots[new_tid.index()].os_handle = Some(handle);
-                    (new_tid, OpResult::Tid(new_tid))
-                };
-                let _ = new_tid;
-                (Some(parent_grant.clone()), parent_grant)
-            }
-            Op::Join(_) => (Some(OpResult::Unit), OpResult::Unit),
-            Op::Fail(msg) => {
-                fail = Some(Failure::Assertion {
-                    thread: tid,
-                    message: msg.clone(),
-                });
-                (None, OpResult::Unit)
-            }
-            other => match state.apply(tid, other, clock.now(), step) {
-                Applied::Done(res) => (Some(res.clone()), res),
-                Applied::BlockedRewrite(new_op) => {
-                    let mut hub = shared.hub.lock();
-                    hub.slots[tid.index()].phase = Phase::Announced(new_op);
-                    (None, OpResult::Unit)
-                }
-                Applied::Fault(msg) => {
-                    // Grant with a fault: the thread resumes and panics,
-                    // which the crash path picks up.
-                    let mut hub = shared.hub.lock();
-                    hub.slots[tid.index()].fault = Some(msg);
-                    hub.slots[tid.index()].result = Some(OpResult::Unit);
-                    hub.slots[tid.index()].phase = Phase::Granted;
-                    shared.cv.notify_all();
-                    (None, OpResult::Unit)
-                }
-            },
-        };
-
-        // Emit the event.
-        let tseq = {
-            let mut hub = shared.hub.lock();
-            let t = hub.slots[tid.index()].tseq;
-            hub.slots[tid.index()].tseq += 1;
-            t
-        };
-        let event = Event {
-            gseq: schedule.len() as u64 - 1,
-            tid,
-            tseq,
-            op: op.clone(),
-            result: event_result,
-        };
-        let charge = observer.on_event(&event);
-        if charge.thread_cost > 0 {
-            clock.charge(tid, charge.thread_cost);
-        }
-        if charge.serial_cost > 0 {
-            clock.charge_serial(tid, charge.serial_cost);
-        }
-        if config.trace_mode == TraceMode::Full {
-            trace.push(event);
-        }
-        scheduler.on_applied(tid, &op);
-
-        if let Some(f) = fail {
-            break RunStatus::Failed(f);
-        }
-
-        // Grant the thread its result (unless it stays blocked/faulted).
-        if let Some(res) = granted {
-            let mut hub = shared.hub.lock();
-            hub.slots[tid.index()].result = Some(res);
-            hub.slots[tid.index()].phase = Phase::Granted;
-            shared.cv.notify_all();
-        }
+        hub.coord.status.take().expect("status observed above")
     };
 
     // Shut down: poison parked threads and join every OS thread.
-    let (handles, thread_names): (Vec<std::thread::JoinHandle<()>>, Vec<String>) = {
+    let handles: Vec<std::thread::JoinHandle<()>> = {
         let mut hub = shared.hub.lock();
         hub.poisoned = true;
-        shared.cv.notify_all();
-        let names = hub.slots.iter().map(|s| s.name.clone()).collect();
-        let handles = hub
-            .slots
-            .iter_mut()
-            .filter_map(|s| s.os_handle.take())
-            .collect();
-        (handles, names)
+        // Every parked thread waits on its own condvar; poison them all.
+        for s in hub.slots.iter() {
+            s.cv.notify_one();
+        }
+        hub.slots.iter_mut().filter_map(|s| s.os_handle.take()).collect()
     };
     for h in handles {
         let _ = h.join();
     }
 
-    let time = TimeReport::from_clock(&clock, config.processors);
+    // Every virtual thread has exited: the erased scheduler/observer
+    // borrows are dead everywhere, and the hub is exclusively ours.
+    let mut hub = shared.hub.lock();
+    let thread_names: Vec<String> = hub.slots.iter().map(|s| s.name.to_string()).collect();
+    let coord = &mut hub.coord;
+    let time = TimeReport::from_clock(&coord.clock, coord.processors);
     let (stdout, conn_outputs, files) = {
-        let world = state.world();
+        let world = coord.state.world();
         (
             world.stdout().to_vec(),
             world.conn_outputs(),
@@ -853,14 +702,303 @@ pub fn run(
     };
     RunOutcome {
         status,
-        trace,
+        trace: std::mem::replace(&mut coord.trace, Trace::new()),
         time,
-        stats,
-        schedule,
+        stats: coord.stats,
+        schedule: std::mem::take(&mut coord.schedule),
         thread_names,
         stdout,
         conn_outputs,
         files,
+    }
+}
+
+/// Marks the run's outcome and wakes the [`run`] caller.
+fn finish(coord: &mut Coord, shared: &Shared, status: RunStatus) {
+    coord.status = Some(status);
+    shared.done.notify_one();
+}
+
+/// Runs scheduling steps while the hub is quiescent (every slot Announced
+/// or Exited). Called — with the hub lock already held — by whichever
+/// virtual thread completed quiescence, right after its announce or exit.
+/// Returns once a grant is outstanding or the run's status is decided.
+/// `me` is the calling thread when it announced (a self-grant then skips
+/// the wakeup: the caller observes `Granted` on its way out).
+fn coordinate(guard: &mut MutexGuard<'_, Hub>, shared: &Arc<Shared>, me: Option<ThreadId>) {
+    let hub: &mut Hub = guard;
+    let Hub {
+        slots,
+        poisoned,
+        coord,
+    } = hub;
+    if *poisoned {
+        return;
+    }
+    'steps: loop {
+        if coord.status.is_some() {
+            return;
+        }
+        let busy = slots.iter().any(|s| {
+            matches!(s.phase, Phase::Starting | Phase::Granted | Phase::Running)
+        });
+        if busy {
+            // Someone else still carries the baton; they will coordinate.
+            return;
+        }
+
+        // Detect crashes (newly exited with a message). `known_exited`
+        // then mirrors `Phase::Exited` for every slot, so enabledness of
+        // `Join` is answered without further phase scans.
+        let mut crash = None;
+        for (i, slot) in slots.iter().enumerate() {
+            if let Phase::Exited(exit) = &slot.phase {
+                if !coord.known_exited[i] {
+                    coord.known_exited[i] = true;
+                    if let Some(msg) = exit {
+                        crash = Some((ThreadId(i as u32), msg.clone()));
+                    }
+                }
+            }
+        }
+        if let Some((tid, message)) = crash {
+            finish(coord, shared, RunStatus::Failed(Failure::Crash { thread: tid, message }));
+            return;
+        }
+
+        // Partition the announced ops into enabled / blocked (one op clone
+        // per candidate).
+        coord.enabled.clear();
+        coord.blocked.clear();
+        for (i, s) in slots.iter().enumerate() {
+            let Phase::Announced(op) = &s.phase else {
+                continue;
+            };
+            let tid = ThreadId(i as u32);
+            let ok = match op {
+                Op::Join(target) => {
+                    coord.known_exited.get(target.index()).copied().unwrap_or(false)
+                }
+                other => coord.state.enabled(tid, other, coord.step),
+            };
+            let cand = Candidate {
+                tid,
+                op: op.clone(),
+            };
+            if ok {
+                coord.enabled.push(cand);
+            } else {
+                coord.blocked.push(cand);
+            }
+        }
+
+        if coord.enabled.is_empty() && coord.blocked.is_empty() {
+            finish(coord, shared, RunStatus::Completed);
+            return;
+        }
+
+        if coord.step >= coord.max_steps {
+            finish(coord, shared, RunStatus::StepLimit);
+            return;
+        }
+
+        if coord.enabled.is_empty() {
+            // Fast-forward to the next scripted arrival if someone is
+            // blocked on accept; otherwise the run is stuck.
+            let next_arrival = coord.blocked.iter().find_map(|c| {
+                if matches!(c.op, Op::Syscall(SyscallOp::NetAccept)) {
+                    match coord.state.world().accept_status(coord.step) {
+                        AcceptStatus::WaitUntil(s) => Some(s),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            });
+            if let Some(arrival) = next_arrival {
+                coord.step = arrival;
+                continue 'steps;
+            }
+            let blocked_threads: Vec<BlockedThread> = coord
+                .blocked
+                .iter()
+                .map(|c| BlockedThread {
+                    tid: c.tid,
+                    reason: match &c.op {
+                        Op::Join(t) => crate::state::BlockReason::Other {
+                            what: if coord.known_exited.get(t.index()).copied().unwrap_or(false)
+                            {
+                                "join"
+                            } else {
+                                "join-wait"
+                            },
+                        },
+                        op => coord
+                            .state
+                            .block_reason(c.tid, op, coord.step)
+                            .unwrap_or(crate::state::BlockReason::Other { what: "unknown" }),
+                    },
+                })
+                .collect();
+            let report = deadlock::analyze(&blocked_threads);
+            finish(
+                coord,
+                shared,
+                RunStatus::Failed(Failure::Deadlock {
+                    threads: report.threads,
+                    locks: report.locks,
+                    description: report.description,
+                }),
+            );
+            return;
+        }
+
+        // Ask the scheduler.
+        let decision = {
+            let view = SchedView {
+                enabled: &coord.enabled,
+                blocked: &coord.blocked,
+                step: coord.step,
+                processors: coord.processors,
+            };
+            // SAFETY: see `Coord` — hub mutex held, borrow outlives us.
+            unsafe { &mut *coord.scheduler }.pick(&view)
+        };
+        let tid = match decision {
+            Decision::Run(t) => t,
+            Decision::Abort(reason) => {
+                finish(coord, shared, RunStatus::Aborted(reason));
+                return;
+            }
+        };
+        let picked = coord
+            .enabled
+            .iter()
+            .position(|c| c.tid == tid)
+            .unwrap_or_else(|| panic!("scheduler picked non-enabled thread {tid}"));
+        // Move the op out of the (per-round) candidate buffer: the pick is
+        // final, so no second clone is needed.
+        let op = coord.enabled.swap_remove(picked).op;
+        coord.schedule.push(tid);
+        coord.step += 1;
+
+        // Charge the base cost.
+        coord.clock.charge(tid, coord.cost_model.op_cost(&op));
+        coord.stats.count(&op);
+
+        // Apply. `grant` marks whether the thread receives the event's
+        // result and resumes; the result itself is carried by the event and
+        // moved (not cloned) into the grant unless the trace retains it.
+        let mut fail: Option<Failure> = None;
+        let (grant, event_result) = match &op {
+            Op::Spawn => {
+                let req = slots[tid.index()]
+                    .spawn_req
+                    .take()
+                    .expect("Spawn announced without a spawn request");
+                let new_tid = ThreadId(slots.len() as u32);
+                slots.push(Slot {
+                    phase: Phase::Starting,
+                    result: None,
+                    fault: None,
+                    name: req.name.clone(),
+                    tseq: 0,
+                    spawn_req: None,
+                    os_handle: None,
+                    cv: Arc::new(Condvar::new()),
+                });
+                coord.known_exited.push(false);
+                let sh = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("vt-{}", req.name))
+                    .spawn(move || thread_main(sh, new_tid, req.body))
+                    .expect("failed to spawn vthread");
+                slots[new_tid.index()].os_handle = Some(handle);
+                (true, OpResult::Tid(new_tid))
+            }
+            Op::Join(_) => (true, OpResult::Unit),
+            Op::Fail(msg) => {
+                fail = Some(Failure::Assertion {
+                    thread: tid,
+                    message: msg.clone(),
+                });
+                (false, OpResult::Unit)
+            }
+            other => match coord.state.apply(tid, other, coord.clock.now(), coord.step) {
+                Applied::Done(res) => (true, res),
+                Applied::BlockedRewrite(new_op) => {
+                    slots[tid.index()].phase = Phase::Announced(new_op);
+                    (false, OpResult::Unit)
+                }
+                Applied::Fault(msg) => {
+                    // Grant with a fault: the thread resumes and panics,
+                    // which the crash path picks up.
+                    let slot = &mut slots[tid.index()];
+                    slot.fault = Some(msg);
+                    slot.result = Some(OpResult::Unit);
+                    slot.phase = Phase::Granted;
+                    if me != Some(tid) {
+                        slot.cv.notify_one();
+                    }
+                    (false, OpResult::Unit)
+                }
+            },
+        };
+
+        // Emit the event. The applied op is moved into it, not cloned; the
+        // scheduler and trace borrow it from there.
+        let tseq = {
+            let slot = &mut slots[tid.index()];
+            let t = slot.tseq;
+            slot.tseq += 1;
+            t
+        };
+        let event = Event {
+            gseq: coord.schedule.len() as u64 - 1,
+            tid,
+            tseq,
+            op,
+            result: event_result,
+        };
+        // SAFETY: see `Coord` — hub mutex held, borrow outlives us.
+        let charge = unsafe { &mut *coord.observer }.on_event(&event);
+        if charge.thread_cost > 0 {
+            coord.clock.charge(tid, charge.thread_cost);
+        }
+        if charge.serial_cost > 0 {
+            coord.clock.charge_serial(tid, charge.serial_cost);
+        }
+        // SAFETY: see `Coord` — hub mutex held, borrow outlives us.
+        unsafe { &mut *coord.scheduler }.on_applied(tid, &event.op);
+        // Only a retained trace forces the grant result to be cloned; in
+        // Off/Feedback modes it is moved out of the event.
+        let granted = if coord.trace_mode == TraceMode::Full {
+            let res = grant.then(|| event.result.clone());
+            coord.trace.push(event);
+            res
+        } else {
+            grant.then_some(event.result)
+        };
+
+        if let Some(f) = fail {
+            finish(coord, shared, RunStatus::Failed(f));
+            return;
+        }
+
+        // Grant the thread its result (unless it stays blocked/faulted).
+        // A grant to the calling thread needs no wakeup at all — it reads
+        // `Granted` immediately after this function returns.
+        if let Some(res) = granted {
+            let slot = &mut slots[tid.index()];
+            slot.result = Some(res);
+            slot.phase = Phase::Granted;
+            if me != Some(tid) {
+                slot.cv.notify_one();
+            }
+            return;
+        }
+        // Blocked rewrite or fault: the hub may still be quiescent, so the
+        // baton stays with us — loop for the next step.
     }
 }
 

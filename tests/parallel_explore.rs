@@ -92,3 +92,92 @@ fn worker_count_does_not_change_an_unreproducible_verdict() {
         assert_eq!(rep.history.len(), 24, "{workers} workers");
     }
 }
+
+/// Streaming feedback is a pure optimization: for every bug in the corpus
+/// it must replicate the buffered (full-trace) pipeline exactly — same
+/// attempt counts, same per-attempt plans, same exploration stats, and
+/// byte-identical certificates.
+#[test]
+fn streaming_feedback_is_equivalent_to_buffered() {
+    use pres_core::FeedbackMode;
+
+    for bug in all_bugs() {
+        let prog = bug.program();
+        let base = Pres::new(Mechanism::Sync).with_max_attempts(300);
+        let recorded = base
+            .record_until_failure(prog.as_ref(), 0..5000)
+            .unwrap_or_else(|| panic!("{}: no failing production run", bug.id));
+
+        // Serial: the whole exploration is deterministic, so every
+        // observable must match between the modes.
+        let streaming = base
+            .clone()
+            .with_feedback_mode(FeedbackMode::Streaming)
+            .reproduce(prog.as_ref(), &recorded);
+        let buffered = base
+            .clone()
+            .with_feedback_mode(FeedbackMode::Buffered)
+            .reproduce(prog.as_ref(), &recorded);
+
+        assert_eq!(streaming.reproduced, buffered.reproduced, "{}", bug.id);
+        assert_eq!(streaming.attempts, buffered.attempts, "{}", bug.id);
+        let plans = |rep: &pres_core::Reproduction| -> Vec<String> {
+            rep.history.iter().map(|h| h.plan.clone()).collect()
+        };
+        assert_eq!(
+            plans(&streaming),
+            plans(&buffered),
+            "{}: serial attempt-plan sequences diverge",
+            bug.id
+        );
+        assert_eq!(
+            ExploreStats::of(&streaming),
+            ExploreStats::of(&buffered),
+            "{}",
+            bug.id
+        );
+        let cert_bytes = |rep: &pres_core::Reproduction| {
+            rep.certificate.as_ref().map(|c| c.encode())
+        };
+        assert_eq!(
+            cert_bytes(&streaming),
+            cert_bytes(&buffered),
+            "{}: serial certificates are not byte-identical",
+            bug.id
+        );
+
+        // Parallel (4 workers): the attempt-index→plan mapping is
+        // timing-dependent once several attempts are needed, but the
+        // verdict never is, and no mode may waste budget on duplicates.
+        let streaming4 = base
+            .clone()
+            .with_workers(4)
+            .with_feedback_mode(FeedbackMode::Streaming)
+            .reproduce(prog.as_ref(), &recorded);
+        let buffered4 = base
+            .clone()
+            .with_workers(4)
+            .with_feedback_mode(FeedbackMode::Buffered)
+            .reproduce(prog.as_ref(), &recorded);
+        assert_eq!(streaming4.reproduced, buffered4.reproduced, "{}", bug.id);
+        assert_eq!(streaming.reproduced, streaming4.reproduced, "{}", bug.id);
+        for (mode, rep) in [("streaming", &streaming4), ("buffered", &buffered4)] {
+            assert_eq!(
+                ExploreStats::of(rep).wasted_attempts(),
+                0,
+                "{}: wasted attempts under 4-worker {mode} feedback",
+                bug.id
+            );
+        }
+        // When the base plan already succeeds (serial attempts == 1) the
+        // winning plan is deterministic even under contention, so the
+        // minted certificates must agree byte for byte across all four
+        // runs.
+        if streaming.attempts == 1 {
+            assert_eq!(streaming4.attempts, 1, "{}", bug.id);
+            assert_eq!(buffered4.attempts, 1, "{}", bug.id);
+            assert_eq!(cert_bytes(&streaming), cert_bytes(&streaming4), "{}", bug.id);
+            assert_eq!(cert_bytes(&streaming), cert_bytes(&buffered4), "{}", bug.id);
+        }
+    }
+}
