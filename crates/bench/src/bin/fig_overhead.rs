@@ -1,8 +1,108 @@
-//! E2: production-run recording overhead per app per mechanism.
+//! E2: production-run recording overhead per app per mechanism, with the
+//! sharded-vs-legacy recorder before/after comparison.
+//!
+//! ```text
+//! fig_overhead [--reduced] [--out FILE]
+//! ```
+//!
+//! Prints the tables and writes the measurements as JSON (for the CI
+//! artifact) to `BENCH_overhead.json` unless `--out` overrides it.
+//! `--reduced` runs the small workloads (CI smoke).
 use pres_apps::WorkloadScale;
 use pres_bench::experiments::{RecordingMatrix, OVERHEAD_PROCESSORS};
+use pres_core::sketch::Mechanism;
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn to_json(m: &RecordingMatrix, processors: u32) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"E2\",\n  \"processors\": {processors},\n  \"rows\": [\n"
+    ));
+    for (i, r) in m.reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"mechanism\": \"{}\", \"overhead_pct\": {:.4}, \"legacy_overhead_pct\": {}, \"slowdown\": {:.4}, \"entries\": {}, \"implicit_events\": {}}}{}\n",
+            json_escape(&r.program),
+            json_escape(&r.mechanism.name()),
+            r.overhead_pct,
+            r.legacy_overhead_pct
+                .map(|l| format!("{l:.4}"))
+                .unwrap_or_else(|| "null".into()),
+            r.slowdown,
+            r.entries,
+            r.implicit_events,
+            if i + 1 < m.reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() {
-    let m = RecordingMatrix::run(OVERHEAD_PROCESSORS, WorkloadScale::Standard);
+    let mut reduced = false;
+    let mut out_path = String::from("BENCH_overhead.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reduced" => reduced = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    let scale = if reduced {
+        WorkloadScale::Small
+    } else {
+        WorkloadScale::Standard
+    };
+
+    let m = RecordingMatrix::run(OVERHEAD_PROCESSORS, scale);
     print!("{}", m.render_overhead());
+
+    // Sanity: sharding never makes any mechanism slower, and strictly
+    // helps at least one thread-local cell; the serialized classes are
+    // exactly unchanged (their charges are identical by construction).
+    let mut marker_wins = 0u32;
+    for r in &m.reports {
+        let legacy = r.legacy_overhead_pct.expect("matrix measures both");
+        assert!(
+            r.overhead_pct <= legacy + 1e-9,
+            "{} {}: sharded {} worse than legacy {}",
+            r.program,
+            r.mechanism,
+            r.overhead_pct,
+            legacy
+        );
+        match r.mechanism {
+            Mechanism::Sync | Mechanism::Sys => assert!(
+                (r.overhead_pct - legacy).abs() < 1e-9,
+                "{} {}: serialized class must be unchanged",
+                r.program,
+                r.mechanism
+            ),
+            Mechanism::Func | Mechanism::Bb | Mechanism::BbN(_) => {
+                if r.overhead_pct < legacy - 1e-9 {
+                    marker_wins += 1;
+                }
+            }
+            Mechanism::Rw => {}
+        }
+    }
+    assert!(
+        marker_wins > 0,
+        "sharding must strictly lower overhead on some thread-local cell"
+    );
+
+    let json = to_json(&m, OVERHEAD_PROCESSORS);
+    std::fs::write(&out_path, &json).expect("write overhead JSON");
+    println!("wrote {out_path} ({} bytes)", json.len());
 }

@@ -9,7 +9,7 @@ use crate::render::{bytes, pct, table};
 use pres_apps::registry::{all_apps, all_bugs, BugCase, WorkloadScale};
 use pres_core::explore::{ExploreConfig, FeedbackMode, Strategy};
 use pres_core::program::Program;
-use pres_core::recorder::{record, RecordingReport};
+use pres_core::recorder::{record, record_legacy, RecordingReport};
 use pres_core::sketch::Mechanism;
 use pres_core::{explore, Certificate};
 use pres_tvm::error::RunStatus;
@@ -125,7 +125,10 @@ pub struct RecordingMatrix {
 }
 
 impl RecordingMatrix {
-    /// Runs the matrix.
+    /// Runs the matrix. Each cell is recorded twice — with the sharded
+    /// recorder and with the pre-sharding (fully serialized) one — so E2
+    /// reports a before/after overhead comparison; the two must record
+    /// identical sketches.
     pub fn run(processors: u32, scale: WorkloadScale) -> Self {
         let mut reports = Vec::new();
         let config = std_vm(processors);
@@ -138,7 +141,13 @@ impl RecordingMatrix {
                     "bug-free workload {} failed during overhead measurement",
                     app.id
                 );
-                reports.push(RecordingReport::from_run(&run));
+                let legacy = record_legacy(prog.as_ref(), mech, &config, 7);
+                assert_eq!(
+                    run.sketch, legacy.sketch,
+                    "sharded and legacy recorders diverged on {} under {mech}",
+                    app.id
+                );
+                reports.push(RecordingReport::from_run(&run).with_legacy(&legacy));
             }
         }
         RecordingMatrix { reports }
@@ -183,7 +192,7 @@ impl RecordingMatrix {
             rows.push(row);
         }
         let mut headers = vec!["app"];
-        let names: Vec<String> = mechs.iter().map(|m| m.name()).collect();
+        let names: Vec<String> = mechs.iter().map(|m| m.name().into_owned()).collect();
         headers.extend(names.iter().map(|s| s.as_str()));
         let mut out = String::from(
             "E2. Production-run recording overhead (% over native, 8 simulated cores)\n\n",
@@ -192,6 +201,92 @@ impl RecordingMatrix {
         let (app, ratio) = self.max_rw_over_sync();
         out.push_str(&format!(
             "\nheadline: SYNC sketching lowers recording overhead vs. the RW baseline by up to {ratio:.0}x (on {app})\n",
+        ));
+        out.push_str(&self.render_sharding_delta());
+        out
+    }
+
+    /// Renders the sharded-vs-legacy recorder comparison for the
+    /// thread-local mechanisms (the classes the sharding restructure
+    /// speeds up; SYNC/SYS charges are identical by construction).
+    pub fn render_sharding_delta(&self) -> String {
+        let mechs = [Mechanism::Func, Mechanism::Bb, Mechanism::BbN(4)];
+        let mut rows = Vec::new();
+        for app in all_apps() {
+            let mut row = vec![app.id.to_string()];
+            for m in &mechs {
+                row.push(
+                    self.cell(app.id, *m)
+                        .and_then(|r| {
+                            r.legacy_overhead_pct
+                                .map(|l| format!("{} -> {}", pct(l), pct(r.overhead_pct)))
+                        })
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["app"];
+        let names: Vec<String> = mechs.iter().map(|m| m.name().into_owned()).collect();
+        headers.extend(names.iter().map(|s| s.as_str()));
+        let mut out = String::from(
+            "\nsharded recording, before -> after (pre-sharding recorder vs per-thread shards)\n\n",
+        );
+        out.push_str(&table(&headers, &rows));
+        out
+    }
+
+    /// Geometric-mean shrink of the v2 container vs v1 across all cells
+    /// with a non-empty log, as a percentage (positive = v2 smaller).
+    pub fn codec_geomean_shrink(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .reports
+            .iter()
+            .filter(|r| r.entries > 0 && r.encoded_v1 > 0)
+            .map(|r| r.encoded_v2 as f64 / r.encoded_v1 as f64)
+            .collect();
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        let gm = (ratios.iter().map(|x| x.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        (1.0 - gm) * 100.0
+    }
+
+    /// Renders the codec v1-vs-v2 container-size comparison.
+    pub fn render_codec(&self) -> String {
+        let mechs = standard_mechanisms();
+        let mut rows = Vec::new();
+        for app in all_apps() {
+            let mut row = vec![app.id.to_string()];
+            for m in &mechs {
+                row.push(
+                    self.cell(app.id, *m)
+                        .map(|r| {
+                            if r.encoded_v1 == 0 {
+                                "-".into()
+                            } else {
+                                format!(
+                                    "{} -> {} (-{:.0}%)",
+                                    bytes(r.encoded_v1),
+                                    bytes(r.encoded_v2),
+                                    (1.0 - r.encoded_v2 as f64 / r.encoded_v1 as f64) * 100.0
+                                )
+                            }
+                        })
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["app"];
+        let names: Vec<String> = mechs.iter().map(|m| m.name().into_owned()).collect();
+        headers.extend(names.iter().map(|s| s.as_str()));
+        let mut out =
+            String::from("\ncodec container size, v1 (flat) -> v2 (columnar), actual bytes\n\n");
+        out.push_str(&table(&headers, &rows));
+        out.push_str(&format!(
+            "\nheadline: the v2 columnar container shrinks sketch logs by {:.0}% geomean across the matrix\n",
+            self.codec_geomean_shrink()
         ));
         out
     }
@@ -212,7 +307,7 @@ impl RecordingMatrix {
             rows.push(row);
         }
         let mut headers = vec!["app"];
-        let names: Vec<String> = mechs.iter().map(|m| m.name()).collect();
+        let names: Vec<String> = mechs.iter().map(|m| m.name().into_owned()).collect();
         headers.extend(names.iter().map(|s| s.as_str()));
         let mut out = String::from("E3. Sketch log size per workload (encoded bytes, entries)\n\n");
         out.push_str(&table(&headers, &rows));
@@ -292,7 +387,7 @@ pub fn render_attempts(rows: &[AttemptsRow], cap: u32) -> String {
         trows.push(row);
     }
     let mut headers = vec!["bug", "class"];
-    let names: Vec<String> = mechs.iter().map(|m| m.name()).collect();
+    let names: Vec<String> = mechs.iter().map(|m| m.name().into_owned()).collect();
     headers.extend(names.iter().map(|s| s.as_str()));
     let mut out = format!(
         "E4. Replay attempts until reproduction (cap {cap}, {REPRO_PROCESSORS} simulated cores)\n\n"

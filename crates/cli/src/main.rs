@@ -20,7 +20,7 @@ mod args;
 use args::{Args, UsageError};
 use pres_apps::registry::{all_apps, all_bugs, WorkloadScale};
 use pres_core::api::Pres;
-use pres_core::codec::{decode_sketch, encode_sketch};
+use pres_core::codec::{container_version, decode_sketch, encode_sketch, encode_sketch_v1};
 use pres_core::inspect::{failure_report, InspectOptions};
 use pres_core::stats::{ExploreStats, SketchStats};
 use pres_core::program::Program;
@@ -32,6 +32,7 @@ use std::time::Instant;
 const USAGE: &str = "usage:
   pres list
   pres record      --bug <id> [--mechanism RW|BB|BB-N|FUNC|SYS|SYNC] [--seed N] [--out FILE]
+                   [--codec v1|v2]
   pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--workers N]
                    [--feedback streaming|buffered] [--cert FILE]
   pres replay      --bug <id> --cert FILE [--report]
@@ -118,6 +119,12 @@ fn cmd_record(args: &Args) -> Result<(), UsageError> {
     let mechanism = parse_mechanism(&args.get("mechanism").unwrap_or_else(|| "SYNC".into()))?;
     let seed: Option<u64> = args.get_parsed("seed")?;
     let out = args.get("out").unwrap_or_else(|| format!("{bug}.sketch"));
+    let codec = args.get("codec").unwrap_or_else(|| "v2".into());
+    if codec != "v1" && codec != "v2" {
+        return Err(UsageError(format!(
+            "bad --codec '{codec}' (expected v1 or v2)"
+        )));
+    }
     args.finish()?;
 
     let prog = bug_program(&bug)?;
@@ -143,10 +150,14 @@ fn cmd_record(args: &Args) -> Result<(), UsageError> {
         recorded.sketch.len(),
         recorded.overhead_pct()
     );
-    let bytes = encode_sketch(&recorded.sketch);
+    let bytes = if codec == "v1" {
+        encode_sketch_v1(&recorded.sketch)
+    } else {
+        encode_sketch(&recorded.sketch)
+    };
     std::fs::write(&out, &bytes)
         .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
-    println!("wrote {} ({} bytes)", out, bytes.len());
+    println!("wrote {} ({} bytes, codec {})", out, bytes.len(), codec);
     Ok(())
 }
 
@@ -250,11 +261,13 @@ fn cmd_sketch_info(args: &Args) -> Result<(), UsageError> {
     args.finish()?;
     let data = std::fs::read(&path)
         .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+    let version = container_version(&data).map_err(|e| UsageError(e.to_string()))?;
     let sketch = decode_sketch(&data).map_err(|e| UsageError(e.to_string()))?;
     println!(
-        "program {} | mechanism {} | production seed {} | {} cores | failure: {}",
+        "program {} | mechanism {} | container v{} | production seed {} | {} cores | failure: {}",
         sketch.meta.program,
         sketch.mechanism.name(),
+        version,
         sketch.meta.seed,
         sketch.meta.processors,
         if sketch.meta.failure_signature.is_empty() {

@@ -1,10 +1,22 @@
 //! Compact binary encoding of sketches — the on-disk log format.
 //!
 //! The paper reports recording overhead *and* log growth; both depend on a
-//! realistic log encoding. Entries are encoded with single-byte tags and
-//! LEB128 varints (thread ids and object ids are small; syscall payloads are
-//! length-prefixed raw bytes), which is representative of what a tuned
-//! production recorder writes.
+//! realistic log encoding. Two container versions share a common header
+//! (magic, version byte, mechanism, run metadata):
+//!
+//! * **v1** — a flat entry stream: single-byte tags and LEB128 varints,
+//!   one `(tid, tag, operand, result?)` record per entry in sketch order.
+//! * **v2** (default) — a columnar layout: a thread directory
+//!   (delta-encoded tids + per-thread entry counts), an interleave stream
+//!   capturing the cross-thread order (plain or run-length encoded,
+//!   whichever is smaller), and one column block per thread whose entries
+//!   carry a one-byte op-kind dictionary code and a zigzag-varint operand
+//!   delta against the previous operand of the same kind group on that
+//!   thread. Same-thread runs and locally clustered ids — the common case
+//!   for marker-dense sketches — collapse to a byte or two per entry.
+//!
+//! [`decode_sketch`] accepts both versions via the version byte, so logs
+//! written by older recorders keep decoding.
 //!
 //! The same codec serializes reproduction certificates.
 
@@ -413,7 +425,8 @@ impl ByteReader<'_> {
 }
 
 const MAGIC: &[u8; 4] = b"PRES";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
 
 fn mechanism_code(m: Mechanism) -> (u8, u32) {
     match m {
@@ -438,11 +451,9 @@ fn mechanism_from(code: u8, arg: u32) -> Option<Mechanism> {
     })
 }
 
-/// Serializes a sketch to its binary log form.
-pub fn encode_sketch(sketch: &Sketch) -> Vec<u8> {
-    let mut w = ByteWriter::new();
+fn encode_header(w: &mut ByteWriter, sketch: &Sketch, version: u8) {
     w.buf.extend_from_slice(MAGIC);
-    w.u8(VERSION);
+    w.u8(version);
     let (code, arg) = mechanism_code(sketch.mechanism);
     w.u8(code);
     w.varint(u64::from(arg));
@@ -451,6 +462,20 @@ pub fn encode_sketch(sketch: &Sketch) -> Vec<u8> {
     w.varint(u64::from(sketch.meta.processors));
     w.varint(sketch.meta.total_ops);
     w.string(&sketch.meta.failure_signature);
+}
+
+/// Serializes a sketch to its binary log form (the current container,
+/// [v2](self)).
+pub fn encode_sketch(sketch: &Sketch) -> Vec<u8> {
+    encode_sketch_v2(sketch)
+}
+
+/// Serializes a sketch in the legacy v1 flat-stream container. Kept for
+/// fixtures and codec-size comparisons; [`decode_sketch`] still accepts
+/// its output.
+pub fn encode_sketch_v1(sketch: &Sketch) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    encode_header(&mut w, sketch, VERSION_V1);
     w.varint(sketch.entries.len() as u64);
     for e in &sketch.entries {
         encode_entry(&mut w, e);
@@ -458,7 +483,387 @@ pub fn encode_sketch(sketch: &Sketch) -> Vec<u8> {
     w.finish()
 }
 
-/// Deserializes a sketch from its binary log form.
+// --- v2 columnar container --------------------------------------------------
+
+// One-byte op-kind dictionary. Sync and sys kinds fold into the code so a
+// v2 entry needs no separate kind byte. The dictionary occupies the low 6
+// bits; the top two bits encode the operand delta for the two overwhelmingly
+// common cases (same object as last time: locks, hot counters; successor
+// id: straight-line basic blocks), making such entries a single byte.
+const CODE_START: u8 = 0;
+const CODE_EXIT: u8 = 1;
+const CODE_SPAWN: u8 = 2;
+const CODE_MEM_READ_VAR: u8 = 3;
+const CODE_MEM_WRITE_VAR: u8 = 4;
+const CODE_MEM_READ_BUF: u8 = 5;
+const CODE_MEM_WRITE_BUF: u8 = 6;
+const CODE_JOIN: u8 = 7;
+const CODE_FUNC: u8 = 8;
+const CODE_BB: u8 = 9;
+const CODE_SYNC_BASE: u8 = 10; // + sync_kind_code: 10..=25
+const CODE_SYS_BASE: u8 = 26; // + sys_kind_code: 26..=36
+
+/// Operand delta folded into the code byte's top two bits.
+const FLAG_SHIFT: u32 = 6;
+const FLAG_VARINT: u8 = 0; // zigzag varint delta follows
+const FLAG_DELTA_ZERO: u8 = 1; // operand == previous in group
+const FLAG_DELTA_ONE: u8 = 2; // operand == previous + 1
+const CODE_MASK: u8 = (1 << FLAG_SHIFT) - 1;
+
+/// Operand delta groups: each thread keeps one "previous operand" per
+/// group, so e.g. basic-block ids delta against the last basic-block id
+/// on the same thread, not against an unrelated lock id.
+const GROUP_MEM_VAR: usize = 0;
+const GROUP_MEM_BUF: usize = 1;
+const GROUP_SYNC: usize = 2;
+const GROUP_SYS: usize = 3;
+const GROUP_FUNC: usize = 4;
+const GROUP_BB: usize = 5;
+const GROUP_JOIN: usize = 6;
+const GROUPS: usize = 7;
+
+/// The dictionary code and (delta group, operand) of an op; operand is
+/// `None` for the three operand-free lifecycle codes.
+fn op_code(op: &SketchOp) -> (u8, Option<(usize, u32)>) {
+    match op {
+        SketchOp::Start => (CODE_START, None),
+        SketchOp::Exit => (CODE_EXIT, None),
+        SketchOp::Spawn => (CODE_SPAWN, None),
+        SketchOp::Mem { loc, write } => match loc {
+            MemLoc::Var(v) => (
+                if *write {
+                    CODE_MEM_WRITE_VAR
+                } else {
+                    CODE_MEM_READ_VAR
+                },
+                Some((GROUP_MEM_VAR, v.0)),
+            ),
+            MemLoc::Buf(b) => (
+                if *write {
+                    CODE_MEM_WRITE_BUF
+                } else {
+                    CODE_MEM_READ_BUF
+                },
+                Some((GROUP_MEM_BUF, b.0)),
+            ),
+        },
+        SketchOp::Join { target } => (CODE_JOIN, Some((GROUP_JOIN, *target))),
+        SketchOp::Func(f) => (CODE_FUNC, Some((GROUP_FUNC, *f))),
+        SketchOp::Bb(b) => (CODE_BB, Some((GROUP_BB, *b))),
+        SketchOp::Sync { kind, obj } => {
+            (CODE_SYNC_BASE + sync_kind_code(*kind), Some((GROUP_SYNC, *obj)))
+        }
+        SketchOp::Sys { kind, obj } => {
+            (CODE_SYS_BASE + sys_kind_code(*kind), Some((GROUP_SYS, *obj)))
+        }
+    }
+}
+
+/// The delta group an operand-carrying code reads/writes, or `None` for
+/// operand-free codes. Unknown codes also return `None`; the decoder
+/// rejects them separately.
+fn code_group(code: u8) -> Option<usize> {
+    match code {
+        CODE_MEM_READ_VAR | CODE_MEM_WRITE_VAR => Some(GROUP_MEM_VAR),
+        CODE_MEM_READ_BUF | CODE_MEM_WRITE_BUF => Some(GROUP_MEM_BUF),
+        CODE_JOIN => Some(GROUP_JOIN),
+        CODE_FUNC => Some(GROUP_FUNC),
+        CODE_BB => Some(GROUP_BB),
+        c if (CODE_SYNC_BASE..CODE_SYS_BASE).contains(&c) => Some(GROUP_SYNC),
+        c if (CODE_SYS_BASE..=CODE_SYS_BASE + 10).contains(&c) => Some(GROUP_SYS),
+        _ => None,
+    }
+}
+
+fn op_from_code(code: u8, operand: u32) -> Option<SketchOp> {
+    Some(match code {
+        CODE_START => SketchOp::Start,
+        CODE_EXIT => SketchOp::Exit,
+        CODE_SPAWN => SketchOp::Spawn,
+        CODE_MEM_READ_VAR | CODE_MEM_WRITE_VAR => SketchOp::Mem {
+            loc: MemLoc::Var(pres_tvm::ids::VarId(operand)),
+            write: code == CODE_MEM_WRITE_VAR,
+        },
+        CODE_MEM_READ_BUF | CODE_MEM_WRITE_BUF => SketchOp::Mem {
+            loc: MemLoc::Buf(pres_tvm::ids::BufId(operand)),
+            write: code == CODE_MEM_WRITE_BUF,
+        },
+        CODE_JOIN => SketchOp::Join { target: operand },
+        CODE_FUNC => SketchOp::Func(operand),
+        CODE_BB => SketchOp::Bb(operand),
+        c if (CODE_SYNC_BASE..CODE_SYS_BASE).contains(&c) => SketchOp::Sync {
+            kind: sync_kind_from(c - CODE_SYNC_BASE)?,
+            obj: operand,
+        },
+        c if (CODE_SYS_BASE..=CODE_SYS_BASE + 10).contains(&c) => SketchOp::Sys {
+            kind: sys_kind_from(c - CODE_SYS_BASE)?,
+            obj: operand,
+        },
+        _ => return None,
+    })
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Serializes a sketch in the v2 columnar container.
+pub fn encode_sketch_v2(sketch: &Sketch) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    encode_header(&mut w, sketch, VERSION_V2);
+    w.varint(sketch.entries.len() as u64);
+
+    // Thread directory: ascending tids, delta-encoded. Per-thread entry
+    // counts are *not* stored — the decoder recovers them by counting the
+    // interleave stream.
+    let mut by_tid: std::collections::BTreeMap<u32, Vec<&SketchEntry>> =
+        std::collections::BTreeMap::new();
+    for e in &sketch.entries {
+        by_tid.entry(e.tid.0).or_default().push(e);
+    }
+    w.varint(by_tid.len() as u64);
+    let mut prev_tid: Option<u32> = None;
+    for &tid in by_tid.keys() {
+        match prev_tid {
+            None => w.varint(u64::from(tid)),
+            Some(p) => w.varint(u64::from(tid - p - 1)),
+        }
+        prev_tid = Some(tid);
+    }
+    let index_of: std::collections::BTreeMap<u32, usize> = by_tid
+        .keys()
+        .enumerate()
+        .map(|(i, &tid)| (tid, i))
+        .collect();
+
+    // Interleave stream: the cross-thread order as thread indices. Three
+    // encodings — plain varints, run-length pairs, and (for ≤16 threads)
+    // two indices nibble-packed per byte; the smallest wins.
+    let indices: Vec<usize> = sketch
+        .entries
+        .iter()
+        .map(|e| index_of[&e.tid.0])
+        .collect();
+    let mut plain = ByteWriter::new();
+    let mut runs: Vec<(usize, u64)> = Vec::new();
+    for &idx in &indices {
+        plain.varint(idx as u64);
+        match runs.last_mut() {
+            Some((last, len)) if *last == idx => *len += 1,
+            _ => runs.push((idx, 1)),
+        }
+    }
+    let mut rle = ByteWriter::new();
+    rle.varint(runs.len() as u64);
+    for (idx, len) in &runs {
+        rle.varint(*idx as u64);
+        rle.varint(*len);
+    }
+    let nibble = if by_tid.len() <= 16 {
+        let mut nw = ByteWriter::new();
+        for pair in indices.chunks(2) {
+            let lo = pair[0] as u8;
+            let hi = if pair.len() == 2 { pair[1] as u8 } else { 0 };
+            nw.u8(lo | (hi << 4));
+        }
+        Some(nw)
+    } else {
+        None
+    };
+    let mut candidates: Vec<(u8, ByteWriter)> = vec![(0, plain), (1, rle)];
+    if let Some(nw) = nibble {
+        candidates.push((2, nw));
+    }
+    let (flag, body) = candidates
+        .into_iter()
+        .min_by_key(|(flag, body)| (body.len(), *flag))
+        .expect("candidates is non-empty");
+    w.u8(flag);
+    w.buf.extend_from_slice(&body.finish());
+
+    // Column blocks: per thread, dictionary code + operand delta (+ result
+    // for syscalls, which replay must reproduce verbatim).
+    for col in by_tid.values() {
+        let mut prevs = [0i64; GROUPS];
+        for e in col {
+            let (code, operand) = op_code(&e.op);
+            match operand {
+                Some((group, value)) => {
+                    let delta = i64::from(value) - prevs[group];
+                    prevs[group] = i64::from(value);
+                    match delta {
+                        0 => w.u8(code | (FLAG_DELTA_ZERO << FLAG_SHIFT)),
+                        1 => w.u8(code | (FLAG_DELTA_ONE << FLAG_SHIFT)),
+                        _ => {
+                            w.u8(code);
+                            w.varint(zigzag(delta));
+                        }
+                    }
+                }
+                None => w.u8(code),
+            }
+            if matches!(e.op, SketchOp::Sys { .. }) {
+                encode_result(&mut w, &e.result);
+            }
+        }
+    }
+    w.finish()
+}
+
+fn decode_entries_v1(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeError> {
+    let n = r.varint()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        entries.push(decode_entry(r)?);
+    }
+    Ok(entries)
+}
+
+fn decode_entries_v2(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeError> {
+    let n = r.varint()? as usize;
+    let t = r.varint()? as usize;
+    if t > n {
+        return Err(r.err("thread directory larger than entry count"));
+    }
+
+    let mut tids: Vec<u32> = Vec::with_capacity(t);
+    for i in 0..t {
+        let raw = r.varint()?;
+        let tid = if i == 0 {
+            raw
+        } else {
+            u64::from(tids[i - 1]) + 1 + raw
+        };
+        let tid = u32::try_from(tid).map_err(|_| r.err("thread id out of range"))?;
+        tids.push(tid);
+    }
+
+    let flag = r.u8()?;
+    let mut interleave: Vec<usize> = Vec::with_capacity(n.min(1 << 20));
+    match flag {
+        0 => {
+            for _ in 0..n {
+                let idx = r.varint()? as usize;
+                if idx >= t {
+                    return Err(r.err("interleave thread index out of range"));
+                }
+                interleave.push(idx);
+            }
+        }
+        1 => {
+            let runs = r.varint()? as usize;
+            for _ in 0..runs {
+                let idx = r.varint()? as usize;
+                if idx >= t {
+                    return Err(r.err("interleave thread index out of range"));
+                }
+                let len = r.varint()? as usize;
+                if interleave.len() + len > n {
+                    return Err(r.err("interleave runs exceed entry count"));
+                }
+                interleave.extend(std::iter::repeat_n(idx, len));
+            }
+            if interleave.len() != n {
+                return Err(r.err("interleave runs do not cover entry count"));
+            }
+        }
+        2 => {
+            if t > 16 {
+                return Err(r.err("nibble interleave with more than 16 threads"));
+            }
+            for _ in 0..n.div_ceil(2) {
+                let byte = r.u8()?;
+                for idx in [byte & 0x0f, byte >> 4] {
+                    if interleave.len() == n {
+                        if idx != 0 {
+                            return Err(r.err("nonzero nibble padding"));
+                        }
+                        continue;
+                    }
+                    let idx = idx as usize;
+                    if idx >= t {
+                        return Err(r.err("interleave thread index out of range"));
+                    }
+                    interleave.push(idx);
+                }
+            }
+        }
+        other => return Err(r.err(&format!("unknown interleave flag {other}"))),
+    }
+
+    // Per-thread entry counts are implicit in the interleave stream.
+    let mut counts: Vec<usize> = vec![0; t];
+    for &idx in &interleave {
+        counts[idx] += 1;
+    }
+    if counts.contains(&0) {
+        return Err(r.err("empty thread column"));
+    }
+
+    let mut columns: Vec<Vec<SketchEntry>> = Vec::with_capacity(t);
+    for (i, &count) in counts.iter().enumerate() {
+        let mut col = Vec::with_capacity(count.min(1 << 20));
+        let mut prevs = [0i64; GROUPS];
+        for _ in 0..count {
+            let byte = r.u8()?;
+            let code = byte & CODE_MASK;
+            let flag = byte >> FLAG_SHIFT;
+            let operand = match code_group(code) {
+                Some(group) => {
+                    let delta = match flag {
+                        FLAG_VARINT => unzigzag(r.varint()?),
+                        FLAG_DELTA_ZERO => 0,
+                        FLAG_DELTA_ONE => 1,
+                        other => return Err(r.err(&format!("reserved delta flag {other}"))),
+                    };
+                    let value = prevs[group]
+                        .checked_add(delta)
+                        .ok_or_else(|| r.err("operand delta overflow"))?;
+                    let v = u32::try_from(value).map_err(|_| r.err("operand out of range"))?;
+                    prevs[group] = value;
+                    v
+                }
+                None => {
+                    if flag != FLAG_VARINT {
+                        return Err(r.err(&format!("delta flag on operand-free code {code}")));
+                    }
+                    0
+                }
+            };
+            let op = op_from_code(code, operand)
+                .ok_or_else(|| r.err(&format!("unknown op code {code}")))?;
+            let result = if matches!(op, SketchOp::Sys { .. }) {
+                decode_result(r)?
+            } else {
+                OpResult::Unit
+            };
+            col.push(SketchEntry {
+                tid: ThreadId(tids[i]),
+                op,
+                result,
+            });
+        }
+        columns.push(col);
+    }
+
+    let mut iters: Vec<std::vec::IntoIter<SketchEntry>> =
+        columns.into_iter().map(Vec::into_iter).collect();
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for idx in interleave {
+        let e = iters[idx]
+            .next()
+            .ok_or_else(|| r.err("interleave exhausts a thread column"))?;
+        entries.push(e);
+    }
+    Ok(entries)
+}
+
+/// Deserializes a sketch from its binary log form (either container
+/// version — see the version byte).
 pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
     let mut r = ByteReader::new(data);
     let mut magic = [0u8; 4];
@@ -469,9 +874,6 @@ pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
         return Err(r.err_pub("bad magic"));
     }
     let version = r.u8()?;
-    if version != VERSION {
-        return Err(r.err_pub(&format!("unsupported version {version}")));
-    }
     let code = r.u8()?;
     let arg = r.varint()? as u32;
     let mechanism =
@@ -483,11 +885,11 @@ pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
         total_ops: r.varint()?,
         failure_signature: r.string()?,
     };
-    let n = r.varint()? as usize;
-    let mut entries = Vec::with_capacity(n.min(1 << 20));
-    for _ in 0..n {
-        entries.push(decode_entry(&mut r)?);
-    }
+    let entries = match version {
+        VERSION_V1 => decode_entries_v1(&mut r)?,
+        VERSION_V2 => decode_entries_v2(&mut r)?,
+        other => return Err(r.err_pub(&format!("unsupported version {other}"))),
+    };
     if !r.at_end() {
         return Err(r.err_pub("trailing bytes"));
     }
@@ -496,6 +898,20 @@ pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
         entries,
         meta,
     })
+}
+
+/// The container version byte of an encoded sketch (after validating the
+/// magic). Lets tools report the format without a full decode.
+pub fn container_version(data: &[u8]) -> Result<u8, DecodeError> {
+    let mut r = ByteReader::new(data);
+    let mut magic = [0u8; 4];
+    for m in &mut magic {
+        *m = r.u8()?;
+    }
+    if &magic != MAGIC {
+        return Err(r.err_pub("bad magic"));
+    }
+    r.u8()
 }
 
 /// The number of bytes a value occupies as a LEB128 varint.
@@ -777,6 +1193,121 @@ mod tests {
                 encoded as u64,
                 "arithmetic size diverges from encoder for {e:?}"
             );
+        }
+    }
+
+    #[test]
+    fn v1_container_still_decodes() {
+        let s = sample_sketch();
+        let encoded = encode_sketch_v1(&s);
+        assert_eq!(container_version(&encoded).unwrap(), 1);
+        assert_eq!(decode_sketch(&encoded).unwrap(), s);
+    }
+
+    #[test]
+    fn default_container_is_v2() {
+        let encoded = encode_sketch(&sample_sketch());
+        assert_eq!(container_version(&encoded).unwrap(), 2);
+        assert_eq!(encoded, encode_sketch_v2(&sample_sketch()));
+    }
+
+    #[test]
+    fn empty_sketch_round_trips_in_both_versions() {
+        let s = Sketch {
+            mechanism: Mechanism::Sync,
+            entries: vec![],
+            meta: SketchMeta::default(),
+        };
+        assert_eq!(decode_sketch(&encode_sketch_v1(&s)).unwrap(), s);
+        assert_eq!(decode_sketch(&encode_sketch_v2(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn v2_shrinks_a_marker_dense_sketch() {
+        // The shape the recorder actually produces: long same-thread runs
+        // of markers with locally clustered ids, punctuated by sync.
+        let mut entries = Vec::new();
+        for tid in 0..4u32 {
+            entries.push(entry(tid, SketchOp::Start));
+            for b in 0..200u32 {
+                entries.push(entry(tid, SketchOp::Bb(1000 + b)));
+                if b % 50 == 0 {
+                    entries.push(entry(
+                        tid,
+                        SketchOp::Sync {
+                            kind: SyncKind::Lock,
+                            obj: 2,
+                        },
+                    ));
+                    entries.push(entry(
+                        tid,
+                        SketchOp::Sync {
+                            kind: SyncKind::Unlock,
+                            obj: 2,
+                        },
+                    ));
+                }
+            }
+            entries.push(entry(tid, SketchOp::Exit));
+        }
+        let s = Sketch {
+            mechanism: Mechanism::Bb,
+            entries,
+            meta: SketchMeta::default(),
+        };
+        let v1 = encode_sketch_v1(&s);
+        let v2 = encode_sketch_v2(&s);
+        assert_eq!(decode_sketch(&v2).unwrap(), s);
+        assert!(
+            (v2.len() as f64) < 0.75 * v1.len() as f64,
+            "v2 {} must be at least 25% smaller than v1 {}",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v2_round_trips_arbitrary_interleavings() {
+        // A worst case for the interleave stream: strict alternation, ids
+        // jumping around (deltas exercise negative zigzag).
+        let mut entries = Vec::new();
+        for i in 0..60u32 {
+            let tid = i % 3;
+            entries.push(entry(tid, SketchOp::Bb(if i % 2 == 0 { 7 } else { 9000 })));
+            entries.push(entry(
+                tid,
+                SketchOp::Mem {
+                    loc: MemLoc::Var(VarId(u32::MAX - i)),
+                    write: i % 2 == 0,
+                },
+            ));
+        }
+        let s = Sketch {
+            mechanism: Mechanism::Rw,
+            entries,
+            meta: SketchMeta::default(),
+        };
+        assert_eq!(decode_sketch(&encode_sketch_v2(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn v2_truncations_and_corruptions_are_errors_not_panics() {
+        let encoded = encode_sketch_v2(&sample_sketch());
+        for cut in 0..encoded.len() {
+            assert!(decode_sketch(&encoded[..cut]).is_err());
+        }
+        let mut bad_version = encoded.clone();
+        bad_version[4] = 9;
+        assert!(decode_sketch(&bad_version)
+            .unwrap_err()
+            .message
+            .contains("version"));
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -12345] {
+            assert_eq!(unzigzag(zigzag(v)), v);
         }
     }
 

@@ -53,6 +53,8 @@ pub use certificate::{Certificate, CertificateError};
 pub use explore::{ExploreConfig, FeedbackMode, Reproduction, SearchOrder, Strategy};
 pub use oracle::{AnyOracle, FailureOracle, OutputOracle, StatusOracle};
 pub use program::{ClosureProgram, Program};
-pub use recorder::{RecordedRun, RecordingReport, SketchRecorder};
+pub use recorder::{
+    LegacySketchRecorder, RecordedRun, RecordingObserver, RecordingReport, SketchRecorder,
+};
 pub use replay::{ActionKey, ActionObj, OrderConstraint, PiReplayScheduler};
 pub use sketch::{Mechanism, Sketch, SketchEntry, SketchIndex, SketchMeta, SketchOp};

@@ -1,29 +1,77 @@
-//! Production-run recording: the sketch recorder and overhead accounting.
+//! Production-run recording: the sharded sketch recorder and overhead
+//! accounting.
 //!
 //! The recorder is a `pres-tvm` [`Observer`]: it sees every applied event,
-//! filters by mechanism, appends matching entries to its in-memory log, and
-//! charges the virtual clock for each append — the thread-local cost of
-//! formatting the entry plus the serialized cost of claiming a slot in the
-//! single global order. Overhead is then measured exactly the way the paper
-//! does: run the same workload natively and recorded (the observer does not
-//! influence scheduling, so the interleaving is identical) and compare
-//! makespans.
+//! filters by mechanism, and appends matching entries to **per-thread
+//! shards** — each vthread's segment buffer, ordered by the thread's own
+//! sequence. Only operations that genuinely need a cross-thread order
+//! (memory accesses, synchronization, syscalls, thread lifecycle — see
+//! [`SketchOp::claims_global_slot`]) claim a slot in the serialized global
+//! sequence and pay the serialized slot-claim charge; thread-local
+//! function/basic-block markers are charged thread-local cost only. At
+//! [`SketchRecorder::finish`] the shards are merged into the deterministic
+//! canonical order (see [`crate::sketch::StampedEntry`]).
+//!
+//! Overhead is measured exactly the way the paper does: run the same
+//! workload natively and recorded (the observer does not influence
+//! scheduling, so the interleaving is identical) and compare makespans.
+//! [`LegacySketchRecorder`] — the pre-sharding single-log recorder that
+//! serialized every append — is retained as the equivalence baseline: it
+//! must produce byte-identical canonical sketches, and the overhead gap
+//! between the two recorders is the measured win of sharding (E2).
 
 use crate::codec;
-use crate::sketch::{Mechanism, MechanismFilter, Sketch, SketchEntry, SketchMeta, SketchOp};
+use crate::sketch::{
+    canonical_order, Mechanism, MechanismFilter, Sketch, SketchEntry, SketchMeta, SketchOp,
+    StampedEntry,
+};
 use crate::program::Program;
 use pres_tvm::cost::CostModel;
-use pres_tvm::op::OpResult;
 use pres_tvm::sched::RandomScheduler;
 use pres_tvm::trace::{Event, NullObserver, Observer, ObserverCharge, TraceMode};
 use pres_tvm::vm::{self, RunOutcome, VmConfig};
 
-/// The sketch-recording observer.
+/// A recording observer that can account for and finish into a sketch —
+/// implemented by the sharded [`SketchRecorder`] and the reference
+/// [`LegacySketchRecorder`] so [`record`]/[`record_legacy`] share one
+/// pipeline.
+pub trait RecordingObserver: Observer + Sized {
+    /// Encoded log bytes accumulated so far (explicit + implicit stream).
+    fn bytes(&self) -> u64;
+    /// Implicit instruction-stream events recorded so far.
+    fn implicit_events(&self) -> u64;
+    /// Finishes recording into a canonical [`Sketch`].
+    fn finish(self, meta: SketchMeta) -> Sketch;
+}
+
+/// How many implicit instruction-stream events a `Compute(units)` block
+/// contains under a mechanism (see
+/// [`CostModel::units_per_implicit_access`]): a conservative binary
+/// instrumentor logs the whole instruction stream, not just the
+/// explicitly shared operations, and that is what the paper's RW/BB/
+/// FUNC overheads are made of. SYNC and SYS log nothing implicit.
+fn implicit_count(mechanism: Mechanism, cost: &CostModel, units: u64) -> u64 {
+    let per = match mechanism {
+        Mechanism::Rw => cost.units_per_implicit_access,
+        Mechanism::Bb => cost.units_per_implicit_bb,
+        Mechanism::BbN(n) => cost.units_per_implicit_bb * u64::from(n.max(1)),
+        Mechanism::Func => cost.units_per_implicit_func,
+        Mechanism::Sync | Mechanism::Sys => return 0,
+    };
+    units / per.max(1)
+}
+
+/// The sharded sketch-recording observer.
 #[derive(Debug)]
 pub struct SketchRecorder {
     filter: MechanismFilter,
     cost: CostModel,
-    entries: Vec<SketchEntry>,
+    /// Per-thread segment buffers, indexed by `ThreadId::index()`. Each
+    /// shard is in the thread's own program order; entries carry the
+    /// bucket stamps the canonical merge sorts on.
+    shards: Vec<Vec<StampedEntry>>,
+    /// Serialized global-order slots claimed so far.
+    slots: u64,
     bytes: u64,
     implicit_events: u64,
 }
@@ -34,49 +82,62 @@ impl SketchRecorder {
         SketchRecorder {
             filter: MechanismFilter::new(mechanism),
             cost,
-            entries: Vec::new(),
+            shards: Vec::new(),
+            slots: 0,
             bytes: 0,
             implicit_events: 0,
         }
     }
 
-    /// How many implicit instruction-stream events a `Compute(units)` block
-    /// contains under this recorder's mechanism (see
-    /// [`CostModel::units_per_implicit_access`]): a conservative binary
-    /// instrumentor logs the whole instruction stream, not just the
-    /// explicitly shared operations, and that is what the paper's RW/BB/
-    /// FUNC overheads are made of. SYNC and SYS log nothing implicit.
-    fn implicit_count(&self, units: u64) -> u64 {
-        let per = match self.filter.mechanism() {
-            Mechanism::Rw => self.cost.units_per_implicit_access,
-            Mechanism::Bb => self.cost.units_per_implicit_bb,
-            Mechanism::BbN(n) => self.cost.units_per_implicit_bb * u64::from(n.max(1)),
-            Mechanism::Func => self.cost.units_per_implicit_func,
-            Mechanism::Sync | Mechanism::Sys => return 0,
-        };
-        units / per.max(1)
+    /// Serialized global-order slots claimed so far (the length of the
+    /// serialized backbone of the log; markers live between slots).
+    pub fn serialized_slots(&self) -> u64 {
+        self.slots
     }
+}
 
-    /// Implicit (instruction-stream) events recorded so far.
-    pub fn implicit_events(&self) -> u64 {
-        self.implicit_events
-    }
-
-    /// Entries recorded so far.
-    pub fn entries(&self) -> &[SketchEntry] {
-        &self.entries
-    }
-
-    /// Encoded log bytes so far.
-    pub fn bytes(&self) -> u64 {
+impl RecordingObserver for SketchRecorder {
+    fn bytes(&self) -> u64 {
         self.bytes
     }
 
-    /// Finishes recording into a [`Sketch`].
-    pub fn finish(self, meta: SketchMeta) -> Sketch {
+    fn implicit_events(&self) -> u64 {
+        self.implicit_events
+    }
+
+    /// Merges the per-thread shards into the canonical order.
+    ///
+    /// Each shard is already nondecreasing in `(bucket, serial)` — buckets
+    /// only grow over a thread's lifetime — so a linear k-way merge on
+    /// `(bucket, serial, tid)` produces the canonical order directly,
+    /// without re-sorting. Ties (thread-local markers of different threads
+    /// in the same bucket) resolve to the lowest tid first, each thread's
+    /// own sequence preserved.
+    fn finish(self, meta: SketchMeta) -> Sketch {
+        let total: usize = self.shards.iter().map(Vec::len).sum();
+        let mut entries = Vec::with_capacity(total);
+        let mut queues: Vec<_> = self
+            .shards
+            .into_iter()
+            .map(|s| s.into_iter().peekable())
+            .collect();
+        loop {
+            let mut best: Option<(u64, bool, usize)> = None;
+            for (t, q) in queues.iter_mut().enumerate() {
+                if let Some(s) = q.peek() {
+                    let key = (s.bucket, s.serial, t);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some((_, _, t)) = best else { break };
+            entries.push(queues[t].next().expect("peeked above").entry);
+        }
+        debug_assert_eq!(entries.len(), total);
         Sketch {
             mechanism: self.filter.mechanism(),
-            entries: self.entries,
+            entries,
             meta,
         }
     }
@@ -85,18 +146,20 @@ impl SketchRecorder {
 impl Observer for SketchRecorder {
     fn on_event(&mut self, event: &Event) -> ObserverCharge {
         // Thread-local computation: charge the implicit instruction-stream
-        // recording this mechanism performs inside the block.
+        // recording this mechanism performs inside the block. Implicit
+        // events never claim slot numbers — only under RW do they model
+        // shared-memory accesses whose cross-thread order must be pinned,
+        // and only then is the serialized portion charged. Under BB/BB-N/
+        // FUNC the implicit stream is thread-local control flow.
         if let pres_tvm::op::Op::Compute(units) = event.op {
-            let n = self.implicit_count(units);
+            let mechanism = self.filter.mechanism();
+            let n = implicit_count(mechanism, &self.cost, units);
             if n == 0 {
                 return ObserverCharge::FREE;
             }
             self.implicit_events += n;
             self.bytes += n * self.cost.implicit_bytes;
-            return ObserverCharge {
-                thread_cost: n * self.cost.implicit_record,
-                serial_cost: n * self.cost.implicit_serial,
-            };
+            return self.cost.implicit_cost(n, mechanism == Mechanism::Rw);
         }
         if !self.filter.record_and_note(event.tid, &event.op) {
             return ObserverCharge::FREE;
@@ -104,23 +167,129 @@ impl Observer for SketchRecorder {
         let Some(op) = SketchOp::from_op(&event.op) else {
             return ObserverCharge::FREE;
         };
-        let entry = SketchEntry {
-            tid: event.tid,
-            op,
-            result: if event.op.is_syscall() {
-                event.result.clone()
-            } else {
-                OpResult::Unit
-            },
-        };
+        // Only cross-thread event classes claim a serialized slot; markers
+        // are stamped with the current slot count and stay thread-local.
+        let serial = op.claims_global_slot();
+        let entry = SketchEntry::for_event(op, event);
         let payload = codec::entry_size(&entry);
         self.bytes += payload;
-        self.entries.push(entry);
-        // Every mechanism records a single global order, so every append
-        // pays the serialized slot-claim cost; the *total* serial section is
-        // what differs across mechanisms (few sync ops vs. millions of
-        // memory accesses), which is what produces the paper's scalability
-        // split between SYNC and RW.
+        let bucket = self.slots;
+        if serial {
+            self.slots += 1;
+        }
+        let idx = event.tid.index();
+        if idx >= self.shards.len() {
+            self.shards.resize_with(idx + 1, Vec::new);
+        }
+        self.shards[idx].push(StampedEntry {
+            bucket,
+            serial,
+            entry,
+        });
+        let (thread_cost, serial_cost) = self.cost.record_cost(payload, serial);
+        ObserverCharge {
+            thread_cost,
+            serial_cost,
+        }
+    }
+}
+
+/// The pre-sharding reference recorder: one global log in arrival order,
+/// every append paying the serialized slot-claim charge (and the implicit
+/// stream paying its serialized portion under every marker mechanism).
+///
+/// Retained for two jobs:
+///
+/// * **equivalence baseline** — its `finish()` derives bucket stamps by an
+///   independent walk of the arrival-order log and canonicalizes with a
+///   stable sort, so sharded-vs-legacy tests compare two genuinely
+///   different code paths that must agree byte-for-byte;
+/// * **before/after measurement** — the overhead gap between this recorder
+///   and [`SketchRecorder`] on the same run is the measured win of sharded
+///   recording (E2's before/after table).
+#[derive(Debug)]
+pub struct LegacySketchRecorder {
+    filter: MechanismFilter,
+    cost: CostModel,
+    /// The single global log, in arrival (VM global) order.
+    log: Vec<SketchEntry>,
+    bytes: u64,
+    implicit_events: u64,
+}
+
+impl LegacySketchRecorder {
+    /// A legacy recorder for `mechanism` charging per the given cost model.
+    pub fn new(mechanism: Mechanism, cost: CostModel) -> Self {
+        LegacySketchRecorder {
+            filter: MechanismFilter::new(mechanism),
+            cost,
+            log: Vec::new(),
+            bytes: 0,
+            implicit_events: 0,
+        }
+    }
+}
+
+impl RecordingObserver for LegacySketchRecorder {
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn implicit_events(&self) -> u64 {
+        self.implicit_events
+    }
+
+    /// Canonicalizes the arrival-order log: walk it once, stamping each
+    /// entry with the serialized-slot count (slot-claiming entries then
+    /// increment it), and stable-sort into canonical order.
+    fn finish(self, meta: SketchMeta) -> Sketch {
+        let mut slots = 0u64;
+        let mut stamped = Vec::with_capacity(self.log.len());
+        for entry in self.log {
+            let serial = entry.op.claims_global_slot();
+            let bucket = slots;
+            if serial {
+                slots += 1;
+            }
+            stamped.push(StampedEntry {
+                bucket,
+                serial,
+                entry,
+            });
+        }
+        Sketch {
+            mechanism: self.filter.mechanism(),
+            entries: canonical_order(stamped),
+            meta,
+        }
+    }
+}
+
+impl Observer for LegacySketchRecorder {
+    fn on_event(&mut self, event: &Event) -> ObserverCharge {
+        if let pres_tvm::op::Op::Compute(units) = event.op {
+            let n = implicit_count(self.filter.mechanism(), &self.cost, units);
+            if n == 0 {
+                return ObserverCharge::FREE;
+            }
+            self.implicit_events += n;
+            self.bytes += n * self.cost.implicit_bytes;
+            // Legacy behavior: the implicit stream always funnels through
+            // the global order.
+            return self.cost.implicit_cost(n, true);
+        }
+        if !self.filter.record_and_note(event.tid, &event.op) {
+            return ObserverCharge::FREE;
+        }
+        let Some(op) = SketchOp::from_op(&event.op) else {
+            return ObserverCharge::FREE;
+        };
+        let entry = SketchEntry::for_event(op, event);
+        let payload = codec::entry_size(&entry);
+        self.bytes += payload;
+        self.log.push(entry);
+        // Legacy behavior: every append claims a slot in the single global
+        // order, markers included.
         let (thread_cost, serial_cost) = self.cost.record_cost(payload, true);
         ObserverCharge {
             thread_cost,
@@ -181,6 +350,16 @@ pub struct RecordingReport {
     /// Native makespan (virtual units) — the run length the log amortizes
     /// over, for bytes-per-unit-time comparisons.
     pub native_makespan: u64,
+    /// Total operations the production run executed (normalizes log bytes
+    /// to bytes per 1k ops).
+    pub total_ops: u64,
+    /// Actual v1 (flat-stream) container bytes for this sketch.
+    pub encoded_v1: u64,
+    /// Actual v2 (columnar) container bytes for this sketch.
+    pub encoded_v2: u64,
+    /// Overhead of the pre-sharding recorder (every entry serialized) on
+    /// the same run, when measured — the before/after column for E2.
+    pub legacy_overhead_pct: Option<f64>,
 }
 
 impl RecordingReport {
@@ -195,11 +374,37 @@ impl RecordingReport {
             implicit_events: run.implicit_events,
             log_bytes: run.log_bytes,
             native_makespan: run.native.time.makespan,
+            total_ops: run.sketch.meta.total_ops,
+            encoded_v1: codec::encode_sketch_v1(&run.sketch).len() as u64,
+            encoded_v2: codec::encode_sketch_v2(&run.sketch).len() as u64,
+            legacy_overhead_pct: None,
+        }
+    }
+
+    /// Attaches the legacy recorder's overhead measured on the same
+    /// (program, seed); panics if the two runs recorded different sketches
+    /// — the sharded recorder must never change *what* is recorded.
+    pub fn with_legacy(mut self, legacy: &RecordedRun) -> Self {
+        assert_eq!(
+            legacy.sketch.meta.program, self.program,
+            "legacy run is for a different program"
+        );
+        self.legacy_overhead_pct = Some(legacy.overhead_pct());
+        self
+    }
+
+    /// Encoded v2 bytes per thousand executed operations.
+    pub fn bytes_per_kop(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.encoded_v2 as f64 * 1000.0 / self.total_ops as f64
         }
     }
 }
 
-/// Records one production run of `program` under `mechanism`.
+/// Records one production run of `program` under `mechanism` with the
+/// sharded [`SketchRecorder`].
 ///
 /// Runs the workload twice with the identical scheduler seed — once
 /// natively, once recorded — so the overhead comparison is exact. The
@@ -210,8 +415,33 @@ pub fn record(
     config: &VmConfig,
     seed: u64,
 ) -> RecordedRun {
+    record_with(program, config, seed, SketchRecorder::new(mechanism, config.cost_model.clone()))
+}
+
+/// Records one production run with the pre-sharding
+/// [`LegacySketchRecorder`] — same canonical sketch, old (fully
+/// serialized) overhead charges. The before/after baseline for E2.
+pub fn record_legacy(
+    program: &dyn Program,
+    mechanism: Mechanism,
+    config: &VmConfig,
+    seed: u64,
+) -> RecordedRun {
+    record_with(
+        program,
+        config,
+        seed,
+        LegacySketchRecorder::new(mechanism, config.cost_model.clone()),
+    )
+}
+
+fn record_with<R: RecordingObserver>(
+    program: &dyn Program,
+    config: &VmConfig,
+    seed: u64,
+    mut recorder: R,
+) -> RecordedRun {
     let native = run_once(program, config, seed, &mut NullObserver, TraceMode::Off);
-    let mut recorder = SketchRecorder::new(mechanism, config.cost_model.clone());
     let outcome = run_once(program, config, seed, &mut recorder, TraceMode::Off);
     debug_assert_eq!(
         native.schedule, outcome.schedule,
@@ -330,6 +560,34 @@ mod tests {
         })
     }
 
+    /// Many threads, marker-dense loops: the profile where claiming a
+    /// global slot per marker makes the serialized section the makespan
+    /// floor, so the sharded/legacy split is visible in the overhead.
+    fn marker_heavy_program() -> impl Program {
+        let mut spec = ResourceSpec::new();
+        let x = spec.var("x", 0);
+        ClosureProgram::new("marker-heavy", spec, WorldConfig::default(), move || {
+            Box::new(move |ctx: &mut Ctx| {
+                let kids: Vec<ThreadId> = (0..8)
+                    .map(|i| {
+                        ctx.spawn(&format!("w{i}"), move |ctx| {
+                            for b in 0..400u32 {
+                                ctx.func(b % 16);
+                                ctx.bb(b);
+                                ctx.compute(4);
+                            }
+                            let v = ctx.read(x);
+                            ctx.write(x, v + 1);
+                        })
+                    })
+                    .collect();
+                for k in kids {
+                    ctx.join(k);
+                }
+            })
+        })
+    }
+
     #[test]
     fn recording_does_not_perturb_the_schedule() {
         let prog = compute_heavy_program();
@@ -364,6 +622,74 @@ mod tests {
         let sync = record(&prog, Mechanism::Sync, &config, 7);
         assert!(rw.log_bytes > 5 * sync.log_bytes);
         assert_eq!(rw.sketch.meta.program, "compute-heavy");
+    }
+
+    #[test]
+    fn sharded_and_legacy_recorders_agree_exactly() {
+        let prog = compute_heavy_program();
+        let config = VmConfig::default();
+        for m in Mechanism::all() {
+            let sharded = record(&prog, m, &config, 7);
+            let legacy = record_legacy(&prog, m, &config, 7);
+            assert_eq!(
+                sharded.sketch, legacy.sketch,
+                "canonical sketches must be identical under {m}"
+            );
+            assert_eq!(
+                crate::codec::encode_sketch(&sharded.sketch),
+                crate::codec::encode_sketch(&legacy.sketch),
+                "encoded logs must be byte-identical under {m}"
+            );
+            assert_eq!(sharded.log_bytes, legacy.log_bytes);
+            assert_eq!(sharded.implicit_events, legacy.implicit_events);
+        }
+    }
+
+    #[test]
+    fn sharding_removes_marker_serialization_cost() {
+        let prog = marker_heavy_program();
+        let config = VmConfig {
+            processors: 8,
+            ..VmConfig::default()
+        };
+        for m in [Mechanism::Func, Mechanism::Bb, Mechanism::BbN(4)] {
+            let sharded = record(&prog, m, &config, 7).overhead_pct();
+            let legacy = record_legacy(&prog, m, &config, 7).overhead_pct();
+            assert!(
+                sharded < legacy,
+                "{m}: sharded {sharded} must undercut legacy {legacy} at 8 cores"
+            );
+        }
+        // SYNC and SYS record nothing thread-local, so the split changes
+        // nothing: charges are identical, not merely close.
+        for m in [Mechanism::Sync, Mechanism::Sys] {
+            let sharded = record(&prog, m, &config, 7);
+            let legacy = record_legacy(&prog, m, &config, 7);
+            assert_eq!(sharded.outcome.time.makespan, legacy.outcome.time.makespan, "{m}");
+        }
+        // RW still serializes everything (implicit accesses included).
+        let rw_sharded = record(&prog, Mechanism::Rw, &config, 7);
+        let rw_legacy = record_legacy(&prog, Mechanism::Rw, &config, 7);
+        assert_eq!(rw_sharded.outcome.time.makespan, rw_legacy.outcome.time.makespan);
+    }
+
+    #[test]
+    fn serialized_slots_count_only_slot_claiming_entries() {
+        let prog = compute_heavy_program();
+        let config = VmConfig::default();
+        let mut recorder = SketchRecorder::new(Mechanism::Bb, config.cost_model.clone());
+        let outcome = run_once(&prog, &config, 3, &mut recorder, TraceMode::Off);
+        assert!(!outcome.status.is_failed());
+        let slots = recorder.serialized_slots();
+        let sketch = recorder.finish(SketchMeta::default());
+        let serial = sketch
+            .entries
+            .iter()
+            .filter(|e| e.op.claims_global_slot())
+            .count() as u64;
+        let markers = sketch.entries.len() as u64 - serial;
+        assert_eq!(slots, serial);
+        assert!(markers > 0, "BB sketch must contain thread-local markers");
     }
 
     #[test]

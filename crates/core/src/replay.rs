@@ -18,6 +18,12 @@
 //! Once the sketch is exhausted (replay has reached the end of the recorded
 //! prefix), all ordering is free — the failure typically manifests at or
 //! near this frontier, since production recording stopped at the failure.
+//!
+//! The replayer consumes the sketch in its **canonical order** — the
+//! order the sharded recorder's deterministic merge produces (see
+//! `sketch::canonical_order` and DESIGN.md §3.2.2). Thread-local marker
+//! entries (FUNC/BB) sit at the same positions a single global log would
+//! have given them, so replay semantics are recorder-independent.
 
 use crate::sketch::{MechanismFilter, Sketch, SketchIndex, SketchOp};
 use pres_tvm::ids::ThreadId;

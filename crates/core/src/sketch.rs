@@ -24,6 +24,7 @@
 use pres_tvm::ids::ThreadId;
 use pres_tvm::op::{MemLoc, Op, OpResult, SyscallOp};
 use pres_tvm::trace::Event;
+use std::borrow::Cow;
 use std::fmt;
 
 /// A sketching mechanism.
@@ -56,22 +57,35 @@ impl Mechanism {
         ]
     }
 
-    /// Short display name, matching the paper's labels.
-    pub fn name(&self) -> String {
+    /// Short display name, matching the paper's labels. Borrowed for every
+    /// fixed mechanism; only `BB-N` (which interpolates its period) owns an
+    /// allocation — logging and bench hot paths never pay for the common
+    /// cases.
+    pub fn name(&self) -> Cow<'static, str> {
         match self {
-            Mechanism::Rw => "RW".to_string(),
-            Mechanism::Sync => "SYNC".to_string(),
-            Mechanism::Sys => "SYS".to_string(),
-            Mechanism::Func => "FUNC".to_string(),
-            Mechanism::Bb => "BB".to_string(),
-            Mechanism::BbN(n) => format!("BB-{n}"),
+            Mechanism::Rw => Cow::Borrowed("RW"),
+            Mechanism::Sync => Cow::Borrowed("SYNC"),
+            Mechanism::Sys => Cow::Borrowed("SYS"),
+            Mechanism::Func => Cow::Borrowed("FUNC"),
+            Mechanism::Bb => Cow::Borrowed("BB"),
+            Mechanism::BbN(n) => Cow::Owned(format!("BB-{n}")),
         }
     }
 }
 
 impl fmt::Display for Mechanism {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name())
+        match self {
+            Mechanism::BbN(n) => write!(f, "BB-{n}"),
+            other => f.write_str(match other {
+                Mechanism::Rw => "RW",
+                Mechanism::Sync => "SYNC",
+                Mechanism::Sys => "SYS",
+                Mechanism::Func => "FUNC",
+                Mechanism::Bb => "BB",
+                Mechanism::BbN(_) => unreachable!(),
+            }),
+        }
     }
 }
 
@@ -264,9 +278,26 @@ impl SketchOp {
     pub fn is_mem(&self) -> bool {
         matches!(self, SketchOp::Mem { .. })
     }
+
+    /// Whether recording this op must claim a slot in the serialized global
+    /// order.
+    ///
+    /// Cross-thread event classes — memory accesses, synchronization,
+    /// syscalls, and thread lifecycle — are only useful if their *relative*
+    /// order across threads is pinned down, so recording one claims the
+    /// next slot of the single global sequence (and pays the serialized
+    /// charge, [`pres_tvm::cost::CostModel::record_serial`]). Function and
+    /// basic-block markers are thread-local control-flow breadcrumbs: each
+    /// thread's marker stream is totally ordered by its own sequence
+    /// number, no global slot is needed, and recording one is charged only
+    /// thread-local cost. This split is what lets FUNC/BB/BB-N overhead
+    /// scale with thread-local work instead of global-order contention.
+    pub fn claims_global_slot(&self) -> bool {
+        !matches!(self, SketchOp::Func(_) | SketchOp::Bb(_))
+    }
 }
 
-/// One sketch log entry: who did what, in recorded global order.
+/// One sketch log entry: who did what, in canonical recorded order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchEntry {
     /// The recorded thread.
@@ -276,6 +307,66 @@ pub struct SketchEntry {
     /// The syscall result, recorded for input determinism and value-based
     /// divergence detection (always [`OpResult::Unit`] for non-syscalls).
     pub result: OpResult,
+}
+
+impl SketchEntry {
+    /// Builds the logged entry for an applied event whose normalized op is
+    /// already known. The non-syscall path constructs [`OpResult::Unit`]
+    /// directly without inspecting the event's result at all; syscall
+    /// entries copy the result exactly once — the VM grants the original
+    /// to the executing thread, so the log must own its copy for input
+    /// determinism (a move is impossible).
+    pub fn for_event(op: SketchOp, event: &Event) -> SketchEntry {
+        let result = if matches!(op, SketchOp::Sys { .. }) {
+            event.result.clone()
+        } else {
+            OpResult::Unit
+        };
+        SketchEntry {
+            tid: event.tid,
+            op,
+            result,
+        }
+    }
+}
+
+/// A sketch entry stamped with its canonical-merge key.
+///
+/// The sharded recorder keeps per-thread segments and only serialized
+/// entries claim slots in the global order; at `finish()` the shards are
+/// merged into one deterministic **canonical order**:
+///
+/// * a slot-claiming entry that claimed slot `g` sorts at `(g, serial)`;
+/// * a thread-local entry stamped with the slot count `c` at the moment it
+///   was appended sorts at `(c, local)` — *before* the serialized entry
+///   that later claims slot `c`;
+/// * ties (thread-local entries of different threads between the same two
+///   serialized slots) break on `(tid, per-thread seq)`.
+///
+/// The order is a pure function of the recorded run: every recorder (and
+/// the offline [`Sketch::from_events`] filter) produces byte-identical
+/// canonical sketches. For mechanisms whose entries all claim slots
+/// (RW/SYNC/SYS), the canonical order *is* the recorded global order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampedEntry {
+    /// Serialized-slot bucket: the claimed slot for slot-claiming entries,
+    /// or the number of slots claimed before the entry for thread-local
+    /// ones.
+    pub bucket: u64,
+    /// Whether the entry claimed a global slot (sorts after the locals of
+    /// its bucket).
+    pub serial: bool,
+    /// The entry itself.
+    pub entry: SketchEntry,
+}
+
+/// Sorts bucket-stamped entries into canonical order and strips the
+/// stamps. The sort is stable, so entries carrying the same
+/// `(bucket, serial, tid)` key — necessarily one thread's consecutive
+/// thread-local entries — keep their per-thread sequence order.
+pub fn canonical_order(mut stamped: Vec<StampedEntry>) -> Vec<SketchEntry> {
+    stamped.sort_by_key(|s| (s.bucket, s.serial, s.entry.tid.0));
+    stamped.into_iter().map(|s| s.entry).collect()
 }
 
 /// The stateful filter deciding which events a mechanism records.
@@ -372,7 +463,9 @@ pub struct SketchMeta {
 pub struct Sketch {
     /// The mechanism that produced it.
     pub mechanism: Mechanism,
-    /// Entries in recorded global order.
+    /// Entries in canonical recorded order (see [`StampedEntry`]): the
+    /// serialized global order over slot-claiming entries, with
+    /// thread-local markers deterministically bucketed between slots.
     pub entries: Vec<SketchEntry>,
     /// Production-run metadata.
     pub meta: SketchMeta,
@@ -390,28 +483,35 @@ impl Sketch {
 
     /// Builds a sketch by filtering a full event stream — the offline
     /// equivalent of online recording, used by tests to cross-validate the
-    /// recorder.
+    /// recorder. Emits the same canonical order as the sharded recorder:
+    /// slot-claiming entries in their recorded global order, thread-local
+    /// markers bucketed between the slots they were recorded between (see
+    /// [`StampedEntry`]).
     pub fn from_events(mechanism: Mechanism, events: &[Event]) -> Self {
         let mut filter = MechanismFilter::new(mechanism);
-        let mut entries = Vec::new();
+        let mut stamped = Vec::new();
+        let mut slots = 0u64;
         for e in events {
-            if filter.record_and_note(e.tid, &e.op) {
-                if let Some(op) = SketchOp::from_op(&e.op) {
-                    entries.push(SketchEntry {
-                        tid: e.tid,
-                        op,
-                        result: if e.op.is_syscall() {
-                            e.result.clone()
-                        } else {
-                            OpResult::Unit
-                        },
-                    });
-                }
+            if !filter.record_and_note(e.tid, &e.op) {
+                continue;
             }
+            let Some(op) = SketchOp::from_op(&e.op) else {
+                continue;
+            };
+            let serial = op.claims_global_slot();
+            let bucket = slots;
+            if serial {
+                slots += 1;
+            }
+            stamped.push(StampedEntry {
+                bucket,
+                serial,
+                entry: SketchEntry::for_event(op, e),
+            });
         }
         Sketch {
             mechanism,
-            entries,
+            entries: canonical_order(stamped),
             meta: SketchMeta::default(),
         }
     }
@@ -424,16 +524,6 @@ impl Sketch {
     /// Whether the sketch is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
-    }
-
-    /// The per-thread subsequence of entry indices (used by the replayer's
-    /// divergence monitor).
-    #[deprecated(
-        note = "O(n) scan per call — build a `SketchIndex` once and use \
-                `SketchIndex::thread_indices`, which serves a cached slice"
-    )]
-    pub fn thread_indices(&self, tid: ThreadId) -> Vec<usize> {
-        SketchIndex::new(self).thread_indices(tid).to_vec()
     }
 }
 
@@ -672,7 +762,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn thread_indices_partition_the_sketch() {
         let events = vec![
             ev(0, 0, Op::LockAcquire(LockId(0))),
@@ -680,8 +769,89 @@ mod tests {
             ev(2, 0, Op::LockRelease(LockId(0))),
         ];
         let s = Sketch::from_events(Mechanism::Sync, &events);
-        assert_eq!(s.thread_indices(ThreadId(0)), vec![0, 2]);
-        assert_eq!(s.thread_indices(ThreadId(1)), vec![1]);
+        let index = SketchIndex::new(&s);
+        assert_eq!(index.thread_indices(ThreadId(0)), &[0, 2]);
+        assert_eq!(index.thread_indices(ThreadId(1)), &[1]);
+    }
+
+    #[test]
+    fn only_markers_skip_the_global_slot() {
+        assert!(!SketchOp::Func(3).claims_global_slot());
+        assert!(!SketchOp::Bb(9).claims_global_slot());
+        for op in [
+            SketchOp::Start,
+            SketchOp::Exit,
+            SketchOp::Spawn,
+            SketchOp::Join { target: 1 },
+            SketchOp::Mem {
+                loc: MemLoc::Var(VarId(0)),
+                write: false,
+            },
+            SketchOp::Sync {
+                kind: SyncKind::Lock,
+                obj: 0,
+            },
+            SketchOp::Sys {
+                kind: SysKind::Clock,
+                obj: 0,
+            },
+        ] {
+            assert!(op.claims_global_slot(), "{op:?} must claim a slot");
+        }
+    }
+
+    #[test]
+    fn canonical_order_buckets_markers_before_their_slot() {
+        // Thread 1's marker was recorded after slot 0 was claimed and
+        // before slot 1; canonically it sorts between the two serialized
+        // entries regardless of its raw arrival position.
+        let events = vec![
+            ev(0, 0, Op::LockAcquire(LockId(0))),
+            ev(1, 1, Op::BasicBlock(BbId(7))),
+            ev(2, 1, Op::BasicBlock(BbId(8))),
+            ev(3, 0, Op::LockRelease(LockId(0))),
+        ];
+        let s = Sketch::from_events(Mechanism::Bb, &events);
+        let ops: Vec<&SketchOp> = s.entries.iter().map(|e| &e.op).collect();
+        assert!(matches!(ops[0], SketchOp::Sync { kind: SyncKind::Lock, .. }));
+        assert_eq!(ops[1], &SketchOp::Bb(7));
+        assert_eq!(ops[2], &SketchOp::Bb(8));
+        assert!(matches!(ops[3], SketchOp::Sync { kind: SyncKind::Unlock, .. }));
+    }
+
+    #[test]
+    fn canonical_order_ties_break_on_tid_then_seq() {
+        // Two threads emit markers inside the same bucket (no serialized
+        // entry between them): canonical order groups by tid, preserving
+        // each thread's own sequence.
+        let events = vec![
+            ev(0, 2, Op::BasicBlock(BbId(20))),
+            ev(1, 1, Op::BasicBlock(BbId(10))),
+            ev(2, 2, Op::BasicBlock(BbId(21))),
+            ev(3, 1, Op::BasicBlock(BbId(11))),
+        ];
+        let s = Sketch::from_events(Mechanism::Bb, &events);
+        let bbs: Vec<u32> = s
+            .entries
+            .iter()
+            .filter_map(|e| match e.op {
+                SketchOp::Bb(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bbs, vec![10, 11, 20, 21]);
+    }
+
+    #[test]
+    fn all_serial_mechanisms_keep_the_recorded_global_order() {
+        let s = Sketch::from_events(Mechanism::Sync, &sample_events());
+        // Every SYNC entry claims a slot, so canonical order == gseq order.
+        let kinds: Vec<&SketchOp> = s.entries.iter().map(|e| &e.op).collect();
+        assert!(matches!(kinds[0], SketchOp::Start));
+        assert!(matches!(kinds[1], SketchOp::Sync { kind: SyncKind::Lock, .. }));
+        assert!(matches!(kinds[2], SketchOp::Sys { .. }));
+        assert!(matches!(kinds[3], SketchOp::Sync { kind: SyncKind::Unlock, .. }));
+        assert!(matches!(kinds[4], SketchOp::Exit));
     }
 
     #[test]

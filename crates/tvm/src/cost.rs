@@ -149,8 +149,11 @@ impl CostModel {
     /// The cost charged for recording one event with `payload_bytes` of
     /// logged payload, split into (thread-local cost, serialized cost).
     ///
-    /// `serialized` is non-zero only when the mechanism requires claiming a
-    /// slot in a single global order (see [`CostModel::record_serial`]).
+    /// `needs_global_order` is per *event class*, not per mechanism: an
+    /// entry pays [`CostModel::record_serial`] only when it claims a slot
+    /// in the single global order (memory/sync/syscall/lifecycle classes).
+    /// Thread-local marker entries (function/basic-block) append to their
+    /// thread's own shard and pay thread-local cost only.
     pub fn record_cost(&self, payload_bytes: u64, needs_global_order: bool) -> (u64, u64) {
         let local = self.record_event + self.record_per_byte * payload_bytes;
         let serial = if needs_global_order {
@@ -159,6 +162,23 @@ impl CostModel {
             0
         };
         (local, serial)
+    }
+
+    /// The observer charge for `n` implicit instruction-stream events, as a
+    /// ready-made [`crate::trace::ObserverCharge`].
+    ///
+    /// Mirrors [`CostModel::record_cost`]'s split for the implicit stream:
+    /// every implicit event costs [`CostModel::implicit_record`] on the
+    /// issuing thread, and only streams whose cross-thread order must be
+    /// pinned (the RW baseline's untracked loads/stores) additionally pay
+    /// [`CostModel::implicit_serial`] per event in the serialized section.
+    pub fn implicit_cost(&self, n: u64, needs_global_order: bool) -> crate::trace::ObserverCharge {
+        let thread_cost = n * self.implicit_record;
+        if needs_global_order {
+            crate::trace::ObserverCharge::serialized(thread_cost, n * self.implicit_serial)
+        } else {
+            crate::trace::ObserverCharge::local(thread_cost)
+        }
     }
 }
 

@@ -55,6 +55,28 @@ impl ObserverCharge {
         thread_cost: 0,
         serial_cost: 0,
     };
+
+    /// A purely thread-local charge: the recorded event appends to the
+    /// issuing thread's own shard and claims no slot in the serialized
+    /// global order (function/basic-block markers, thread-local implicit
+    /// streams).
+    pub const fn local(thread_cost: u64) -> ObserverCharge {
+        ObserverCharge {
+            thread_cost,
+            serial_cost: 0,
+        }
+    }
+
+    /// A charge with a serialized portion: the recorded event claims a
+    /// slot in the single global order, so part of its cost lands in the
+    /// serial section that floors the makespan (see
+    /// [`crate::clock::VClock::charge_serial`]).
+    pub const fn serialized(thread_cost: u64, serial_cost: u64) -> ObserverCharge {
+        ObserverCharge {
+            thread_cost,
+            serial_cost,
+        }
+    }
 }
 
 /// Receives every applied event during a run.

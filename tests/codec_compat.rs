@@ -1,0 +1,87 @@
+//! On-disk format compatibility: a committed v1 container must keep
+//! decoding byte-for-byte forever, whatever the current default version.
+
+use pres_core::codec::{container_version, decode_sketch, encode_sketch_v1};
+use pres_core::sketch::{Mechanism, Sketch, SketchEntry, SketchMeta, SketchOp, SyncKind, SysKind};
+use pres_suite::tvm::prelude::*;
+use pres_tvm::op::{MemLoc, OpResult};
+
+const FIXTURE: &[u8] = include_bytes!("data/fixture_v1.sketch");
+
+/// The exact sketch `data/fixture_v1.sketch` was written from. Committed
+/// alongside the bytes so the fixture never depends on the recorder.
+fn fixture_sketch() -> Sketch {
+    let entry = |tid: u32, op: SketchOp| SketchEntry {
+        tid: ThreadId(tid),
+        op,
+        result: OpResult::Unit,
+    };
+    Sketch {
+        mechanism: Mechanism::Sync,
+        entries: vec![
+            entry(0, SketchOp::Start),
+            entry(0, SketchOp::Spawn),
+            entry(1, SketchOp::Start),
+            entry(
+                1,
+                SketchOp::Sync {
+                    kind: SyncKind::Lock,
+                    obj: 3,
+                },
+            ),
+            entry(
+                0,
+                SketchOp::Mem {
+                    loc: MemLoc::Var(VarId(12)),
+                    write: true,
+                },
+            ),
+            entry(
+                1,
+                SketchOp::Sync {
+                    kind: SyncKind::Unlock,
+                    obj: 3,
+                },
+            ),
+            SketchEntry {
+                tid: ThreadId(1),
+                op: SketchOp::Sys {
+                    kind: SysKind::Read,
+                    obj: 5,
+                },
+                result: OpResult::Bytes(b"payload".to_vec()),
+            },
+            entry(1, SketchOp::Exit),
+            entry(0, SketchOp::Join { target: 1 }),
+            entry(0, SketchOp::Exit),
+        ],
+        meta: SketchMeta {
+            program: "fixture-app".into(),
+            seed: 99,
+            processors: 4,
+            total_ops: 321,
+            failure_signature: "assert: broken invariant".into(),
+        },
+    }
+}
+
+#[test]
+fn committed_v1_fixture_still_decodes() {
+    assert_eq!(container_version(FIXTURE).unwrap(), 1);
+    let decoded = decode_sketch(FIXTURE).expect("v1 fixture decodes");
+    assert_eq!(decoded, fixture_sketch());
+    // And the v1 encoder still produces those exact bytes.
+    assert_eq!(encode_sketch_v1(&fixture_sketch()), FIXTURE);
+}
+
+/// Regenerates the fixture after an *intentional* v1 format change (none
+/// should ever be needed): `cargo test --test codec_compat -- --ignored`.
+#[test]
+#[ignore]
+fn regenerate_v1_fixture() {
+    std::fs::write(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/fixture_v1.sketch"),
+        encode_sketch_v1(&fixture_sketch()),
+    )
+    .unwrap();
+}

@@ -7,7 +7,9 @@
 //! over a fixed-seed stream of generated cases, which keeps failures
 //! reproducible by construction.
 
-use pres_core::codec::{decode_sketch, encode_sketch, ByteReader, ByteWriter};
+use pres_core::codec::{
+    container_version, decode_sketch, encode_sketch, encode_sketch_v1, ByteReader, ByteWriter,
+};
 use pres_core::sketch::{Mechanism, Sketch, SketchEntry, SketchMeta, SketchOp, SyncKind, SysKind};
 use pres_race::vclock::VectorClock;
 use pres_suite::tvm::prelude::*;
@@ -143,6 +145,22 @@ fn codec_round_trips_any_sketch() {
         let encoded = encode_sketch(&sketch);
         let decoded = decode_sketch(&encoded).expect("well-formed input decodes");
         assert_eq!(sketch, decoded);
+    }
+}
+
+#[test]
+fn both_container_versions_round_trip_any_sketch() {
+    // The v2 columnar container must reproduce *arbitrary* interleavings
+    // and id sequences exactly, and the legacy v1 path must keep decoding.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc0dec2);
+    for _ in 0..64 {
+        let sketch = gen_sketch(&mut rng);
+        let v1 = encode_sketch_v1(&sketch);
+        let v2 = encode_sketch(&sketch);
+        assert_eq!(container_version(&v1).unwrap(), 1);
+        assert_eq!(container_version(&v2).unwrap(), 2);
+        assert_eq!(decode_sketch(&v1).unwrap(), sketch);
+        assert_eq!(decode_sketch(&v2).unwrap(), sketch);
     }
 }
 
