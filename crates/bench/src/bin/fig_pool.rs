@@ -1,0 +1,137 @@
+//! E15: attempt throughput — pooled vs. spawning vthread executors.
+//!
+//! Every run targets an unmatchable failure signature so the explorer
+//! spends exactly the attempt cap, making attempts-per-second a pure
+//! measure of the attempt hot path. The spawning executor is the
+//! pre-pooling engine (one OS thread per vthread per attempt), so each row
+//! is a before/after comparison inside one binary. Each row also carries a
+//! direct two-run probe on a fresh pool: the second (warm) run must report
+//! zero OS spawns — CI fails if steady-state attempts still create
+//! threads.
+//!
+//! ```text
+//! fig_pool [--reduced-corpus] [--cap N] [--out FILE]
+//! ```
+//!
+//! Prints the table and writes the measurements as JSON (for the CI
+//! artifact) to `BENCH_pool.json` unless `--out` overrides it.
+use pres_apps::registry::all_bugs;
+use pres_bench::experiments::{
+    e15_pool_throughput, pool_speedup_geomean, render_pool, PoolRow,
+};
+use pres_core::explore::ExecutorKind;
+use pres_core::sketch::Mechanism;
+
+const WORKER_COUNTS: [usize; 2] = [1, 2];
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn to_json(rows: &[PoolRow], mechanism: Mechanism, cap: u32) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"E15\",\n  \"mechanism\": \"{}\",\n  \"cap\": {cap},\n  \"rows\": [\n",
+        json_escape(&mechanism.name())
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bug\": \"{}\", \"cold_os_spawns\": {}, \"warm_os_spawns\": {}, \"points\": [",
+            json_escape(&r.bug),
+            r.cold_os_spawns,
+            r.warm_os_spawns
+        ));
+        for (j, p) in r.points.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"executor\": \"{}\", \"workers\": {}, \"attempts\": {}, \"wall_ms\": {:.3}, \"attempts_per_sec\": {:.1}}}",
+                if j > 0 { ", " } else { "" },
+                p.executor.name(),
+                p.workers,
+                p.attempts,
+                p.wall_clock.as_secs_f64() * 1e3,
+                p.attempts_per_sec()
+            ));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut reduced = false;
+    let mut cap: u32 = 200;
+    let mut out_path = String::from("BENCH_pool.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reduced-corpus" => reduced = true,
+            "--cap" => {
+                cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cap needs a number");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    let mut bugs = all_bugs();
+    if reduced {
+        // CI smoke: three bugs keep the release-mode step under a minute
+        // while still exercising every (executor, workers) cell.
+        bugs.truncate(3);
+    }
+    let mechanism = Mechanism::Sync;
+    let rows = e15_pool_throughput(&bugs, mechanism, &WORKER_COUNTS, cap);
+    println!("{}", render_pool(&rows, &WORKER_COUNTS, mechanism, cap));
+
+    if let Some(geomean) = pool_speedup_geomean(&rows, 1) {
+        println!("overall: geomean {geomean:.2}x pooled-over-spawning throughput at 1 worker");
+    }
+    // Sanity: every cell ran the full cap under both executors, and warm
+    // pooled runs created zero OS threads. The speedup itself is reported,
+    // not asserted — absolute ratios are host-dependent; the spawn counter
+    // is not.
+    for r in &rows {
+        for p in &r.points {
+            assert_eq!(p.attempts, cap, "bug {} did not spend the cap", r.bug);
+        }
+        assert_eq!(
+            r.points.len(),
+            WORKER_COUNTS.len() * 2,
+            "bug {} missing (executor, workers) cells",
+            r.bug
+        );
+        for w in WORKER_COUNTS {
+            assert!(r.point(ExecutorKind::Pooled, w).is_some());
+            assert!(r.point(ExecutorKind::Spawning, w).is_some());
+        }
+        assert!(
+            r.cold_os_spawns > 0,
+            "bug {}: cold run should warm the pool",
+            r.bug
+        );
+        assert_eq!(
+            r.warm_os_spawns, 0,
+            "bug {}: warm pooled run spawned OS threads",
+            r.bug
+        );
+    }
+
+    let json = to_json(&rows, mechanism, cap);
+    std::fs::write(&out_path, &json).expect("write pool JSON");
+    println!("wrote {out_path} ({} bytes)", json.len());
+}

@@ -7,12 +7,13 @@
 
 use crate::render::{bytes, pct, table};
 use pres_apps::registry::{all_apps, all_bugs, BugCase, WorkloadScale};
-use pres_core::explore::{ExploreConfig, FeedbackMode, Strategy};
+use pres_core::explore::{ExecutorKind, ExploreConfig, FeedbackMode, Strategy};
 use pres_core::program::Program;
 use pres_core::recorder::{record, record_legacy, RecordingReport};
 use pres_core::sketch::Mechanism;
 use pres_core::{explore, Certificate};
 use pres_tvm::error::RunStatus;
+use pres_tvm::pool::VthreadPool;
 use pres_tvm::sched::RandomScheduler;
 use pres_tvm::trace::{NullObserver, TraceMode};
 use pres_tvm::vm::{self, VmConfig};
@@ -1329,6 +1330,211 @@ pub fn render_throughput(
             out.push_str(&format!(
                 "\nheadline: mean {mean:.2}x streaming throughput at {w} workers over {} bugs",
                 spds.len()
+            ));
+        }
+    }
+    out.push('\n');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E15 — executor pool: pooled vs. spawning attempt throughput.
+// ---------------------------------------------------------------------------
+
+/// One measured point of the pool experiment: an executor at a worker count.
+#[derive(Debug, Clone)]
+pub struct PoolPoint {
+    /// Execution engine the attempts ran on.
+    pub executor: ExecutorKind,
+    /// Worker threads.
+    pub workers: usize,
+    /// Attempts executed (always the cap: the target is unmatchable).
+    pub attempts: u32,
+    /// Wall clock for the whole reproduction.
+    pub wall_clock: std::time::Duration,
+}
+
+impl PoolPoint {
+    /// Replay attempts per wall-clock second.
+    pub fn attempts_per_sec(&self) -> f64 {
+        let secs = self.wall_clock.as_secs_f64();
+        if secs > 0.0 {
+            f64::from(self.attempts) / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One bug's pooled-vs-spawning measurements, plus the steady-state spawn
+/// hygiene probe.
+#[derive(Debug, Clone)]
+pub struct PoolRow {
+    /// Bug id.
+    pub bug: String,
+    /// All measured (executor × workers) points.
+    pub points: Vec<PoolPoint>,
+    /// `RunStats::os_spawns` of the first (cold) run on a fresh pool: the
+    /// pool warming to the program's peak concurrent vthread count.
+    pub cold_os_spawns: u64,
+    /// `RunStats::os_spawns` of the second (warm) run on the same pool —
+    /// **must be zero**: the steady-state invariant CI asserts.
+    pub warm_os_spawns: u64,
+}
+
+impl PoolRow {
+    /// The point for an executor at a worker count, if measured.
+    pub fn point(&self, executor: ExecutorKind, workers: usize) -> Option<&PoolPoint> {
+        self.points
+            .iter()
+            .find(|p| p.executor == executor && p.workers == workers)
+    }
+
+    /// Pooled-over-spawning throughput ratio at a worker count.
+    pub fn speedup_at(&self, workers: usize) -> Option<f64> {
+        let pooled = self.point(ExecutorKind::Pooled, workers)?.attempts_per_sec();
+        let spawning = self
+            .point(ExecutorKind::Spawning, workers)?
+            .attempts_per_sec();
+        (spawning > 0.0).then(|| pooled / spawning)
+    }
+}
+
+/// Geometric mean of the pooled-over-spawning speedups at a worker count.
+pub fn pool_speedup_geomean(rows: &[PoolRow], workers: usize) -> Option<f64> {
+    let spds: Vec<f64> = rows.iter().filter_map(|r| r.speedup_at(workers)).collect();
+    if spds.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = spds.iter().map(|s| s.ln()).sum();
+    Some((log_sum / spds.len() as f64).exp())
+}
+
+/// Measures attempt throughput of the pooled executor against the spawning
+/// engine, the same way E12 measures feedback modes: an unmatchable target
+/// signature forces the explorer to spend exactly `cap` attempts, so
+/// attempts-per-second is `cap / wall-clock`. Spawn cost is per *vthread*
+/// per attempt, so the win scales with the bug's thread count and shrinks
+/// with its attempt length — largest on the short-attempt bugs.
+///
+/// Each row also carries a direct two-run hygiene probe on a fresh pool:
+/// the first run warms it (`cold_os_spawns` = peak concurrent vthreads),
+/// the second must report **zero** OS spawns.
+pub fn e15_pool_throughput(
+    bugs: &[BugCase],
+    mechanism: Mechanism,
+    worker_counts: &[usize],
+    cap: u32,
+) -> Vec<PoolRow> {
+    let config = std_vm(REPRO_PROCESSORS);
+    let mut rows = Vec::new();
+    for bug in bugs {
+        let prog = bug.program();
+        let Some(seed) = find_failing_seed(prog.as_ref(), &config) else {
+            continue;
+        };
+        let run = record(prog.as_ref(), mechanism, &config, seed);
+        let mut points = Vec::new();
+        for &workers in worker_counts {
+            for executor in [ExecutorKind::Spawning, ExecutorKind::Pooled] {
+                let start = std::time::Instant::now();
+                let rep = explore::reproduce(
+                    prog.as_ref(),
+                    &run.sketch,
+                    "assert:__throughput_probe__",
+                    &config,
+                    &ExploreConfig {
+                        max_attempts: cap,
+                        workers,
+                        executor,
+                        ..ExploreConfig::default()
+                    },
+                );
+                assert!(!rep.reproduced, "probe target must be unmatchable");
+                points.push(PoolPoint {
+                    executor,
+                    workers,
+                    attempts: rep.attempts,
+                    wall_clock: start.elapsed(),
+                });
+            }
+        }
+        // Steady-state spawn hygiene: two identical runs on one pool; the
+        // second must create no OS threads.
+        let pool = VthreadPool::new(8);
+        let probe = |pool: &VthreadPool| {
+            let body = prog.root();
+            let out = vm::run_with_pool(
+                VmConfig {
+                    world: prog.world(),
+                    ..config.clone()
+                },
+                prog.resources(),
+                &mut RandomScheduler::new(seed),
+                &mut NullObserver,
+                pool,
+                move |ctx| body(ctx),
+            );
+            out.stats.os_spawns
+        };
+        let cold_os_spawns = probe(&pool);
+        let warm_os_spawns = probe(&pool);
+        rows.push(PoolRow {
+            bug: bug.id.to_string(),
+            points,
+            cold_os_spawns,
+            warm_os_spawns,
+        });
+    }
+    rows
+}
+
+/// Renders the pool table: per bug, spawning and pooled attempts-per-second
+/// at each worker count, the pooled speedup, and the spawn hygiene columns.
+pub fn render_pool(
+    rows: &[PoolRow],
+    worker_counts: &[usize],
+    mechanism: Mechanism,
+    cap: u32,
+) -> String {
+    let mut header: Vec<String> = vec!["bug".into()];
+    for &w in worker_counts {
+        header.push(format!("{w}w spawn a/s"));
+        header.push(format!("{w}w pool a/s"));
+        header.push(format!("{w}w spd"));
+    }
+    header.push("cold os-spawns".into());
+    header.push("warm os-spawns".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut trows = Vec::new();
+    for r in rows {
+        let mut row = vec![r.bug.clone()];
+        for &w in worker_counts {
+            for executor in [ExecutorKind::Spawning, ExecutorKind::Pooled] {
+                match r.point(executor, w) {
+                    Some(p) => row.push(format!("{:.0}", p.attempts_per_sec())),
+                    None => row.push("-".into()),
+                }
+            }
+            match r.speedup_at(w) {
+                Some(s) => row.push(format!("{s:.2}x")),
+                None => row.push("-".into()),
+            }
+        }
+        row.push(r.cold_os_spawns.to_string());
+        row.push(r.warm_os_spawns.to_string());
+        trows.push(row);
+    }
+    let mut out = format!(
+        "E15. Attempt throughput: pooled vs. spawning executors ({} sketch, cap {cap})\n\n",
+        mechanism.name()
+    );
+    out.push_str(&table(&header_refs, &trows));
+    for &w in worker_counts {
+        if let Some(geomean) = pool_speedup_geomean(rows, w) {
+            out.push_str(&format!(
+                "\nheadline: geomean {geomean:.2}x pooled throughput at {w} worker(s) over {} bugs",
+                rows.iter().filter(|r| r.speedup_at(w).is_some()).count()
             ));
         }
     }

@@ -25,7 +25,7 @@ use pres_core::inspect::{failure_report, InspectOptions};
 use pres_core::stats::{ExploreStats, SketchStats};
 use pres_core::program::Program;
 use pres_core::sketch::Mechanism;
-use pres_core::{Certificate, FeedbackMode};
+use pres_core::{Certificate, ExecutorKind, FeedbackMode};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -34,6 +34,7 @@ const USAGE: &str = "usage:
   pres record      --bug <id> [--mechanism RW|BB|BB-N|FUNC|SYS|SYNC] [--seed N] [--out FILE]
                    [--codec v1|v2]
   pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--workers N]
+                   [--pool N] [--executor pooled|spawning]
                    [--feedback streaming|buffered] [--cert FILE]
   pres replay      --bug <id> --cert FILE [--report]
   pres sketch-info --sketch FILE
@@ -168,6 +169,16 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
     // `with_workers` clamps to >= 1; clamp here too so the summary line
     // reports the worker count actually used.
     let workers: usize = args.get_parsed("workers")?.unwrap_or(1).max(1);
+    let pool_width: Option<usize> = args.get_parsed("pool")?;
+    let executor = match args.get("executor").as_deref() {
+        None | Some("pooled") => ExecutorKind::Pooled,
+        Some("spawning") => ExecutorKind::Spawning,
+        Some(other) => {
+            return Err(UsageError(format!(
+                "bad --executor '{other}' (expected pooled or spawning)"
+            )))
+        }
+    };
     let feedback_mode = match args.get("feedback").as_deref() {
         None | Some("streaming") => FeedbackMode::Streaming,
         Some("buffered") => FeedbackMode::Buffered,
@@ -191,10 +202,17 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
             prog.name()
         )));
     }
-    let pres = Pres::new(sketch.mechanism)
+    let mut pres = Pres::new(sketch.mechanism)
         .with_max_attempts(max_attempts)
         .with_workers(workers)
-        .with_feedback_mode(feedback_mode);
+        .with_feedback_mode(feedback_mode)
+        .with_executor(executor);
+    if let Some(width) = pool_width {
+        pres = pres.with_pool_width(width);
+    }
+    // Clamp workers x pool width against the host (warns on stderr).
+    pres.explore = pres.explore.validate();
+    let workers = pres.explore.workers;
     let mut recorded_like = pres.record(prog.as_ref(), sketch.meta.seed);
     // Reproduce against the on-disk sketch (the run above re-derives the
     // native/overhead context only).
@@ -212,11 +230,12 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
     let secs = elapsed.as_secs_f64();
     if secs > 0.0 {
         println!(
-            "throughput: {:.1} attempts/s ({} attempts in {:.3}s, {} feedback)",
+            "throughput: {:.1} attempts/s ({} attempts in {:.3}s, {} feedback, {} executor)",
             f64::from(repro.attempts) / secs,
             repro.attempts,
             secs,
-            feedback_mode.name()
+            feedback_mode.name(),
+            pres.explore.executor.name()
         );
     }
     if !repro.reproduced {

@@ -49,6 +49,7 @@ use crate::program::Program;
 use crate::replay::{OrderConstraint, PiReplayScheduler};
 use crate::sketch::{Sketch, SketchIndex};
 use pres_tvm::error::RunStatus;
+use pres_tvm::pool::VthreadPool;
 use pres_tvm::sync::{Condvar, Mutex};
 use pres_tvm::trace::{NullObserver, Trace, TraceMode};
 use pres_tvm::vm::{self, RunOutcome, VmConfig};
@@ -105,6 +106,36 @@ pub struct ExploreConfig {
     /// default) runs the classic serial loop; higher values race attempts
     /// on OS threads and the lowest-numbered success wins.
     pub workers: usize,
+    /// Which execution engine hosts attempt vthreads (pooled by default).
+    pub executor: ExecutorKind,
+    /// Sizing hint for each worker's [`VthreadPool`] (see
+    /// [`ExploreConfig::validate`]; the pool grows on demand regardless).
+    pub pool_width: usize,
+}
+
+/// Which execution engine hosts the vthreads of replay attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// A reusable [`VthreadPool`] per exploration worker, checked out
+    /// attempt after attempt: steady-state attempts perform **zero** OS
+    /// thread spawns. The default.
+    Pooled,
+    /// One fresh OS thread per vthread per attempt — the pre-pool engine,
+    /// kept as the fallback (e.g. when attempts must not share any OS
+    /// threads) and as the equivalence/throughput baseline. Both executors
+    /// produce byte-identical sketches, certificates, and attempt counts;
+    /// `tests/pool_equivalence.rs` pins this across the corpus.
+    Spawning,
+}
+
+impl ExecutorKind {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutorKind::Pooled => "pooled",
+            ExecutorKind::Spawning => "spawning",
+        }
+    }
 }
 
 /// How a failed feedback-strategy attempt is turned into flip candidates.
@@ -163,7 +194,48 @@ impl Default for ExploreConfig {
             search: SearchOrder::Bfs,
             feedback_mode: FeedbackMode::Streaming,
             workers: 1,
+            executor: ExecutorKind::Pooled,
+            pool_width: DEFAULT_POOL_WIDTH,
         }
+    }
+}
+
+/// Default [`ExploreConfig::pool_width`] hint: covers every bug in the
+/// evaluation corpus (peak concurrent vthreads ≤ 8) without oversubscribing
+/// typical hosts at the default single worker.
+pub const DEFAULT_POOL_WIDTH: usize = 8;
+
+impl ExploreConfig {
+    /// Clamps `workers × pool_width` against the host's available
+    /// parallelism, returning the (possibly adjusted) configuration and
+    /// logging a warning to stderr when the knobs oversubscribed the host.
+    ///
+    /// `workers` and `pool_width` are independent knobs — each exploration
+    /// worker owns a pool — so their product is the OS-thread appetite of a
+    /// reproduction. The clamp never changes *results* (worker count and
+    /// pool width are both schedule-invisible; the pool grows past its hint
+    /// on demand), only resource pressure. Called by the CLI and the bench
+    /// binaries; library callers opt in.
+    pub fn validate(mut self) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.workers = self.workers.max(1);
+        self.pool_width = self.pool_width.max(1);
+        if self.workers * self.pool_width <= host {
+            return self;
+        }
+        let requested = (self.workers, self.pool_width);
+        if self.workers > host {
+            self.workers = host;
+        }
+        self.pool_width = (host / self.workers).max(1);
+        eprintln!(
+            "pres: workers x pool width {}x{} oversubscribes {host} available core(s); \
+             clamped to {}x{}",
+            requested.0, requested.1, self.workers, self.pool_width
+        );
+        self
     }
 }
 
@@ -382,41 +454,47 @@ fn run_attempt(
     vm_config: &VmConfig,
     explore: &ExploreConfig,
     plan: &Plan,
+    pool: Option<&VthreadPool>,
 ) -> (RunOutcome, Option<feedback::StreamingExtractor>) {
     let mut sched =
         PiReplayScheduler::with_index(Arc::clone(index), plan.constraints.clone(), plan.seed);
-    let body = program.root();
     let mut cfg = vm_config.clone();
     cfg.world = program.world();
+    // Hosting a vthread on a pooled worker vs. a fresh OS thread is
+    // schedule-invisible, so the executor choice cannot perturb outcomes.
+    let run_vm = |cfg: VmConfig,
+                  sched: &mut PiReplayScheduler,
+                  observer: &mut dyn pres_tvm::trace::Observer| {
+        let body = program.root();
+        match pool {
+            Some(pool) => vm::run_with_pool(
+                cfg,
+                program.resources(),
+                sched,
+                observer,
+                pool,
+                move |ctx| body(ctx),
+            ),
+            None => vm::run(cfg, program.resources(), sched, observer, move |ctx| {
+                body(ctx)
+            }),
+        }
+    };
     match (explore.strategy, explore.feedback_mode) {
         (Strategy::Feedback, FeedbackMode::Streaming) => {
             cfg.trace_mode = TraceMode::Feedback;
             let mut ext = feedback::StreamingExtractor::new();
-            let out = vm::run(cfg, program.resources(), &mut sched, &mut ext, move |ctx| {
-                body(ctx)
-            });
+            let out = run_vm(cfg, &mut sched, &mut ext);
             (out, Some(ext))
         }
         (Strategy::Feedback, FeedbackMode::Buffered) => {
             cfg.trace_mode = TraceMode::Full;
-            let out = vm::run(
-                cfg,
-                program.resources(),
-                &mut sched,
-                &mut NullObserver,
-                move |ctx| body(ctx),
-            );
+            let out = run_vm(cfg, &mut sched, &mut NullObserver);
             (out, None)
         }
         (Strategy::Random, _) => {
             cfg.trace_mode = TraceMode::Off;
-            let out = vm::run(
-                cfg,
-                program.resources(),
-                &mut sched,
-                &mut NullObserver,
-                move |ctx| body(ctx),
-            );
+            let out = run_vm(cfg, &mut sched, &mut NullObserver);
             (out, None)
         }
     }
@@ -490,12 +568,17 @@ fn reproduce_serial(
 ) -> Reproduction {
     let mut history = Vec::new();
     let mut search = SearchState::new(explore);
+    // One pool serves every attempt of the loop: attempt 1 warms it to the
+    // program's peak vthread count, every later attempt is spawn-free.
+    let pool = (explore.executor == ExecutorKind::Pooled)
+        .then(|| VthreadPool::new(explore.pool_width));
 
     for attempt in 1..=explore.max_attempts {
         let plan = search
             .next_plan(explore, attempt)
             .expect("serial search always yields a plan");
-        let (out, extractor) = run_attempt(program, index, vm_config, explore, &plan);
+        let (out, extractor) =
+            run_attempt(program, index, vm_config, explore, &plan, pool.as_ref());
         let verdict = oracle.judge(&out);
         history.push(attempt_record(attempt, &plan, &out, verdict.is_some()));
 
@@ -559,6 +642,10 @@ fn parallel_worker(
     vm_config: &VmConfig,
     shared: &ParallelShared<'_>,
 ) {
+    // One pool per worker (not shared): checkout never contends across
+    // workers, and a worker's attempts reuse its own warm workers.
+    let pool = (shared.explore.executor == ExecutorKind::Pooled)
+        .then(|| VthreadPool::new(shared.explore.pool_width));
     loop {
         // Claim a global attempt index; budget and cancellation are both
         // judged against the claimed index.
@@ -583,7 +670,8 @@ fn parallel_worker(
             }
         };
 
-        let (out, extractor) = run_attempt(program, index, vm_config, shared.explore, &plan);
+        let (out, extractor) =
+            run_attempt(program, index, vm_config, shared.explore, &plan, pool.as_ref());
         let verdict = oracle.judge(&out);
         let reproduced = verdict.is_some();
         let record = attempt_record(attempt, &plan, &out, reproduced);
@@ -1048,5 +1136,62 @@ mod tests {
                 strategy.name()
             );
         }
+    }
+
+    // validate() assertions must hold on any host, so they are phrased
+    // against the live available_parallelism value, not a fixed core count.
+    #[test]
+    fn validate_clamps_zero_knobs_to_one() {
+        let cfg = ExploreConfig {
+            workers: 0,
+            pool_width: 0,
+            ..ExploreConfig::default()
+        }
+        .validate();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.pool_width >= 1);
+    }
+
+    #[test]
+    fn validate_keeps_a_serial_minimal_config_untouched() {
+        let cfg = ExploreConfig {
+            workers: 1,
+            pool_width: 1,
+            ..ExploreConfig::default()
+        }
+        .validate();
+        assert_eq!((cfg.workers, cfg.pool_width), (1, 1));
+    }
+
+    #[test]
+    fn validate_bounds_the_thread_appetite_by_the_host() {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cfg = ExploreConfig {
+            workers: host * 64,
+            pool_width: host * 64,
+            ..ExploreConfig::default()
+        }
+        .validate();
+        // After clamping, workers never exceed the host and the product
+        // only exceeds it when pool_width bottomed out at its floor of 1.
+        assert!(cfg.workers <= host);
+        assert!(cfg.pool_width >= 1);
+        assert!(cfg.workers * cfg.pool_width <= host.max(cfg.workers));
+    }
+
+    #[test]
+    fn validate_leaves_an_undersubscribed_config_untouched() {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cfg = ExploreConfig {
+            workers: 1,
+            pool_width: host,
+            ..ExploreConfig::default()
+        }
+        .validate();
+        assert_eq!((cfg.workers, cfg.pool_width), (1, host));
     }
 }

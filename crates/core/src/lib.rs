@@ -50,7 +50,9 @@ pub mod stats;
 
 pub use api::Pres;
 pub use certificate::{Certificate, CertificateError};
-pub use explore::{ExploreConfig, FeedbackMode, Reproduction, SearchOrder, Strategy};
+pub use explore::{
+    ExecutorKind, ExploreConfig, FeedbackMode, Reproduction, SearchOrder, Strategy,
+};
 pub use oracle::{AnyOracle, FailureOracle, OutputOracle, StatusOracle};
 pub use program::{ClosureProgram, Program};
 pub use recorder::{

@@ -415,7 +415,33 @@ pub fn record(
     config: &VmConfig,
     seed: u64,
 ) -> RecordedRun {
-    record_with(program, config, seed, SketchRecorder::new(mechanism, config.cost_model.clone()))
+    record_with(
+        program,
+        config,
+        seed,
+        SketchRecorder::new(mechanism, config.cost_model.clone()),
+        None,
+    )
+}
+
+/// As [`record`], but hosting both the native and the recorded execution on
+/// `pool`'s workers — spawn-free once the pool is warm. Recording is
+/// schedule-invisible and so is the executor, so the sketch is byte-
+/// identical to [`record`]'s (pinned by `tests/pool_equivalence.rs`).
+pub fn record_pooled(
+    program: &dyn Program,
+    mechanism: Mechanism,
+    config: &VmConfig,
+    seed: u64,
+    pool: &pres_tvm::pool::VthreadPool,
+) -> RecordedRun {
+    record_with(
+        program,
+        config,
+        seed,
+        SketchRecorder::new(mechanism, config.cost_model.clone()),
+        Some(pool),
+    )
 }
 
 /// Records one production run with the pre-sharding
@@ -432,6 +458,7 @@ pub fn record_legacy(
         config,
         seed,
         LegacySketchRecorder::new(mechanism, config.cost_model.clone()),
+        None,
     )
 }
 
@@ -440,9 +467,10 @@ fn record_with<R: RecordingObserver>(
     config: &VmConfig,
     seed: u64,
     mut recorder: R,
+    pool: Option<&pres_tvm::pool::VthreadPool>,
 ) -> RecordedRun {
-    let native = run_once(program, config, seed, &mut NullObserver, TraceMode::Off);
-    let outcome = run_once(program, config, seed, &mut recorder, TraceMode::Off);
+    let native = run_once_on(program, config, seed, &mut NullObserver, TraceMode::Off, pool);
+    let outcome = run_once_on(program, config, seed, &mut recorder, TraceMode::Off, pool);
     debug_assert_eq!(
         native.schedule, outcome.schedule,
         "recording must not perturb scheduling"
@@ -480,8 +508,11 @@ pub fn record_until_failure(
     config: &VmConfig,
     seeds: impl IntoIterator<Item = u64>,
 ) -> Option<RecordedRun> {
+    // A seed search is itself a hot loop (2 runs per seed, often thousands
+    // of seeds): host it on one pool so only the first seed pays spawns.
+    let pool = pres_tvm::pool::VthreadPool::new(8);
     for seed in seeds {
-        let run = record(program, mechanism, config, seed);
+        let run = record_pooled(program, mechanism, config, seed, &pool);
         if run.failed() {
             return Some(run);
         }
@@ -496,17 +527,39 @@ fn run_once(
     observer: &mut dyn Observer,
     trace_mode: TraceMode,
 ) -> RunOutcome {
+    run_once_on(program, config, seed, observer, trace_mode, None)
+}
+
+fn run_once_on(
+    program: &dyn Program,
+    config: &VmConfig,
+    seed: u64,
+    observer: &mut dyn Observer,
+    trace_mode: TraceMode,
+    pool: Option<&pres_tvm::pool::VthreadPool>,
+) -> RunOutcome {
     let mut cfg = config.clone();
     cfg.trace_mode = trace_mode;
     cfg.world = program.world();
     let body = program.root();
-    vm::run(
-        cfg,
-        program.resources(),
-        &mut RandomScheduler::new(seed),
-        observer,
-        move |ctx| body(ctx),
-    )
+    let mut sched = RandomScheduler::new(seed);
+    match pool {
+        Some(pool) => vm::run_with_pool(
+            cfg,
+            program.resources(),
+            &mut sched,
+            observer,
+            pool,
+            move |ctx| body(ctx),
+        ),
+        None => vm::run(
+            cfg,
+            program.resources(),
+            &mut sched,
+            observer,
+            move |ctx| body(ctx),
+        ),
+    }
 }
 
 /// Runs the program once with full tracing and no recording — used by

@@ -120,12 +120,25 @@ impl fmt::Display for Failure {
 pub enum VmError {
     /// A configuration field was out of range.
     InvalidConfig(String),
+    /// A panic escaped a vthread body past the VM's own containment and was
+    /// caught at the executor-pool worker boundary. The worker survives and
+    /// returns to the pool; the panic is reported through
+    /// [`crate::pool::VthreadPool::take_escaped_panics`].
+    ThreadPanic {
+        /// The vthread whose body panicked.
+        tid: ThreadId,
+        /// Panic payload rendered to a string.
+        msg: String,
+    },
 }
 
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::InvalidConfig(msg) => write!(f, "invalid VM configuration: {msg}"),
+            VmError::ThreadPanic { tid, msg } => {
+                write!(f, "panic escaped vthread {tid}: {msg}")
+            }
         }
     }
 }

@@ -53,6 +53,7 @@ pub mod deadlock;
 pub mod error;
 pub mod ids;
 pub mod op;
+pub mod pool;
 pub mod rng;
 pub mod sched;
 pub mod state;
@@ -71,6 +72,7 @@ pub mod prelude {
         ThreadId, VarId, ROOT_THREAD,
     };
     pub use crate::op::{BufOp, MemLoc, Op, OpResult, SyscallOp};
+    pub use crate::pool::VthreadPool;
     pub use crate::sched::{
         Candidate, Decision, RandomScheduler, RoundRobinScheduler, SchedView, Scheduler,
         ScriptedScheduler,
@@ -78,5 +80,5 @@ pub mod prelude {
     pub use crate::state::ResourceSpec;
     pub use crate::sys::{Session, WorldConfig};
     pub use crate::trace::{Event, NullObserver, Observer, ObserverCharge, Trace, TraceMode};
-    pub use crate::vm::{run, Ctx, RunOutcome, RunStats, VmConfig};
+    pub use crate::vm::{run, run_with_pool, Ctx, RunOutcome, RunStats, VmConfig};
 }

@@ -84,8 +84,14 @@ pub struct RunStats {
     pub func_markers: u64,
     /// Basic-block markers.
     pub bb_markers: u64,
-    /// Threads spawned (excluding the root).
+    /// Threads spawned (excluding the root). These are *virtual* spawns:
+    /// every `Ctx::spawn` counts here regardless of executor.
     pub spawns: u64,
+    /// OS threads actually created to host this run's virtual threads
+    /// (root included). Equals `spawns + 1` under the spawning executor;
+    /// **zero** for a warm pooled run ([`run_with_pool`]) — the steady-state
+    /// invariant the executor pool exists to deliver.
+    pub os_spawns: u64,
 }
 
 impl RunStats {
@@ -221,10 +227,73 @@ struct Coord {
 // at a time), and never escape the `run` frame that erased them.
 unsafe impl Send for Coord {}
 
+/// How vthread bodies are hosted on OS threads.
+enum Exec {
+    /// One fresh OS thread per vthread, joined at run end — the original
+    /// engine, kept as the fallback (and the equivalence baseline).
+    Spawn,
+    /// Checked out of a [`crate::pool::VthreadPool`]; workers return to the
+    /// pool at vthread exit instead of being joined.
+    Pool(crate::pool::PoolHandle),
+}
+
 struct Shared {
     hub: Mutex<Hub>,
     /// Wakes the `run` caller once the run's status is decided.
     done: Condvar,
+    /// The executor hosting this run's vthreads.
+    exec: Exec,
+    /// Outstanding pooled vthread jobs: incremented at submission,
+    /// decremented when the job returns its worker to the pool. The run
+    /// frame waits for zero before returning — the pooled replacement for
+    /// joining OS handles, and what keeps the erased scheduler/observer
+    /// borrows in [`Coord`] sound.
+    jobs: Mutex<usize>,
+    /// Wakes the run frame when `jobs` reaches zero.
+    jobs_done: Condvar,
+}
+
+/// Starts `body` as vthread `tid`: on the pooled executor the job is handed
+/// to a parked worker (an OS thread is created only when none is idle); on
+/// the spawning executor a fresh OS thread is always created. Returns the
+/// join handle (spawning mode only) and whether an OS thread was created.
+fn launch(
+    shared: &Arc<Shared>,
+    tid: ThreadId,
+    name: &Arc<str>,
+    body: Box<dyn FnOnce(&mut Ctx) + Send>,
+) -> (Option<std::thread::JoinHandle<()>>, bool) {
+    match &shared.exec {
+        Exec::Spawn => {
+            let sh = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("vt-{name}"))
+                .spawn(move || thread_main(&sh, tid, body))
+                .expect("failed to spawn vthread");
+            (Some(handle), true)
+        }
+        Exec::Pool(pool) => {
+            *shared.jobs.lock() += 1;
+            let sh = shared.clone();
+            let done_sh = shared.clone();
+            let spawned = pool.execute(
+                tid,
+                Box::new(move || thread_main(&sh, tid, body)),
+                // The pool fires this unconditionally (return or panic),
+                // after the worker re-parked — so once `jobs` hits zero the
+                // erased scheduler/observer borrows are dead everywhere AND
+                // every worker is already checkable-out again.
+                Box::new(move || {
+                    let mut jobs = done_sh.jobs.lock();
+                    *jobs -= 1;
+                    if *jobs == 0 {
+                        done_sh.jobs_done.notify_all();
+                    }
+                }),
+            );
+            (None, spawned)
+        }
+    }
 }
 
 /// The handle a virtual thread uses for every interaction with shared
@@ -538,7 +607,7 @@ impl Ctx {
 /// Silences the default panic hook for virtual threads: their panics are
 /// part of normal VM operation (shutdown unwinds, simulated crashes) and are
 /// reported through [`RunOutcome::status`], not stderr.
-fn install_quiet_hook() {
+pub(crate) fn install_quiet_hook() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
@@ -554,7 +623,7 @@ fn install_quiet_hook() {
     });
 }
 
-fn thread_main(shared: Arc<Shared>, tid: ThreadId, body: Box<dyn FnOnce(&mut Ctx) + Send>) {
+fn thread_main(shared: &Arc<Shared>, tid: ThreadId, body: Box<dyn FnOnce(&mut Ctx) + Send>) {
     let mut ctx = Ctx {
         shared: shared.clone(),
         tid,
@@ -581,8 +650,9 @@ fn thread_main(shared: Arc<Shared>, tid: ThreadId, body: Box<dyn FnOnce(&mut Ctx
     let mut hub = shared.hub.lock();
     hub.slots[tid.index()].phase = Phase::Exited(exit);
     // An exit can complete quiescence too; the exiting thread runs the
-    // next scheduling steps before its OS thread terminates.
-    coordinate(&mut hub, &shared, None);
+    // next scheduling steps before its OS thread terminates (or, under a
+    // pooled executor, returns to the pool).
+    coordinate(&mut hub, shared, None);
 }
 
 // ---------------------------------------------------------------------------
@@ -604,6 +674,45 @@ pub fn run(
     resources: ResourceSpec,
     scheduler: &mut dyn Scheduler,
     observer: &mut dyn Observer,
+    root: impl FnOnce(&mut Ctx) + Send + 'static,
+) -> RunOutcome {
+    run_exec(config, resources, scheduler, observer, Exec::Spawn, root)
+}
+
+/// As [`run`], but hosting every virtual thread on a worker checked out of
+/// `pool` instead of a freshly spawned OS thread. A warm pool makes the
+/// attempt loop spawn-free: [`RunStats::os_spawns`] counts the OS threads
+/// the run actually created (zero once the pool has grown to the program's
+/// peak concurrent vthread count). Execution is byte-identical to [`run`] —
+/// a run is a pure function of (program, world, scheduler decisions),
+/// independent of which OS thread hosts a vthread.
+///
+/// The pool is borrowed for the duration of the call; all submitted
+/// vthreads have returned their workers before this function returns.
+pub fn run_with_pool(
+    config: VmConfig,
+    resources: ResourceSpec,
+    scheduler: &mut dyn Scheduler,
+    observer: &mut dyn Observer,
+    pool: &crate::pool::VthreadPool,
+    root: impl FnOnce(&mut Ctx) + Send + 'static,
+) -> RunOutcome {
+    run_exec(
+        config,
+        resources,
+        scheduler,
+        observer,
+        Exec::Pool(pool.handle()),
+        root,
+    )
+}
+
+fn run_exec(
+    config: VmConfig,
+    resources: ResourceSpec,
+    scheduler: &mut dyn Scheduler,
+    observer: &mut dyn Observer,
+    exec: Exec,
     root: impl FnOnce(&mut Ctx) + Send + 'static,
 ) -> RunOutcome {
     config.validate().expect("invalid VmConfig");
@@ -639,28 +748,31 @@ pub fn run(
             },
         }),
         done: Condvar::new(),
+        exec,
+        jobs: Mutex::new(0),
+        jobs_done: Condvar::new(),
     });
 
-    // Spawn the root thread.
+    // Launch the root thread (checked out of the pool, or spawned).
     {
         let mut hub = shared.hub.lock();
+        let root_name: Arc<str> = Arc::from("main");
         hub.slots.push(Slot {
             phase: Phase::Starting,
             result: None,
             fault: None,
-            name: Arc::from("main"),
+            name: root_name.clone(),
             tseq: 0,
             spawn_req: None,
             os_handle: None,
             cv: Arc::new(Condvar::new()),
         });
         hub.coord.known_exited.push(false);
-        let sh = shared.clone();
-        let handle = std::thread::Builder::new()
-            .name("vt-main".to_string())
-            .spawn(move || thread_main(sh, ROOT_THREAD, Box::new(root)))
-            .expect("failed to spawn root vthread");
-        hub.slots[0].os_handle = Some(handle);
+        let (handle, os_spawned) = launch(&shared, ROOT_THREAD, &root_name, Box::new(root));
+        hub.slots[0].os_handle = handle;
+        if os_spawned {
+            hub.coord.stats.os_spawns += 1;
+        }
     }
 
     // Wait for the outcome; the virtual threads coordinate themselves.
@@ -672,7 +784,9 @@ pub fn run(
         hub.coord.status.take().expect("status observed above")
     };
 
-    // Shut down: poison parked threads and join every OS thread.
+    // Shut down: poison parked threads, then wait for every vthread to be
+    // gone — by joining OS handles (spawning executor) and by waiting for
+    // the outstanding-jobs count to reach zero (pooled executor).
     let handles: Vec<std::thread::JoinHandle<()>> = {
         let mut hub = shared.hub.lock();
         hub.poisoned = true;
@@ -684,6 +798,12 @@ pub fn run(
     };
     for h in handles {
         let _ = h.join();
+    }
+    {
+        let mut jobs = shared.jobs.lock();
+        while *jobs != 0 {
+            shared.jobs_done.wait(&mut jobs);
+        }
     }
 
     // Every virtual thread has exited: the erased scheduler/observer
@@ -908,12 +1028,11 @@ fn coordinate(guard: &mut MutexGuard<'_, Hub>, shared: &Arc<Shared>, me: Option<
                     cv: Arc::new(Condvar::new()),
                 });
                 coord.known_exited.push(false);
-                let sh = shared.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("vt-{}", req.name))
-                    .spawn(move || thread_main(sh, new_tid, req.body))
-                    .expect("failed to spawn vthread");
-                slots[new_tid.index()].os_handle = Some(handle);
+                let (handle, os_spawned) = launch(shared, new_tid, &req.name, req.body);
+                slots[new_tid.index()].os_handle = handle;
+                if os_spawned {
+                    coord.stats.os_spawns += 1;
+                }
                 (true, OpResult::Tid(new_tid))
             }
             Op::Join(_) => (true, OpResult::Unit),
@@ -1065,6 +1184,93 @@ mod tests {
         );
         assert_eq!(out.status, RunStatus::Completed);
         assert_eq!(out.stats.spawns, 4);
+        assert_eq!(out.stats.os_spawns, 5, "root + 4 children, all spawned");
+    }
+
+    /// One parameterized program used by the pooled-executor tests: spawns
+    /// workers, races a counter, joins, prints — exercising every launch
+    /// path a program can take.
+    fn pooled_probe(seed: u64) -> (ResourceSpec, impl FnOnce(&mut Ctx) + Send + 'static) {
+        let mut spec = ResourceSpec::new();
+        let counter = spec.var("counter", 0);
+        let _ = seed;
+        let body = move |ctx: &mut Ctx| {
+            let kids: Vec<ThreadId> = (0..3)
+                .map(|i| {
+                    ctx.spawn(&format!("w{i}"), move |ctx| {
+                        let v = ctx.read(counter);
+                        ctx.write(counter, v + 1);
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+            let total = ctx.read(counter);
+            ctx.println(&format!("total={total}"));
+        };
+        (spec, body)
+    }
+
+    #[test]
+    fn pooled_runs_match_spawning_runs_and_reuse_workers() {
+        let pool = crate::pool::VthreadPool::new(4);
+        for seed in 0..8 {
+            let (spec_p, body_p) = pooled_probe(seed);
+            let pooled = run_with_pool(
+                quick_config(),
+                spec_p,
+                &mut RandomScheduler::new(seed),
+                &mut NullObserver,
+                &pool,
+                body_p,
+            );
+            let (spec_s, body_s) = pooled_probe(seed);
+            let fresh = run(
+                quick_config(),
+                spec_s,
+                &mut RandomScheduler::new(seed),
+                &mut NullObserver,
+                body_s,
+            );
+            assert_eq!(pooled.status, fresh.status, "seed {seed}");
+            assert_eq!(pooled.schedule, fresh.schedule, "seed {seed}");
+            assert_eq!(pooled.stdout, fresh.stdout, "seed {seed}");
+            assert_eq!(pooled.stats.spawns, fresh.stats.spawns, "seed {seed}");
+            // The one intended difference: OS-thread creation.
+            assert_eq!(fresh.stats.os_spawns, fresh.stats.spawns + 1);
+            if seed > 0 {
+                assert_eq!(pooled.stats.os_spawns, 0, "warm attempt spawned (seed {seed})");
+            }
+        }
+        // The pool warmed to the peak concurrent vthread count and stayed.
+        assert!(pool.spawned_workers() <= 4, "pool overgrew");
+        assert!(pool.take_escaped_panics().is_empty());
+    }
+
+    #[test]
+    fn pooled_worker_survives_a_panicking_vthread_body() {
+        let pool = crate::pool::VthreadPool::new(1);
+        for attempt in 0..10 {
+            let out = run_with_pool(
+                quick_config(),
+                ResourceSpec::new(),
+                &mut RoundRobinScheduler::new(),
+                &mut NullObserver,
+                &pool,
+                |_ctx| panic!("deliberate bug body"),
+            );
+            match out.status {
+                RunStatus::Failed(Failure::Crash { message, .. }) => {
+                    assert_eq!(message, "deliberate bug body", "attempt {attempt}");
+                }
+                other => panic!("attempt {attempt}: expected crash, got {other}"),
+            }
+        }
+        // The VM contained every panic (Failure::Crash), so nothing escaped
+        // to the worker boundary — and one worker served all ten attempts.
+        assert_eq!(pool.spawned_workers(), 1);
+        assert!(pool.take_escaped_panics().is_empty());
     }
 
     #[test]

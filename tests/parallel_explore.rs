@@ -93,6 +93,65 @@ fn worker_count_does_not_change_an_unreproducible_verdict() {
     }
 }
 
+/// The executor pool is a pure optimization: the serial/parallel agreement
+/// matrix must hold under both engines, and the two engines must agree
+/// with each other attempt for attempt, certificate byte for certificate
+/// byte.
+#[test]
+fn serial_parallel_agreement_holds_under_both_executors() {
+    use pres_core::ExecutorKind;
+
+    for bug in all_bugs() {
+        let prog = bug.program();
+        let base = Pres::new(Mechanism::Sync).with_max_attempts(300);
+        let recorded = base
+            .record_until_failure(prog.as_ref(), 0..5000)
+            .unwrap_or_else(|| panic!("{}: no failing production run", bug.id));
+
+        let mut serial_reps = Vec::new();
+        for executor in [ExecutorKind::Pooled, ExecutorKind::Spawning] {
+            let pres = base.clone().with_executor(executor);
+            let serial = pres.reproduce(prog.as_ref(), &recorded);
+            let parallel = pres
+                .clone()
+                .with_workers(4)
+                .reproduce(prog.as_ref(), &recorded);
+
+            assert_eq!(
+                serial.reproduced,
+                parallel.reproduced,
+                "{}: serial and parallel disagree under the {} executor",
+                bug.id,
+                executor.name()
+            );
+            for (mode, rep) in [("serial", &serial), ("parallel", &parallel)] {
+                assert_eq!(
+                    ExploreStats::of(rep).wasted_attempts(),
+                    0,
+                    "{}: wasted attempts in {mode} mode under the {} executor",
+                    bug.id,
+                    executor.name()
+                );
+            }
+            serial_reps.push(serial);
+        }
+
+        // Cross-executor: serial exploration is fully deterministic, so
+        // pooled and spawning runs must match exactly.
+        let (pooled, spawning) = (&serial_reps[0], &serial_reps[1]);
+        assert_eq!(pooled.reproduced, spawning.reproduced, "{}", bug.id);
+        assert_eq!(pooled.attempts, spawning.attempts, "{}", bug.id);
+        let cert_bytes =
+            |rep: &pres_core::Reproduction| rep.certificate.as_ref().map(|c| c.encode());
+        assert_eq!(
+            cert_bytes(pooled),
+            cert_bytes(spawning),
+            "{}: executors mint different certificates",
+            bug.id
+        );
+    }
+}
+
 /// Streaming feedback is a pure optimization: for every bug in the corpus
 /// it must replicate the buffered (full-trace) pipeline exactly — same
 /// attempt counts, same per-attempt plans, same exploration stats, and
