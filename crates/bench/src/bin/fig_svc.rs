@@ -1,0 +1,230 @@
+//! E16: replay-as-a-service — submit→certificate latency and queue
+//! throughput over loopback TCP.
+//!
+//! For each `--job-workers` setting a fresh daemon is started on an
+//! ephemeral port with a scratch data directory; every corpus bug that
+//! records under SYNC is submitted as one job (distinct bugs, so dedup
+//! cannot collapse the workload), and the run measures each job's
+//! submit→terminal latency plus the whole batch's wall-clock throughput.
+//! Everything flows through the real client, protocol, store, journal,
+//! and worker pool — the measured path is exactly what `pres submit`
+//! exercises.
+//!
+//! ```text
+//! fig_svc [--reduced-corpus] [--out FILE]
+//! ```
+//!
+//! Prints the table and writes the measurements as JSON (for the CI
+//! artifact) to `BENCH_svc.json` unless `--out` overrides it.
+use pres_apps::registry::all_bugs;
+use pres_core::api::Pres;
+use pres_core::codec::encode_sketch;
+use pres_core::sketch::Mechanism;
+use pres_svc::queue::QueueConfig;
+use pres_svc::server::{ServeOptions, Server};
+use pres_svc::{Client, JobStatus};
+use std::time::{Duration, Instant};
+
+const WORKER_COUNTS: [usize; 2] = [1, 2];
+
+struct JobPoint {
+    bug: String,
+    attempts: u32,
+    latency_ms: f64,
+}
+
+struct WorkerRow {
+    workers: usize,
+    jobs: usize,
+    wall_ms: f64,
+    points: Vec<JobPoint>,
+}
+
+impl WorkerRow {
+    fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn to_json(rows: &[WorkerRow], mechanism: Mechanism) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"E16\",\n  \"mechanism\": \"{}\",\n  \"rows\": [\n",
+        json_escape(&mechanism.name())
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"job_workers\": {}, \"jobs\": {}, \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.2}, \"points\": [",
+            r.workers,
+            r.jobs,
+            r.wall_ms,
+            r.jobs_per_sec()
+        ));
+        for (j, p) in r.points.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"bug\": \"{}\", \"attempts\": {}, \"latency_ms\": {:.3}}}",
+                if j > 0 { ", " } else { "" },
+                json_escape(&p.bug),
+                p.attempts,
+                p.latency_ms
+            ));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Records every corpus bug that fails under `mechanism`, returning
+/// `(bug id, sketch container bytes)` pairs.
+fn corpus_sketches(mechanism: Mechanism, reduced: bool) -> Vec<(String, Vec<u8>)> {
+    let mut bugs = all_bugs();
+    if reduced {
+        // CI smoke: three bugs keep the step fast while still giving the
+        // two-worker run something to overlap.
+        bugs.truncate(3);
+    }
+    bugs.into_iter()
+        .filter_map(|case| {
+            let program = case.program();
+            let pres = Pres::new(mechanism);
+            let run = pres.record_until_failure(program.as_ref(), 0..5000)?;
+            Some((case.id.to_string(), encode_sketch(&run.sketch)))
+        })
+        .collect()
+}
+
+fn measure(workers: usize, sketches: &[(String, Vec<u8>)]) -> WorkerRow {
+    let data_dir = std::env::temp_dir().join(format!(
+        "pres-fig-svc-{}-w{workers}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.clone(),
+        queue: QueueConfig {
+            workers,
+            ..QueueConfig::default()
+        },
+        log_interval: None,
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let started = Instant::now();
+    let submitted: Vec<(String, u64, Instant)> = sketches
+        .iter()
+        .map(|(bug, bytes)| {
+            let receipt = client.submit(bug, bytes).expect("submit succeeds");
+            (bug.clone(), receipt.job, Instant::now())
+        })
+        .collect();
+    let mut points = Vec::new();
+    for (bug, job, submit_time) in submitted {
+        let status = client
+            .wait(job, Duration::from_secs(300))
+            .expect("job reaches a terminal status");
+        let latency_ms = submit_time.elapsed().as_secs_f64() * 1e3;
+        let JobStatus::Succeeded { attempts, .. } = status else {
+            panic!("bug {bug}: expected success, got {status}");
+        };
+        assert!(
+            !client.fetch_certificate(job).expect("certificate").is_empty(),
+            "bug {bug}: empty certificate"
+        );
+        points.push(JobPoint {
+            bug,
+            attempts,
+            latency_ms,
+        });
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    WorkerRow {
+        workers,
+        jobs: points.len(),
+        wall_ms,
+        points,
+    }
+}
+
+fn main() {
+    let mut reduced = false;
+    let mut out_path = String::from("BENCH_svc.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reduced-corpus" => reduced = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    let mechanism = Mechanism::Sync;
+    let sketches = corpus_sketches(mechanism, reduced);
+    assert!(
+        sketches.len() >= 2,
+        "need at least two recordable bugs to measure queue overlap"
+    );
+    println!(
+        "E16: {} jobs (distinct bugs under {}), job-workers {:?}\n",
+        sketches.len(),
+        mechanism.name(),
+        WORKER_COUNTS
+    );
+
+    let rows: Vec<WorkerRow> = WORKER_COUNTS
+        .iter()
+        .map(|&w| measure(w, &sketches))
+        .collect();
+
+    println!(
+        "{:>11} | {:>5} | {:>10} | {:>8} | {:>14} | {:>14}",
+        "job-workers", "jobs", "wall ms", "jobs/s", "median lat ms", "max lat ms"
+    );
+    println!("{}", "-".repeat(78));
+    for r in &rows {
+        let mut lats: Vec<f64> = r.points.iter().map(|p| p.latency_ms).collect();
+        lats.sort_by(|a, b| a.total_cmp(b));
+        let median = lats[lats.len() / 2];
+        let max = lats.last().copied().unwrap_or(0.0);
+        println!(
+            "{:>11} | {:>5} | {:>10.1} | {:>8.2} | {:>14.1} | {:>14.1}",
+            r.workers,
+            r.jobs,
+            r.wall_ms,
+            r.jobs_per_sec(),
+            median,
+            max
+        );
+    }
+
+    // Sanity: every configuration finished every job with a certificate.
+    for r in &rows {
+        assert_eq!(r.jobs, sketches.len(), "job-workers {}: lost jobs", r.workers);
+    }
+
+    let json = to_json(&rows, mechanism);
+    std::fs::write(&out_path, &json).expect("write svc JSON");
+    println!("\nwrote {out_path} ({} bytes)", json.len());
+}

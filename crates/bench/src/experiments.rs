@@ -1,5 +1,5 @@
 //! Experiment implementations — one function per table/figure of the
-//! reconstructed evaluation (DESIGN.md §4, EXPERIMENTS.md).
+//! reconstructed evaluation (DESIGN.md §5, EXPERIMENTS.md).
 //!
 //! Every experiment is deterministic: fixed seeds, fixed workloads, fixed
 //! exploration parameters. Each returns structured results plus a

@@ -1,7 +1,7 @@
 //! # pres-bench — the evaluation harness
 //!
 //! Regenerates every table and figure of the reconstructed evaluation
-//! (DESIGN.md §4). Each experiment has a binary that prints the table:
+//! (DESIGN.md §5). Each experiment has a binary that prints the table:
 //!
 //! | Binary | Experiment |
 //! |---|---|

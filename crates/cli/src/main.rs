@@ -7,6 +7,12 @@
 //! pres replay      --bug <id> --cert cert.pres [--report]
 //! pres sketch-info --sketch sketch.pres
 //! pres overhead    --app <id> [--processors 8]
+//!
+//! pres serve       --addr 127.0.0.1:7557 --data-dir DIR [--job-workers N]
+//! pres submit      --addr HOST:PORT --bug <id> --sketch sketch.pres [--wait-secs N]
+//! pres status      --addr HOST:PORT --job N
+//! pres fetch-cert  --addr HOST:PORT --job N [--out cert.pres]
+//! pres shutdown    --addr HOST:PORT
 //! ```
 //!
 //! `record` searches production schedules until the bug manifests while
@@ -14,20 +20,25 @@
 //! coordinated-replay exploration and writes a reproduction certificate.
 //! `replay` reproduces deterministically from the certificate, optionally
 //! printing the diagnosis report.
+//!
+//! The second block drives the [`pres_svc`] daemon: `serve` runs the
+//! replay-as-a-service loop (content-addressed sketch store + job queue);
+//! the rest are thin wrappers over [`pres_svc::Client`].
 
 mod args;
 
 use args::{Args, UsageError};
 use pres_apps::registry::{all_apps, all_bugs, WorkloadScale};
 use pres_core::api::Pres;
-use pres_core::codec::{container_version, decode_sketch, encode_sketch, encode_sketch_v1};
+use pres_core::codec::{container_version, decode_sketch, encode_sketch, encode_sketch_v1, v2_layout};
 use pres_core::inspect::{failure_report, InspectOptions};
 use pres_core::stats::{ExploreStats, SketchStats};
 use pres_core::program::Program;
 use pres_core::sketch::Mechanism;
-use pres_core::{Certificate, ExecutorKind, FeedbackMode};
+use pres_core::{Certificate, ExecutorKind, FeedbackMode, StopToken};
+use pres_svc::{Client, QueueConfig, ServeOptions, Server};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
   pres list
@@ -35,10 +46,16 @@ const USAGE: &str = "usage:
                    [--codec v1|v2]
   pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--workers N]
                    [--pool N] [--executor pooled|spawning]
-                   [--feedback streaming|buffered] [--cert FILE]
+                   [--feedback streaming|buffered] [--timeout-secs N] [--cert FILE]
   pres replay      --bug <id> --cert FILE [--report]
   pres sketch-info --sketch FILE
-  pres overhead    --app <id> [--mechanism SYNC] [--processors N]";
+  pres overhead    --app <id> [--mechanism SYNC] [--processors N]
+  pres serve       [--addr HOST:PORT] [--data-dir DIR] [--job-workers N]
+                   [--max-attempts N] [--job-timeout-secs N] [--log-interval-secs N]
+  pres submit      --addr HOST:PORT --bug <id> --sketch FILE [--wait-secs N]
+  pres status      --addr HOST:PORT --job N
+  pres fetch-cert  --addr HOST:PORT --job N [--out FILE]
+  pres shutdown    --addr HOST:PORT";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -52,6 +69,11 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args),
         Some("sketch-info") => cmd_sketch_info(&args),
         Some("overhead") => cmd_overhead(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
+        Some("status") => cmd_status(&args),
+        Some("fetch-cert") => cmd_fetch_cert(&args),
+        Some("shutdown") => cmd_shutdown(&args),
         Some(other) => Err(UsageError(format!("unknown command '{other}'\n{USAGE}"))),
         None => Err(UsageError(USAGE.to_string())),
     };
@@ -188,6 +210,7 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
             )))
         }
     };
+    let timeout_secs: Option<u64> = args.get_parsed("timeout-secs")?;
     let cert_path = args.get("cert").unwrap_or_else(|| format!("{bug}.cert"));
     args.finish()?;
 
@@ -210,8 +233,17 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
     if let Some(width) = pool_width {
         pres = pres.with_pool_width(width);
     }
-    // Clamp workers x pool width against the host (warns on stderr).
-    pres.explore = pres.explore.validate();
+    // Clamp workers x pool width against the host. The library reports
+    // the decision; the CLI decides it is worth a stderr warning.
+    let outcome = pres.explore.validate();
+    if let Some(clamp) = &outcome.clamp {
+        eprintln!("pres: {}", clamp.warning());
+    }
+    let clamped = outcome.clamp.is_some();
+    pres.explore = outcome.config;
+    if let Some(secs) = timeout_secs {
+        pres.explore.stop = Some(StopToken::after(Duration::from_secs(secs)));
+    }
     let workers = pres.explore.workers;
     let mut recorded_like = pres.record(prog.as_ref(), sketch.meta.seed);
     // Reproduce against the on-disk sketch (the run above re-derives the
@@ -226,7 +258,7 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
             h.index, h.status, h.constraints
         );
     }
-    println!("exploration: {}", ExploreStats::of(&repro));
+    println!("exploration: {}", ExploreStats::of(&repro).with_clamp(clamped));
     let secs = elapsed.as_secs_f64();
     if secs > 0.0 {
         println!(
@@ -239,6 +271,13 @@ fn cmd_reproduce(args: &Args) -> Result<(), UsageError> {
         );
     }
     if !repro.reproduced {
+        if repro.stopped {
+            return Err(UsageError(format!(
+                "timed out after {} attempt(s) (--timeout-secs {})",
+                repro.attempts,
+                timeout_secs.unwrap_or_default()
+            )));
+        }
         return Err(UsageError(format!(
             "not reproduced within {max_attempts} attempts"
         )));
@@ -296,6 +335,21 @@ fn cmd_sketch_info(args: &Args) -> Result<(), UsageError> {
         }
     );
     print!("{}", SketchStats::of(&sketch));
+    if let Some(layout) = v2_layout(&data).map_err(|e| UsageError(e.to_string()))? {
+        println!(
+            "shard directory: {} thread(s), {} entries, interleave {} ({} bytes)",
+            layout.threads.len(),
+            layout.entries,
+            layout.interleave_encoding,
+            layout.interleave_bytes
+        );
+        for shard in &layout.threads {
+            println!(
+                "  thread {:>4}: {:>8} entries, {:>8} column bytes",
+                shard.tid, shard.entries, shard.column_bytes
+            );
+        }
+    }
     Ok(())
 }
 
@@ -324,5 +378,126 @@ fn cmd_overhead(args: &Args) -> Result<(), UsageError> {
         run.sketch.len(),
         run.implicit_events,
     );
+    Ok(())
+}
+
+fn io_err(context: &str, e: std::io::Error) -> UsageError {
+    UsageError(format!("{context}: {e}"))
+}
+
+fn connect(args: &Args) -> Result<Client, UsageError> {
+    let addr = args.required("addr")?;
+    Client::connect(&addr).map_err(|e| io_err(&format!("cannot connect to {addr}"), e))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), UsageError> {
+    let mut opts = ServeOptions::default();
+    if let Some(addr) = args.get("addr") {
+        opts.addr = addr;
+    }
+    if let Some(dir) = args.get("data-dir") {
+        opts.data_dir = dir.into();
+    }
+    let mut queue = QueueConfig::default();
+    if let Some(workers) = args.get_parsed::<usize>("job-workers")? {
+        queue.workers = workers.max(1);
+    }
+    if let Some(attempts) = args.get_parsed::<u32>("max-attempts")? {
+        queue.max_attempts = attempts;
+    }
+    if let Some(secs) = args.get_parsed::<u64>("job-timeout-secs")? {
+        queue.job_timeout = Duration::from_secs(secs);
+    }
+    if let Some(secs) = args.get_parsed::<u64>("log-interval-secs")? {
+        opts.log_interval = (secs > 0).then(|| Duration::from_secs(secs));
+    }
+    opts.queue = queue;
+    args.finish()?;
+
+    let data_dir = opts.data_dir.clone();
+    let workers = opts.queue.workers;
+    let server = Server::start(opts).map_err(|e| io_err("cannot start daemon", e))?;
+    println!(
+        "pres-svc listening on {} (data dir {}, {} job worker(s))",
+        server.addr(),
+        data_dir.display(),
+        workers
+    );
+    // Runs until a SHUTDOWN frame arrives; `pres shutdown --addr ...` is
+    // the remote off switch.
+    server.join();
+    println!("pres-svc drained and stopped");
+    Ok(())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), UsageError> {
+    let bug = args.required("bug")?;
+    let sketch_path = args.required("sketch")?;
+    let wait_secs: Option<u64> = args.get_parsed("wait-secs")?;
+    let mut client = connect(args)?;
+    args.finish()?;
+
+    let sketch = std::fs::read(&sketch_path)
+        .map_err(|e| io_err(&format!("cannot read {sketch_path}"), e))?;
+    let receipt = client
+        .submit(&bug, &sketch)
+        .map_err(|e| io_err("submit failed", e))?;
+    println!(
+        "job {} sketch {} ({}, {})",
+        receipt.job,
+        receipt.sketch,
+        if receipt.fresh_object {
+            "new object"
+        } else {
+            "object deduplicated"
+        },
+        if receipt.fresh_job {
+            "new job"
+        } else {
+            "joined existing job"
+        },
+    );
+    if let Some(secs) = wait_secs {
+        let status = client
+            .wait(receipt.job, Duration::from_secs(secs))
+            .map_err(|e| io_err("waiting for job", e))?;
+        println!("job {}: {status}", receipt.job);
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &Args) -> Result<(), UsageError> {
+    let job: u64 = args
+        .get_parsed("job")?
+        .ok_or_else(|| UsageError("missing required flag --job".into()))?;
+    let mut client = connect(args)?;
+    args.finish()?;
+    match client.status(job).map_err(|e| io_err("status failed", e))? {
+        Some(status) => println!("job {job}: {status}"),
+        None => return Err(UsageError(format!("unknown job {job}"))),
+    }
+    Ok(())
+}
+
+fn cmd_fetch_cert(args: &Args) -> Result<(), UsageError> {
+    let job: u64 = args
+        .get_parsed("job")?
+        .ok_or_else(|| UsageError("missing required flag --job".into()))?;
+    let out = args.get("out").unwrap_or_else(|| format!("job-{job}.cert"));
+    let mut client = connect(args)?;
+    args.finish()?;
+    let cert = client
+        .fetch_certificate(job)
+        .map_err(|e| io_err("fetch failed", e))?;
+    std::fs::write(&out, &cert).map_err(|e| io_err(&format!("cannot write {out}"), e))?;
+    println!("wrote {} ({} bytes)", out, cert.len());
+    Ok(())
+}
+
+fn cmd_shutdown(args: &Args) -> Result<(), UsageError> {
+    let mut client = connect(args)?;
+    args.finish()?;
+    client.shutdown().map_err(|e| io_err("shutdown failed", e))?;
+    println!("daemon draining");
     Ok(())
 }

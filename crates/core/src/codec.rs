@@ -163,6 +163,11 @@ impl<'a> ByteReader<'a> {
     pub fn at_end(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    /// Current byte offset into the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
 }
 
 // --- entry encoding ---------------------------------------------------------
@@ -723,7 +728,40 @@ fn decode_entries_v1(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeE
     Ok(entries)
 }
 
+/// One per-thread shard of a v2 columnar container: how many entries the
+/// thread contributed and how many bytes its column block occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V2Shard {
+    /// The thread id owning the column.
+    pub tid: u32,
+    /// Entries in the column.
+    pub entries: u64,
+    /// Encoded bytes of the column block (codes, operand deltas, syscall
+    /// results).
+    pub column_bytes: u64,
+}
+
+/// The physical layout of a v2 container body, per shard — what
+/// `pres sketch-info` prints as the shard directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V2Layout {
+    /// Total entries in the container.
+    pub entries: u64,
+    /// How the cross-thread interleave stream is encoded.
+    pub interleave_encoding: &'static str,
+    /// Bytes of the interleave stream (including its selector byte).
+    pub interleave_bytes: u64,
+    /// Per-thread shards, ascending by thread id.
+    pub threads: Vec<V2Shard>,
+}
+
 fn decode_entries_v2(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeError> {
+    Ok(decode_entries_v2_with_layout(r)?.0)
+}
+
+fn decode_entries_v2_with_layout(
+    r: &mut ByteReader<'_>,
+) -> Result<(Vec<SketchEntry>, V2Layout), DecodeError> {
     let n = r.varint()? as usize;
     let t = r.varint()? as usize;
     if t > n {
@@ -742,6 +780,7 @@ fn decode_entries_v2(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeE
         tids.push(tid);
     }
 
+    let interleave_start = r.position();
     let flag = r.u8()?;
     let mut interleave: Vec<usize> = Vec::with_capacity(n.min(1 << 20));
     match flag {
@@ -794,6 +833,12 @@ fn decode_entries_v2(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeE
         }
         other => return Err(r.err(&format!("unknown interleave flag {other}"))),
     }
+    let interleave_bytes = (r.position() - interleave_start) as u64;
+    let interleave_encoding = match flag {
+        0 => "plain",
+        1 => "rle",
+        _ => "nibble",
+    };
 
     // Per-thread entry counts are implicit in the interleave stream.
     let mut counts: Vec<usize> = vec![0; t];
@@ -805,7 +850,9 @@ fn decode_entries_v2(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeE
     }
 
     let mut columns: Vec<Vec<SketchEntry>> = Vec::with_capacity(t);
+    let mut shards: Vec<V2Shard> = Vec::with_capacity(t);
     for (i, &count) in counts.iter().enumerate() {
+        let column_start = r.position();
         let mut col = Vec::with_capacity(count.min(1 << 20));
         let mut prevs = [0i64; GROUPS];
         for _ in 0..count {
@@ -847,6 +894,11 @@ fn decode_entries_v2(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeE
                 result,
             });
         }
+        shards.push(V2Shard {
+            tid: tids[i],
+            entries: count as u64,
+            column_bytes: (r.position() - column_start) as u64,
+        });
         columns.push(col);
     }
 
@@ -859,13 +911,20 @@ fn decode_entries_v2(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeE
             .ok_or_else(|| r.err("interleave exhausts a thread column"))?;
         entries.push(e);
     }
-    Ok(entries)
+    let layout = V2Layout {
+        entries: n as u64,
+        interleave_encoding,
+        interleave_bytes,
+        threads: shards,
+    };
+    Ok((entries, layout))
 }
 
 /// Deserializes a sketch from its binary log form (either container
 /// version — see the version byte).
-pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
-    let mut r = ByteReader::new(data);
+fn decode_header(
+    r: &mut ByteReader<'_>,
+) -> Result<(u8, Mechanism, SketchMeta), DecodeError> {
     let mut magic = [0u8; 4];
     for m in &mut magic {
         *m = r.u8()?;
@@ -885,6 +944,12 @@ pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
         total_ops: r.varint()?,
         failure_signature: r.string()?,
     };
+    Ok((version, mechanism, meta))
+}
+
+pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
+    let mut r = ByteReader::new(data);
+    let (version, mechanism, meta) = decode_header(&mut r)?;
     let entries = match version {
         VERSION_V1 => decode_entries_v1(&mut r)?,
         VERSION_V2 => decode_entries_v2(&mut r)?,
@@ -898,6 +963,26 @@ pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
         entries,
         meta,
     })
+}
+
+/// The physical shard directory of a v2 container: per-thread entry and
+/// column-byte counts plus the interleave-stream encoding. Returns
+/// `Ok(None)` for a (shard-free) v1 container; errors mirror
+/// [`decode_sketch`] on corrupt input.
+pub fn v2_layout(data: &[u8]) -> Result<Option<V2Layout>, DecodeError> {
+    let mut r = ByteReader::new(data);
+    let (version, _, _) = decode_header(&mut r)?;
+    match version {
+        VERSION_V1 => Ok(None),
+        VERSION_V2 => {
+            let (_, layout) = decode_entries_v2_with_layout(&mut r)?;
+            if !r.at_end() {
+                return Err(r.err_pub("trailing bytes"));
+            }
+            Ok(Some(layout))
+        }
+        other => Err(r.err_pub(&format!("unsupported version {other}"))),
+    }
 }
 
 /// The container version byte of an encoded sketch (after validating the
@@ -1335,5 +1420,38 @@ mod tests {
             assert_eq!(decode_result(&mut r).unwrap(), res);
             assert!(r.at_end());
         }
+    }
+
+    #[test]
+    fn v2_layout_reports_the_shard_directory() {
+        let sketch = sample_sketch();
+        let encoded = encode_sketch_v2(&sketch);
+        let layout = v2_layout(&encoded)
+            .expect("valid container")
+            .expect("v2 has a layout");
+        assert_eq!(layout.entries, sketch.entries.len() as u64);
+        // Shards are ascending by tid and cover every entry exactly once.
+        let tids: Vec<u32> = layout.threads.iter().map(|s| s.tid).collect();
+        assert_eq!(tids, vec![0, 1]);
+        let per_thread = |tid: u32| sketch.entries.iter().filter(|e| e.tid.0 == tid).count() as u64;
+        for shard in &layout.threads {
+            assert_eq!(shard.entries, per_thread(shard.tid), "tid {}", shard.tid);
+            assert!(shard.column_bytes > 0, "tid {}", shard.tid);
+        }
+        let shard_entries: u64 = layout.threads.iter().map(|s| s.entries).sum();
+        assert_eq!(shard_entries, layout.entries);
+        // Interleave + columns never exceed the whole container.
+        let body: u64 =
+            layout.interleave_bytes + layout.threads.iter().map(|s| s.column_bytes).sum::<u64>();
+        assert!(body < encoded.len() as u64);
+        assert!(["plain", "rle", "nibble"].contains(&layout.interleave_encoding));
+    }
+
+    #[test]
+    fn v2_layout_is_absent_for_v1_containers() {
+        let sketch = sample_sketch();
+        let encoded = encode_sketch_v1(&sketch);
+        assert_eq!(v2_layout(&encoded).expect("valid container"), None);
+        assert!(v2_layout(b"garbage").is_err());
     }
 }

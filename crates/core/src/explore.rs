@@ -54,9 +54,10 @@ use pres_tvm::sync::{Condvar, Mutex};
 use pres_tvm::trace::{NullObserver, Trace, TraceMode};
 use pres_tvm::vm::{self, RunOutcome, VmConfig};
 use std::collections::{BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// How the explorer chooses the next attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +112,60 @@ pub struct ExploreConfig {
     /// Sizing hint for each worker's [`VthreadPool`] (see
     /// [`ExploreConfig::validate`]; the pool grows on demand regardless).
     pub pool_width: usize,
+    /// Cooperative stop token: checked between attempts, so a reproduction
+    /// can be cut short by a wall-clock budget (`pres reproduce
+    /// --timeout-secs`, the daemon's per-job timeout) or an external
+    /// cancellation. `None` (the default) never stops early.
+    pub stop: Option<StopToken>,
+}
+
+/// A cooperative cancellation handle for a reproduction in flight.
+///
+/// The explorer polls [`StopToken::is_stopped`] before claiming each
+/// attempt; it never interrupts an attempt mid-run, so stopping is always
+/// clean — the [`Reproduction`] reports the attempts actually spent and
+/// sets [`Reproduction::stopped`]. A token trips either explicitly
+/// ([`StopToken::stop`]) or by passing its deadline, which makes a
+/// wall-clock budget a one-liner: `StopToken::after(timeout)`.
+#[derive(Debug, Clone, Default)]
+pub struct StopToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl StopToken {
+    /// A token with no deadline; trips only via [`StopToken::stop`].
+    pub fn new() -> Self {
+        StopToken::default()
+    }
+
+    /// A token that trips once `budget` wall-clock time has elapsed (or
+    /// earlier via [`StopToken::stop`]).
+    pub fn after(budget: Duration) -> Self {
+        StopToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// A token that trips at `deadline`.
+    pub fn at(deadline: Instant) -> Self {
+        StopToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Trips the token: every explorer sharing it stops claiming attempts.
+    pub fn stop(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// Which execution engine hosts the vthreads of replay attempts.
@@ -196,6 +251,7 @@ impl Default for ExploreConfig {
             workers: 1,
             executor: ExecutorKind::Pooled,
             pool_width: DEFAULT_POOL_WIDTH,
+            stop: None,
         }
     }
 }
@@ -205,37 +261,80 @@ impl Default for ExploreConfig {
 /// typical hosts at the default single worker.
 pub const DEFAULT_POOL_WIDTH: usize = 8;
 
+/// The result of [`ExploreConfig::validate`]: the (possibly adjusted)
+/// configuration plus the clamp decision, if one was made. Callers that
+/// front a terminal (the CLI, the daemon's per-job setup) decide whether
+/// and where to surface [`ClampDecision::warning`]; library use stays
+/// silent.
+#[derive(Debug, Clone)]
+pub struct ValidationOutcome {
+    /// The configuration after clamping.
+    pub config: ExploreConfig,
+    /// `Some` iff the requested knobs oversubscribed the host.
+    pub clamp: Option<ClampDecision>,
+}
+
+/// A recorded `workers × pool_width` clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClampDecision {
+    /// `(workers, pool_width)` as requested (after the ≥1 floor).
+    pub requested: (usize, usize),
+    /// `(workers, pool_width)` actually applied.
+    pub applied: (usize, usize),
+    /// The host parallelism the knobs were clamped against.
+    pub host: usize,
+}
+
+impl ClampDecision {
+    /// The human-readable warning line (the text `validate()` itself used
+    /// to print to stderr).
+    pub fn warning(&self) -> String {
+        format!(
+            "workers x pool width {}x{} oversubscribes {} available core(s); \
+             clamped to {}x{}",
+            self.requested.0, self.requested.1, self.host, self.applied.0, self.applied.1
+        )
+    }
+}
+
 impl ExploreConfig {
     /// Clamps `workers × pool_width` against the host's available
     /// parallelism, returning the (possibly adjusted) configuration and
-    /// logging a warning to stderr when the knobs oversubscribed the host.
+    /// the clamp decision. Nothing is printed — the caller owns the
+    /// terminal (the CLI and daemon surface [`ClampDecision::warning`];
+    /// library callers typically don't).
     ///
     /// `workers` and `pool_width` are independent knobs — each exploration
     /// worker owns a pool — so their product is the OS-thread appetite of a
     /// reproduction. The clamp never changes *results* (worker count and
     /// pool width are both schedule-invisible; the pool grows past its hint
-    /// on demand), only resource pressure. Called by the CLI and the bench
-    /// binaries; library callers opt in.
-    pub fn validate(mut self) -> Self {
+    /// on demand), only resource pressure.
+    pub fn validate(mut self) -> ValidationOutcome {
         let host = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         self.workers = self.workers.max(1);
         self.pool_width = self.pool_width.max(1);
         if self.workers * self.pool_width <= host {
-            return self;
+            return ValidationOutcome {
+                config: self,
+                clamp: None,
+            };
         }
         let requested = (self.workers, self.pool_width);
         if self.workers > host {
             self.workers = host;
         }
         self.pool_width = (host / self.workers).max(1);
-        eprintln!(
-            "pres: workers x pool width {}x{} oversubscribes {host} available core(s); \
-             clamped to {}x{}",
-            requested.0, requested.1, self.workers, self.pool_width
-        );
-        self
+        let clamp = ClampDecision {
+            requested,
+            applied: (self.workers, self.pool_width),
+            host,
+        };
+        ValidationOutcome {
+            config: self,
+            clamp: Some(clamp),
+        }
     }
 }
 
@@ -273,6 +372,10 @@ pub struct Reproduction {
     /// attempts numbered above the winning index may appear here too: they
     /// were already in flight when the winner finished.
     pub history: Vec<AttemptRecord>,
+    /// Whether the effort ended because [`ExploreConfig::stop`] tripped
+    /// (wall-clock timeout or external cancellation) before the attempt
+    /// budget was spent. Always `false` on success.
+    pub stopped: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -548,6 +651,25 @@ pub fn reproduce_with_oracle(
     vm_config: &VmConfig,
     explore: &ExploreConfig,
 ) -> Reproduction {
+    reproduce_with_oracle_and_pool(program, sketch, oracle, vm_config, explore, None)
+}
+
+/// As [`reproduce_with_oracle`], additionally reusing a caller-owned
+/// [`VthreadPool`] for the serial exploration path. A long-lived caller
+/// running many reproductions back to back (the `pres-svc` job workers)
+/// keeps one warm pool per worker, so steady-state *jobs* — not just
+/// steady-state attempts — perform zero OS thread spawns. Ignored when
+/// `explore.workers > 1` (each parallel exploration worker owns its own
+/// pool) or when the executor is [`ExecutorKind::Spawning`]. Pool identity
+/// is schedule-invisible, so results are byte-identical either way.
+pub fn reproduce_with_oracle_and_pool(
+    program: &dyn Program,
+    sketch: &Sketch,
+    oracle: &dyn FailureOracle,
+    vm_config: &VmConfig,
+    explore: &ExploreConfig,
+    pool: Option<&VthreadPool>,
+) -> Reproduction {
     // One immutable index serves every attempt (and every worker): the
     // sketch is scanned exactly once per reproduction, not once per
     // scheduler construction.
@@ -555,7 +677,7 @@ pub fn reproduce_with_oracle(
     if explore.workers > 1 {
         reproduce_parallel(program, &index, oracle, vm_config, explore)
     } else {
-        reproduce_serial(program, &index, oracle, vm_config, explore)
+        reproduce_serial(program, &index, oracle, vm_config, explore, pool)
     }
 }
 
@@ -565,20 +687,34 @@ fn reproduce_serial(
     oracle: &dyn FailureOracle,
     vm_config: &VmConfig,
     explore: &ExploreConfig,
+    external_pool: Option<&VthreadPool>,
 ) -> Reproduction {
     let mut history = Vec::new();
     let mut search = SearchState::new(explore);
     // One pool serves every attempt of the loop: attempt 1 warms it to the
-    // program's peak vthread count, every later attempt is spawn-free.
-    let pool = (explore.executor == ExecutorKind::Pooled)
+    // program's peak vthread count, every later attempt is spawn-free. A
+    // caller-owned pool extends that reuse across reproductions.
+    let owned_pool = (explore.executor == ExecutorKind::Pooled && external_pool.is_none())
         .then(|| VthreadPool::new(explore.pool_width));
+    let pool = match explore.executor {
+        ExecutorKind::Pooled => external_pool.or(owned_pool.as_ref()),
+        ExecutorKind::Spawning => None,
+    };
 
     for attempt in 1..=explore.max_attempts {
+        if explore.stop.as_ref().is_some_and(StopToken::is_stopped) {
+            return Reproduction {
+                reproduced: false,
+                attempts: attempt - 1,
+                certificate: None,
+                history,
+                stopped: true,
+            };
+        }
         let plan = search
             .next_plan(explore, attempt)
             .expect("serial search always yields a plan");
-        let (out, extractor) =
-            run_attempt(program, index, vm_config, explore, &plan, pool.as_ref());
+        let (out, extractor) = run_attempt(program, index, vm_config, explore, &plan, pool);
         let verdict = oracle.judge(&out);
         history.push(attempt_record(attempt, &plan, &out, verdict.is_some()));
 
@@ -594,6 +730,7 @@ fn reproduce_serial(
                 attempts: attempt,
                 certificate: Some(certificate),
                 history,
+                stopped: false,
             };
         }
 
@@ -608,6 +745,7 @@ fn reproduce_serial(
         attempts: explore.max_attempts,
         certificate: None,
         history,
+        stopped: false,
     }
 }
 
@@ -646,27 +784,43 @@ fn parallel_worker(
     // workers, and a worker's attempts reuse its own warm workers.
     let pool = (shared.explore.executor == ExecutorKind::Pooled)
         .then(|| VthreadPool::new(shared.explore.pool_width));
+    let stop = shared.explore.stop.as_ref();
     loop {
-        // Claim a global attempt index; budget and cancellation are both
-        // judged against the claimed index.
+        // Claim a global attempt index; budget, cancellation, and the stop
+        // token are all judged before any work is done for the claim.
+        if stop.is_some_and(StopToken::is_stopped) {
+            return;
+        }
         let attempt = shared.next_attempt.fetch_add(1, Ordering::SeqCst);
         if attempt > shared.explore.max_attempts || shared.cancelled_for(attempt) {
             return;
         }
 
         // Obtain a plan under the search lock, waiting while the frontier
-        // is empty but in-flight attempts may still refill it.
+        // is empty but in-flight attempts may still refill it. With a stop
+        // token present the wait is bounded: a deadline can trip without
+        // anyone calling notify.
         let plan = {
             let mut s = shared.search.lock();
             loop {
                 if shared.cancelled_for(attempt) {
                     return;
                 }
+                if stop.is_some_and(StopToken::is_stopped) {
+                    return;
+                }
                 if let Some(plan) = s.next_plan(shared.explore, attempt) {
                     s.in_flight += 1;
                     break plan;
                 }
-                shared.work_ready.wait(&mut s);
+                match stop {
+                    Some(_) => {
+                        shared
+                            .work_ready
+                            .wait_timeout(&mut s, Duration::from_millis(20));
+                    }
+                    None => shared.work_ready.wait(&mut s),
+                }
             }
         };
 
@@ -752,11 +906,17 @@ fn reproduce_parallel(
     }
 
     if winner == u32::MAX {
+        let stopped = explore.stop.as_ref().is_some_and(StopToken::is_stopped);
         Reproduction {
             reproduced: false,
-            attempts: explore.max_attempts,
+            attempts: if stopped {
+                history.len() as u32
+            } else {
+                explore.max_attempts
+            },
             certificate: None,
             history,
+            stopped,
         }
     } else {
         Reproduction {
@@ -764,6 +924,7 @@ fn reproduce_parallel(
             attempts: winner,
             certificate,
             history,
+            stopped: false,
         }
     }
 }
@@ -1147,20 +1308,22 @@ mod tests {
             pool_width: 0,
             ..ExploreConfig::default()
         }
-        .validate();
+        .validate()
+        .config;
         assert!(cfg.workers >= 1);
         assert!(cfg.pool_width >= 1);
     }
 
     #[test]
     fn validate_keeps_a_serial_minimal_config_untouched() {
-        let cfg = ExploreConfig {
+        let outcome = ExploreConfig {
             workers: 1,
             pool_width: 1,
             ..ExploreConfig::default()
         }
         .validate();
-        assert_eq!((cfg.workers, cfg.pool_width), (1, 1));
+        assert_eq!((outcome.config.workers, outcome.config.pool_width), (1, 1));
+        assert!(outcome.clamp.is_none());
     }
 
     #[test]
@@ -1168,17 +1331,25 @@ mod tests {
         let host = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let cfg = ExploreConfig {
+        let outcome = ExploreConfig {
             workers: host * 64,
             pool_width: host * 64,
             ..ExploreConfig::default()
         }
         .validate();
+        let cfg = &outcome.config;
         // After clamping, workers never exceed the host and the product
         // only exceeds it when pool_width bottomed out at its floor of 1.
         assert!(cfg.workers <= host);
         assert!(cfg.pool_width >= 1);
         assert!(cfg.workers * cfg.pool_width <= host.max(cfg.workers));
+        // An oversubscribing request always yields a recorded decision,
+        // and the warning text carries the numbers.
+        let clamp = outcome.clamp.expect("oversubscription records a clamp");
+        assert_eq!(clamp.requested, (host * 64, host * 64));
+        assert_eq!(clamp.applied, (cfg.workers, cfg.pool_width));
+        assert_eq!(clamp.host, host);
+        assert!(clamp.warning().contains("oversubscribes"));
     }
 
     #[test]
@@ -1186,12 +1357,143 @@ mod tests {
         let host = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let cfg = ExploreConfig {
+        let outcome = ExploreConfig {
             workers: 1,
             pool_width: host,
             ..ExploreConfig::default()
         }
         .validate();
-        assert_eq!((cfg.workers, cfg.pool_width), (1, host));
+        assert_eq!((outcome.config.workers, outcome.config.pool_width), (1, host));
+        assert!(outcome.clamp.is_none());
+    }
+
+    #[test]
+    fn pre_tripped_stop_token_spends_no_attempts() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let token = StopToken::new();
+        token.stop();
+        for workers in [1usize, 4] {
+            let rep = reproduce(
+                &prog,
+                &run.sketch,
+                &run.sketch.meta.failure_signature,
+                &config,
+                &ExploreConfig {
+                    workers,
+                    stop: Some(token.clone()),
+                    ..ExploreConfig::default()
+                },
+            );
+            assert!(!rep.reproduced, "workers={workers}");
+            assert!(rep.stopped, "workers={workers}");
+            assert_eq!(rep.attempts, 0, "workers={workers}");
+            assert!(rep.history.is_empty(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn deadline_stop_token_cuts_an_unmatchable_search_short() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        // An unmatchable target would otherwise burn the full budget; the
+        // deadline must cut it short well below the cap.
+        let rep = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                max_attempts: 1_000_000,
+                stop: Some(StopToken::after(Duration::from_millis(100))),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(!rep.reproduced);
+        assert!(rep.stopped);
+        assert!(rep.attempts < 1_000_000);
+        assert_eq!(rep.attempts as usize, rep.history.len());
+    }
+
+    #[test]
+    fn stop_token_does_not_perturb_a_completed_search() {
+        // A token that never trips must leave the reproduction identical
+        // to a token-free run, plan for plan.
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let base = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                max_attempts: 20,
+                ..ExploreConfig::default()
+            },
+        );
+        let with_token = reproduce(
+            &prog,
+            &run.sketch,
+            "assert:never",
+            &config,
+            &ExploreConfig {
+                max_attempts: 20,
+                stop: Some(StopToken::new()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(!with_token.stopped);
+        let plans = |rep: &Reproduction| -> Vec<String> {
+            rep.history.iter().map(|h| h.plan.clone()).collect()
+        };
+        assert_eq!(plans(&base), plans(&with_token));
+    }
+
+    #[test]
+    fn external_pool_reuse_matches_owned_pool_results() {
+        let prog = atomicity_program();
+        let config = VmConfig::default();
+        let run = record_until_failure(&prog, Mechanism::Sync, &config, 0..2000).unwrap();
+        let explore = ExploreConfig::default();
+        let owned = reproduce(
+            &prog,
+            &run.sketch,
+            &run.sketch.meta.failure_signature,
+            &config,
+            &explore,
+        );
+        // One warm pool serving several reproductions back to back — the
+        // daemon's steady state. Results must be byte-identical and the
+        // pool must stop spawning after the first job warms it.
+        let pool = VthreadPool::new(explore.pool_width);
+        let mut spawned_after_first = 0;
+        for round in 0..3 {
+            let external = reproduce_with_oracle_and_pool(
+                &prog,
+                &run.sketch,
+                &crate::oracle::StatusOracle::new(&run.sketch.meta.failure_signature),
+                &config,
+                &explore,
+                Some(&pool),
+            );
+            assert_eq!(external.reproduced, owned.reproduced, "round {round}");
+            assert_eq!(external.attempts, owned.attempts, "round {round}");
+            assert_eq!(
+                external.certificate.as_ref().map(Certificate::encode),
+                owned.certificate.as_ref().map(Certificate::encode),
+                "round {round}: certificates must be byte-identical"
+            );
+            match round {
+                0 => spawned_after_first = pool.spawned_workers(),
+                _ => assert_eq!(
+                    pool.spawned_workers(),
+                    spawned_after_first,
+                    "warm pool must not spawn for later jobs"
+                ),
+            }
+        }
     }
 }

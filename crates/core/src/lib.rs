@@ -51,7 +51,8 @@ pub mod stats;
 pub use api::Pres;
 pub use certificate::{Certificate, CertificateError};
 pub use explore::{
-    ExecutorKind, ExploreConfig, FeedbackMode, Reproduction, SearchOrder, Strategy,
+    ClampDecision, ExecutorKind, ExploreConfig, FeedbackMode, Reproduction, SearchOrder,
+    StopToken, Strategy, ValidationOutcome,
 };
 pub use oracle::{AnyOracle, FailureOracle, OutputOracle, StatusOracle};
 pub use program::{ClosureProgram, Program};

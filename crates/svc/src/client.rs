@@ -1,0 +1,159 @@
+//! The daemon's client side, shared by the `pres` CLI subcommands and the
+//! integration tests — both speak to the server through exactly this code,
+//! so the tests exercise what users run.
+
+use crate::digest::Digest;
+use crate::proto::{Frame, ProtoError, Request, Response, DEFAULT_MAX_FRAME};
+use crate::queue::JobStatus;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// What a submit returned: the job joined (created or existing) and how
+/// the dedup went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// The job handling this `(bug, sketch)`.
+    pub job: u64,
+    /// Content digest of the submitted sketch.
+    pub sketch: Digest,
+    /// `false` = the store already held these bytes.
+    pub fresh_object: bool,
+    /// `false` = an existing job (or finished result) was joined.
+    pub fresh_job: bool,
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+fn proto_io(e: ProtoError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+fn server_error(message: String) -> io::Error {
+    io::Error::other(format!("daemon: {message}"))
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous transport timeouts: a healthy daemon answers every
+        // request immediately (job waiting happens client-side by
+        // polling), so a silent 30 s means the daemon is gone.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        request.to_frame().write_to(&mut self.stream)?;
+        let frame = Frame::read_from(&mut self.stream, self.max_frame)?.map_err(proto_io)?;
+        Response::from_frame(&frame).map_err(proto_io)
+    }
+
+    /// Submits `sketch` (raw container bytes) for reproduction of `bug`.
+    pub fn submit(&mut self, bug: &str, sketch: &[u8]) -> io::Result<SubmitReceipt> {
+        match self.roundtrip(&Request::Submit {
+            bug: bug.to_string(),
+            sketch: sketch.to_vec(),
+        })? {
+            Response::Submitted {
+                job,
+                sketch,
+                fresh_object,
+                fresh_job,
+            } => Ok(SubmitReceipt {
+                job,
+                sketch,
+                fresh_object,
+                fresh_job,
+            }),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to submit: {other:?}"),
+            )),
+        }
+    }
+
+    /// A job's status (`None` = the daemon does not know the id).
+    pub fn status(&mut self, job: u64) -> io::Result<Option<JobStatus>> {
+        match self.roundtrip(&Request::Status { job })? {
+            Response::Status { status } => Ok(status),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to status: {other:?}"),
+            )),
+        }
+    }
+
+    /// Polls until `job` reaches a terminal status or `budget` elapses.
+    pub fn wait(&mut self, job: u64, budget: Duration) -> io::Result<JobStatus> {
+        let deadline = Instant::now() + budget;
+        loop {
+            match self.status(job)? {
+                Some(status) if status.is_terminal() => return Ok(status),
+                Some(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Some(status) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("job {job} still '{status}' after {budget:?}"),
+                    ))
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("unknown job {job}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Fetches a succeeded job's certificate bytes.
+    pub fn fetch_certificate(&mut self, job: u64) -> io::Result<Vec<u8>> {
+        match self.roundtrip(&Request::Result { job })? {
+            Response::Result { certificate } => Ok(certificate),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to result: {other:?}"),
+            )),
+        }
+    }
+
+    /// The daemon's rendered metrics.
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats { text } => Ok(text),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to stats: {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to shutdown: {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The append-only job journal.
+//!
+//! Every state transition the queue cares about across restarts is one
+//! length-prefixed record appended (and flushed) before the transition is
+//! acknowledged: SUBMIT when a job is accepted, RETRY when a job is
+//! requeued after exhausting its attempt budget, RESULT when a job reaches
+//! a terminal status. On startup the queue replays the journal front to
+//! back; a crash can leave at most one partially-written record at the
+//! tail, which replay tolerates by stopping there (the corresponding
+//! transition was never acknowledged, so dropping it is correct).
+//!
+//! Record framing: `u32` big-endian payload length, then the payload
+//! (kind byte + fields, via [`crate::wire`]).
+
+use crate::digest::Digest;
+use crate::queue::JobStatus;
+use crate::wire::{self, Reader};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// One durable queue transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A job was accepted: `job` reproduces `bug` from the stored sketch.
+    Submit {
+        job: u64,
+        bug: String,
+        sketch: Digest,
+    },
+    /// A job was requeued for its `retries`-th retry.
+    Retry { job: u64, retries: u32 },
+    /// A job reached a terminal status.
+    Result { job: u64, status: JobStatus },
+}
+
+const KIND_SUBMIT: u8 = 1;
+const KIND_RETRY: u8 = 2;
+const KIND_RESULT: u8 = 3;
+
+impl Record {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Submit { job, bug, sketch } => {
+                out.push(KIND_SUBMIT);
+                wire::put_u64(&mut out, *job);
+                wire::put_str(&mut out, bug);
+                wire::put_digest(&mut out, sketch);
+            }
+            Record::Retry { job, retries } => {
+                out.push(KIND_RETRY);
+                wire::put_u64(&mut out, *job);
+                wire::put_u32(&mut out, *retries);
+            }
+            Record::Result { job, status } => {
+                out.push(KIND_RESULT);
+                wire::put_u64(&mut out, *job);
+                status.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<Record> {
+        let mut r = Reader(payload);
+        let record = match r.u8()? {
+            KIND_SUBMIT => Record::Submit {
+                job: r.u64()?,
+                bug: r.str()?.to_string(),
+                sketch: r.digest()?,
+            },
+            KIND_RETRY => Record::Retry {
+                job: r.u64()?,
+                retries: r.u32()?,
+            },
+            KIND_RESULT => Record::Result {
+                job: r.u64()?,
+                status: JobStatus::decode(&mut r)?,
+            },
+            _ => return None,
+        };
+        r.is_done().then_some(record)
+    }
+}
+
+/// An open journal, positioned for appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path`, replaying every
+    /// complete record already present. A truncated final record — the
+    /// signature of a crash mid-append — is discarded; a malformed record
+    /// *before* the tail means real corruption and is an error.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Vec<Record>)> {
+        let path = path.as_ref();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+
+        let mut records = Vec::new();
+        let mut cursor = &data[..];
+        while !cursor.is_empty() {
+            let Some((head, rest)) = cursor.split_at_checked(4) else {
+                break; // partial length prefix at the tail
+            };
+            let len = u32::from_be_bytes(head.try_into().unwrap()) as usize;
+            let Some((payload, rest)) = rest.split_at_checked(len) else {
+                break; // partial payload at the tail
+            };
+            match Record::decode(payload) {
+                Some(record) => records.push(record),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "malformed journal record at byte {} of {}",
+                            data.len() - cursor.len(),
+                            path.display()
+                        ),
+                    ))
+                }
+            }
+            cursor = rest;
+        }
+        Ok((Journal { file }, records))
+    }
+
+    /// Appends one record and flushes it to the OS before returning.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        let payload = record.encode();
+        let mut framed = Vec::with_capacity(4 + payload.len());
+        wire::put_u32(&mut framed, payload.len() as u32);
+        framed.extend_from_slice(&payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pres-svc-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Submit {
+                job: 1,
+                bug: "pbzip-order".into(),
+                sketch: sha256(b"sketch"),
+            },
+            Record::Retry { job: 1, retries: 1 },
+            Record::Result {
+                job: 1,
+                status: JobStatus::Succeeded {
+                    attempts: 17,
+                    certificate: sha256(b"cert"),
+                },
+            },
+            Record::Result {
+                job: 2,
+                status: JobStatus::Failed {
+                    message: "unknown bug 'nope'".into(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn append_then_replay() {
+        let path = scratch("replay");
+        let records = sample_records();
+        {
+            let (mut j, seeded) = Journal::open(&path).unwrap();
+            assert!(seeded.is_empty());
+            for r in &records {
+                j.append(r).unwrap();
+            }
+        }
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, records);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let path = scratch("truncated");
+        let records = sample_records();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for r in &records {
+                j.append(r).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file mid-final-record at every possible byte offset.
+        let last_len = {
+            let (_, replayed) = Journal::open(&path).unwrap();
+            assert_eq!(replayed.len(), records.len());
+            let mut without_last = Vec::new();
+            for r in &records[..records.len() - 1] {
+                let p = r.encode();
+                wire::put_u32(&mut without_last, p.len() as u32);
+                without_last.extend_from_slice(&p);
+            }
+            full.len() - without_last.len()
+        };
+        for cut in 1..last_len {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            let (_, replayed) = Journal::open(&path).unwrap();
+            assert_eq!(replayed, records[..records.len() - 1], "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = scratch("corrupt");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for r in sample_records() {
+                j.append(&r).unwrap();
+            }
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        data[4] = 0xee; // clobber the first record's kind byte
+        std::fs::write(&path, &data).unwrap();
+        assert!(Journal::open(&path).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # pres-svc — replay as a service
+//!
+//! The PRES workflow is batch-shaped: a production machine records a cheap
+//! sketch when a failure bites, and *somewhere* an explorer spends minutes
+//! of CPU turning that sketch into a deterministic replay certificate.
+//! This crate is the "somewhere": a daemon that accepts sketches over a
+//! small binary protocol, queues the exploration work, and hands back
+//! certificates — so one warm machine serves many recording hosts, and
+//! repeated submissions of the same failure cost one exploration total.
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`digest`] | SHA-256, in-repo (the workspace is dependency-free) |
+//! | [`store`] | content-addressed object store (sketches + certificates) |
+//! | [`journal`] | append-only, crash-tolerant job journal |
+//! | [`queue`] | FIFO job queue: dedup, retries with backoff, timeouts |
+//! | [`metrics`] | atomic counters + latency histogram |
+//! | [`wire`] | byte-level field encoding shared by journal and protocol |
+//! | [`proto`] | length-prefixed framed protocol (versioned, size-capped) |
+//! | [`server`] | the daemon: accept loop, connection handlers, lifecycle |
+//! | [`client`] | the client the CLI and the tests both use |
+//!
+//! Two properties anchor the design:
+//!
+//! * **Determinism survives the network.** A job runs the same serial
+//!   exploration path as [`pres_core::Pres::reproduce`] with default
+//!   settings, so a daemon-minted certificate is byte-identical to an
+//!   in-process reproduction of the same sketch — storage and transport
+//!   add zero nondeterminism.
+//! * **Restart is replay.** The store's objects are named by their own
+//!   content hash and the queue journals every transition before
+//!   acknowledging it, so recovery after a crash is a directory walk plus
+//!   a journal replay — there is no separate index to rebuild or trust.
+
+pub mod client;
+pub mod digest;
+pub mod journal;
+pub mod metrics;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, SubmitReceipt};
+pub use digest::{sha256, Digest};
+pub use metrics::Metrics;
+pub use proto::{Frame, ProtoError, Request, Response};
+pub use queue::{JobQueue, JobStatus, QueueConfig};
+pub use server::{ServeOptions, Server};
+pub use store::Store;

@@ -1,0 +1,173 @@
+//! The daemon's metrics surface.
+//!
+//! Lock-free atomic counters bumped from the accept loop, connection
+//! handlers, and job workers, plus a coarse submit→certificate latency
+//! histogram. Snapshots feed two consumers: the STATS protocol response
+//! and the periodic one-line log the server emits while running. The
+//! histogram's bucket bounds are powers of ten in milliseconds — queue
+//! latency spans orders of magnitude, and order-of-magnitude is the
+//! question operators actually ask.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (milliseconds, inclusive) of the latency buckets; the last
+/// bucket is unbounded.
+pub const LATENCY_BOUNDS_MS: [u64; 5] = [1, 10, 100, 1_000, 10_000];
+
+/// Shared atomic counters. One instance lives for the server's lifetime.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Accepted connections.
+    pub connections: AtomicU64,
+    /// Frames rejected as malformed/oversized (connection dropped, server
+    /// kept serving).
+    pub frames_rejected: AtomicU64,
+    /// SUBMIT requests accepted (including dedup hits).
+    pub submits: AtomicU64,
+    /// SUBMITs answered from an existing object + job.
+    pub dedup_hits: AtomicU64,
+    /// Jobs finished with a minted certificate.
+    pub jobs_succeeded: AtomicU64,
+    /// Jobs that exhausted their attempt budget (after all retries).
+    pub jobs_exhausted: AtomicU64,
+    /// Jobs cut short by the per-job wall-clock timeout.
+    pub jobs_timed_out: AtomicU64,
+    /// Jobs rejected before exploration (unknown bug, undecodable sketch).
+    pub jobs_failed: AtomicU64,
+    /// Retry requeues.
+    pub retries: AtomicU64,
+    /// Total exploration attempts spent across all jobs.
+    pub attempts: AtomicU64,
+    /// Submit→terminal-status latency histogram.
+    latency: [AtomicU64; LATENCY_BOUNDS_MS.len() + 1],
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one job's submit→terminal latency.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        let bucket = LATENCY_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(LATENCY_BOUNDS_MS.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> Snapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Snapshot {
+            connections: load(&self.connections),
+            frames_rejected: load(&self.frames_rejected),
+            submits: load(&self.submits),
+            dedup_hits: load(&self.dedup_hits),
+            jobs_succeeded: load(&self.jobs_succeeded),
+            jobs_exhausted: load(&self.jobs_exhausted),
+            jobs_timed_out: load(&self.jobs_timed_out),
+            jobs_failed: load(&self.jobs_failed),
+            retries: load(&self.retries),
+            attempts: load(&self.attempts),
+            latency: std::array::from_fn(|i| load(&self.latency[i])),
+        }
+    }
+}
+
+/// A consistent-enough copy of the counters (individually atomic reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    pub connections: u64,
+    pub frames_rejected: u64,
+    pub submits: u64,
+    pub dedup_hits: u64,
+    pub jobs_succeeded: u64,
+    pub jobs_exhausted: u64,
+    pub jobs_timed_out: u64,
+    pub jobs_failed: u64,
+    pub retries: u64,
+    pub attempts: u64,
+    pub latency: [u64; LATENCY_BOUNDS_MS.len() + 1],
+}
+
+impl Snapshot {
+    /// Jobs that reached any terminal status.
+    pub fn jobs_finished(&self) -> u64 {
+        self.jobs_succeeded + self.jobs_exhausted + self.jobs_timed_out + self.jobs_failed
+    }
+
+    /// The compact one-line form used by the periodic server log.
+    pub fn log_line(&self) -> String {
+        format!(
+            "svc: conns={} submits={} (dedup {}) done={} (ok {} / exhausted {} / timeout {} / failed {}) retries={} attempts={} rejected-frames={}",
+            self.connections,
+            self.submits,
+            self.dedup_hits,
+            self.jobs_finished(),
+            self.jobs_succeeded,
+            self.jobs_exhausted,
+            self.jobs_timed_out,
+            self.jobs_failed,
+            self.retries,
+            self.attempts,
+            self.frames_rejected,
+        )
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    /// The multi-line rendering served to STATS clients.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "connections        {}", self.connections)?;
+        writeln!(f, "frames_rejected    {}", self.frames_rejected)?;
+        writeln!(f, "submits            {}", self.submits)?;
+        writeln!(f, "dedup_hits         {}", self.dedup_hits)?;
+        writeln!(f, "jobs_succeeded     {}", self.jobs_succeeded)?;
+        writeln!(f, "jobs_exhausted     {}", self.jobs_exhausted)?;
+        writeln!(f, "jobs_timed_out     {}", self.jobs_timed_out)?;
+        writeln!(f, "jobs_failed        {}", self.jobs_failed)?;
+        writeln!(f, "retries            {}", self.retries)?;
+        writeln!(f, "attempts           {}", self.attempts)?;
+        write!(f, "latency_ms        ")?;
+        for (i, count) in self.latency.iter().enumerate() {
+            match LATENCY_BOUNDS_MS.get(i) {
+                Some(bound) => write!(f, " <={bound}:{count}")?,
+                None => write!(f, " inf:{count}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_lands_in_the_right_bucket() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(500)); // <=1ms
+        m.observe_latency(Duration::from_millis(10)); // <=10ms (inclusive)
+        m.observe_latency(Duration::from_millis(11)); // <=100ms
+        m.observe_latency(Duration::from_secs(60)); // inf
+        assert_eq!(m.snapshot().latency, [1, 1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn snapshot_renders_both_forms() {
+        let m = Metrics::new();
+        m.submits.fetch_add(3, Ordering::Relaxed);
+        m.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        m.jobs_succeeded.fetch_add(2, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.jobs_finished(), 2);
+        assert!(snap.log_line().contains("submits=3 (dedup 1)"));
+        let long = snap.to_string();
+        assert!(long.contains("submits            3"));
+        assert!(long.contains("latency_ms"));
+    }
+}

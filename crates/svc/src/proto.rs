@@ -1,0 +1,440 @@
+//! The daemon's length-prefixed binary protocol.
+//!
+//! One frame per message, either direction:
+//!
+//! ```text
+//! +----+----+---------+------+-------------+----------------+
+//! | 'P'| 'S'| version | kind | length: u32 | payload bytes  |
+//! +----+----+---------+------+-------------+----------------+
+//! ```
+//!
+//! Magic and version are checked before the length is trusted; the length
+//! is checked against a receiver-chosen cap before anything is allocated,
+//! so an adversarial 4 GiB length prefix costs the receiver nothing. Kinds
+//! `0x01..` are requests, `0x81..` responses, `0xFF` the error response.
+//! Unknown kinds fail at message decode, not at frame framing — a future
+//! version can add kinds without changing the frame walk.
+//!
+//! Payload fields use [`crate::wire`]. Every decoder demands full
+//! consumption ([`wire::Reader::is_done`]): trailing bytes are a protocol
+//! error, never silently ignored.
+
+use crate::digest::Digest;
+use crate::queue::JobStatus;
+use crate::wire::{self, Reader};
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"PS";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Default cap on accepted frame payloads (sketches are small; 64 MiB is
+/// generous headroom, not an invitation).
+pub const DEFAULT_MAX_FRAME: u32 = 64 << 20;
+
+const REQ_SUBMIT: u8 = 0x01;
+const REQ_STATUS: u8 = 0x02;
+const REQ_RESULT: u8 = 0x03;
+const REQ_STATS: u8 = 0x04;
+const REQ_SHUTDOWN: u8 = 0x05;
+const RESP_SUBMIT: u8 = 0x81;
+const RESP_STATUS: u8 = 0x82;
+const RESP_RESULT: u8 = 0x83;
+const RESP_STATS: u8 = 0x84;
+const RESP_SHUTDOWN: u8 = 0x85;
+const RESP_ERROR: u8 = 0xFF;
+
+/// Why a frame or message failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// A version this build does not speak.
+    BadVersion(u8),
+    /// Length prefix beyond the receiver's cap.
+    Oversized { len: u32, max: u32 },
+    /// A kind byte the message layer does not know.
+    UnknownKind(u8),
+    /// Payload failed field-level decoding (truncated field, trailing
+    /// bytes, invalid UTF-8).
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+            ProtoError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            ProtoError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A raw frame: kind plus opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// The full on-wire encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind);
+        wire::put_u32(&mut out, self.payload.len() as u32);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Writes the frame to a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+
+    /// Reads one frame, enforcing `max_payload` before allocating.
+    /// `Err(io)` covers transport failures (including read timeouts);
+    /// protocol violations come back as `Ok(Err(proto))` so the caller can
+    /// answer with an ERROR frame before hanging up.
+    pub fn read_from(
+        r: &mut impl Read,
+        max_payload: u32,
+    ) -> io::Result<Result<Frame, ProtoError>> {
+        let mut head = [0u8; 8];
+        r.read_exact(&mut head)?;
+        if head[..2] != MAGIC {
+            return Ok(Err(ProtoError::BadMagic([head[0], head[1]])));
+        }
+        if head[2] != VERSION {
+            return Ok(Err(ProtoError::BadVersion(head[2])));
+        }
+        let kind = head[3];
+        let len = u32::from_be_bytes(head[4..8].try_into().unwrap());
+        if len > max_payload {
+            return Ok(Err(ProtoError::Oversized {
+                len,
+                max: max_payload,
+            }));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Ok(Frame { kind, payload }))
+    }
+}
+
+/// A client→daemon message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ingest a sketch and enqueue reproduction of `bug` from it.
+    Submit { bug: String, sketch: Vec<u8> },
+    /// Where does job `job` stand?
+    Status { job: u64 },
+    /// The certificate bytes of a succeeded job.
+    Result { job: u64 },
+    /// The metrics snapshot, rendered.
+    Stats,
+    /// Drain and exit (the SIGTERM equivalent, deliverable over the wire).
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let (kind, payload) = match self {
+            Request::Submit { bug, sketch } => {
+                let mut p = Vec::new();
+                wire::put_str(&mut p, bug);
+                wire::put_bytes(&mut p, sketch);
+                (REQ_SUBMIT, p)
+            }
+            Request::Status { job } => {
+                let mut p = Vec::new();
+                wire::put_u64(&mut p, *job);
+                (REQ_STATUS, p)
+            }
+            Request::Result { job } => {
+                let mut p = Vec::new();
+                wire::put_u64(&mut p, *job);
+                (REQ_RESULT, p)
+            }
+            Request::Stats => (REQ_STATS, Vec::new()),
+            Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decodes from a frame.
+    pub fn from_frame(frame: &Frame) -> Result<Request, ProtoError> {
+        let mut r = Reader(&frame.payload);
+        let bad = ProtoError::BadPayload;
+        let req = match frame.kind {
+            REQ_SUBMIT => Request::Submit {
+                bug: r.str().ok_or(bad("submit bug id"))?.to_string(),
+                sketch: r.bytes().ok_or(bad("submit sketch bytes"))?.to_vec(),
+            },
+            REQ_STATUS => Request::Status {
+                job: r.u64().ok_or(bad("status job id"))?,
+            },
+            REQ_RESULT => Request::Result {
+                job: r.u64().ok_or(bad("result job id"))?,
+            },
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            k => return Err(ProtoError::UnknownKind(k)),
+        };
+        if !r.is_done() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(req)
+    }
+}
+
+/// A daemon→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The submitted sketch's digest and job. `fresh_object` /
+    /// `fresh_job` report dedup: `false` means the store / queue already
+    /// had it.
+    Submitted {
+        job: u64,
+        sketch: Digest,
+        fresh_object: bool,
+        fresh_job: bool,
+    },
+    /// A job's status (`None` = unknown job id — not an error, a query).
+    Status { status: Option<JobStatus> },
+    /// Certificate bytes of a succeeded job.
+    Result { certificate: Vec<u8> },
+    /// Rendered metrics.
+    Stats { text: String },
+    /// Shutdown acknowledged; the daemon drains after answering.
+    ShuttingDown,
+    /// The request could not be served.
+    Error { message: String },
+}
+
+impl Response {
+    /// Encodes into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let (kind, payload) = match self {
+            Response::Submitted {
+                job,
+                sketch,
+                fresh_object,
+                fresh_job,
+            } => {
+                let mut p = Vec::new();
+                wire::put_u64(&mut p, *job);
+                wire::put_digest(&mut p, sketch);
+                p.push(u8::from(*fresh_object));
+                p.push(u8::from(*fresh_job));
+                (RESP_SUBMIT, p)
+            }
+            Response::Status { status } => {
+                let mut p = Vec::new();
+                match status {
+                    None => p.push(0),
+                    Some(s) => {
+                        p.push(1);
+                        s.encode(&mut p);
+                    }
+                }
+                (RESP_STATUS, p)
+            }
+            Response::Result { certificate } => {
+                let mut p = Vec::new();
+                wire::put_bytes(&mut p, certificate);
+                (RESP_RESULT, p)
+            }
+            Response::Stats { text } => {
+                let mut p = Vec::new();
+                wire::put_str(&mut p, text);
+                (RESP_STATS, p)
+            }
+            Response::ShuttingDown => (RESP_SHUTDOWN, Vec::new()),
+            Response::Error { message } => {
+                let mut p = Vec::new();
+                wire::put_str(&mut p, message);
+                (RESP_ERROR, p)
+            }
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decodes from a frame.
+    pub fn from_frame(frame: &Frame) -> Result<Response, ProtoError> {
+        let mut r = Reader(&frame.payload);
+        let bad = ProtoError::BadPayload;
+        let resp = match frame.kind {
+            RESP_SUBMIT => Response::Submitted {
+                job: r.u64().ok_or(bad("submitted job id"))?,
+                sketch: r.digest().ok_or(bad("submitted digest"))?,
+                fresh_object: r.u8().ok_or(bad("submitted fresh_object"))? != 0,
+                fresh_job: r.u8().ok_or(bad("submitted fresh_job"))? != 0,
+            },
+            RESP_STATUS => Response::Status {
+                status: match r.u8().ok_or(bad("status presence byte"))? {
+                    0 => None,
+                    1 => Some(JobStatus::decode(&mut r).ok_or(bad("status body"))?),
+                    _ => return Err(bad("status presence byte")),
+                },
+            },
+            RESP_RESULT => Response::Result {
+                certificate: r.bytes().ok_or(bad("result certificate"))?.to_vec(),
+            },
+            RESP_STATS => Response::Stats {
+                text: r.str().ok_or(bad("stats text"))?.to_string(),
+            },
+            RESP_SHUTDOWN => Response::ShuttingDown,
+            RESP_ERROR => Response::Error {
+                message: r.str().ok_or(bad("error message"))?.to_string(),
+            },
+            k => return Err(ProtoError::UnknownKind(k)),
+        };
+        if !r.is_done() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = Frame {
+            kind: REQ_SUBMIT,
+            payload: b"hello".to_vec(),
+        };
+        let bytes = frame.encode();
+        let mut cursor = &bytes[..];
+        let back = Frame::read_from(&mut cursor, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, frame);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut bytes = Frame {
+            kind: REQ_STATS,
+            payload: vec![],
+        }
+        .encode();
+        bytes[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = Frame::read_from(&mut &bytes[..], 1024).unwrap().unwrap_err();
+        assert!(matches!(err, ProtoError::Oversized { .. }));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = Frame {
+            kind: REQ_STATS,
+            payload: vec![],
+        }
+        .encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Frame::read_from(&mut &bytes[..], 1024).unwrap().unwrap_err(),
+            ProtoError::BadMagic(_)
+        ));
+        let mut bytes = Frame {
+            kind: REQ_STATS,
+            payload: vec![],
+        }
+        .encode();
+        bytes[2] = 9;
+        assert!(matches!(
+            Frame::read_from(&mut &bytes[..], 1024).unwrap().unwrap_err(),
+            ProtoError::BadVersion(9)
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let bytes = Frame {
+            kind: REQ_SUBMIT,
+            payload: b"payload".to_vec(),
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Frame::read_from(&mut &bytes[..cut], DEFAULT_MAX_FRAME).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_and_response_roundtrip() {
+        let requests = [
+            Request::Submit {
+                bug: "pbzip-order".into(),
+                sketch: vec![1, 2, 3],
+            },
+            Request::Status { job: 7 },
+            Request::Result { job: u64::MAX },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            assert_eq!(Request::from_frame(&req.to_frame()).unwrap(), req);
+        }
+        let responses = [
+            Response::Submitted {
+                job: 1,
+                sketch: sha256(b"s"),
+                fresh_object: true,
+                fresh_job: false,
+            },
+            Response::Status { status: None },
+            Response::Status {
+                status: Some(JobStatus::Running),
+            },
+            Response::Result {
+                certificate: vec![0; 64],
+            },
+            Response::Stats {
+                text: "everything is fine".into(),
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown bug".into(),
+            },
+        ];
+        for resp in responses {
+            assert_eq!(Response::from_frame(&resp.to_frame()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_are_rejected() {
+        let frame = Frame {
+            kind: 0x42,
+            payload: vec![],
+        };
+        assert_eq!(
+            Request::from_frame(&frame).unwrap_err(),
+            ProtoError::UnknownKind(0x42)
+        );
+        let mut frame = Request::Stats.to_frame();
+        frame.payload.push(0);
+        assert!(matches!(
+            Request::from_frame(&frame).unwrap_err(),
+            ProtoError::BadPayload(_)
+        ));
+    }
+}

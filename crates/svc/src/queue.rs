@@ -1,0 +1,719 @@
+//! The job queue and its worker pool.
+//!
+//! A *job* is one reproduction request: a bug id from the evaluation
+//! corpus plus the digest of a sketch already ingested into the store.
+//! Jobs are FIFO, deduplicated on `(bug, sketch)` — resubmitting the same
+//! failure joins the existing job (or its finished result) instead of
+//! burning a second exploration — and journaled before acknowledgement so
+//! a restarted daemon resumes exactly the unfinished work.
+//!
+//! Each worker thread owns one warm [`VthreadPool`] and hands it to every
+//! exploration it runs ([`explore::reproduce_with_oracle_and_pool`]), so
+//! steady-state job turnover performs zero OS thread spawns. Exploration
+//! runs the serial loop (the same path as [`pres_core::Pres::reproduce`]
+//! with default settings), which keeps a daemon-minted certificate
+//! byte-identical to an in-process reproduction of the same sketch.
+//!
+//! A job that exhausts its attempt budget is retried with exponential
+//! backoff up to [`QueueConfig::max_retries`] times; each retry offsets
+//! the exploration base seed, so a retry searches a fresh neighborhood
+//! instead of deterministically repeating the failed one. A job that
+//! exceeds [`QueueConfig::job_timeout`] is stopped cooperatively via
+//! [`StopToken`] and marked terminal. Shutdown is a drain: workers finish
+//! the jobs they are running, queued jobs stay journaled for the next
+//! start.
+
+use crate::digest::Digest;
+use crate::journal::{Journal, Record};
+use crate::metrics::Metrics;
+use crate::store::Store;
+use crate::wire::{self, Reader};
+use pres_apps::registry::all_bugs;
+use pres_core::codec::decode_sketch;
+use pres_core::explore::{self, ExploreConfig, StopToken};
+use pres_core::oracle::StatusOracle;
+use pres_tvm::pool::VthreadPool;
+use pres_tvm::sync::{Condvar, Mutex};
+use pres_tvm::vm::VmConfig;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where a job stands. `Queued`/`Running` are transient; the rest are
+/// terminal and journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker. `retries` counts requeues already performed.
+    Queued { retries: u32 },
+    /// An exploration is running right now.
+    Running,
+    /// Reproduced: the certificate is in the store under `certificate`.
+    Succeeded { attempts: u32, certificate: Digest },
+    /// Every attempt budget (including retries) spent without reproducing.
+    Exhausted { attempts: u32 },
+    /// The per-job wall-clock timeout tripped mid-search.
+    TimedOut { attempts: u32 },
+    /// Rejected before exploration could start.
+    Failed { message: String },
+}
+
+impl JobStatus {
+    /// Whether no further transition will happen.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobStatus::Queued { .. } | JobStatus::Running)
+    }
+
+    /// Appends the wire form (shared by the journal and the protocol).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            JobStatus::Queued { retries } => {
+                out.push(0);
+                wire::put_u32(out, *retries);
+            }
+            JobStatus::Running => out.push(1),
+            JobStatus::Succeeded {
+                attempts,
+                certificate,
+            } => {
+                out.push(2);
+                wire::put_u32(out, *attempts);
+                wire::put_digest(out, certificate);
+            }
+            JobStatus::Exhausted { attempts } => {
+                out.push(3);
+                wire::put_u32(out, *attempts);
+            }
+            JobStatus::TimedOut { attempts } => {
+                out.push(4);
+                wire::put_u32(out, *attempts);
+            }
+            JobStatus::Failed { message } => {
+                out.push(5);
+                wire::put_str(out, message);
+            }
+        }
+    }
+
+    /// Decodes the wire form.
+    pub fn decode(r: &mut Reader<'_>) -> Option<JobStatus> {
+        Some(match r.u8()? {
+            0 => JobStatus::Queued { retries: r.u32()? },
+            1 => JobStatus::Running,
+            2 => JobStatus::Succeeded {
+                attempts: r.u32()?,
+                certificate: r.digest()?,
+            },
+            3 => JobStatus::Exhausted { attempts: r.u32()? },
+            4 => JobStatus::TimedOut { attempts: r.u32()? },
+            5 => JobStatus::Failed {
+                message: r.str()?.to_string(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobStatus::Queued { retries: 0 } => write!(f, "queued"),
+            JobStatus::Queued { retries } => write!(f, "queued (retry {retries})"),
+            JobStatus::Running => write!(f, "running"),
+            JobStatus::Succeeded {
+                attempts,
+                certificate,
+            } => write!(f, "succeeded after {attempts} attempt(s); certificate {certificate}"),
+            JobStatus::Exhausted { attempts } => {
+                write!(f, "exhausted {attempts} attempt(s) without reproducing")
+            }
+            JobStatus::TimedOut { attempts } => {
+                write!(f, "timed out after {attempts} attempt(s)")
+            }
+            JobStatus::Failed { message } => write!(f, "failed: {message}"),
+        }
+    }
+}
+
+/// Queue tuning.
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Attempt budget per exploration try.
+    pub max_attempts: u32,
+    /// Wall-clock budget per exploration try.
+    pub job_timeout: Duration,
+    /// Requeues allowed after the budget is exhausted without success.
+    pub max_retries: u32,
+    /// Backoff before retry `r` is eligible: `retry_backoff << (r - 1)`.
+    pub retry_backoff: Duration,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            workers: 1,
+            max_attempts: 1000,
+            job_timeout: Duration::from_secs(60),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One job's bookkeeping.
+#[derive(Debug, Clone)]
+struct Job {
+    bug: String,
+    sketch: Digest,
+    status: JobStatus,
+    submitted: Instant,
+}
+
+/// The state every worker and connection handler shares under one lock.
+struct Shared {
+    jobs: BTreeMap<u64, Job>,
+    /// `(bug, sketch digest)` → job id: the dedup index.
+    dedup: BTreeMap<(String, Digest), u64>,
+    /// Ready-to-run job ids, FIFO.
+    ready: VecDeque<u64>,
+    /// Backoff parking lot: `(eligible_at, job id)`, unordered (scanned).
+    parked: Vec<(Instant, u64)>,
+    next_id: u64,
+    draining: bool,
+    /// Workers currently executing a job (drain waits for zero).
+    busy: usize,
+}
+
+/// The queue handle shared by the server and its workers.
+pub struct JobQueue {
+    shared: Mutex<Shared>,
+    work_ready: Condvar,
+    idle: Condvar,
+    journal: Mutex<Journal>,
+    store: Arc<Store>,
+    metrics: Arc<Metrics>,
+    config: QueueConfig,
+}
+
+impl JobQueue {
+    /// Opens the queue against `store`, replaying `journal` to restore
+    /// jobs from the previous run: terminal jobs come back queryable,
+    /// unfinished jobs (submitted or retried but never resolved) are
+    /// requeued for execution.
+    pub fn open(
+        journal_path: impl AsRef<std::path::Path>,
+        store: Arc<Store>,
+        metrics: Arc<Metrics>,
+        config: QueueConfig,
+    ) -> io::Result<JobQueue> {
+        let (journal, records) = Journal::open(journal_path)?;
+        let mut shared = Shared {
+            jobs: BTreeMap::new(),
+            dedup: BTreeMap::new(),
+            ready: VecDeque::new(),
+            parked: Vec::new(),
+            next_id: 1,
+            draining: false,
+            busy: 0,
+        };
+        let now = Instant::now();
+        for record in records {
+            match record {
+                Record::Submit { job, bug, sketch } => {
+                    shared.dedup.insert((bug.clone(), sketch), job);
+                    shared.jobs.insert(
+                        job,
+                        Job {
+                            bug,
+                            sketch,
+                            status: JobStatus::Queued { retries: 0 },
+                            submitted: now,
+                        },
+                    );
+                    shared.next_id = shared.next_id.max(job + 1);
+                }
+                Record::Retry { job, retries } => {
+                    if let Some(j) = shared.jobs.get_mut(&job) {
+                        j.status = JobStatus::Queued { retries };
+                    }
+                }
+                Record::Result { job, status } => {
+                    if let Some(j) = shared.jobs.get_mut(&job) {
+                        j.status = status;
+                    }
+                }
+            }
+        }
+        // Everything non-terminal was in flight or waiting when the
+        // previous process exited: run it (again).
+        let unfinished: Vec<u64> = shared
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.status.is_terminal())
+            .map(|(&id, _)| id)
+            .collect();
+        shared.ready.extend(&unfinished);
+        Ok(JobQueue {
+            shared: Mutex::new(shared),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            journal: Mutex::new(journal),
+            store,
+            metrics,
+            config,
+        })
+    }
+
+    /// The store this queue resolves sketches from and mints certificates
+    /// into.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Submits a job. Returns `(job id, freshly created?)`; a duplicate
+    /// `(bug, sketch)` joins the existing job whatever its state.
+    pub fn submit(&self, bug: &str, sketch: Digest) -> io::Result<(u64, bool)> {
+        let mut s = self.shared.lock();
+        if let Some(&existing) = s.dedup.get(&(bug.to_string(), sketch)) {
+            self.metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((existing, false));
+        }
+        if s.draining {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "daemon is draining; not accepting new jobs",
+            ));
+        }
+        let id = s.next_id;
+        s.next_id += 1;
+        self.journal.lock().append(&Record::Submit {
+            job: id,
+            bug: bug.to_string(),
+            sketch,
+        })?;
+        s.dedup.insert((bug.to_string(), sketch), id);
+        s.jobs.insert(
+            id,
+            Job {
+                bug: bug.to_string(),
+                sketch,
+                status: JobStatus::Queued { retries: 0 },
+                submitted: Instant::now(),
+            },
+        );
+        s.ready.push_back(id);
+        drop(s);
+        self.work_ready.notify_one();
+        Ok((id, true))
+    }
+
+    /// A job's current status (`None` = unknown id).
+    pub fn status(&self, job: u64) -> Option<JobStatus> {
+        self.shared.lock().jobs.get(&job).map(|j| j.status.clone())
+    }
+
+    /// Begins the drain: no new submissions, queued jobs stay journaled,
+    /// and `await_drained` unblocks once running jobs finish.
+    pub fn drain(&self) {
+        self.shared.lock().draining = true;
+        self.work_ready.notify_all();
+    }
+
+    /// Blocks until the drain completes (every worker idle).
+    pub fn await_drained(&self) {
+        let mut s = self.shared.lock();
+        while s.busy > 0 {
+            self.idle.wait(&mut s);
+        }
+    }
+
+    /// One worker's main loop: claim → execute → resolve, until drain.
+    /// Called from [`crate::server`]-spawned threads; `pool` is the
+    /// worker's private warm executor pool, reused across jobs.
+    pub fn work(&self, pool: &VthreadPool) {
+        loop {
+            let Some((id, job, retries)) = self.claim() else {
+                return;
+            };
+            let outcome = self.execute(&job, retries, pool);
+            self.resolve(id, &job, retries, outcome);
+        }
+    }
+
+    /// Claims the next runnable job, honoring backoff eligibility; blocks
+    /// while the queue is empty, returns `None` once draining.
+    fn claim(&self) -> Option<(u64, Job, u32)> {
+        let mut s = self.shared.lock();
+        loop {
+            let now = Instant::now();
+            // Promote parked jobs whose backoff has elapsed.
+            let mut i = 0;
+            while i < s.parked.len() {
+                if s.parked[i].0 <= now {
+                    let (_, id) = s.parked.swap_remove(i);
+                    s.ready.push_back(id);
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(id) = s.ready.pop_front() {
+                let job = s.jobs.get_mut(&id).expect("ready id has a job");
+                let retries = match job.status {
+                    JobStatus::Queued { retries } => retries,
+                    // Terminal while parked (shouldn't happen) — skip.
+                    _ => continue,
+                };
+                job.status = JobStatus::Running;
+                s.busy += 1;
+                return Some((id, s.jobs[&id].clone(), retries));
+            }
+            // Draining: exit once nothing is runnable now *or* parked for
+            // a retry — a parked job was accepted, so the drain honors its
+            // backoff rather than stranding it mid-retry.
+            if s.draining && s.parked.is_empty() {
+                return None;
+            }
+            match s.parked.iter().map(|&(at, _)| at).min() {
+                // Sleep until the earliest parked job becomes eligible.
+                Some(at) => {
+                    let wait = at.saturating_duration_since(now).max(Duration::from_millis(1));
+                    self.work_ready.wait_timeout(&mut s, wait);
+                }
+                None => self.work_ready.wait(&mut s),
+            }
+        }
+    }
+
+    /// Runs one exploration try for `job`.
+    fn execute(&self, job: &Job, retries: u32, pool: &VthreadPool) -> JobStatus {
+        let Some(bug) = all_bugs().into_iter().find(|b| b.id == job.bug) else {
+            return JobStatus::Failed {
+                message: format!("unknown bug '{}'", job.bug),
+            };
+        };
+        let program = bug.program();
+        let data = match self.store.get(&job.sketch) {
+            Ok(Some(data)) => data,
+            Ok(None) => {
+                return JobStatus::Failed {
+                    message: format!("sketch {} not in store", job.sketch),
+                }
+            }
+            Err(e) => {
+                return JobStatus::Failed {
+                    message: format!("sketch {}: {e}", job.sketch),
+                }
+            }
+        };
+        let sketch = match decode_sketch(&data) {
+            Ok(s) => s,
+            Err(e) => {
+                return JobStatus::Failed {
+                    message: format!("sketch {} does not decode: {e}", job.sketch),
+                }
+            }
+        };
+        if sketch.meta.program != program.name() {
+            return JobStatus::Failed {
+                message: format!(
+                    "sketch was recorded from '{}', not '{}'",
+                    sketch.meta.program,
+                    program.name()
+                ),
+            };
+        }
+        if sketch.meta.failure_signature.is_empty() {
+            return JobStatus::Failed {
+                message: "sketch records a clean run; nothing to reproduce".into(),
+            };
+        }
+
+        let mut explore = ExploreConfig {
+            max_attempts: self.config.max_attempts,
+            stop: Some(StopToken::after(self.config.job_timeout)),
+            ..ExploreConfig::default()
+        };
+        // Retry `r` shifts the seed neighborhood: exploration is
+        // deterministic, so re-running the identical search would fail
+        // identically. The first try (r = 0) keeps the default base seed —
+        // that is what makes daemon certificates byte-identical to
+        // `Pres::reproduce` for first-try successes.
+        explore.base_seed = explore
+            .base_seed
+            .wrapping_add(u64::from(retries).wrapping_mul(0x9e37_79b9));
+
+        let repro = explore::reproduce_with_oracle_and_pool(
+            program.as_ref(),
+            &sketch,
+            &StatusOracle::new(&sketch.meta.failure_signature),
+            &VmConfig::default(),
+            &explore,
+            Some(pool),
+        );
+        self.metrics
+            .attempts
+            .fetch_add(u64::from(repro.attempts), Ordering::Relaxed);
+        if repro.reproduced {
+            let cert = repro
+                .certificate
+                .expect("certificate exists on success")
+                .encode();
+            match self.store.put(&cert) {
+                Ok((certificate, _)) => JobStatus::Succeeded {
+                    attempts: repro.attempts,
+                    certificate,
+                },
+                Err(e) => JobStatus::Failed {
+                    message: format!("certificate store write failed: {e}"),
+                },
+            }
+        } else if repro.stopped {
+            JobStatus::TimedOut {
+                attempts: repro.attempts,
+            }
+        } else {
+            JobStatus::Exhausted {
+                attempts: repro.attempts,
+            }
+        }
+    }
+
+    /// Journals and publishes a try's outcome, requeueing exhausted jobs
+    /// that still have retries left.
+    fn resolve(&self, id: u64, job: &Job, retries: u32, outcome: JobStatus) {
+        let next = match outcome {
+            JobStatus::Exhausted { .. } if retries < self.config.max_retries => {
+                let retries = retries + 1;
+                self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                let _ = self.journal.lock().append(&Record::Retry { job: id, retries });
+                let backoff = self.config.retry_backoff * 2u32.pow(retries - 1);
+                let mut s = self.shared.lock();
+                s.parked.push((Instant::now() + backoff, id));
+                s.jobs.get_mut(&id).expect("job exists").status =
+                    JobStatus::Queued { retries };
+                s.busy -= 1;
+                drop(s);
+                self.work_ready.notify_all();
+                self.idle.notify_all();
+                return;
+            }
+            terminal => terminal,
+        };
+        match &next {
+            JobStatus::Succeeded { .. } => &self.metrics.jobs_succeeded,
+            JobStatus::Exhausted { .. } => &self.metrics.jobs_exhausted,
+            JobStatus::TimedOut { .. } => &self.metrics.jobs_timed_out,
+            _ => &self.metrics.jobs_failed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.metrics.observe_latency(job.submitted.elapsed());
+        let _ = self.journal.lock().append(&Record::Result {
+            job: id,
+            status: next.clone(),
+        });
+        let mut s = self.shared.lock();
+        s.jobs.get_mut(&id).expect("job exists").status = next;
+        s.busy -= 1;
+        drop(s);
+        self.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pres_core::api::Pres;
+    use pres_core::sketch::Mechanism;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pres-svc-queue-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn queue(dir: &std::path::Path, config: QueueConfig) -> JobQueue {
+        let (store, _) = Store::open(dir.join("store")).unwrap();
+        JobQueue::open(
+            dir.join("journal.log"),
+            Arc::new(store),
+            Arc::new(Metrics::new()),
+            config,
+        )
+        .unwrap()
+    }
+
+    fn recorded_sketch_bytes(bug: &str) -> Vec<u8> {
+        let case = all_bugs().into_iter().find(|b| b.id == bug).unwrap();
+        let program = case.program();
+        let pres = Pres::new(Mechanism::Sync);
+        let run = pres
+            .record_until_failure(program.as_ref(), 0..5000)
+            .expect("bug manifests in production");
+        pres_core::codec::encode_sketch(&run.sketch)
+    }
+
+    fn drive(q: &JobQueue) {
+        let pool = VthreadPool::new(8);
+        q.drain();
+        q.work(&pool);
+        q.await_drained();
+    }
+
+    #[test]
+    fn submit_execute_and_certificate_matches_in_process_reproduction() {
+        let dir = scratch("endtoend");
+        let q = queue(&dir, QueueConfig::default());
+        let bytes = recorded_sketch_bytes("pbzip-order");
+        let (digest, fresh) = q.store().put(&bytes).unwrap();
+        assert!(fresh);
+        let (id, created) = q.submit("pbzip-order", digest).unwrap();
+        assert!(created);
+        drive(&q);
+        let JobStatus::Succeeded {
+            certificate,
+            attempts,
+        } = q.status(id).unwrap()
+        else {
+            panic!("expected success, got {:?}", q.status(id));
+        };
+        assert!(attempts >= 1);
+
+        // Byte-identical with the in-process facade on the same sketch.
+        let case = all_bugs().into_iter().find(|b| b.id == "pbzip-order").unwrap();
+        let program = case.program();
+        let pres = Pres::new(Mechanism::Sync);
+        let sketch = decode_sketch(&bytes).unwrap();
+        let mut recorded = pres.record(program.as_ref(), sketch.meta.seed);
+        recorded.sketch = sketch;
+        let repro = pres.reproduce(program.as_ref(), &recorded);
+        let expected = repro.certificate.unwrap().encode();
+        assert_eq!(q.store().get(&certificate).unwrap().unwrap(), expected);
+    }
+
+    #[test]
+    fn duplicate_submit_joins_the_existing_job() {
+        let dir = scratch("dedup");
+        let q = queue(&dir, QueueConfig::default());
+        let bytes = recorded_sketch_bytes("pbzip-order");
+        let (digest, _) = q.store().put(&bytes).unwrap();
+        let (id1, created1) = q.submit("pbzip-order", digest).unwrap();
+        let (id2, created2) = q.submit("pbzip-order", digest).unwrap();
+        assert_eq!(id1, id2);
+        assert!(created1);
+        assert!(!created2);
+    }
+
+    #[test]
+    fn unknown_bug_fails_cleanly() {
+        let dir = scratch("unknown");
+        let q = queue(&dir, QueueConfig::default());
+        let (digest, _) = q.store().put(b"whatever").unwrap();
+        let (id, _) = q.submit("no-such-bug", digest).unwrap();
+        drive(&q);
+        let JobStatus::Failed { message } = q.status(id).unwrap() else {
+            panic!("expected failure");
+        };
+        assert!(message.contains("unknown bug"), "{message}");
+    }
+
+    #[test]
+    fn undecodable_sketch_fails_cleanly() {
+        let dir = scratch("garbage");
+        let q = queue(&dir, QueueConfig::default());
+        let (digest, _) = q.store().put(b"not a sketch container").unwrap();
+        let (id, _) = q.submit("pbzip-order", digest).unwrap();
+        drive(&q);
+        assert!(matches!(q.status(id).unwrap(), JobStatus::Failed { .. }));
+    }
+
+    #[test]
+    fn exhausted_budget_retries_with_backoff_then_goes_terminal() {
+        let dir = scratch("retries");
+        let config = QueueConfig {
+            // A budget of one attempt cannot reproduce pbzip-order, so
+            // every try exhausts and the retry ladder runs to the end.
+            max_attempts: 1,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..QueueConfig::default()
+        };
+        let q = queue(&dir, config);
+        let bytes = recorded_sketch_bytes("pbzip-order");
+        let (digest, _) = q.store().put(&bytes).unwrap();
+        let (id, _) = q.submit("pbzip-order", digest).unwrap();
+        drive(&q);
+        assert!(
+            matches!(q.status(id).unwrap(), JobStatus::Exhausted { .. }),
+            "got {:?}",
+            q.status(id)
+        );
+    }
+
+    #[test]
+    fn journal_replay_restores_results_and_requeues_unfinished_jobs() {
+        let dir = scratch("restart");
+        let bytes = recorded_sketch_bytes("pbzip-order");
+        let (finished, unfinished, digest) = {
+            let q = queue(&dir, QueueConfig::default());
+            let (digest, _) = q.store().put(&bytes).unwrap();
+            let (finished, _) = q.submit("pbzip-order", digest).unwrap();
+            drive(&q);
+            // A second job submitted after the drain's workers exited
+            // never runs — it models a job in flight at crash time.
+            let q2 = queue(&dir, QueueConfig::default());
+            let (digest2, _) = q2.store().put(&bytes).unwrap();
+            assert_eq!(digest2, digest);
+            let (unfinished, created) = q2.submit("pbzip-app", digest).unwrap();
+            assert!(created, "different bug, same sketch: distinct job");
+            (finished, unfinished, digest)
+        };
+        let q = queue(&dir, QueueConfig::default());
+        // The finished job's terminal status survived the restart.
+        assert!(matches!(
+            q.status(finished).unwrap(),
+            JobStatus::Succeeded { .. }
+        ));
+        // The unfinished one came back queued, and dedup still routes a
+        // resubmission onto it.
+        assert!(matches!(
+            q.status(unfinished).unwrap(),
+            JobStatus::Queued { .. }
+        ));
+        let (rejoined, created) = q.submit("pbzip-app", digest).unwrap();
+        assert_eq!(rejoined, unfinished);
+        assert!(!created);
+    }
+
+    #[test]
+    fn job_status_wire_roundtrip() {
+        let statuses = [
+            JobStatus::Queued { retries: 3 },
+            JobStatus::Running,
+            JobStatus::Succeeded {
+                attempts: 42,
+                certificate: crate::digest::sha256(b"c"),
+            },
+            JobStatus::Exhausted { attempts: 1000 },
+            JobStatus::TimedOut { attempts: 12 },
+            JobStatus::Failed {
+                message: "nope".into(),
+            },
+        ];
+        for status in statuses {
+            let mut buf = Vec::new();
+            status.encode(&mut buf);
+            let mut r = Reader(&buf);
+            assert_eq!(JobStatus::decode(&mut r), Some(status));
+            assert!(r.is_done());
+        }
+    }
+}

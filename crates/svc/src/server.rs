@@ -1,0 +1,331 @@
+//! The daemon: accept loop, connection handlers, worker pool, lifecycle.
+//!
+//! Threading model: one accept thread, one OS thread per live connection
+//! (connections are few and long-polling), and
+//! [`QueueConfig::workers`](crate::queue::QueueConfig) job workers each
+//! owning a warm [`VthreadPool`]. Connections are isolated: a malformed
+//! frame, oversized length prefix, or mid-request disconnect costs that
+//! one connection (answered with an ERROR frame when the transport still
+//! works, counted in [`Metrics::frames_rejected`]) and never the accept
+//! loop.
+//!
+//! Shutdown — whether from [`Server::shutdown`] or a SHUTDOWN frame — is a
+//! drain: the queue stops accepting, running jobs finish, queued jobs stay
+//! journaled for the next start, and [`Server::join`] returns once every
+//! worker is idle.
+
+use crate::metrics::Metrics;
+use crate::proto::{Frame, Request, Response, DEFAULT_MAX_FRAME};
+use crate::queue::{JobQueue, JobStatus, QueueConfig};
+use crate::store::Store;
+use pres_apps::registry::all_bugs;
+use pres_core::explore::ExploreConfig;
+use pres_tvm::pool::VthreadPool;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:7557`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Root directory for the store and journal.
+    pub data_dir: PathBuf,
+    /// Queue tuning (worker count, budgets, retries).
+    pub queue: QueueConfig,
+    /// Cap on accepted frame payloads.
+    pub max_frame: u32,
+    /// Per-connection read timeout: a connection idle this long is
+    /// dropped, bounding the thread cost of abandoned clients.
+    pub read_timeout: Duration,
+    /// How often the metrics log line is emitted (`None` = never).
+    pub log_interval: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7557".into(),
+            data_dir: PathBuf::from("pres-svc-data"),
+            queue: QueueConfig::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_secs(10),
+            log_interval: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// A running daemon.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    logger: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens the store and journal under `data_dir`, replays unfinished
+    /// jobs, binds the listener, and starts accepting.
+    pub fn start(opts: ServeOptions) -> io::Result<Server> {
+        let metrics = Arc::new(Metrics::new());
+        let (store, _) = Store::open(opts.data_dir.join("store"))?;
+        let queue = Arc::new(JobQueue::open(
+            opts.data_dir.join("journal.log"),
+            Arc::new(store),
+            Arc::clone(&metrics),
+            opts.queue.clone(),
+        )?);
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let workers: Vec<JoinHandle<()>> = (0..opts.queue.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                thread::Builder::new()
+                    .name(format!("svc-job-{i}"))
+                    .spawn(move || {
+                        // One warm pool per worker, reused across jobs:
+                        // steady-state job turnover spawns no OS threads.
+                        let pool = VthreadPool::new(ExploreConfig::default().pool_width);
+                        queue.work(&pool);
+                    })
+                    .expect("spawn job worker")
+            })
+            .collect();
+
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let read_timeout = opts.read_timeout;
+            let max_frame = opts.max_frame;
+            thread::Builder::new()
+                .name("svc-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        metrics.connections.fetch_add(1, Ordering::Relaxed);
+                        let queue = Arc::clone(&queue);
+                        let metrics = Arc::clone(&metrics);
+                        let shutdown = Arc::clone(&shutdown);
+                        let _ = thread::Builder::new().name("svc-conn".into()).spawn(
+                            move || {
+                                serve_connection(
+                                    stream,
+                                    &queue,
+                                    &metrics,
+                                    &shutdown,
+                                    read_timeout,
+                                    max_frame,
+                                );
+                            },
+                        );
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        let logger = opts.log_interval.map(|interval| {
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("svc-log".into())
+                .spawn(move || {
+                    let tick = Duration::from_millis(100);
+                    let mut since_log = Duration::ZERO;
+                    while !shutdown.load(Ordering::SeqCst) {
+                        thread::sleep(tick);
+                        since_log += tick;
+                        if since_log >= interval {
+                            eprintln!("{}", metrics.snapshot().log_line());
+                            since_log = Duration::ZERO;
+                        }
+                    }
+                })
+                .expect("spawn metrics logger")
+        });
+
+        Ok(Server {
+            addr,
+            queue,
+            metrics,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            logger,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics block.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The queue (for in-process inspection in tests and benches).
+    pub fn queue(&self) -> &Arc<JobQueue> {
+        &self.queue
+    }
+
+    /// Initiates the drain-and-exit sequence (idempotent).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.drain();
+        // The accept loop blocks in `accept(2)`; a throwaway local
+        // connection is the portable way to kick it loose.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the drain to complete: running jobs finished, accept loop
+    /// and workers exited.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.logger.take() {
+            let _ = h.join();
+        }
+        self.queue.await_drained();
+    }
+}
+
+/// One connection's request loop. Returns (closing the connection) on
+/// transport errors, timeouts, malformed frames, or after SHUTDOWN.
+fn serve_connection(
+    mut stream: TcpStream,
+    queue: &JobQueue,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+    max_frame: u32,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match Frame::read_from(&mut stream, max_frame) {
+            // Transport gone or idle past the timeout: just close.
+            Err(_) => return,
+            Ok(Err(proto_err)) => {
+                metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::Error {
+                    message: proto_err.to_string(),
+                }
+                .to_frame()
+                .write_to(&mut stream);
+                return;
+            }
+            Ok(Ok(frame)) => frame,
+        };
+        let request = match Request::from_frame(&frame) {
+            Ok(r) => r,
+            Err(proto_err) => {
+                metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::Error {
+                    message: proto_err.to_string(),
+                }
+                .to_frame()
+                .write_to(&mut stream);
+                return;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = handle(request, queue, metrics, shutdown);
+        if response.to_frame().write_to(&mut stream).is_err() {
+            return;
+        }
+        if is_shutdown {
+            // Kick the accept loop out of `accept(2)` so it observes the
+            // flag; our local address *is* the server's listen address.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+    }
+}
+
+fn handle(
+    request: Request,
+    queue: &JobQueue,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) -> Response {
+    match request {
+        Request::Submit { bug, sketch } => {
+            metrics.submits.fetch_add(1, Ordering::Relaxed);
+            if !all_bugs().iter().any(|b| b.id == bug) {
+                return Response::Error {
+                    message: format!("unknown bug '{bug}' — see `pres list`"),
+                };
+            }
+            let (digest, fresh_object) = match queue.store().put(&sketch) {
+                Ok(r) => r,
+                Err(e) => {
+                    return Response::Error {
+                        message: format!("store ingest failed: {e}"),
+                    }
+                }
+            };
+            match queue.submit(&bug, digest) {
+                Ok((job, fresh_job)) => Response::Submitted {
+                    job,
+                    sketch: digest,
+                    fresh_object,
+                    fresh_job,
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Status { job } => Response::Status {
+            status: queue.status(job),
+        },
+        Request::Result { job } => match queue.status(job) {
+            Some(JobStatus::Succeeded { certificate, .. }) => {
+                match queue.store().get(&certificate) {
+                    Ok(Some(bytes)) => Response::Result { certificate: bytes },
+                    Ok(None) => Response::Error {
+                        message: format!("certificate object {certificate} missing from store"),
+                    },
+                    Err(e) => Response::Error {
+                        message: format!("certificate read failed: {e}"),
+                    },
+                }
+            }
+            Some(status) => Response::Error {
+                message: format!("job {job} has no certificate: {status}"),
+            },
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        Request::Stats => Response::Stats {
+            text: metrics.snapshot().to_string(),
+        },
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            queue.drain();
+            Response::ShuttingDown
+        }
+    }
+}

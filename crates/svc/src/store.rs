@@ -1,0 +1,218 @@
+//! The content-addressed object store.
+//!
+//! Sketch containers and minted certificates are immutable blobs, so the
+//! store keys them by SHA-256 and never overwrites: submitting the same
+//! sketch twice costs one hash and zero disk writes. Layout mirrors git's
+//! loose objects —
+//!
+//! ```text
+//! <root>/objects/ab/cdef...   # first hex byte is the fan-out directory
+//! <root>/tmp/                 # staging area for atomic ingest
+//! ```
+//!
+//! Writes land in `tmp/` first and are published with `rename(2)`, which is
+//! atomic on POSIX: a crash mid-ingest leaves a stale temp file (swept on
+//! the next open) but never a truncated object. Because the name *is* the
+//! hash, a rebuild after any crash is just a directory walk.
+
+use crate::digest::{sha256, Digest};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A content-addressed blob store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    /// Monotone counter naming temp files; uniqueness matters only within
+    /// this process (cross-process staging races are resolved by rename).
+    tmp_seq: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store at `root`, sweeping any staging
+    /// files a previous crash left behind and verifying the object
+    /// directory is readable. Returns the store and the number of objects
+    /// already present — the crash-safe "index rebuild" is exactly this
+    /// walk, because object names are their own index.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<(Store, usize)> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        std::fs::create_dir_all(root.join("tmp"))?;
+        for entry in std::fs::read_dir(root.join("tmp"))? {
+            let entry = entry?;
+            // Best effort: a sweep failure leaves garbage, not corruption.
+            let _ = std::fs::remove_file(entry.path());
+        }
+        let store = Store {
+            root,
+            tmp_seq: AtomicU64::new(0),
+        };
+        let count = store.walk_count()?;
+        Ok((store, count))
+    }
+
+    fn walk_count(&self) -> io::Result<usize> {
+        let mut count = 0;
+        for fan in std::fs::read_dir(self.root.join("objects"))? {
+            let fan = fan?;
+            if !fan.file_type()?.is_dir() {
+                continue;
+            }
+            for obj in std::fs::read_dir(fan.path())? {
+                let obj = obj?;
+                let name = format!(
+                    "{}{}",
+                    fan.file_name().to_string_lossy(),
+                    obj.file_name().to_string_lossy()
+                );
+                if Digest::from_hex(&name).is_some() {
+                    count += 1;
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    fn object_path(&self, digest: &Digest) -> PathBuf {
+        let hex = digest.to_hex();
+        self.root.join("objects").join(&hex[..2]).join(&hex[2..])
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Ingests a blob. Returns its digest and whether a new object was
+    /// written (`false` = content already present, nothing touched disk
+    /// beyond the existence probe).
+    pub fn put(&self, data: &[u8]) -> io::Result<(Digest, bool)> {
+        let digest = sha256(data);
+        let path = self.object_path(&digest);
+        if path.exists() {
+            return Ok((digest, false));
+        }
+        let tmp = self.root.join("tmp").join(format!(
+            "ingest-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, data)?;
+        std::fs::create_dir_all(path.parent().expect("object path has fan-out parent"))?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok((digest, true)),
+            Err(e) => {
+                // A concurrent ingest of the same content may have won the
+                // rename race; identical bytes mean either outcome is fine.
+                let _ = std::fs::remove_file(&tmp);
+                if path.exists() {
+                    Ok((digest, false))
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Whether an object is present.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.object_path(digest).exists()
+    }
+
+    /// Reads an object back, verifying its content still matches its name
+    /// (silent disk corruption surfaces here, not in a replay).
+    pub fn get(&self, digest: &Digest) -> io::Result<Option<Vec<u8>>> {
+        let path = self.object_path(digest);
+        let data = match std::fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if sha256(&data) != *digest {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("object {digest} fails content verification"),
+            ));
+        }
+        Ok(Some(data))
+    }
+
+    /// Number of objects currently stored (a directory walk; cheap at the
+    /// corpus scales this daemon serves).
+    pub fn len(&self) -> io::Result<usize> {
+        self.walk_count()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pres-svc-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_dedup() {
+        let (store, seeded) = Store::open(scratch("roundtrip")).unwrap();
+        assert_eq!(seeded, 0);
+        let (d1, fresh1) = store.put(b"sketch bytes").unwrap();
+        assert!(fresh1);
+        let (d2, fresh2) = store.put(b"sketch bytes").unwrap();
+        assert_eq!(d1, d2);
+        assert!(!fresh2, "second put of identical content must dedup");
+        assert_eq!(store.get(&d1).unwrap().unwrap(), b"sketch bytes");
+        assert_eq!(store.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_object_is_none() {
+        let (store, _) = Store::open(scratch("missing")).unwrap();
+        let ghost = sha256(b"never stored");
+        assert_eq!(store.get(&ghost).unwrap(), None);
+        assert!(!store.contains(&ghost));
+    }
+
+    #[test]
+    fn reopen_rebuilds_the_index_and_sweeps_staging() {
+        let root = scratch("reopen");
+        let digests: Vec<Digest> = {
+            let (store, _) = Store::open(&root).unwrap();
+            (0..5u8)
+                .map(|i| store.put(&[i; 100]).unwrap().0)
+                .collect()
+        };
+        // Simulate a crash mid-ingest: a stale staging file survives.
+        std::fs::write(root.join("tmp").join("ingest-crashed"), b"partial").unwrap();
+        let (store, seeded) = Store::open(&root).unwrap();
+        assert_eq!(seeded, 5);
+        assert!(std::fs::read_dir(root.join("tmp")).unwrap().next().is_none());
+        for (i, d) in digests.iter().enumerate() {
+            assert_eq!(store.get(d).unwrap().unwrap(), vec![i as u8; 100]);
+        }
+    }
+
+    #[test]
+    fn corrupted_object_fails_verification() {
+        let root = scratch("corrupt");
+        let (store, _) = Store::open(&root).unwrap();
+        let (d, _) = store.put(b"pristine").unwrap();
+        let hex = d.to_hex();
+        let path = root.join("objects").join(&hex[..2]).join(&hex[2..]);
+        std::fs::write(&path, b"tampered").unwrap();
+        let err = store.get(&d).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

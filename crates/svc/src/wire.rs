@@ -1,0 +1,126 @@
+//! Byte-level encode/decode helpers shared by the journal and the network
+//! protocol.
+//!
+//! Everything the daemon persists or ships is built from four primitives:
+//! fixed-width big-endian integers, and length-prefixed byte strings. The
+//! reader is a consuming cursor over a borrowed slice; every accessor
+//! returns `None` past the end instead of panicking, so malformed input
+//! degrades into a decode error at the call site.
+
+use crate::digest::Digest;
+
+/// Appends a `u32` big-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a `u64` big-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a `u32` length prefix followed by the bytes.
+pub fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    put_u32(out, data.len() as u32);
+    out.extend_from_slice(data);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Appends a digest's 32 raw bytes.
+pub fn put_digest(out: &mut Vec<u8>, d: &Digest) {
+    out.extend_from_slice(&d.0);
+}
+
+/// A consuming cursor over encoded bytes.
+pub struct Reader<'a>(pub &'a [u8]);
+
+impl<'a> Reader<'a> {
+    pub fn u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.0.split_first()?;
+        self.0 = rest;
+        Some(b)
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.0.split_at_checked(4)?;
+        self.0 = rest;
+        Some(u32::from_be_bytes(head.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.0.split_at_checked(8)?;
+        self.0 = rest;
+        Some(u64::from_be_bytes(head.try_into().unwrap()))
+    }
+
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        let (head, rest) = self.0.split_at_checked(len)?;
+        self.0 = rest;
+        Some(head)
+    }
+
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+
+    pub fn digest(&mut self) -> Option<Digest> {
+        let (head, rest) = self.0.split_at_checked(32)?;
+        self.0 = rest;
+        Some(Digest(head.try_into().unwrap()))
+    }
+
+    /// Whether every byte has been consumed — decoders check this so
+    /// trailing garbage is rejected rather than silently ignored.
+    pub fn is_done(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_str(&mut buf, "héllo");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let d = sha256(b"x");
+        put_digest(&mut buf, &d);
+
+        let mut r = Reader(&buf);
+        assert_eq!(r.u32(), Some(0xdead_beef));
+        assert_eq!(r.u64(), Some(u64::MAX - 7));
+        assert_eq!(r.str(), Some("héllo"));
+        assert_eq!(r.bytes(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(r.digest(), Some(d));
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncated_reads_are_none_not_panics() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"abcdef");
+        for cut in 0..buf.len() {
+            let mut r = Reader(&buf[..cut]);
+            assert_eq!(r.bytes(), None, "cut at {cut}");
+        }
+        let mut r = Reader(&[0xff, 0xff, 0xff, 0xff]);
+        assert_eq!(r.bytes(), None, "length prefix larger than payload");
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        assert_eq!(Reader(&buf).str(), None);
+    }
+}

@@ -67,6 +67,27 @@ impl Condvar {
         );
     }
 
+    /// As [`Condvar::wait`], but gives up after `timeout`. Returns `true`
+    /// if the wait timed out (the lock is reacquired either way). Used by
+    /// callers whose wake condition can change without a notification —
+    /// e.g. a wall-clock deadline or a cooperative stop flag.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        result.timed_out()
+    }
+
     /// Wakes every waiter.
     pub fn notify_all(&self) {
         self.0.notify_all();
@@ -100,6 +121,31 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn wait_timeout_reports_expiry_and_wakeup() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_timeout(&mut g, std::time::Duration::from_millis(5)));
+        drop(g);
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait_timeout(&mut ready, std::time::Duration::from_secs(5));
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! This crate re-exports the public APIs of the workspace members so that the
 //! repository-level examples and integration tests have a single import root.
 //! Library users should depend on [`pres_core`] (the paper's contribution),
-//! [`pres_tvm`] (the execution substrate), [`pres_race`] (race analysis), and
-//! [`pres_apps`] (the evaluation application corpus) directly.
+//! [`pres_tvm`] (the execution substrate), [`pres_race`] (race analysis),
+//! [`pres_apps`] (the evaluation application corpus), and [`pres_svc`] (the
+//! replay-as-a-service daemon) directly.
 
 pub use pres_apps as apps;
 pub use pres_core as core;
 pub use pres_race as race;
+pub use pres_svc as svc;
 pub use pres_tvm as tvm;
