@@ -55,7 +55,8 @@ const USAGE: &str = "usage:
   pres submit      --addr HOST:PORT --bug <id> --sketch FILE [--wait-secs N]
   pres status      --addr HOST:PORT --job N
   pres fetch-cert  --addr HOST:PORT --job N [--out FILE]
-  pres shutdown    --addr HOST:PORT";
+  pres shutdown    --addr HOST:PORT
+  pres fsck        --data-dir DIR";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -74,6 +75,7 @@ fn main() -> ExitCode {
         Some("status") => cmd_status(&args),
         Some("fetch-cert") => cmd_fetch_cert(&args),
         Some("shutdown") => cmd_shutdown(&args),
+        Some("fsck") => cmd_fsck(&args),
         Some(other) => Err(UsageError(format!("unknown command '{other}'\n{USAGE}"))),
         None => Err(UsageError(USAGE.to_string())),
     };
@@ -499,5 +501,47 @@ fn cmd_shutdown(args: &Args) -> Result<(), UsageError> {
     args.finish()?;
     client.shutdown().map_err(|e| io_err("shutdown failed", e))?;
     println!("daemon draining");
+    Ok(())
+}
+
+fn cmd_fsck(args: &Args) -> Result<(), UsageError> {
+    let data_dir: std::path::PathBuf = args.required("data-dir")?.into();
+    args.finish()?;
+    // Offline check: run it against a *stopped* daemon's data directory
+    // (a live daemon quarantines on read and fscks at startup anyway).
+    let (store, objects) = pres_svc::Store::open(data_dir.join("store"))
+        .map_err(|e| io_err("cannot open store", e))?;
+    let report = store.fsck().map_err(|e| io_err("store fsck failed", e))?;
+    println!(
+        "store: {objects} object(s), {} verified, {} quarantined",
+        report.verified, report.quarantined
+    );
+    let journal_path = data_dir.join("journal.log");
+    if journal_path.exists() {
+        let (_, records) = pres_svc::journal::Journal::open(&journal_path)
+            .map_err(|e| io_err("journal replay failed", e))?;
+        let (mut submits, mut retries, mut results) = (0u64, 0u64, 0u64);
+        for record in &records {
+            match record {
+                pres_svc::journal::Record::Submit { .. } => submits += 1,
+                pres_svc::journal::Record::Retry { .. } => retries += 1,
+                pres_svc::journal::Record::Result { .. } => results += 1,
+            }
+        }
+        println!(
+            "journal: {} record(s) replayed ({submits} submit, {retries} retry, {results} result)",
+            records.len()
+        );
+    } else {
+        println!("journal: none at {}", journal_path.display());
+    }
+    if report.quarantined > 0 {
+        return Err(UsageError(format!(
+            "{} corrupt object(s) moved to {}",
+            report.quarantined,
+            store.quarantine_dir().display()
+        )));
+    }
+    println!("fsck clean");
     Ok(())
 }

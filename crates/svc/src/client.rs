@@ -54,7 +54,7 @@ impl Client {
     }
 
     fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
-        request.to_frame().write_to(&mut self.stream)?;
+        request.to_frame().map_err(proto_io)?.write_to(&mut self.stream)?;
         let frame = Frame::read_from(&mut self.stream, self.max_frame)?.map_err(proto_io)?;
         Response::from_frame(&frame).map_err(proto_io)
     }

@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3 polynomial), in-repo like every other primitive.
+//!
+//! The journal trailer uses this to tell a *torn* append (a crash left a
+//! plausible length prefix but a partial or garbage payload at the tail —
+//! truncate and continue) from *corruption* (a record that mismatches its
+//! checksum with more records behind it — hard error). SHA-256 would be
+//! overkill per record; CRC-32 catches every burst error shorter than the
+//! polynomial and is one table lookup per byte.
+
+/// Reflected CRC-32 lookup table for polynomial `0xEDB88320`.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `data` (IEEE: init `!0`, reflected, final xor `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The check value every CRC-32/IEEE implementation must produce.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"the journal record payload";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {i} bit {bit}");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`digest`] | SHA-256, in-repo (the workspace is dependency-free) |
+//! | [`crc`] | CRC-32 (IEEE), in-repo — per-record journal checksums |
 //! | [`store`] | content-addressed object store (sketches + certificates) |
 //! | [`journal`] | append-only, crash-tolerant job journal |
 //! | [`queue`] | FIFO job queue: dedup, retries with backoff, timeouts |
@@ -19,6 +20,7 @@
 //! | [`proto`] | length-prefixed framed protocol (versioned, size-capped) |
 //! | [`server`] | the daemon: accept loop, connection handlers, lifecycle |
 //! | [`client`] | the client the CLI and the tests both use |
+//! | [`faultpoint`] | deterministic crash injection for durability tests |
 //!
 //! Two properties anchor the design:
 //!
@@ -33,7 +35,9 @@
 //!   a journal replay — there is no separate index to rebuild or trust.
 
 pub mod client;
+pub mod crc;
 pub mod digest;
+pub mod faultpoint;
 pub mod journal;
 pub mod metrics;
 pub mod proto;
@@ -44,8 +48,9 @@ pub mod wire;
 
 pub use client::{Client, SubmitReceipt};
 pub use digest::{sha256, Digest};
+pub use faultpoint::{FaultMode, FaultPoint, Faults};
 pub use metrics::Metrics;
 pub use proto::{Frame, ProtoError, Request, Response};
 pub use queue::{JobQueue, JobStatus, QueueConfig};
 pub use server::{ServeOptions, Server};
-pub use store::Store;
+pub use store::{FsckReport, Store};

@@ -58,6 +58,15 @@ pub enum ProtoError {
     /// Payload failed field-level decoding (truncated field, trailing
     /// bytes, invalid UTF-8).
     BadPayload(&'static str),
+    /// An outgoing payload too large for a `u32` length prefix — the
+    /// checked-conversion refusal that replaces silent truncation.
+    TooLarge(usize),
+}
+
+impl From<wire::LenOverflow> for ProtoError {
+    fn from(e: wire::LenOverflow) -> ProtoError {
+        ProtoError::TooLarge(e.0)
+    }
 }
 
 impl std::fmt::Display for ProtoError {
@@ -70,6 +79,9 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
             ProtoError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::TooLarge(n) => {
+                write!(f, "payload of {n} bytes exceeds the u32 frame length")
+            }
         }
     }
 }
@@ -84,19 +96,25 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// The full on-wire encoding.
+    /// The full on-wire encoding. Panics on a payload beyond `u32::MAX`
+    /// bytes — use [`Frame::write_to`] (which refuses with an error) on
+    /// any path where the payload size is not already checked.
     pub fn encode(&self) -> Vec<u8> {
+        let len = wire::check_len(self.payload.len())
+            .expect("frame payload length checked at construction");
         let mut out = Vec::with_capacity(8 + self.payload.len());
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
         out.push(self.kind);
-        wire::put_u32(&mut out, self.payload.len() as u32);
+        wire::put_u32(&mut out, len);
         out.extend_from_slice(&self.payload);
         out
     }
 
-    /// Writes the frame to a stream.
+    /// Writes the frame to a stream, refusing (with `InvalidInput`, not
+    /// truncating) a payload the `u32` length prefix cannot describe.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        wire::check_len(self.payload.len()).map_err(io::Error::from)?;
         w.write_all(&self.encode())?;
         w.flush()
     }
@@ -147,13 +165,14 @@ pub enum Request {
 }
 
 impl Request {
-    /// Encodes into a frame.
-    pub fn to_frame(&self) -> Frame {
+    /// Encodes into a frame; a payload beyond what a `u32` length prefix
+    /// can carry is a [`ProtoError::TooLarge`], never a truncated frame.
+    pub fn to_frame(&self) -> Result<Frame, ProtoError> {
         let (kind, payload) = match self {
             Request::Submit { bug, sketch } => {
                 let mut p = Vec::new();
-                wire::put_str(&mut p, bug);
-                wire::put_bytes(&mut p, sketch);
+                wire::put_str(&mut p, bug)?;
+                wire::put_bytes(&mut p, sketch)?;
                 (REQ_SUBMIT, p)
             }
             Request::Status { job } => {
@@ -169,7 +188,8 @@ impl Request {
             Request::Stats => (REQ_STATS, Vec::new()),
             Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
         };
-        Frame { kind, payload }
+        wire::check_len(payload.len())?;
+        Ok(Frame { kind, payload })
     }
 
     /// Decodes from a frame.
@@ -223,8 +243,9 @@ pub enum Response {
 }
 
 impl Response {
-    /// Encodes into a frame.
-    pub fn to_frame(&self) -> Frame {
+    /// Encodes into a frame; a payload beyond what a `u32` length prefix
+    /// can carry is a [`ProtoError::TooLarge`], never a truncated frame.
+    pub fn to_frame(&self) -> Result<Frame, ProtoError> {
         let (kind, payload) = match self {
             Response::Submitted {
                 job,
@@ -245,29 +266,30 @@ impl Response {
                     None => p.push(0),
                     Some(s) => {
                         p.push(1);
-                        s.encode(&mut p);
+                        s.encode(&mut p)?;
                     }
                 }
                 (RESP_STATUS, p)
             }
             Response::Result { certificate } => {
                 let mut p = Vec::new();
-                wire::put_bytes(&mut p, certificate);
+                wire::put_bytes(&mut p, certificate)?;
                 (RESP_RESULT, p)
             }
             Response::Stats { text } => {
                 let mut p = Vec::new();
-                wire::put_str(&mut p, text);
+                wire::put_str(&mut p, text)?;
                 (RESP_STATS, p)
             }
             Response::ShuttingDown => (RESP_SHUTDOWN, Vec::new()),
             Response::Error { message } => {
                 let mut p = Vec::new();
-                wire::put_str(&mut p, message);
+                wire::put_str(&mut p, message)?;
                 (RESP_ERROR, p)
             }
         };
-        Frame { kind, payload }
+        wire::check_len(payload.len())?;
+        Ok(Frame { kind, payload })
     }
 
     /// Decodes from a frame.
@@ -391,7 +413,7 @@ mod tests {
             Request::Shutdown,
         ];
         for req in requests {
-            assert_eq!(Request::from_frame(&req.to_frame()).unwrap(), req);
+            assert_eq!(Request::from_frame(&req.to_frame().unwrap()).unwrap(), req);
         }
         let responses = [
             Response::Submitted {
@@ -416,7 +438,7 @@ mod tests {
             },
         ];
         for resp in responses {
-            assert_eq!(Response::from_frame(&resp.to_frame()).unwrap(), resp);
+            assert_eq!(Response::from_frame(&resp.to_frame().unwrap()).unwrap(), resp);
         }
     }
 
@@ -430,7 +452,7 @@ mod tests {
             Request::from_frame(&frame).unwrap_err(),
             ProtoError::UnknownKind(0x42)
         );
-        let mut frame = Request::Stats.to_frame();
+        let mut frame = Request::Stats.to_frame().unwrap();
         frame.payload.push(0);
         assert!(matches!(
             Request::from_frame(&frame).unwrap_err(),

@@ -24,6 +24,7 @@
 //! start.
 
 use crate::digest::Digest;
+use crate::faultpoint::Faults;
 use crate::journal::{Journal, Record};
 use crate::metrics::Metrics;
 use crate::store::Store;
@@ -66,7 +67,7 @@ impl JobStatus {
     }
 
     /// Appends the wire form (shared by the journal and the protocol).
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), wire::LenOverflow> {
         match self {
             JobStatus::Queued { retries } => {
                 out.push(0);
@@ -91,9 +92,10 @@ impl JobStatus {
             }
             JobStatus::Failed { message } => {
                 out.push(5);
-                wire::put_str(out, message);
+                wire::put_str(out, message)?;
             }
         }
+        Ok(())
     }
 
     /// Decodes the wire form.
@@ -209,7 +211,19 @@ impl JobQueue {
         metrics: Arc<Metrics>,
         config: QueueConfig,
     ) -> io::Result<JobQueue> {
-        let (journal, records) = Journal::open(journal_path)?;
+        JobQueue::open_with_faults(journal_path, store, metrics, config, Faults::none())
+    }
+
+    /// [`JobQueue::open`] with an injectable crash-point handle for the
+    /// journal write path (the store's handle travels with the store).
+    pub fn open_with_faults(
+        journal_path: impl AsRef<std::path::Path>,
+        store: Arc<Store>,
+        metrics: Arc<Metrics>,
+        config: QueueConfig,
+        faults: Faults,
+    ) -> io::Result<JobQueue> {
+        let (journal, records) = Journal::open_with_faults(journal_path, faults)?;
         let mut shared = Shared {
             jobs: BTreeMap::new(),
             dedup: BTreeMap::new(),
@@ -488,7 +502,12 @@ impl JobQueue {
             JobStatus::Exhausted { .. } if retries < self.config.max_retries => {
                 let retries = retries + 1;
                 self.metrics.retries.fetch_add(1, Ordering::Relaxed);
-                let _ = self.journal.lock().append(&Record::Retry { job: id, retries });
+                if let Err(e) = self.journal.lock().append(&Record::Retry { job: id, retries }) {
+                    // A lost RETRY record only costs seed-offset fidelity
+                    // after a crash (the job replays as retry 0); requeue
+                    // regardless — dropping the job would be worse.
+                    eprintln!("pres-svc: journal append (retry, job {id}) failed: {e}");
+                }
                 let backoff = self.config.retry_backoff * 2u32.pow(retries - 1);
                 let mut s = self.shared.lock();
                 s.parked.push((Instant::now() + backoff, id));
@@ -510,10 +529,19 @@ impl JobQueue {
         }
         .fetch_add(1, Ordering::Relaxed);
         self.metrics.observe_latency(job.submitted.elapsed());
-        let _ = self.journal.lock().append(&Record::Result {
+        // Durability ordering: the RESULT record is fdatasync'ed by
+        // `append` BEFORE the status below becomes observable, so any
+        // terminal status a client has seen survives a crash. If the
+        // append itself fails the status is still served for this process
+        // lifetime (the work is done and the certificate, if any, is
+        // already content-addressed in the store); a restart re-runs the
+        // job and converges on the identical result.
+        if let Err(e) = self.journal.lock().append(&Record::Result {
             job: id,
             status: next.clone(),
-        });
+        }) {
+            eprintln!("pres-svc: journal append (result, job {id}) failed: {e}");
+        }
         let mut s = self.shared.lock();
         s.jobs.get_mut(&id).expect("job exists").status = next;
         s.busy -= 1;
@@ -710,7 +738,7 @@ mod tests {
         ];
         for status in statuses {
             let mut buf = Vec::new();
-            status.encode(&mut buf);
+            status.encode(&mut buf).unwrap();
             let mut r = Reader(&buf);
             assert_eq!(JobStatus::decode(&mut r), Some(status));
             assert!(r.is_done());

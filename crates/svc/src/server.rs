@@ -77,6 +77,16 @@ impl Server {
     pub fn start(opts: ServeOptions) -> io::Result<Server> {
         let metrics = Arc::new(Metrics::new());
         let (store, _) = Store::open(opts.data_dir.join("store"))?;
+        // Self-verify the whole store before serving: any object that
+        // rotted on disk is quarantined now, so every post-start read
+        // either verifies or is a clean miss (a resubmission repairs it).
+        let fsck = store.fsck()?;
+        if fsck.quarantined > 0 {
+            eprintln!(
+                "pres-svc: startup fsck quarantined {} corrupt object(s) ({} verified)",
+                fsck.quarantined, fsck.verified
+            );
+        }
         let queue = Arc::new(JobQueue::open(
             opts.data_dir.join("journal.log"),
             Arc::new(store),
@@ -226,11 +236,12 @@ fn serve_connection(
             Err(_) => return,
             Ok(Err(proto_err)) => {
                 metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = Response::Error {
-                    message: proto_err.to_string(),
-                }
-                .to_frame()
-                .write_to(&mut stream);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        message: proto_err.to_string(),
+                    },
+                );
                 return;
             }
             Ok(Ok(frame)) => frame,
@@ -239,17 +250,18 @@ fn serve_connection(
             Ok(r) => r,
             Err(proto_err) => {
                 metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = Response::Error {
-                    message: proto_err.to_string(),
-                }
-                .to_frame()
-                .write_to(&mut stream);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        message: proto_err.to_string(),
+                    },
+                );
                 return;
             }
         };
         let is_shutdown = matches!(request, Request::Shutdown);
         let response = handle(request, queue, metrics, shutdown);
-        if response.to_frame().write_to(&mut stream).is_err() {
+        if write_response(&mut stream, &response).is_err() {
             return;
         }
         if is_shutdown {
@@ -260,6 +272,21 @@ fn serve_connection(
             }
             return;
         }
+    }
+}
+
+/// Encodes and writes one response. A response too large for the u32
+/// frame length (a pathological certificate) degrades to an ERROR frame
+/// rather than killing the connection with nothing on the wire.
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    match response.to_frame() {
+        Ok(frame) => frame.write_to(stream),
+        Err(e) => Response::Error {
+            message: e.to_string(),
+        }
+        .to_frame()
+        .expect("an error frame is always small enough to encode")
+        .write_to(stream),
     }
 }
 

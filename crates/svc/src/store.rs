@@ -8,17 +8,40 @@
 //! ```text
 //! <root>/objects/ab/cdef...   # first hex byte is the fan-out directory
 //! <root>/tmp/                 # staging area for atomic ingest
+//! <root>/quarantine/          # objects that failed self-verification
 //! ```
 //!
-//! Writes land in `tmp/` first and are published with `rename(2)`, which is
-//! atomic on POSIX: a crash mid-ingest leaves a stale temp file (swept on
-//! the next open) but never a truncated object. Because the name *is* the
-//! hash, a rebuild after any crash is just a directory walk.
+//! Publication is tmp-write → fsync(tmp file) → `rename(2)` →
+//! fsync(destination dir) → fsync(tmp dir): the rename is atomic on
+//! POSIX *and* every link in the chain is forced down before `put`
+//! returns, so an acknowledged object survives power loss, not just
+//! process death. A crash mid-ingest leaves a stale temp file (swept on
+//! the next open) but never a truncated object. Because the name *is*
+//! the hash, a rebuild after any crash is just a directory walk, and
+//! [`Store::fsck`] makes the walk adversarial: every object is re-hashed
+//! and mismatches are quarantined (moved aside, never served again from
+//! their digest path — a later `put` of the true bytes re-ingests
+//! cleanly).
+//!
+//! Each fallible step is guarded by a [`Faults`] crash point so tests can
+//! stop the sequence at any link and assert what a restart observes.
 
 use crate::digest::{sha256, Digest};
-use std::io;
+use crate::faultpoint::{FaultPoint, Faults};
+use std::fs::File;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What [`Store::fsck`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsckReport {
+    /// Objects that re-hashed to their own name.
+    pub verified: usize,
+    /// Objects whose bytes mismatched their name, now moved to
+    /// `quarantine/`.
+    pub quarantined: usize,
+}
 
 /// A content-addressed blob store rooted at one directory.
 #[derive(Debug)]
@@ -27,6 +50,13 @@ pub struct Store {
     /// Monotone counter naming temp files; uniqueness matters only within
     /// this process (cross-process staging races are resolved by rename).
     tmp_seq: AtomicU64,
+    faults: Faults,
+}
+
+/// Opens `dir` and fsyncs it, making recently created/renamed/unlinked
+/// entries durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 impl Store {
@@ -36,24 +66,40 @@ impl Store {
     /// already present — the crash-safe "index rebuild" is exactly this
     /// walk, because object names are their own index.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<(Store, usize)> {
+        Store::open_with_faults(root, Faults::none())
+    }
+
+    /// [`Store::open`] with an injectable crash-point handle (tests and
+    /// the torture harness).
+    pub fn open_with_faults(
+        root: impl Into<PathBuf>,
+        faults: Faults,
+    ) -> io::Result<(Store, usize)> {
         let root = root.into();
         std::fs::create_dir_all(root.join("objects"))?;
         std::fs::create_dir_all(root.join("tmp"))?;
+        std::fs::create_dir_all(root.join("quarantine"))?;
+        let mut swept = false;
         for entry in std::fs::read_dir(root.join("tmp"))? {
             let entry = entry?;
             // Best effort: a sweep failure leaves garbage, not corruption.
-            let _ = std::fs::remove_file(entry.path());
+            swept |= std::fs::remove_file(entry.path()).is_ok();
+        }
+        if swept {
+            let _ = sync_dir(&root.join("tmp"));
         }
         let store = Store {
             root,
             tmp_seq: AtomicU64::new(0),
+            faults,
         };
         let count = store.walk_count()?;
         Ok((store, count))
     }
 
-    fn walk_count(&self) -> io::Result<usize> {
-        let mut count = 0;
+    /// Every digest currently published (directory-walk order).
+    fn walk(&self) -> io::Result<Vec<Digest>> {
+        let mut digests = Vec::new();
         for fan in std::fs::read_dir(self.root.join("objects"))? {
             let fan = fan?;
             if !fan.file_type()?.is_dir() {
@@ -66,12 +112,16 @@ impl Store {
                     fan.file_name().to_string_lossy(),
                     obj.file_name().to_string_lossy()
                 );
-                if Digest::from_hex(&name).is_some() {
-                    count += 1;
+                if let Some(digest) = Digest::from_hex(&name) {
+                    digests.push(digest);
                 }
             }
         }
-        Ok(count)
+        Ok(digests)
+    }
+
+    fn walk_count(&self) -> io::Result<usize> {
+        Ok(self.walk()?.len())
     }
 
     fn object_path(&self, digest: &Digest) -> PathBuf {
@@ -84,9 +134,16 @@ impl Store {
         &self.root
     }
 
+    /// The quarantine directory (corrupt objects are moved here by
+    /// [`Store::get`]/[`Store::fsck`], named `<hex>-<seq>`).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
     /// Ingests a blob. Returns its digest and whether a new object was
     /// written (`false` = content already present, nothing touched disk
-    /// beyond the existence probe).
+    /// beyond the existence probe). On success the object *and* the
+    /// directory entries publishing it are fsynced.
     pub fn put(&self, data: &[u8]) -> io::Result<(Digest, bool)> {
         let digest = sha256(data);
         let path = self.object_path(&digest);
@@ -98,21 +155,43 @@ impl Store {
             std::process::id(),
             self.tmp_seq.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, data)?;
-        std::fs::create_dir_all(path.parent().expect("object path has fan-out parent"))?;
+        self.faults.check(FaultPoint::StoreStageCrash)?;
+        {
+            let mut file = File::create(&tmp)?;
+            if let Some(keep) = self.faults.torn(FaultPoint::StoreStageTorn, data.len()) {
+                file.write_all(&data[..keep])?;
+                let _ = file.sync_all();
+                return Err(Faults::torn_error(FaultPoint::StoreStageTorn));
+            }
+            file.write_all(data)?;
+            self.faults.check(FaultPoint::StoreTmpSyncCrash)?;
+            // The staged bytes must be durable BEFORE the rename: a
+            // rename of an unsynced file can publish a name whose
+            // content is lost by power failure.
+            file.sync_all()?;
+        }
+        let parent = path.parent().expect("object path has fan-out parent");
+        std::fs::create_dir_all(parent)?;
+        self.faults.check(FaultPoint::StoreRenameCrash)?;
         match std::fs::rename(&tmp, &path) {
-            Ok(()) => Ok((digest, true)),
+            Ok(()) => {}
             Err(e) => {
                 // A concurrent ingest of the same content may have won the
-                // rename race; identical bytes mean either outcome is fine.
+                // rename race; identical bytes mean either outcome is fine
+                // (and the winner performed the directory syncs).
                 let _ = std::fs::remove_file(&tmp);
                 if path.exists() {
-                    Ok((digest, false))
-                } else {
-                    Err(e)
+                    return Ok((digest, false));
                 }
+                return Err(e);
             }
         }
+        self.faults.check(FaultPoint::StoreDirSyncCrash)?;
+        // Make the publication durable: the new dirent in the fan-out
+        // directory and the unlink from the staging directory.
+        sync_dir(parent)?;
+        sync_dir(&self.root.join("tmp"))?;
+        Ok((digest, true))
     }
 
     /// Whether an object is present.
@@ -121,7 +200,10 @@ impl Store {
     }
 
     /// Reads an object back, verifying its content still matches its name
-    /// (silent disk corruption surfaces here, not in a replay).
+    /// (silent disk corruption surfaces here, not in a replay). A
+    /// mismatching object is *quarantined*: moved out of its digest path
+    /// so it is never served again and a fresh `put` of the true bytes
+    /// can repair the store, then reported as an error for this read.
     pub fn get(&self, digest: &Digest) -> io::Result<Option<Vec<u8>>> {
         let path = self.object_path(digest);
         let data = match std::fs::read(&path) {
@@ -130,12 +212,47 @@ impl Store {
             Err(e) => return Err(e),
         };
         if sha256(&data) != *digest {
+            let qpath = self.quarantine_dir().join(format!(
+                "{}-{}",
+                digest.to_hex(),
+                self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+            ));
+            let quarantined = std::fs::rename(&path, &qpath).is_ok();
+            if quarantined {
+                let _ = path.parent().map(sync_dir);
+                let _ = sync_dir(&self.quarantine_dir());
+            }
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("object {digest} fails content verification"),
+                format!(
+                    "object {digest} fails content verification{}",
+                    if quarantined {
+                        format!("; quarantined to {}", qpath.display())
+                    } else {
+                        String::new()
+                    }
+                ),
             ));
         }
         Ok(Some(data))
+    }
+
+    /// Re-hashes every object, quarantining any whose bytes no longer
+    /// match their name. Run at daemon startup: after it returns, every
+    /// object that `get` can find verifies.
+    pub fn fsck(&self) -> io::Result<FsckReport> {
+        let mut report = FsckReport::default();
+        for digest in self.walk()? {
+            match self.get(&digest) {
+                Ok(Some(_)) => report.verified += 1,
+                Ok(None) => {} // raced with a concurrent quarantine
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    report.quarantined += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
     }
 
     /// Number of objects currently stored (a directory walk; cheap at the
@@ -205,14 +322,57 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_object_fails_verification() {
+    fn corrupted_object_is_quarantined_not_served_and_repairable() {
         let root = scratch("corrupt");
         let (store, _) = Store::open(&root).unwrap();
         let (d, _) = store.put(b"pristine").unwrap();
         let hex = d.to_hex();
         let path = root.join("objects").join(&hex[..2]).join(&hex[2..]);
         std::fs::write(&path, b"tampered").unwrap();
+
+        // First read: detected, quarantined, reported.
         let err = store.get(&d).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        assert!(!path.exists(), "corrupt object must leave its digest path");
+        let quarantined: Vec<_> = std::fs::read_dir(store.quarantine_dir())
+            .unwrap()
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+
+        // Second read: plain miss, not a poisoned error forever.
+        assert_eq!(store.get(&d).unwrap(), None);
+        assert!(!store.contains(&d));
+
+        // Re-ingesting the true bytes repairs the store.
+        let (d2, fresh) = store.put(b"pristine").unwrap();
+        assert_eq!(d2, d);
+        assert!(fresh);
+        assert_eq!(store.get(&d).unwrap().unwrap(), b"pristine");
+    }
+
+    #[test]
+    fn fsck_quarantines_every_corrupt_object() {
+        let root = scratch("fsck");
+        let (store, _) = Store::open(&root).unwrap();
+        let good: Vec<Digest> = (0..3u8).map(|i| store.put(&[i; 64]).unwrap().0).collect();
+        let (bad, _) = store.put(b"will rot").unwrap();
+        let hex = bad.to_hex();
+        std::fs::write(
+            root.join("objects").join(&hex[..2]).join(&hex[2..]),
+            b"rotted",
+        )
+        .unwrap();
+
+        let report = store.fsck().unwrap();
+        assert_eq!(report.verified, 3);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(store.len().unwrap(), 3);
+        for d in &good {
+            assert!(store.get(d).unwrap().is_some());
+        }
+        // A second pass finds a clean store.
+        let report = store.fsck().unwrap();
+        assert_eq!(report, FsckReport { verified: 3, quarantined: 0 });
     }
 }

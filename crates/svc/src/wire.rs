@@ -6,8 +6,41 @@
 //! reader is a consuming cursor over a borrowed slice; every accessor
 //! returns `None` past the end instead of panicking, so malformed input
 //! degrades into a decode error at the call site.
+//!
+//! Length prefixes are `u32`, and the conversion from `usize` is
+//! *checked*: a payload over `u32::MAX` bytes surfaces as a
+//! [`LenOverflow`] at the encode site (a protocol or journal error to the
+//! caller), never as a silently truncated prefix that frames garbage.
 
 use crate::digest::Digest;
+
+/// A payload too large for a `u32` length prefix. Carries the offending
+/// byte count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LenOverflow(pub usize);
+
+impl std::fmt::Display for LenOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "payload of {} bytes exceeds the u32 length-prefix limit",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for LenOverflow {}
+
+impl From<LenOverflow> for std::io::Error {
+    fn from(e: LenOverflow) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+    }
+}
+
+/// Checked `usize` → `u32` length conversion.
+pub fn check_len(len: usize) -> Result<u32, LenOverflow> {
+    u32::try_from(len).map_err(|_| LenOverflow(len))
+}
 
 /// Appends a `u32` big-endian.
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -19,15 +52,17 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-/// Appends a `u32` length prefix followed by the bytes.
-pub fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
-    put_u32(out, data.len() as u32);
+/// Appends a `u32` length prefix followed by the bytes; rejects data
+/// whose length does not fit the prefix.
+pub fn put_bytes(out: &mut Vec<u8>, data: &[u8]) -> Result<(), LenOverflow> {
+    put_u32(out, check_len(data.len())?);
     out.extend_from_slice(data);
+    Ok(())
 }
 
 /// Appends a length-prefixed UTF-8 string.
-pub fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_bytes(out, s.as_bytes());
+pub fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), LenOverflow> {
+    put_bytes(out, s.as_bytes())
 }
 
 /// Appends a digest's 32 raw bytes.
@@ -91,8 +126,8 @@ mod tests {
         let mut buf = Vec::new();
         put_u32(&mut buf, 0xdead_beef);
         put_u64(&mut buf, u64::MAX - 7);
-        put_str(&mut buf, "héllo");
-        put_bytes(&mut buf, &[1, 2, 3]);
+        put_str(&mut buf, "héllo").unwrap();
+        put_bytes(&mut buf, &[1, 2, 3]).unwrap();
         let d = sha256(b"x");
         put_digest(&mut buf, &d);
 
@@ -106,9 +141,19 @@ mod tests {
     }
 
     #[test]
+    fn oversized_length_is_a_checked_error() {
+        assert_eq!(check_len(0), Ok(0));
+        assert_eq!(check_len(u32::MAX as usize), Ok(u32::MAX));
+        let too_big = u32::MAX as usize + 1;
+        assert_eq!(check_len(too_big), Err(LenOverflow(too_big)));
+        let io: std::io::Error = LenOverflow(too_big).into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
     fn truncated_reads_are_none_not_panics() {
         let mut buf = Vec::new();
-        put_bytes(&mut buf, b"abcdef");
+        put_bytes(&mut buf, b"abcdef").unwrap();
         for cut in 0..buf.len() {
             let mut r = Reader(&buf[..cut]);
             assert_eq!(r.bytes(), None, "cut at {cut}");
@@ -120,7 +165,7 @@ mod tests {
     #[test]
     fn invalid_utf8_is_rejected() {
         let mut buf = Vec::new();
-        put_bytes(&mut buf, &[0xff, 0xfe]);
+        put_bytes(&mut buf, &[0xff, 0xfe]).unwrap();
         assert_eq!(Reader(&buf).str(), None);
     }
 }

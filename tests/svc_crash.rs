@@ -1,0 +1,251 @@
+//! Crash-consistency matrix for the service store and journal.
+//!
+//! Every injectable crash point in [`FaultPoint::ALL`] is driven here:
+//! arm the point, perform the write until it "crashes" (the injected
+//! error leaves the same bytes on disk a SIGKILL at that instruction
+//! would), then reopen the directory — the restart — and assert the
+//! recovery invariants:
+//!
+//! * no write that was acknowledged before the crash is lost;
+//! * no write that was *not* acknowledged surfaces after recovery
+//!   (no phantom objects, no phantom journal records);
+//! * the store's index (the directory walk) matches the objects on disk,
+//!   every readable object passes its self-verifying read, and staging
+//!   leftovers are swept;
+//! * the journal replays cleanly and appends land after the last clean
+//!   record, not behind torn garbage.
+//!
+//! The `pres-torture` binary covers the same invariants against the real
+//! daemon under SIGKILL; this file covers them deterministically, one
+//! crash point at a time.
+
+use pres_suite::svc::faultpoint::{FaultMode, FaultPoint, Faults, INJECTED};
+use pres_suite::svc::journal::{Journal, Record};
+use pres_suite::svc::queue::{JobQueue, JobStatus, QueueConfig};
+use pres_suite::svc::store::Store;
+use pres_suite::svc::{sha256, Metrics};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pres-svc-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dir_entry_count(dir: &std::path::Path) -> usize {
+    std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0)
+}
+
+/// The store half of the matrix: `(point, mode, published after crash?)`.
+/// Publication is the rename; only a crash *after* it leaves the object
+/// visible — and then it must verify, because the staging bytes were
+/// fsynced before the rename was issued.
+fn store_matrix() -> Vec<(FaultPoint, FaultMode, bool)> {
+    vec![
+        (FaultPoint::StoreStageCrash, FaultMode::Crash, false),
+        (
+            FaultPoint::StoreStageTorn,
+            FaultMode::Torn { keep: 3 },
+            false,
+        ),
+        (FaultPoint::StoreTmpSyncCrash, FaultMode::Crash, false),
+        (FaultPoint::StoreRenameCrash, FaultMode::Crash, false),
+        (FaultPoint::StoreDirSyncCrash, FaultMode::Crash, true),
+    ]
+}
+
+/// The journal half: every point interrupts the append of a second
+/// record. `keep: 6` leaves a plausible length prefix plus partial
+/// payload — the torn shape only the CRC trailer can unmask.
+fn journal_matrix() -> Vec<(FaultPoint, FaultMode)> {
+    vec![
+        (FaultPoint::JournalWriteCrash, FaultMode::Crash),
+        (
+            FaultPoint::JournalWriteTorn,
+            FaultMode::Torn { keep: 6 },
+        ),
+        (FaultPoint::JournalSyncCrash, FaultMode::Crash),
+    ]
+}
+
+#[test]
+fn the_matrix_covers_every_injectable_crash_point() {
+    let mut covered: Vec<FaultPoint> = store_matrix().iter().map(|&(p, _, _)| p).collect();
+    covered.extend(journal_matrix().iter().map(|&(p, _)| p));
+    for point in FaultPoint::ALL {
+        assert!(
+            covered.contains(&point),
+            "crash point {} has no matrix entry",
+            point.name()
+        );
+    }
+    assert_eq!(covered.len(), FaultPoint::ALL.len());
+}
+
+#[test]
+fn store_put_recovers_from_a_crash_at_every_point() {
+    for (point, mode, published) in store_matrix() {
+        let root = scratch(point.name().replace('.', "-").as_str());
+        let data = b"sketch bytes for the crash matrix".to_vec();
+        let expected_digest = sha256(&data);
+
+        // Crash mid-put at `point`.
+        let faults = Faults::new();
+        let (store, count) =
+            Store::open_with_faults(&root, faults.clone()).expect("fresh store opens");
+        assert_eq!(count, 0);
+        faults.arm(point, mode, 1);
+        let err = store.put(&data).expect_err("armed put crashes");
+        assert!(
+            err.to_string().contains(INJECTED),
+            "{}: unexpected error {err}",
+            point.name()
+        );
+        assert!(faults.fired(), "{}: fault never hit", point.name());
+        drop(store);
+
+        // Restart: reopen without faults and check the invariants.
+        let (store, count) = Store::open(&root).expect("store reopens after crash");
+        assert_eq!(
+            count,
+            usize::from(published),
+            "{}: index/object mismatch after crash",
+            point.name()
+        );
+        assert_eq!(
+            dir_entry_count(&root.join("tmp")),
+            0,
+            "{}: staging leftovers survived the reopen sweep",
+            point.name()
+        );
+        assert_eq!(
+            dir_entry_count(&store.quarantine_dir()),
+            0,
+            "{}: a clean crash must never quarantine",
+            point.name()
+        );
+        let read_back = store.get(&expected_digest).expect("get never errors here");
+        if published {
+            // Crash after the rename: the object is visible and — because
+            // staging was fsynced before rename — verifies.
+            assert_eq!(read_back.as_deref(), Some(data.as_slice()));
+        } else {
+            assert_eq!(read_back, None, "{}: phantom object", point.name());
+        }
+
+        // A resubmission repairs/repeats the put and the store converges.
+        let (digest, fresh) = store.put(&data).expect("re-put succeeds");
+        assert_eq!(digest, expected_digest);
+        assert_eq!(fresh, !published);
+        assert_eq!(
+            store.get(&expected_digest).unwrap().as_deref(),
+            Some(data.as_slice())
+        );
+        let report = store.fsck().unwrap();
+        assert_eq!((report.verified, report.quarantined), (1, 0));
+    }
+}
+
+#[test]
+fn journal_append_recovers_from_a_crash_at_every_point() {
+    let first = Record::Submit {
+        job: 1,
+        bug: "pbzip-order".into(),
+        sketch: sha256(b"first"),
+    };
+    let second = Record::Result {
+        job: 1,
+        status: JobStatus::Exhausted { attempts: 7 },
+    };
+    let third = Record::Retry { job: 1, retries: 2 };
+
+    for (point, mode) in journal_matrix() {
+        let dir = scratch(point.name().replace('.', "-").as_str());
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.log");
+
+        let faults = Faults::new();
+        let (mut journal, records) =
+            Journal::open_with_faults(&path, faults.clone()).expect("fresh journal opens");
+        assert!(records.is_empty());
+        journal.append(&first).expect("unarmed append succeeds");
+        faults.arm(point, mode, 1);
+        let err = journal.append(&second).expect_err("armed append crashes");
+        assert!(
+            err.to_string().contains(INJECTED),
+            "{}: unexpected error {err}",
+            point.name()
+        );
+        assert!(faults.fired(), "{}: fault never hit", point.name());
+        drop(journal);
+
+        // Restart. The acknowledged record must be there; the interrupted
+        // one may be (sync-crash: bytes written, fdatasync lost) or not
+        // (write-crash, torn write) — but never as garbage.
+        let (mut journal, records) = Journal::open(&path).expect("journal reopens after crash");
+        assert!(!records.is_empty() && records[0] == first,
+            "{}: acknowledged record lost", point.name());
+        match point {
+            FaultPoint::JournalSyncCrash => {
+                assert_eq!(records, vec![first.clone(), second.clone()]);
+            }
+            _ => assert_eq!(records, vec![first.clone()], "{}: phantom record", point.name()),
+        }
+
+        // Appends after the crash land after the clean prefix and replay.
+        journal.append(&third).expect("post-crash append succeeds");
+        drop(journal);
+        let (_, records) = Journal::open(&path).unwrap();
+        assert_eq!(records.last(), Some(&third), "{}: post-crash append lost", point.name());
+    }
+}
+
+#[test]
+fn a_journal_crash_during_submit_is_an_unacknowledged_submit() {
+    let dir = scratch("queue-submit");
+    std::fs::create_dir_all(&dir).unwrap();
+    let faults = Faults::new();
+    let (store, _) = Store::open(dir.join("store")).unwrap();
+    let open = |faults: Faults, store: Store| {
+        JobQueue::open_with_faults(
+            dir.join("journal.log"),
+            Arc::new(store),
+            Arc::new(Metrics::new()),
+            QueueConfig::default(),
+            faults,
+        )
+        .expect("queue opens")
+    };
+    let queue = open(faults.clone(), store);
+
+    let sketch_a = queue.store().put(b"sketch a").unwrap().0;
+    let sketch_b = queue.store().put(b"sketch b").unwrap().0;
+    let (job_a, fresh) = queue.submit("pbzip-order", sketch_a).unwrap();
+    assert!(fresh);
+
+    // The journal dies mid-append: the submit must fail loudly *before*
+    // the job becomes visible, because acknowledging it would promise a
+    // durability the journal no longer has.
+    faults.arm(FaultPoint::JournalWriteCrash, FaultMode::Crash, 1);
+    queue
+        .submit("pbzip-order", sketch_b)
+        .expect_err("submit with a dead journal append must fail");
+    assert_eq!(queue.status(job_a), Some(JobStatus::Queued { retries: 0 }));
+    assert_eq!(queue.status(job_a + 1), None, "failed submit leaked a job");
+    drop(queue);
+
+    // Restart: the acknowledged submit is back (requeued), the failed one
+    // never existed, and resubmitting it creates a *fresh* job.
+    let (store, _) = Store::open(dir.join("store")).unwrap();
+    let queue = open(Faults::none(), store);
+    assert_eq!(queue.status(job_a), Some(JobStatus::Queued { retries: 0 }));
+    assert_eq!(queue.status(job_a + 1), None);
+    let (job_b, fresh) = queue.submit("pbzip-order", sketch_b).unwrap();
+    assert!(fresh, "the unacknowledged submit must not have been replayed");
+    assert_ne!(job_b, job_a);
+}

@@ -146,6 +146,7 @@ fn daemon_survives_malformed_frames_and_mid_submit_disconnects() {
             sketch: vec![0xab; 10_000],
         }
         .to_frame()
+        .unwrap()
         .encode();
         s.write_all(&full[..full.len() / 2]).unwrap();
         drop(s); // hang up mid-frame

@@ -102,7 +102,7 @@ fn requests_roundtrip_through_frames_and_bytes() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5c_70);
     for case in 0..300 {
         let req = gen_request(&mut rng);
-        let bytes = req.to_frame().encode();
+        let bytes = req.to_frame().unwrap().encode();
         let mut cursor = &bytes[..];
         let frame = Frame::read_from(&mut cursor, DEFAULT_MAX_FRAME)
             .unwrap()
@@ -117,7 +117,7 @@ fn responses_roundtrip_through_frames_and_bytes() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5c_71);
     for case in 0..300 {
         let resp = gen_response(&mut rng);
-        let bytes = resp.to_frame().encode();
+        let bytes = resp.to_frame().unwrap().encode();
         let frame = Frame::read_from(&mut &bytes[..], DEFAULT_MAX_FRAME)
             .unwrap()
             .unwrap();
@@ -129,7 +129,7 @@ fn responses_roundtrip_through_frames_and_bytes() {
 fn back_to_back_frames_parse_from_one_stream() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5c_72);
     let reqs: Vec<Request> = (0..20).map(|_| gen_request(&mut rng)).collect();
-    let stream: Vec<u8> = reqs.iter().flat_map(|r| r.to_frame().encode()).collect();
+    let stream: Vec<u8> = reqs.iter().flat_map(|r| r.to_frame().unwrap().encode()).collect();
     let mut cursor = &stream[..];
     for req in &reqs {
         let frame = Frame::read_from(&mut cursor, DEFAULT_MAX_FRAME)
@@ -148,7 +148,7 @@ fn back_to_back_frames_parse_from_one_stream() {
 fn every_truncation_of_a_valid_frame_is_rejected_cleanly() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5c_73);
     for _ in 0..50 {
-        let bytes = gen_request(&mut rng).to_frame().encode();
+        let bytes = gen_request(&mut rng).to_frame().unwrap().encode();
         for cut in 0..bytes.len() {
             // Truncation is a transport error (connection died mid-frame),
             // never a successful parse and never a panic.
@@ -165,7 +165,7 @@ fn every_truncation_of_a_valid_frame_is_rejected_cleanly() {
 fn corrupted_headers_are_rejected_with_the_right_error() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5c_74);
     for _ in 0..100 {
-        let good = gen_request(&mut rng).to_frame().encode();
+        let good = gen_request(&mut rng).to_frame().unwrap().encode();
 
         let mut bad_magic = good.clone();
         bad_magic[rng.gen_range(0..2usize)] ^= 1 << rng.gen_range(0..8usize);
@@ -191,7 +191,7 @@ fn corrupted_headers_are_rejected_with_the_right_error() {
 fn oversized_length_prefixes_are_rejected_before_allocation() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5c_75);
     for _ in 0..100 {
-        let mut bytes = gen_request(&mut rng).to_frame().encode();
+        let mut bytes = gen_request(&mut rng).to_frame().unwrap().encode();
         let cap = rng.gen_range(0..=1024u32);
         let oversize = cap.saturating_add(rng.gen_range(1..=u32::MAX - 1024));
         bytes[4..8].copy_from_slice(&oversize.to_be_bytes());
@@ -211,7 +211,7 @@ fn random_payload_mutations_never_panic_the_decoder() {
     let mut survivors = 0u32;
     for _ in 0..500 {
         let req = gen_request(&mut rng);
-        let mut frame = req.to_frame();
+        let mut frame = req.to_frame().unwrap();
         // Mutate kind, payload bytes, or chop/extend the payload.
         match rng.gen_range(0..3usize) {
             0 => frame.kind = rng.next_u32() as u8,
