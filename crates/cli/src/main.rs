@@ -9,7 +9,9 @@
 //! pres overhead    --app <id> [--processors 8]
 //!
 //! pres serve       --addr 127.0.0.1:7557 --data-dir DIR [--job-workers N]
+//!                  [--frontend sharded|legacy] [--conn-workers N] [--max-connections N]
 //! pres submit      --addr HOST:PORT --bug <id> --sketch sketch.pres [--wait-secs N]
+//!                  [--chunk-bytes N]
 //! pres status      --addr HOST:PORT --job N
 //! pres fetch-cert  --addr HOST:PORT --job N [--out cert.pres]
 //! pres shutdown    --addr HOST:PORT
@@ -36,7 +38,7 @@ use pres_core::stats::{ExploreStats, SketchStats};
 use pres_core::program::Program;
 use pres_core::sketch::Mechanism;
 use pres_core::{Certificate, ExecutorKind, FeedbackMode, StopToken};
-use pres_svc::{Client, QueueConfig, ServeOptions, Server};
+use pres_svc::{Client, FrontendKind, QueueConfig, ServeOptions, Server};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -52,7 +54,9 @@ const USAGE: &str = "usage:
   pres overhead    --app <id> [--mechanism SYNC] [--processors N]
   pres serve       [--addr HOST:PORT] [--data-dir DIR] [--job-workers N]
                    [--max-attempts N] [--job-timeout-secs N] [--log-interval-secs N]
+                   [--frontend sharded|legacy] [--conn-workers N] [--max-connections N]
   pres submit      --addr HOST:PORT --bug <id> --sketch FILE [--wait-secs N]
+                   [--chunk-bytes N]
   pres status      --addr HOST:PORT --job N
   pres fetch-cert  --addr HOST:PORT --job N [--out FILE]
   pres shutdown    --addr HOST:PORT
@@ -413,6 +417,23 @@ fn cmd_serve(args: &Args) -> Result<(), UsageError> {
     if let Some(secs) = args.get_parsed::<u64>("log-interval-secs")? {
         opts.log_interval = (secs > 0).then(|| Duration::from_secs(secs));
     }
+    if let Some(frontend) = args.get("frontend") {
+        opts.frontend = match frontend.as_str() {
+            "sharded" => FrontendKind::Sharded,
+            "legacy" => FrontendKind::Legacy,
+            other => {
+                return Err(UsageError(format!(
+                    "unknown front end '{other}' (sharded, legacy)"
+                )))
+            }
+        };
+    }
+    if let Some(n) = args.get_parsed::<usize>("conn-workers")? {
+        opts.conn_workers = n.max(1);
+    }
+    if let Some(n) = args.get_parsed::<usize>("max-connections")? {
+        opts.max_connections = n.max(1);
+    }
     opts.queue = queue;
     args.finish()?;
 
@@ -436,13 +457,19 @@ fn cmd_submit(args: &Args) -> Result<(), UsageError> {
     let bug = args.required("bug")?;
     let sketch_path = args.required("sketch")?;
     let wait_secs: Option<u64> = args.get_parsed("wait-secs")?;
+    let chunk_bytes: Option<usize> = args.get_parsed("chunk-bytes")?;
     let mut client = connect(args)?;
     args.finish()?;
 
-    let sketch = std::fs::read(&sketch_path)
+    if let Some(n) = chunk_bytes {
+        client.set_chunk_bytes(n);
+    }
+    // Stream straight off the file: the sketch is never whole in memory
+    // on either end of the connection.
+    let mut sketch = std::fs::File::open(&sketch_path)
         .map_err(|e| io_err(&format!("cannot read {sketch_path}"), e))?;
     let receipt = client
-        .submit(&bug, &sketch)
+        .submit_stream(&bug, &mut sketch)
         .map_err(|e| io_err("submit failed", e))?;
     println!(
         "job {} sketch {} ({}, {})",

@@ -106,32 +106,90 @@ fn compress(state: &mut [u32; 8], block: &[u8]) {
     state[7] = state[7].wrapping_add(h);
 }
 
+const INIT: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256: feed bytes with [`Sha256::update`] as they arrive
+/// and call [`Sha256::finalize`] once. The streaming SUBMIT path hashes a
+/// sketch chunk-by-chunk as it spills to the store staging file, so peak
+/// memory never holds the whole message; [`sha256`] is the one-shot
+/// convenience over the same state machine.
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: INIT,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorbs `data`; may be called any number of times with any split.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            compress(&mut self.state, block);
+        }
+        let tail = blocks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Pads, compresses the final block(s), and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        // Padding: 0x80, zeros, then the 64-bit message length in bits.
+        let mut last = [0u8; 128];
+        last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        last[self.buf_len] = 0x80;
+        let bit_len = self.total.wrapping_mul(8);
+        let padded = if self.buf_len < 56 { 64 } else { 128 };
+        last[padded - 8..padded].copy_from_slice(&bit_len.to_be_bytes());
+        for block in last[..padded].chunks_exact(64) {
+            compress(&mut self.state, block);
+        }
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+}
+
 /// SHA-256 of `data`.
 pub fn sha256(data: &[u8]) -> Digest {
-    let mut state: [u32; 8] = [
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-        0x5be0cd19,
-    ];
-    let mut blocks = data.chunks_exact(64);
-    for block in &mut blocks {
-        compress(&mut state, block);
-    }
-    // Padding: 0x80, zeros, then the 64-bit message length in bits.
-    let tail = blocks.remainder();
-    let mut last = [0u8; 128];
-    last[..tail.len()].copy_from_slice(tail);
-    last[tail.len()] = 0x80;
-    let bit_len = (data.len() as u64) * 8;
-    let padded = if tail.len() < 56 { 64 } else { 128 };
-    last[padded - 8..padded].copy_from_slice(&bit_len.to_be_bytes());
-    for block in last[..padded].chunks_exact(64) {
-        compress(&mut state, block);
-    }
-    let mut out = [0u8; 32];
-    for (i, word) in state.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-    }
-    Digest(out)
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
 }
 
 #[cfg(test)]
@@ -179,6 +237,35 @@ mod tests {
             assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
             assert!(seen.insert(d.to_hex()), "collision at length {len}");
         }
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        // Every split pattern of a message spanning several blocks must
+        // land on the same digest as the one-shot hash, including updates
+        // that straddle the internal 64-byte buffer in both directions.
+        let data: Vec<u8> = (0..517u32).map(|i| (i * 31 + 7) as u8).collect();
+        let expect = sha256(&data);
+        for step in [1usize, 3, 7, 63, 64, 65, 100, 517] {
+            let mut h = Sha256::new();
+            for chunk in data.chunks(step) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), expect, "step {step}");
+        }
+        // Uneven splits: a long feed followed by single bytes.
+        let mut h = Sha256::new();
+        h.update(&data[..130]);
+        for b in &data[130..] {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), expect);
+        // Empty updates are no-ops.
+        let mut h = Sha256::new();
+        h.update(&[]);
+        h.update(&data);
+        h.update(&[]);
+        assert_eq!(h.finalize(), expect);
     }
 
     #[test]

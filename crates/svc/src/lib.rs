@@ -18,7 +18,8 @@
 //! | [`metrics`] | atomic counters + latency histogram |
 //! | [`wire`] | byte-level field encoding shared by journal and protocol |
 //! | [`proto`] | length-prefixed framed protocol (versioned, size-capped) |
-//! | [`server`] | the daemon: accept loop, connection handlers, lifecycle |
+//! | [`netpoll`] | std-only `poll(2)` shim for the connection workers |
+//! | [`server`] | the daemon: accept loop, connection workers, lifecycle |
 //! | [`client`] | the client the CLI and the tests both use |
 //! | [`faultpoint`] | deterministic crash injection for durability tests |
 //!
@@ -40,6 +41,7 @@ pub mod digest;
 pub mod faultpoint;
 pub mod journal;
 pub mod metrics;
+pub mod netpoll;
 pub mod proto;
 pub mod queue;
 pub mod server;
@@ -47,10 +49,10 @@ pub mod store;
 pub mod wire;
 
 pub use client::{Client, SubmitReceipt};
-pub use digest::{sha256, Digest};
+pub use digest::{sha256, Digest, Sha256};
 pub use faultpoint::{FaultMode, FaultPoint, Faults};
 pub use metrics::Metrics;
-pub use proto::{Frame, ProtoError, Request, Response};
+pub use proto::{AnyFrame, Frame, Frame2, ProtoError, Request, Response, Severity};
 pub use queue::{JobQueue, JobStatus, QueueConfig};
-pub use server::{ServeOptions, Server};
-pub use store::{FsckReport, Store};
+pub use server::{FrontendKind, ServeOptions, Server};
+pub use store::{FsckReport, Store, StreamingPut};

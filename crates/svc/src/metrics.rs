@@ -20,6 +20,16 @@ pub const LATENCY_BOUNDS_MS: [u64; 5] = [1, 10, 100, 1_000, 10_000];
 pub struct Metrics {
     /// Accepted connections.
     pub connections: AtomicU64,
+    /// Connections refused at the cap (answered with one ERROR frame).
+    pub connections_refused: AtomicU64,
+    /// Connections currently open (a gauge: incremented on accept,
+    /// decremented on close).
+    pub connections_live: AtomicU64,
+    /// Times a connection's reads were paused because its in-flight
+    /// response window filled (pipelining backpressure).
+    pub window_stalls: AtomicU64,
+    /// SUBMITs that arrived over the chunked streaming path.
+    pub streaming_submits: AtomicU64,
     /// Frames rejected as malformed/oversized (connection dropped, server
     /// kept serving).
     pub frames_rejected: AtomicU64,
@@ -64,6 +74,10 @@ impl Metrics {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         Snapshot {
             connections: load(&self.connections),
+            connections_refused: load(&self.connections_refused),
+            connections_live: load(&self.connections_live),
+            window_stalls: load(&self.window_stalls),
+            streaming_submits: load(&self.streaming_submits),
             frames_rejected: load(&self.frames_rejected),
             submits: load(&self.submits),
             dedup_hits: load(&self.dedup_hits),
@@ -82,6 +96,10 @@ impl Metrics {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
     pub connections: u64,
+    pub connections_refused: u64,
+    pub connections_live: u64,
+    pub window_stalls: u64,
+    pub streaming_submits: u64,
     pub frames_rejected: u64,
     pub submits: u64,
     pub dedup_hits: u64,
@@ -94,19 +112,68 @@ pub struct Snapshot {
     pub latency: [u64; LATENCY_BOUNDS_MS.len() + 1],
 }
 
+/// A percentile read off the coarse latency histogram: the bucket the
+/// cumulative count crosses in, not an interpolated value — honest about
+/// the histogram's order-of-magnitude resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyEstimate {
+    /// No observations yet.
+    Empty,
+    /// The percentile falls in a bounded bucket: at most this many ms.
+    AtMostMs(u64),
+    /// The percentile falls in the unbounded bucket: over this many ms.
+    OverMs(u64),
+}
+
+impl std::fmt::Display for LatencyEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyEstimate::Empty => write!(f, "n/a"),
+            LatencyEstimate::AtMostMs(ms) => write!(f, "<={ms}ms"),
+            LatencyEstimate::OverMs(ms) => write!(f, ">{ms}ms"),
+        }
+    }
+}
+
 impl Snapshot {
     /// Jobs that reached any terminal status.
     pub fn jobs_finished(&self) -> u64 {
         self.jobs_succeeded + self.jobs_exhausted + self.jobs_timed_out + self.jobs_failed
     }
 
+    /// The bucket the `p`th percentile (0 < p <= 100) of observed
+    /// latencies falls in.
+    pub fn latency_percentile(&self, p: f64) -> LatencyEstimate {
+        let total: u64 = self.latency.iter().sum();
+        if total == 0 {
+            return LatencyEstimate::Empty;
+        }
+        // The rank of the percentile observation, 1-based, ceiling — the
+        // nearest-rank definition (p99 of 100 samples is sample #99).
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, count) in self.latency.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return match LATENCY_BOUNDS_MS.get(i) {
+                    Some(&bound) => LatencyEstimate::AtMostMs(bound),
+                    None => LatencyEstimate::OverMs(*LATENCY_BOUNDS_MS.last().unwrap()),
+                };
+            }
+        }
+        unreachable!("rank is bounded by the total")
+    }
+
     /// The compact one-line form used by the periodic server log.
     pub fn log_line(&self) -> String {
         format!(
-            "svc: conns={} submits={} (dedup {}) done={} (ok {} / exhausted {} / timeout {} / failed {}) retries={} attempts={} rejected-frames={}",
+            "svc: conns={} (live {} / refused {}) submits={} (dedup {}, streamed {}) done={} (ok {} / exhausted {} / timeout {} / failed {}) retries={} attempts={} stalls={} rejected-frames={} p50={} p95={} p99={}",
             self.connections,
+            self.connections_live,
+            self.connections_refused,
             self.submits,
             self.dedup_hits,
+            self.streaming_submits,
             self.jobs_finished(),
             self.jobs_succeeded,
             self.jobs_exhausted,
@@ -114,7 +181,11 @@ impl Snapshot {
             self.jobs_failed,
             self.retries,
             self.attempts,
+            self.window_stalls,
             self.frames_rejected,
+            self.latency_percentile(50.0),
+            self.latency_percentile(95.0),
+            self.latency_percentile(99.0),
         )
     }
 }
@@ -123,6 +194,10 @@ impl std::fmt::Display for Snapshot {
     /// The multi-line rendering served to STATS clients.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "connections        {}", self.connections)?;
+        writeln!(f, "connections_refused {}", self.connections_refused)?;
+        writeln!(f, "connections_live   {}", self.connections_live)?;
+        writeln!(f, "window_stalls      {}", self.window_stalls)?;
+        writeln!(f, "streaming_submits  {}", self.streaming_submits)?;
         writeln!(f, "frames_rejected    {}", self.frames_rejected)?;
         writeln!(f, "submits            {}", self.submits)?;
         writeln!(f, "dedup_hits         {}", self.dedup_hits)?;
@@ -132,6 +207,9 @@ impl std::fmt::Display for Snapshot {
         writeln!(f, "jobs_failed        {}", self.jobs_failed)?;
         writeln!(f, "retries            {}", self.retries)?;
         writeln!(f, "attempts           {}", self.attempts)?;
+        writeln!(f, "latency_p50        {}", self.latency_percentile(50.0))?;
+        writeln!(f, "latency_p95        {}", self.latency_percentile(95.0))?;
+        writeln!(f, "latency_p99        {}", self.latency_percentile(99.0))?;
         write!(f, "latency_ms        ")?;
         for (i, count) in self.latency.iter().enumerate() {
             match LATENCY_BOUNDS_MS.get(i) {
@@ -158,6 +236,31 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_follow_the_nearest_rank_rule() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot().latency_percentile(99.0), LatencyEstimate::Empty);
+        // 98 fast observations, one mid, one catastrophic: p50 stays in
+        // the fastest bucket, p99 lands on the mid one, p100 the tail.
+        for _ in 0..98 {
+            m.observe_latency(Duration::from_micros(100));
+        }
+        m.observe_latency(Duration::from_millis(500));
+        m.observe_latency(Duration::from_secs(100));
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_percentile(50.0), LatencyEstimate::AtMostMs(1));
+        assert_eq!(snap.latency_percentile(98.0), LatencyEstimate::AtMostMs(1));
+        assert_eq!(
+            snap.latency_percentile(99.0),
+            LatencyEstimate::AtMostMs(1_000)
+        );
+        assert_eq!(
+            snap.latency_percentile(100.0),
+            LatencyEstimate::OverMs(10_000)
+        );
+        assert_eq!(snap.latency_percentile(100.0).to_string(), ">10000ms");
+    }
+
+    #[test]
     fn snapshot_renders_both_forms() {
         let m = Metrics::new();
         m.submits.fetch_add(3, Ordering::Relaxed);
@@ -165,9 +268,13 @@ mod tests {
         m.jobs_succeeded.fetch_add(2, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.jobs_finished(), 2);
-        assert!(snap.log_line().contains("submits=3 (dedup 1)"));
+        assert!(snap.log_line().contains("submits=3 (dedup 1, streamed 0)"));
+        assert!(snap.log_line().contains("p99=n/a"));
         let long = snap.to_string();
         assert!(long.contains("submits            3"));
+        assert!(long.contains("connections_refused 0"));
+        assert!(long.contains("window_stalls      0"));
+        assert!(long.contains("latency_p99        n/a"));
         assert!(long.contains("latency_ms"));
     }
 }

@@ -1,19 +1,58 @@
 //! The daemon's length-prefixed binary protocol.
 //!
-//! One frame per message, either direction:
+//! One frame per message, either direction. Version 1 (the PR 5 wire
+//! format, still served):
 //!
 //! ```text
-//! +----+----+---------+------+-------------+----------------+
-//! | 'P'| 'S'| version | kind | length: u32 | payload bytes  |
-//! +----+----+---------+------+-------------+----------------+
+//! +----+----+------+------+-------------+----------------+
+//! | 'P'| 'S'| 0x01 | kind | length: u32 | payload bytes  |
+//! +----+----+------+------+-------------+----------------+
 //! ```
 //!
-//! Magic and version are checked before the length is trusted; the length
-//! is checked against a receiver-chosen cap before anything is allocated,
-//! so an adversarial 4 GiB length prefix costs the receiver nothing. Kinds
-//! `0x01..` are requests, `0x81..` responses, `0xFF` the error response.
-//! Unknown kinds fail at message decode, not at frame framing — a future
-//! version can add kinds without changing the frame walk.
+//! Version 2 adds a per-frame `tag` between the header and the payload.
+//! The daemon echoes the tag in the response so a client may pipeline many
+//! outstanding requests on one connection and match responses out of
+//! order:
+//!
+//! ```text
+//! +----+----+------+------+-------------+----------+----------------+
+//! | 'P'| 'S'| 0x02 | kind | length: u32 | tag: u32 | payload bytes  |
+//! +----+----+------+------+-------------+----------+----------------+
+//! ```
+//!
+//! The length covers the payload only (not the tag), so the v1 and v2
+//! header walks differ only in the 4 extra tag bytes. Magic and version
+//! are checked before the length is trusted; the length is checked against
+//! a receiver-chosen cap before anything is allocated, so an adversarial
+//! 4 GiB length prefix costs the receiver nothing. Kinds `0x01..` are
+//! requests, `0x81..` responses, `0xFF` the error response. Unknown kinds
+//! fail at message decode, not at frame framing — a future version can add
+//! kinds without changing the frame walk.
+//!
+//! v2 also adds the streaming submit triple `SUBMIT_BEGIN` (bug id) /
+//! `SUBMIT_CHUNK` (raw sketch bytes, no inner length prefix) /
+//! `SUBMIT_END` (empty), all carrying the same tag. The server digests
+//! chunks incrementally and spills them to a store staging file as they
+//! arrive, so its peak memory per connection is one chunk, not one sketch;
+//! only `SUBMIT_END` is answered (with the usual `Submitted` response).
+//! A monolithic v1-style `SUBMIT` remains valid in a v2 frame.
+//!
+//! ## Error severity
+//!
+//! Decode failures split into two severities, and connection handling
+//! differs by which side of the line an error falls on
+//! ([`ProtoError::severity`]):
+//!
+//! * **Framing** errors — [`ProtoError::BadMagic`],
+//!   [`ProtoError::BadVersion`], [`ProtoError::Oversized`] — mean the
+//!   byte stream itself cannot be walked any further: frame boundaries are
+//!   lost, so the server answers one final ERROR frame and drops the
+//!   connection.
+//! * **Payload** errors — [`ProtoError::UnknownKind`],
+//!   [`ProtoError::BadPayload`], [`ProtoError::TooLarge`] — are confined
+//!   to one well-framed message. The server answers a (tagged, on v2)
+//!   ERROR response and keeps the connection: with pipelining, other
+//!   requests in flight on the same connection are unaffected.
 //!
 //! Payload fields use [`crate::wire`]. Every decoder demands full
 //! consumption ([`wire::Reader::is_done`]): trailing bytes are a protocol
@@ -26,17 +65,26 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"PS";
-/// Protocol version this build speaks.
+/// The original one-request-at-a-time protocol version.
 pub const VERSION: u8 = 1;
+/// The tagged, pipelined, streaming-submit protocol version.
+pub const VERSION_V2: u8 = 2;
 /// Default cap on accepted frame payloads (sketches are small; 64 MiB is
 /// generous headroom, not an invitation).
 pub const DEFAULT_MAX_FRAME: u32 = 64 << 20;
+/// Default chunk size for streaming submits: large enough that framing
+/// overhead vanishes, small enough that per-connection buffering is
+/// negligible next to a multi-MB sketch.
+pub const DEFAULT_CHUNK_BYTES: usize = 256 << 10;
 
 const REQ_SUBMIT: u8 = 0x01;
 const REQ_STATUS: u8 = 0x02;
 const REQ_RESULT: u8 = 0x03;
 const REQ_STATS: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
+const REQ_SUBMIT_BEGIN: u8 = 0x06;
+const REQ_SUBMIT_CHUNK: u8 = 0x07;
+const REQ_SUBMIT_END: u8 = 0x08;
 const RESP_SUBMIT: u8 = 0x81;
 const RESP_STATUS: u8 = 0x82;
 const RESP_RESULT: u8 = 0x83;
@@ -87,6 +135,31 @@ impl std::fmt::Display for ProtoError {
 }
 
 impl std::error::Error for ProtoError {}
+
+/// How much of the connection a [`ProtoError`] poisons — see the module
+/// docs ("Error severity") for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Frame boundaries are lost; answer once and drop the connection.
+    Framing,
+    /// One well-framed message was bad; answer it and keep the connection.
+    Payload,
+}
+
+impl ProtoError {
+    /// Classifies this error as connection-fatal framing corruption or a
+    /// per-message payload problem.
+    pub fn severity(&self) -> Severity {
+        match self {
+            ProtoError::BadMagic(_) | ProtoError::BadVersion(_) | ProtoError::Oversized { .. } => {
+                Severity::Framing
+            }
+            ProtoError::UnknownKind(_) | ProtoError::BadPayload(_) | ProtoError::TooLarge(_) => {
+                Severity::Payload
+            }
+        }
+    }
+}
 
 /// A raw frame: kind plus opaque payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,11 +222,168 @@ impl Frame {
     }
 }
 
+/// A version-2 frame: kind, echo tag, opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame2 {
+    pub tag: u32,
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+impl Frame2 {
+    /// The full on-wire encoding. Panics on a payload beyond `u32::MAX`
+    /// bytes — use [`Frame2::write_to`] (which refuses with an error) on
+    /// any path where the payload size is not already checked.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = wire::check_len(self.payload.len())
+            .expect("frame payload length checked at construction");
+        let mut out = Vec::with_capacity(12 + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION_V2);
+        out.push(self.kind);
+        wire::put_u32(&mut out, len);
+        wire::put_u32(&mut out, self.tag);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Writes the frame to a stream, refusing (with `InvalidInput`, not
+    /// truncating) a payload the `u32` length prefix cannot describe.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        wire::check_len(self.payload.len()).map_err(io::Error::from)?;
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+}
+
+/// A frame of either protocol version, as read off one connection. The
+/// sharded front end accepts both on the same port and mirrors the
+/// request's version in its response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnyFrame {
+    V1(Frame),
+    V2(Frame2),
+}
+
+impl AnyFrame {
+    /// The request/response kind byte, independent of version.
+    pub fn kind(&self) -> u8 {
+        match self {
+            AnyFrame::V1(f) => f.kind,
+            AnyFrame::V2(f) => f.kind,
+        }
+    }
+
+    /// The echo tag: a v1 frame has none and decodes as tag 0.
+    pub fn tag(&self) -> u32 {
+        match self {
+            AnyFrame::V1(_) => 0,
+            AnyFrame::V2(f) => f.tag,
+        }
+    }
+
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            AnyFrame::V1(f) => &f.payload,
+            AnyFrame::V2(f) => &f.payload,
+        }
+    }
+
+    /// Incremental frame walk over a partially-received buffer.
+    ///
+    /// Returns `Ok(None)` when `buf` holds only a prefix of a frame (read
+    /// more and retry), `Ok(Some((frame, consumed)))` when a complete frame
+    /// starts at `buf[0]`, and `Err` on a framing violation (whose
+    /// [`Severity`] says whether the stream is still walkable). The cap is
+    /// enforced from the length prefix alone — an adversarial length never
+    /// allocates.
+    pub fn parse(buf: &[u8], max_payload: u32) -> Result<Option<(AnyFrame, usize)>, ProtoError> {
+        if buf.len() < 8 {
+            return Ok(None);
+        }
+        if buf[..2] != MAGIC {
+            return Err(ProtoError::BadMagic([buf[0], buf[1]]));
+        }
+        let version = buf[2];
+        if version != VERSION && version != VERSION_V2 {
+            return Err(ProtoError::BadVersion(version));
+        }
+        let kind = buf[3];
+        let len = u32::from_be_bytes(buf[4..8].try_into().unwrap());
+        if len > max_payload {
+            return Err(ProtoError::Oversized {
+                len,
+                max: max_payload,
+            });
+        }
+        let head = if version == VERSION { 8 } else { 12 };
+        let total = head + len as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let payload = buf[head..total].to_vec();
+        let frame = if version == VERSION {
+            AnyFrame::V1(Frame { kind, payload })
+        } else {
+            let tag = u32::from_be_bytes(buf[8..12].try_into().unwrap());
+            AnyFrame::V2(Frame2 { tag, kind, payload })
+        };
+        Ok(Some((frame, total)))
+    }
+
+    /// Blocking read of one frame of either version, mirroring
+    /// [`Frame::read_from`]'s error contract.
+    pub fn read_from(
+        r: &mut impl Read,
+        max_payload: u32,
+    ) -> io::Result<Result<AnyFrame, ProtoError>> {
+        let mut head = [0u8; 8];
+        r.read_exact(&mut head)?;
+        if head[..2] != MAGIC {
+            return Ok(Err(ProtoError::BadMagic([head[0], head[1]])));
+        }
+        let version = head[2];
+        if version != VERSION && version != VERSION_V2 {
+            return Ok(Err(ProtoError::BadVersion(version)));
+        }
+        let kind = head[3];
+        let len = u32::from_be_bytes(head[4..8].try_into().unwrap());
+        if len > max_payload {
+            return Ok(Err(ProtoError::Oversized {
+                len,
+                max: max_payload,
+            }));
+        }
+        let tag = if version == VERSION_V2 {
+            let mut t = [0u8; 4];
+            r.read_exact(&mut t)?;
+            u32::from_be_bytes(t)
+        } else {
+            0
+        };
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Ok(if version == VERSION {
+            AnyFrame::V1(Frame { kind, payload })
+        } else {
+            AnyFrame::V2(Frame2 { tag, kind, payload })
+        }))
+    }
+}
+
 /// A client→daemon message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Ingest a sketch and enqueue reproduction of `bug` from it.
     Submit { bug: String, sketch: Vec<u8> },
+    /// Opens a streaming submit for `bug` on this frame's tag (v2 only).
+    /// Not answered; the response arrives on [`Request::SubmitEnd`].
+    SubmitBegin { bug: String },
+    /// One chunk of the sketch opened by the same tag's `SubmitBegin`.
+    /// The payload is the raw chunk bytes, no inner length prefix.
+    SubmitChunk { data: Vec<u8> },
+    /// Closes the stream; answered with the usual `Submitted` response.
+    SubmitEnd,
     /// Where does job `job` stand?
     Status { job: u64 },
     /// The certificate bytes of a succeeded job.
@@ -165,9 +395,8 @@ pub enum Request {
 }
 
 impl Request {
-    /// Encodes into a frame; a payload beyond what a `u32` length prefix
-    /// can carry is a [`ProtoError::TooLarge`], never a truncated frame.
-    pub fn to_frame(&self) -> Result<Frame, ProtoError> {
+    /// The kind byte plus encoded payload shared by both frame versions.
+    fn encode_parts(&self) -> Result<(u8, Vec<u8>), ProtoError> {
         let (kind, payload) = match self {
             Request::Submit { bug, sketch } => {
                 let mut p = Vec::new();
@@ -175,6 +404,13 @@ impl Request {
                 wire::put_bytes(&mut p, sketch)?;
                 (REQ_SUBMIT, p)
             }
+            Request::SubmitBegin { bug } => {
+                let mut p = Vec::new();
+                wire::put_str(&mut p, bug)?;
+                (REQ_SUBMIT_BEGIN, p)
+            }
+            Request::SubmitChunk { data } => (REQ_SUBMIT_CHUNK, data.clone()),
+            Request::SubmitEnd => (REQ_SUBMIT_END, Vec::new()),
             Request::Status { job } => {
                 let mut p = Vec::new();
                 wire::put_u64(&mut p, *job);
@@ -189,18 +425,40 @@ impl Request {
             Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
         };
         wire::check_len(payload.len())?;
+        Ok((kind, payload))
+    }
+
+    /// Encodes into a v1 frame; a payload beyond what a `u32` length prefix
+    /// can carry is a [`ProtoError::TooLarge`], never a truncated frame.
+    pub fn to_frame(&self) -> Result<Frame, ProtoError> {
+        let (kind, payload) = self.encode_parts()?;
         Ok(Frame { kind, payload })
     }
 
-    /// Decodes from a frame.
-    pub fn from_frame(frame: &Frame) -> Result<Request, ProtoError> {
-        let mut r = Reader(&frame.payload);
+    /// Encodes into a v2 frame carrying `tag`.
+    pub fn to_frame2(&self, tag: u32) -> Result<Frame2, ProtoError> {
+        let (kind, payload) = self.encode_parts()?;
+        Ok(Frame2 { tag, kind, payload })
+    }
+
+    /// The shared kind-dispatched payload decode.
+    fn decode_parts(kind: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = Reader(payload);
         let bad = ProtoError::BadPayload;
-        let req = match frame.kind {
+        let req = match kind {
             REQ_SUBMIT => Request::Submit {
                 bug: r.str().ok_or(bad("submit bug id"))?.to_string(),
                 sketch: r.bytes().ok_or(bad("submit sketch bytes"))?.to_vec(),
             },
+            REQ_SUBMIT_BEGIN => Request::SubmitBegin {
+                bug: r.str().ok_or(bad("submit-begin bug id"))?.to_string(),
+            },
+            // The chunk payload is opaque bytes: consume it whole so the
+            // trailing-bytes check below stays an invariant, not a case.
+            REQ_SUBMIT_CHUNK => Request::SubmitChunk {
+                data: r.take_rest().to_vec(),
+            },
+            REQ_SUBMIT_END => Request::SubmitEnd,
             REQ_STATUS => Request::Status {
                 job: r.u64().ok_or(bad("status job id"))?,
             },
@@ -215,6 +473,16 @@ impl Request {
             return Err(bad("trailing bytes"));
         }
         Ok(req)
+    }
+
+    /// Decodes from a v1 frame.
+    pub fn from_frame(frame: &Frame) -> Result<Request, ProtoError> {
+        Request::decode_parts(frame.kind, &frame.payload)
+    }
+
+    /// Decodes from a frame of either version.
+    pub fn from_any(frame: &AnyFrame) -> Result<Request, ProtoError> {
+        Request::decode_parts(frame.kind(), frame.payload())
     }
 }
 
@@ -243,9 +511,8 @@ pub enum Response {
 }
 
 impl Response {
-    /// Encodes into a frame; a payload beyond what a `u32` length prefix
-    /// can carry is a [`ProtoError::TooLarge`], never a truncated frame.
-    pub fn to_frame(&self) -> Result<Frame, ProtoError> {
+    /// The kind byte plus encoded payload shared by both frame versions.
+    fn encode_parts(&self) -> Result<(u8, Vec<u8>), ProtoError> {
         let (kind, payload) = match self {
             Response::Submitted {
                 job,
@@ -289,14 +556,27 @@ impl Response {
             }
         };
         wire::check_len(payload.len())?;
+        Ok((kind, payload))
+    }
+
+    /// Encodes into a v1 frame; a payload beyond what a `u32` length prefix
+    /// can carry is a [`ProtoError::TooLarge`], never a truncated frame.
+    pub fn to_frame(&self) -> Result<Frame, ProtoError> {
+        let (kind, payload) = self.encode_parts()?;
         Ok(Frame { kind, payload })
     }
 
-    /// Decodes from a frame.
-    pub fn from_frame(frame: &Frame) -> Result<Response, ProtoError> {
-        let mut r = Reader(&frame.payload);
+    /// Encodes into a v2 frame echoing `tag`.
+    pub fn to_frame2(&self, tag: u32) -> Result<Frame2, ProtoError> {
+        let (kind, payload) = self.encode_parts()?;
+        Ok(Frame2 { tag, kind, payload })
+    }
+
+    /// The shared kind-dispatched payload decode.
+    fn decode_parts(kind: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = Reader(payload);
         let bad = ProtoError::BadPayload;
-        let resp = match frame.kind {
+        let resp = match kind {
             RESP_SUBMIT => Response::Submitted {
                 job: r.u64().ok_or(bad("submitted job id"))?,
                 sketch: r.digest().ok_or(bad("submitted digest"))?,
@@ -326,6 +606,16 @@ impl Response {
             return Err(bad("trailing bytes"));
         }
         Ok(resp)
+    }
+
+    /// Decodes from a v1 frame.
+    pub fn from_frame(frame: &Frame) -> Result<Response, ProtoError> {
+        Response::decode_parts(frame.kind, &frame.payload)
+    }
+
+    /// Decodes from a frame of either version.
+    pub fn from_any(frame: &AnyFrame) -> Result<Response, ProtoError> {
+        Response::decode_parts(frame.kind(), frame.payload())
     }
 }
 
@@ -440,6 +730,130 @@ mod tests {
         for resp in responses {
             assert_eq!(Response::from_frame(&resp.to_frame().unwrap()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn frame2_roundtrips_through_both_readers() {
+        let frame = Frame2 {
+            tag: 0xdead_beef,
+            kind: REQ_SUBMIT_CHUNK,
+            payload: b"chunk bytes".to_vec(),
+        };
+        let bytes = frame.encode();
+        // Blocking reader.
+        let got = AnyFrame::read_from(&mut &bytes[..], DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, AnyFrame::V2(frame.clone()));
+        assert_eq!(got.tag(), 0xdead_beef);
+        // Incremental parser.
+        let (got, used) = AnyFrame::parse(&bytes, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(got, AnyFrame::V2(frame));
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn incremental_parse_handles_partial_and_back_to_back_frames() {
+        let a = Frame2 {
+            tag: 1,
+            kind: REQ_STATS,
+            payload: vec![],
+        }
+        .encode();
+        let b = Frame {
+            kind: REQ_STATUS,
+            payload: Request::Status { job: 9 }.to_frame().unwrap().payload,
+        }
+        .encode();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        // Every prefix short of frame A is "need more bytes".
+        for cut in 0..a.len() {
+            assert_eq!(
+                AnyFrame::parse(&stream[..cut], DEFAULT_MAX_FRAME).unwrap(),
+                None,
+                "cut at {cut}"
+            );
+        }
+        // A complete first frame parses without touching the second.
+        let (first, used) = AnyFrame::parse(&stream, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(used, a.len());
+        assert_eq!(first.tag(), 1);
+        let (second, used2) = AnyFrame::parse(&stream[used..], DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(used2, b.len());
+        assert!(matches!(second, AnyFrame::V1(_)));
+        assert_eq!(second.tag(), 0);
+    }
+
+    #[test]
+    fn severity_splits_framing_from_payload_errors() {
+        for (err, want) in [
+            (ProtoError::BadMagic(*b"XX"), Severity::Framing),
+            (ProtoError::BadVersion(3), Severity::Framing),
+            (ProtoError::Oversized { len: 9, max: 1 }, Severity::Framing),
+            (ProtoError::UnknownKind(0x42), Severity::Payload),
+            (ProtoError::BadPayload("x"), Severity::Payload),
+            (ProtoError::TooLarge(1 << 40), Severity::Payload),
+        ] {
+            assert_eq!(err.severity(), want, "{err}");
+        }
+    }
+
+    #[test]
+    fn streaming_requests_roundtrip_tagged() {
+        let reqs = [
+            Request::SubmitBegin {
+                bug: "pbzip-order".into(),
+            },
+            Request::SubmitChunk {
+                data: vec![7; 1000],
+            },
+            Request::SubmitEnd,
+        ];
+        for req in reqs {
+            let f2 = req.to_frame2(41).unwrap();
+            assert_eq!(f2.tag, 41);
+            let any = AnyFrame::V2(f2);
+            assert_eq!(Request::from_any(&any).unwrap(), req);
+        }
+        // An empty chunk is legal framing (the decoder consumes the rest,
+        // which may be nothing).
+        let empty = Request::SubmitChunk { data: vec![] };
+        assert_eq!(
+            Request::from_any(&AnyFrame::V2(empty.to_frame2(0).unwrap())).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn responses_echo_tags_in_v2_frames() {
+        let resp = Response::Status { status: None };
+        let f2 = resp.to_frame2(0xfeed).unwrap();
+        assert_eq!(f2.tag, 0xfeed);
+        assert_eq!(
+            Response::from_any(&AnyFrame::V2(f2.clone())).unwrap(),
+            resp
+        );
+        // Same payload bytes as the v1 encoding — only the header differs.
+        assert_eq!(f2.payload, resp.to_frame().unwrap().payload);
+    }
+
+    #[test]
+    fn v1_reader_still_rejects_version_2() {
+        // The legacy blocking front end speaks v1 only; a v2 frame at it
+        // is a framing error, not a crash.
+        let bytes = Frame2 {
+            tag: 5,
+            kind: REQ_STATS,
+            payload: vec![],
+        }
+        .encode();
+        assert!(matches!(
+            Frame::read_from(&mut &bytes[..], 1024).unwrap().unwrap_err(),
+            ProtoError::BadVersion(2)
+        ));
     }
 
     #[test]

@@ -1,13 +1,42 @@
-//! The daemon: accept loop, connection handlers, worker pool, lifecycle.
+//! The daemon: accept loop, connection workers, job workers, lifecycle.
 //!
-//! Threading model: one accept thread, one OS thread per live connection
-//! (connections are few and long-polling), and
+//! ## Threading model
+//!
+//! One accept thread, a small fixed pool of *connection workers*, and
 //! [`QueueConfig::workers`](crate::queue::QueueConfig) job workers each
-//! owning a warm [`VthreadPool`]. Connections are isolated: a malformed
-//! frame, oversized length prefix, or mid-request disconnect costs that
-//! one connection (answered with an ERROR frame when the transport still
-//! works, counted in [`Metrics::frames_rejected`]) and never the accept
-//! loop.
+//! owning a warm [`VthreadPool`].
+//!
+//! The accept thread only accepts: each new connection is handed
+//! round-robin to a connection worker's mailbox (or refused with a single
+//! ERROR frame once [`ServeOptions::max_connections`] are live — explicit
+//! backpressure, counted in [`Metrics::connections_refused`]). Each
+//! connection worker multiplexes its share of non-blocking sockets with
+//! [`crate::netpoll`] (`poll(2)`): it reads whatever bytes are ready,
+//! walks complete frames out of a per-connection buffer with
+//! [`AnyFrame::parse`], dispatches them inline, and queues responses into
+//! a per-connection write buffer flushed as the socket accepts them. A
+//! connection may pipeline many tagged v2 requests; responses complete in
+//! dispatch order, which is *not* arrival order for streaming submits —
+//! a STATUS poll is answered while a SUBMIT's chunks are still arriving.
+//! Two backpressure bounds protect the worker: a connection whose
+//! unflushed-response window fills ([`ServeOptions::inflight_window`])
+//! stops being read until its client drains responses
+//! ([`Metrics::window_stalls`]), and streamed submits spill to a store
+//! staging file chunk-by-chunk ([`Store::put_streaming`]) so per-connection
+//! memory is bounded by one chunk, not one sketch.
+//!
+//! Connections are isolated per the [`crate::proto`] severity contract: a
+//! framing error (bad magic/version, oversized length) costs that one
+//! connection; a payload error (unknown kind, malformed fields) costs only
+//! that one request — the connection keeps serving, which pipelining
+//! requires. Both are counted in [`Metrics::frames_rejected`]; neither
+//! ever touches the accept loop.
+//!
+//! The PR 5 model — one OS thread per live connection, blocking
+//! one-frame-at-a-time request/response, v1 only — is retained as
+//! [`FrontendKind::Legacy`], both as the baseline the E18 front-end
+//! benchmark measures against and as the historically simplest reference
+//! implementation of the protocol.
 //!
 //! Shutdown — whether from [`Server::shutdown`] or a SHUTDOWN frame — is a
 //! drain: the queue stops accepting, running jobs finish, queued jobs stay
@@ -15,19 +44,52 @@
 //! worker is idle.
 
 use crate::metrics::Metrics;
-use crate::proto::{Frame, Request, Response, DEFAULT_MAX_FRAME};
+use crate::proto::{AnyFrame, Frame, Request, Response, Severity, DEFAULT_MAX_FRAME};
 use crate::queue::{JobQueue, JobStatus, QueueConfig};
-use crate::store::Store;
+use crate::store::{Store, StreamingPut};
+use crate::{netpoll, proto};
 use pres_apps::registry::all_bugs;
 use pres_core::explore::ExploreConfig;
 use pres_tvm::pool::VthreadPool;
-use std::io;
+use pres_tvm::sync::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Which connection-handling model the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendKind {
+    /// Sharded connection workers multiplexing non-blocking sockets:
+    /// pipelined tagged requests, streaming submits, bounded threads.
+    #[default]
+    Sharded,
+    /// The PR 5 model: one blocking OS thread per connection, v1 frames
+    /// only. Kept as the E18 baseline.
+    Legacy,
+}
+
+/// How many streaming submits one connection may hold open at once. A
+/// well-behaved client streams a handful concurrently; an adversarial one
+/// must not pin unbounded staging files.
+const MAX_STREAMS_PER_CONN: usize = 16;
+
+/// Per-connection bytes read per poll round: large enough to swallow a
+/// whole default chunk in one pass, small enough to keep the worker fair
+/// across its connections.
+const READ_BUDGET_PER_ROUND: usize = 256 << 10;
+
+/// How long the poll loop sleeps when nothing is ready — also the bound on
+/// how stale a worker's view of its mailbox and the shutdown flag can be.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+/// How long a draining worker keeps flushing pending responses before
+/// dropping its connections.
+const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -38,13 +100,26 @@ pub struct ServeOptions {
     pub data_dir: PathBuf,
     /// Queue tuning (worker count, budgets, retries).
     pub queue: QueueConfig,
-    /// Cap on accepted frame payloads.
+    /// Cap on accepted frame payloads, and on the cumulative size of one
+    /// streamed submit.
     pub max_frame: u32,
-    /// Per-connection read timeout: a connection idle this long is
-    /// dropped, bounding the thread cost of abandoned clients.
+    /// Per-connection idle timeout: a connection silent this long is
+    /// dropped, bounding the cost of abandoned clients.
     pub read_timeout: Duration,
     /// How often the metrics log line is emitted (`None` = never).
     pub log_interval: Option<Duration>,
+    /// Connection-handling model (sharded workers unless configured
+    /// otherwise).
+    pub frontend: FrontendKind,
+    /// Connection-worker threads for the sharded front end.
+    pub conn_workers: usize,
+    /// Live-connection cap for the sharded front end; connections past it
+    /// are answered with one ERROR frame and closed.
+    pub max_connections: usize,
+    /// Per-connection pipelining window: once this many responses are
+    /// queued unflushed, the connection is not read again until the
+    /// client drains them.
+    pub inflight_window: usize,
 }
 
 impl Default for ServeOptions {
@@ -56,9 +131,28 @@ impl Default for ServeOptions {
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_secs(10),
             log_interval: Some(Duration::from_secs(10)),
+            frontend: FrontendKind::Sharded,
+            conn_workers: 4,
+            max_connections: 4096,
+            inflight_window: 128,
         }
     }
 }
+
+/// Everything a connection worker needs, shared across the front end.
+struct Frontend {
+    queue: Arc<JobQueue>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    /// The daemon's own listen address — the SHUTDOWN handler connects to
+    /// it to kick the accept thread out of `accept(2)`.
+    listen_addr: SocketAddr,
+    max_frame: u32,
+    read_timeout: Duration,
+    inflight_window: usize,
+}
+
+type Mailbox = Arc<Mutex<Vec<TcpStream>>>;
 
 /// A running daemon.
 pub struct Server {
@@ -67,6 +161,7 @@ pub struct Server {
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    conn_workers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     logger: Option<JoinHandle<()>>,
 }
@@ -112,39 +207,98 @@ impl Server {
             })
             .collect();
 
-        let accept = {
-            let queue = Arc::clone(&queue);
-            let metrics = Arc::clone(&metrics);
-            let shutdown = Arc::clone(&shutdown);
-            let read_timeout = opts.read_timeout;
-            let max_frame = opts.max_frame;
-            thread::Builder::new()
-                .name("svc-accept".into())
-                .spawn(move || {
-                    for conn in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = conn else { continue };
-                        metrics.connections.fetch_add(1, Ordering::Relaxed);
-                        let queue = Arc::clone(&queue);
-                        let metrics = Arc::clone(&metrics);
-                        let shutdown = Arc::clone(&shutdown);
-                        let _ = thread::Builder::new().name("svc-conn".into()).spawn(
-                            move || {
-                                serve_connection(
-                                    stream,
-                                    &queue,
-                                    &metrics,
-                                    &shutdown,
-                                    read_timeout,
-                                    max_frame,
+        let frontend = Arc::new(Frontend {
+            queue: Arc::clone(&queue),
+            metrics: Arc::clone(&metrics),
+            shutdown: Arc::clone(&shutdown),
+            listen_addr: addr,
+            max_frame: opts.max_frame,
+            read_timeout: opts.read_timeout,
+            inflight_window: opts.inflight_window.max(1),
+        });
+
+        let (accept, conn_workers) = match opts.frontend {
+            FrontendKind::Sharded => {
+                let n = opts.conn_workers.max(1);
+                let mailboxes: Vec<Mailbox> =
+                    (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+                let conn_workers: Vec<JoinHandle<()>> = mailboxes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, mailbox)| {
+                        let frontend = Arc::clone(&frontend);
+                        let mailbox = Arc::clone(mailbox);
+                        thread::Builder::new()
+                            .name(format!("svc-conn-{i}"))
+                            .spawn(move || conn_worker(&frontend, &mailbox))
+                            .expect("spawn connection worker")
+                    })
+                    .collect();
+                let accept = {
+                    let frontend = Arc::clone(&frontend);
+                    let max_connections = opts.max_connections.max(1);
+                    thread::Builder::new()
+                        .name("svc-accept".into())
+                        .spawn(move || {
+                            let mut next = 0usize;
+                            for conn in listener.incoming() {
+                                if frontend.shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let Ok(stream) = conn else { continue };
+                                let live = frontend
+                                    .metrics
+                                    .connections_live
+                                    .load(Ordering::Relaxed);
+                                if live >= max_connections as u64 {
+                                    refuse_connection(stream, &frontend.metrics, max_connections);
+                                    continue;
+                                }
+                                frontend.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                                frontend
+                                    .metrics
+                                    .connections_live
+                                    .fetch_add(1, Ordering::Relaxed);
+                                mailboxes[next].lock().push(stream);
+                                next = (next + 1) % mailboxes.len();
+                            }
+                        })
+                        .expect("spawn accept loop")
+                };
+                (accept, conn_workers)
+            }
+            FrontendKind::Legacy => {
+                let accept = {
+                    let frontend = Arc::clone(&frontend);
+                    thread::Builder::new()
+                        .name("svc-accept".into())
+                        .spawn(move || {
+                            for conn in listener.incoming() {
+                                if frontend.shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let Ok(stream) = conn else { continue };
+                                frontend.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                                frontend
+                                    .metrics
+                                    .connections_live
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let frontend = Arc::clone(&frontend);
+                                let _ = thread::Builder::new().name("svc-conn".into()).spawn(
+                                    move || {
+                                        serve_connection(stream, &frontend);
+                                        frontend
+                                            .metrics
+                                            .connections_live
+                                            .fetch_sub(1, Ordering::Relaxed);
+                                    },
                                 );
-                            },
-                        );
-                    }
-                })
-                .expect("spawn accept loop")
+                            }
+                        })
+                        .expect("spawn accept loop")
+                };
+                (accept, Vec::new())
+            }
         };
 
         let logger = opts.log_interval.map(|interval| {
@@ -173,6 +327,7 @@ impl Server {
             metrics,
             shutdown,
             accept: Some(accept),
+            conn_workers,
             workers,
             logger,
         })
@@ -208,6 +363,9 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        for h in self.conn_workers.drain(..) {
+            let _ = h.join();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -218,58 +376,528 @@ impl Server {
     }
 }
 
-/// One connection's request loop. Returns (closing the connection) on
-/// transport errors, timeouts, malformed frames, or after SHUTDOWN.
-fn serve_connection(
-    mut stream: TcpStream,
-    queue: &JobQueue,
-    metrics: &Metrics,
-    shutdown: &AtomicBool,
-    read_timeout: Duration,
-    max_frame: u32,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
+/// Answers a connection refused at the cap with one best-effort ERROR
+/// frame, then drops it.
+fn refuse_connection(mut stream: TcpStream, metrics: &Metrics, max_connections: usize) {
+    metrics.connections_refused.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response::Error {
+        message: format!("connection limit reached ({max_connections} live); retry shortly"),
+    };
+    if let Ok(frame) = resp.to_frame() {
+        let _ = frame.write_to(&mut stream);
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd(stream: &TcpStream) -> i32 {
+    use std::os::unix::io::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd(_stream: &TcpStream) -> i32 {
+    0
+}
+
+/// One in-progress streaming submit, keyed by its tag on the connection.
+struct InboundStream<'a> {
+    bug: String,
+    put: StreamingPut<'a>,
+}
+
+/// What a tag maps to between SUBMIT_BEGIN and SUBMIT_END.
+///
+/// A stream that failed (unknown bug, store error, cap overflow) is not
+/// simply removed: the client pipelined its chunks before it could see
+/// our error, so the tag is left as a tombstone that swallows the rest of
+/// the stream silently. The client gets exactly one error — on the frame
+/// that failed — instead of one per in-flight chunk, and the connection
+/// stays in sync for whatever it sends next.
+enum StreamSlot<'a> {
+    Open(InboundStream<'a>),
+    Poisoned,
+}
+
+/// One multiplexed connection's state.
+struct Conn<'a> {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (at most one partial frame plus whatever
+    /// arrived behind it this round).
+    read_buf: Vec<u8>,
+    /// Encoded responses not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Responses queued since the write buffer last drained — the
+    /// pipelining window.
+    pending_responses: usize,
+    /// Reads paused until the client drains our responses.
+    stalled: bool,
+    /// Flush what is queued, then close (framing error or shutdown).
+    close_after_flush: bool,
+    /// Dead now: transport error or EOF.
+    dead: bool,
+    last_activity: Instant,
+    /// Open streaming submits by tag (or their failure tombstones).
+    streams: HashMap<u32, StreamSlot<'a>>,
+}
+
+impl<'a> Conn<'a> {
+    fn new(stream: TcpStream) -> Conn<'a> {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending_responses: 0,
+            stalled: false,
+            close_after_flush: false,
+            dead: false,
+            last_activity: Instant::now(),
+            streams: HashMap::new(),
+        }
+    }
+
+    fn wants_read(&self) -> bool {
+        !self.dead && !self.stalled && !self.close_after_flush
+    }
+
+    fn wants_write(&self) -> bool {
+        !self.dead && self.write_pos < self.write_buf.len()
+    }
+
+    /// Queues one response, encoded in the same frame version as the
+    /// request it answers (`tag` ignored for v1). A response too large for
+    /// the u32 frame length degrades to an ERROR frame rather than killing
+    /// the connection with nothing on the wire.
+    fn enqueue_response(&mut self, v2: bool, tag: u32, response: &Response) {
+        let bytes = encode_response(v2, tag, response);
+        self.write_buf.extend_from_slice(&bytes);
+        self.pending_responses += 1;
+    }
+
+    /// Non-blocking flush. Returns `Ok(true)` when the buffer drained.
+    fn flush(&mut self) -> io::Result<bool> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        self.pending_responses = 0;
+        Ok(true)
+    }
+
+    /// Non-blocking read of up to the per-round budget. Returns the byte
+    /// count (0 = nothing ready); EOF surfaces as an error.
+    fn read_some(&mut self, scratch: &mut [u8]) -> io::Result<usize> {
+        let mut total = 0;
+        while total < READ_BUDGET_PER_ROUND {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    return if total > 0 {
+                        Ok(total)
+                    } else {
+                        Err(io::ErrorKind::UnexpectedEof.into())
+                    }
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    total += n;
+                    self.last_activity = Instant::now();
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Encodes one response in the requested frame version, degrading
+/// oversized payloads to an ERROR frame.
+fn encode_response(v2: bool, tag: u32, response: &Response) -> Vec<u8> {
+    let fallback = |e: proto::ProtoError| Response::Error {
+        message: e.to_string(),
+    };
+    if v2 {
+        match response.to_frame2(tag) {
+            Ok(f) => f.encode(),
+            Err(e) => fallback(e)
+                .to_frame2(tag)
+                .expect("an error frame is always small enough to encode")
+                .encode(),
+        }
+    } else {
+        match response.to_frame() {
+            Ok(f) => f.encode(),
+            Err(e) => fallback(e)
+                .to_frame()
+                .expect("an error frame is always small enough to encode")
+                .encode(),
+        }
+    }
+}
+
+/// The sharded front end's worker loop: adopt mailbox connections, poll,
+/// flush, read, parse, dispatch — until shutdown.
+fn conn_worker(frontend: &Frontend, mailbox: &Mailbox) {
+    let store: &Store = frontend.queue.store();
+    let mut conns: Vec<Conn<'_>> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut drain_since: Option<Instant> = None;
+
+    loop {
+        // Adopt newly accepted connections.
+        for stream in mailbox.lock().drain(..) {
+            if stream.set_nonblocking(true).is_err() {
+                frontend
+                    .metrics
+                    .connections_live
+                    .fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn::new(stream));
+        }
+
+        let draining = frontend.shutdown.load(Ordering::SeqCst);
+        if draining {
+            let since = *drain_since.get_or_insert_with(Instant::now);
+            let done = conns.iter().all(|c| !c.wants_write());
+            if done || since.elapsed() > DRAIN_FLUSH_DEADLINE {
+                break;
+            }
+        }
+
+        // Poll every socket for the readiness we currently want.
+        let mut fds: Vec<netpoll::PollFd> = conns
+            .iter()
+            .map(|c| {
+                let mut events = 0i16;
+                if c.wants_read() && !draining {
+                    events |= netpoll::POLLIN;
+                }
+                if c.wants_write() {
+                    events |= netpoll::POLLOUT;
+                }
+                netpoll::PollFd::new(raw_fd(&c.stream), events)
+            })
+            .collect();
+        let _ = netpoll::wait(&mut fds, POLL_TICK);
+
+        for (conn, fd) in conns.iter_mut().zip(&fds) {
+            // Flush first: draining the write buffer is what un-stalls a
+            // windowed connection and completes a close_after_flush.
+            if conn.wants_write() && fd.writable() {
+                match conn.flush() {
+                    Ok(true) => {
+                        conn.stalled = false;
+                        if conn.close_after_flush {
+                            conn.dead = true;
+                        }
+                    }
+                    Ok(false) => {}
+                    Err(_) => conn.dead = true,
+                }
+            } else if conn.close_after_flush && !conn.wants_write() {
+                conn.dead = true;
+            }
+
+            if conn.wants_read()
+                && !draining
+                && fd.readable()
+                && conn.read_some(&mut scratch).is_err()
+            {
+                // EOF or transport error. Anything already queued has
+                // lost its reader; just drop.
+                conn.dead = true;
+            }
+            // Parse whatever is buffered — including frames left behind by
+            // an earlier stall, which no new read will ever re-deliver.
+            if !conn.dead && !draining && !conn.stalled && !conn.read_buf.is_empty() {
+                drive_parse(frontend, store, conn);
+            }
+
+            if !conn.dead && conn.last_activity.elapsed() > frontend.read_timeout {
+                // Idle cull: abandoned clients (and their open streaming
+                // submits — StreamingPut's Drop removes the staging file).
+                conn.dead = true;
+            }
+        }
+
+        let before = conns.len();
+        conns.retain(|c| !c.dead);
+        let closed = before - conns.len();
+        if closed > 0 {
+            frontend
+                .metrics
+                .connections_live
+                .fetch_sub(closed as u64, Ordering::Relaxed);
+        }
+    }
+
+    // Connections dropped at exit are closed, not gracefully flushed; the
+    // gauge must not leak them.
+    if !conns.is_empty() {
+        frontend
+            .metrics
+            .connections_live
+            .fetch_sub(conns.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Walks every complete frame out of `conn.read_buf`, dispatching each.
+fn drive_parse<'a>(frontend: &Frontend, store: &'a Store, conn: &mut Conn<'a>) {
+    let mut consumed = 0;
+    loop {
+        if conn.close_after_flush || conn.dead {
+            break;
+        }
+        // Pipelining window: stop reading new requests until the client
+        // drains the responses it already has.
+        if conn.pending_responses >= frontend.inflight_window && conn.wants_write() {
+            if !conn.stalled {
+                conn.stalled = true;
+                frontend.metrics.window_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            break;
+        }
+        match AnyFrame::parse(&conn.read_buf[consumed..], frontend.max_frame) {
+            Ok(None) => break,
+            Ok(Some((frame, used))) => {
+                consumed += used;
+                dispatch(frontend, store, conn, frame);
+            }
+            Err(e) => {
+                // Framing is gone (parse never yields payload-severity
+                // errors, but route through the contract anyway).
+                frontend
+                    .metrics
+                    .frames_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                conn.enqueue_response(false, 0, &resp);
+                match e.severity() {
+                    Severity::Framing => conn.close_after_flush = true,
+                    Severity::Payload => {}
+                }
+                break;
+            }
+        }
+    }
+    conn.read_buf.drain(..consumed);
+}
+
+/// Dispatches one decoded frame on one connection.
+fn dispatch<'a>(frontend: &Frontend, store: &'a Store, conn: &mut Conn<'a>, frame: AnyFrame) {
+    let v2 = matches!(frame, AnyFrame::V2(_));
+    let tag = frame.tag();
+    let request = match Request::from_any(&frame) {
+        Ok(r) => r,
+        Err(e) => {
+            // Payload-severity by construction (framing errors never make
+            // it out of the parser): answer and keep the connection.
+            frontend
+                .metrics
+                .frames_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let resp = Response::Error {
+                message: e.to_string(),
+            };
+            conn.enqueue_response(v2, tag, &resp);
+            if e.severity() == Severity::Framing {
+                conn.close_after_flush = true;
+            }
+            return;
+        }
+    };
+    let err = |message: String| Response::Error { message };
+    match request {
+        Request::SubmitBegin { bug } if v2 => {
+            if conn.streams.contains_key(&tag) {
+                conn.enqueue_response(v2, tag, &err(format!("stream tag {tag} already open")));
+                return;
+            }
+            if conn.streams.len() >= MAX_STREAMS_PER_CONN {
+                // No tombstone here: tombstones live in the same map, so
+                // minting one would defeat the cap it enforces.
+                conn.enqueue_response(
+                    v2,
+                    tag,
+                    &err(format!(
+                        "too many open streams on this connection (max {MAX_STREAMS_PER_CONN})"
+                    )),
+                );
+                return;
+            }
+            if !all_bugs().iter().any(|b| b.id == bug) {
+                conn.enqueue_response(v2, tag, &err(format!("unknown bug '{bug}' — see `pres list`")));
+                conn.streams.insert(tag, StreamSlot::Poisoned);
+                return;
+            }
+            match store.put_streaming() {
+                Ok(put) => {
+                    conn.streams
+                        .insert(tag, StreamSlot::Open(InboundStream { bug, put }));
+                    // BEGIN is not answered; the response rides SUBMIT_END.
+                }
+                Err(e) => {
+                    conn.enqueue_response(v2, tag, &err(format!("store ingest failed: {e}")));
+                    conn.streams.insert(tag, StreamSlot::Poisoned);
+                }
+            }
+        }
+        Request::SubmitChunk { data } if v2 => {
+            let Some(slot) = conn.streams.get_mut(&tag) else {
+                conn.enqueue_response(v2, tag, &err(format!("no open stream for tag {tag}")));
+                return;
+            };
+            let StreamSlot::Open(stream) = slot else {
+                // The error already went out when the stream failed; the
+                // client pipelined this chunk before seeing it.
+                return;
+            };
+            if stream.put.written() + data.len() as u64 > frontend.max_frame as u64 {
+                *slot = StreamSlot::Poisoned;
+                conn.enqueue_response(
+                    v2,
+                    tag,
+                    &err(format!(
+                        "streamed submit exceeds the {} byte cap",
+                        frontend.max_frame
+                    )),
+                );
+                return;
+            }
+            if let Err(e) = stream.put.write(&data) {
+                *slot = StreamSlot::Poisoned;
+                conn.enqueue_response(v2, tag, &err(format!("store ingest failed: {e}")));
+            }
+            // Chunks are not answered.
+        }
+        Request::SubmitEnd if v2 => {
+            let stream = match conn.streams.remove(&tag) {
+                Some(StreamSlot::Open(stream)) => stream,
+                // END of a failed stream: the tombstone absorbed it and
+                // its one error response is already on the wire.
+                Some(StreamSlot::Poisoned) => return,
+                None => {
+                    conn.enqueue_response(v2, tag, &err(format!("no open stream for tag {tag}")));
+                    return;
+                }
+            };
+            frontend.metrics.submits.fetch_add(1, Ordering::Relaxed);
+            frontend
+                .metrics
+                .streaming_submits
+                .fetch_add(1, Ordering::Relaxed);
+            let resp = match stream.put.finish() {
+                Ok((digest, fresh_object)) => match frontend.queue.submit(&stream.bug, digest) {
+                    Ok((job, fresh_job)) => Response::Submitted {
+                        job,
+                        sketch: digest,
+                        fresh_object,
+                        fresh_job,
+                    },
+                    Err(e) => err(e.to_string()),
+                },
+                Err(e) => err(format!("store ingest failed: {e}")),
+            };
+            conn.enqueue_response(v2, tag, &resp);
+        }
+        request => {
+            let is_shutdown = matches!(request, Request::Shutdown);
+            let response = handle(request, &frontend.queue, &frontend.metrics, &frontend.shutdown);
+            conn.enqueue_response(v2, tag, &response);
+            if is_shutdown {
+                conn.close_after_flush = true;
+                // Kick the accept loop out of `accept(2)` so it observes
+                // the flag.
+                let _ = TcpStream::connect(frontend.listen_addr);
+            }
+        }
+    }
+}
+
+/// The legacy front end's per-connection loop: blocking, v1 frames only,
+/// one request at a time. Framing errors close the connection after one
+/// ERROR frame; payload errors answer and keep serving (the severity
+/// contract in [`crate::proto`]).
+fn serve_connection(mut stream: TcpStream, frontend: &Frontend) {
+    let _ = stream.set_read_timeout(Some(frontend.read_timeout));
     let _ = stream.set_nodelay(true);
     loop {
-        let frame = match Frame::read_from(&mut stream, max_frame) {
+        let frame = match Frame::read_from(&mut stream, frontend.max_frame) {
             // Transport gone or idle past the timeout: just close.
             Err(_) => return,
             Ok(Err(proto_err)) => {
-                metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(
+                frontend
+                    .metrics
+                    .frames_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let sent = write_response(
                     &mut stream,
                     &Response::Error {
                         message: proto_err.to_string(),
                     },
                 );
-                return;
+                match proto_err.severity() {
+                    Severity::Framing => return,
+                    Severity::Payload if sent.is_ok() => continue,
+                    Severity::Payload => return,
+                }
             }
             Ok(Ok(frame)) => frame,
         };
         let request = match Request::from_frame(&frame) {
             Ok(r) => r,
             Err(proto_err) => {
-                metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(
+                frontend
+                    .metrics
+                    .frames_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let sent = write_response(
                     &mut stream,
                     &Response::Error {
                         message: proto_err.to_string(),
                     },
                 );
-                return;
+                match proto_err.severity() {
+                    Severity::Framing => return,
+                    Severity::Payload if sent.is_ok() => continue,
+                    Severity::Payload => return,
+                }
             }
         };
         let is_shutdown = matches!(request, Request::Shutdown);
-        let response = handle(request, queue, metrics, shutdown);
+        let response = handle(
+            request,
+            &frontend.queue,
+            &frontend.metrics,
+            &frontend.shutdown,
+        );
         if write_response(&mut stream, &response).is_err() {
             return;
         }
         if is_shutdown {
             // Kick the accept loop out of `accept(2)` so it observes the
             // flag; our local address *is* the server's listen address.
-            if let Ok(addr) = stream.local_addr() {
-                let _ = TcpStream::connect(addr);
-            }
+            let _ = TcpStream::connect(frontend.listen_addr);
             return;
         }
     }
@@ -322,6 +950,14 @@ fn handle(
                 Err(e) => Response::Error {
                     message: e.to_string(),
                 },
+            }
+        }
+        // The streaming triple needs per-connection state (the open
+        // stream); it is only meaningful on the sharded front end, and
+        // only in v2 frames, where `dispatch` intercepts it first.
+        Request::SubmitBegin { .. } | Request::SubmitChunk { .. } | Request::SubmitEnd => {
+            Response::Error {
+                message: "streaming submit requires a protocol v2 frame".into(),
             }
         }
         Request::Status { job } => Response::Status {

@@ -26,12 +26,86 @@
 //! Each fallible step is guarded by a [`Faults`] crash point so tests can
 //! stop the sequence at any link and assert what a restart observes.
 
-use crate::digest::{sha256, Digest};
+use crate::digest::{sha256, Digest, Sha256};
 use crate::faultpoint::{FaultPoint, Faults};
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An in-progress streaming ingest: chunks are digested incrementally and
+/// spilled straight into a staging file, so ingesting a multi-MB blob
+/// never holds more than one chunk in memory. Obtained from
+/// [`Store::put_streaming`]; finish with [`StreamingPut::finish`] (which
+/// runs the same dedup + atomic-publish + fsync chain as [`Store::put`])
+/// or drop it to abort, which removes the staging file.
+#[derive(Debug)]
+pub struct StreamingPut<'a> {
+    store: &'a Store,
+    file: Option<File>,
+    tmp: PathBuf,
+    hasher: Sha256,
+    written: u64,
+}
+
+impl StreamingPut<'_> {
+    /// Appends one chunk to the staging file and the running digest.
+    pub fn write(&mut self, chunk: &[u8]) -> io::Result<()> {
+        let file = self
+            .file
+            .as_mut()
+            .expect("write after finish/abort on a StreamingPut");
+        if let Some(keep) = self
+            .store
+            .faults
+            .torn(FaultPoint::StoreStageTorn, chunk.len())
+        {
+            file.write_all(&chunk[..keep])?;
+            let _ = file.sync_all();
+            return Err(Faults::torn_error(FaultPoint::StoreStageTorn));
+        }
+        file.write_all(chunk)?;
+        self.hasher.update(chunk);
+        self.written += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes streamed so far — the server's stream-size cap reads this.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Syncs the staged bytes, then publishes them under their digest.
+    /// Returns the digest and whether a new object was written (`false` =
+    /// identical content was already published; the staging file is
+    /// discarded).
+    pub fn finish(mut self) -> io::Result<(Digest, bool)> {
+        let file = self
+            .file
+            .take()
+            .expect("finish called twice on a StreamingPut");
+        self.store.faults.check(FaultPoint::StoreTmpSyncCrash)?;
+        // The staged bytes must be durable BEFORE the rename: a rename of
+        // an unsynced file can publish a name whose content is lost by
+        // power failure.
+        file.sync_all()?;
+        drop(file);
+        let digest = self.hasher.clone().finalize();
+        let fresh = self.store.publish(&self.tmp, &digest)?;
+        Ok((digest, fresh))
+    }
+}
+
+impl Drop for StreamingPut<'_> {
+    fn drop(&mut self) {
+        // An unfinished stream (client disconnect, protocol error, crash
+        // of the handler) must not leak staging files; publication already
+        // happened if `finish` consumed the file.
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
 
 /// What [`Store::fsck`] found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -140,21 +214,62 @@ impl Store {
         self.root.join("quarantine")
     }
 
+    /// A fresh staging path; uniqueness matters only within this process.
+    fn stage_path(&self) -> PathBuf {
+        self.root.join("tmp").join(format!(
+            "ingest-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// The publish half shared by [`Store::put`] and
+    /// [`StreamingPut::finish`]: moves an already-synced staging file to
+    /// its digest path (or discards it on dedup) and forces the directory
+    /// entries down. Returns whether a new object was published.
+    fn publish(&self, tmp: &Path, digest: &Digest) -> io::Result<bool> {
+        let path = self.object_path(digest);
+        if path.exists() {
+            // Identical content already published (a streamed re-submit,
+            // or a concurrent ingest that won): drop the staging copy.
+            let _ = std::fs::remove_file(tmp);
+            let _ = sync_dir(&self.root.join("tmp"));
+            return Ok(false);
+        }
+        let parent = path.parent().expect("object path has fan-out parent");
+        std::fs::create_dir_all(parent)?;
+        self.faults.check(FaultPoint::StoreRenameCrash)?;
+        match std::fs::rename(tmp, &path) {
+            Ok(()) => {}
+            Err(e) => {
+                // A concurrent ingest of the same content may have won the
+                // rename race; identical bytes mean either outcome is fine
+                // (and the winner performed the directory syncs).
+                let _ = std::fs::remove_file(tmp);
+                if path.exists() {
+                    return Ok(false);
+                }
+                return Err(e);
+            }
+        }
+        self.faults.check(FaultPoint::StoreDirSyncCrash)?;
+        // Make the publication durable: the new dirent in the fan-out
+        // directory and the unlink from the staging directory.
+        sync_dir(parent)?;
+        sync_dir(&self.root.join("tmp"))?;
+        Ok(true)
+    }
+
     /// Ingests a blob. Returns its digest and whether a new object was
     /// written (`false` = content already present, nothing touched disk
     /// beyond the existence probe). On success the object *and* the
     /// directory entries publishing it are fsynced.
     pub fn put(&self, data: &[u8]) -> io::Result<(Digest, bool)> {
         let digest = sha256(data);
-        let path = self.object_path(&digest);
-        if path.exists() {
+        if self.object_path(&digest).exists() {
             return Ok((digest, false));
         }
-        let tmp = self.root.join("tmp").join(format!(
-            "ingest-{}-{}",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
+        let tmp = self.stage_path();
         self.faults.check(FaultPoint::StoreStageCrash)?;
         {
             let mut file = File::create(&tmp)?;
@@ -170,28 +285,27 @@ impl Store {
             // content is lost by power failure.
             file.sync_all()?;
         }
-        let parent = path.parent().expect("object path has fan-out parent");
-        std::fs::create_dir_all(parent)?;
-        self.faults.check(FaultPoint::StoreRenameCrash)?;
-        match std::fs::rename(&tmp, &path) {
-            Ok(()) => {}
-            Err(e) => {
-                // A concurrent ingest of the same content may have won the
-                // rename race; identical bytes mean either outcome is fine
-                // (and the winner performed the directory syncs).
-                let _ = std::fs::remove_file(&tmp);
-                if path.exists() {
-                    return Ok((digest, false));
-                }
-                return Err(e);
-            }
-        }
-        self.faults.check(FaultPoint::StoreDirSyncCrash)?;
-        // Make the publication durable: the new dirent in the fan-out
-        // directory and the unlink from the staging directory.
-        sync_dir(parent)?;
-        sync_dir(&self.root.join("tmp"))?;
-        Ok((digest, true))
+        let fresh = self.publish(&tmp, &digest)?;
+        Ok((digest, fresh))
+    }
+
+    /// Opens a streaming ingest: the returned writer spills chunks into a
+    /// staging file and digests them incrementally, so peak memory is one
+    /// chunk regardless of blob size. The crash-point walk matches
+    /// [`Store::put`] step for step (stage → torn-write → tmp-sync →
+    /// rename → dir-sync), so the durability contract and its tests cover
+    /// both paths.
+    pub fn put_streaming(&self) -> io::Result<StreamingPut<'_>> {
+        let tmp = self.stage_path();
+        self.faults.check(FaultPoint::StoreStageCrash)?;
+        let file = File::create(&tmp)?;
+        Ok(StreamingPut {
+            store: self,
+            file: Some(file),
+            tmp,
+            hasher: Sha256::new(),
+            written: 0,
+        })
     }
 
     /// Whether an object is present.
@@ -349,6 +463,93 @@ mod tests {
         assert_eq!(d2, d);
         assert!(fresh);
         assert_eq!(store.get(&d).unwrap().unwrap(), b"pristine");
+    }
+
+    #[test]
+    fn streaming_put_matches_monolithic_put() {
+        let (store, _) = Store::open(scratch("streaming")).unwrap();
+        let blob: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = sha256(&blob);
+
+        let mut put = store.put_streaming().unwrap();
+        for chunk in blob.chunks(7_001) {
+            put.write(chunk).unwrap();
+        }
+        assert_eq!(put.written(), blob.len() as u64);
+        let (digest, fresh) = put.finish().unwrap();
+        assert_eq!(digest, expect, "streamed digest must equal one-shot");
+        assert!(fresh);
+        assert_eq!(store.get(&digest).unwrap().unwrap(), blob);
+
+        // A monolithic re-put of the same bytes dedups, and vice versa.
+        assert_eq!(store.put(&blob).unwrap(), (expect, false));
+        let mut again = store.put_streaming().unwrap();
+        again.write(&blob).unwrap();
+        assert_eq!(again.finish().unwrap(), (expect, false));
+        assert_eq!(store.len().unwrap(), 1);
+        // Dedup discarded both staging files.
+        assert!(std::fs::read_dir(store.root().join("tmp"))
+            .unwrap()
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn empty_stream_is_the_empty_object() {
+        let (store, _) = Store::open(scratch("streaming-empty")).unwrap();
+        let put = store.put_streaming().unwrap();
+        let (digest, fresh) = put.finish().unwrap();
+        assert_eq!(digest, sha256(b""));
+        assert!(fresh);
+        assert_eq!(store.get(&digest).unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn dropped_stream_removes_its_staging_file() {
+        let (store, _) = Store::open(scratch("streaming-abort")).unwrap();
+        {
+            let mut put = store.put_streaming().unwrap();
+            put.write(b"half a sketch").unwrap();
+            // Dropped without finish: the disconnect-mid-stream path.
+        }
+        assert!(std::fs::read_dir(store.root().join("tmp"))
+            .unwrap()
+            .next()
+            .is_none());
+        assert_eq!(store.len().unwrap(), 0);
+    }
+
+    #[test]
+    fn streaming_put_hits_the_same_crash_points() {
+        use crate::faultpoint::{FaultMode, FaultPoint};
+        // Arm each store-path crash point and check the streamed ingest
+        // fails at it, leaving no published object — the same contract
+        // tests/svc_crash.rs pins for the monolithic path.
+        for point in [
+            FaultPoint::StoreStageCrash,
+            FaultPoint::StoreTmpSyncCrash,
+            FaultPoint::StoreRenameCrash,
+        ] {
+            let faults = Faults::new();
+            faults.arm(point, FaultMode::Crash, 1);
+            let (store, _) =
+                Store::open_with_faults(scratch(&format!("stream-{point:?}")), faults).unwrap();
+            let res = store.put_streaming().and_then(|mut p| {
+                p.write(b"doomed bytes")?;
+                p.finish().map(|_| ())
+            });
+            assert!(res.is_err(), "{point:?} did not fire");
+            assert_eq!(store.len().unwrap(), 0, "{point:?} published anyway");
+        }
+        // Torn chunk write: fails the stream; nothing is ever published
+        // and the in-process drop (unlike a real crash) clears the stage.
+        let faults = Faults::new();
+        faults.arm(FaultPoint::StoreStageTorn, FaultMode::Torn { keep: 4 }, 1);
+        let (store, _) = Store::open_with_faults(scratch("stream-torn"), faults).unwrap();
+        let mut put = store.put_streaming().unwrap();
+        assert!(put.write(b"these bytes get torn").is_err());
+        drop(put);
+        assert_eq!(store.len().unwrap(), 0);
     }
 
     #[test]

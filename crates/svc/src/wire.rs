@@ -109,6 +109,12 @@ impl<'a> Reader<'a> {
         Some(Digest(head.try_into().unwrap()))
     }
 
+    /// Consumes and returns everything left — for payloads whose tail is
+    /// opaque bytes with no inner length prefix (streaming submit chunks).
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        std::mem::take(&mut self.0)
+    }
+
     /// Whether every byte has been consumed — decoders check this so
     /// trailing garbage is rejected rather than silently ignored.
     pub fn is_done(&self) -> bool {

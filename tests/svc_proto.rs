@@ -243,3 +243,259 @@ fn pure_garbage_streams_never_panic_the_frame_reader() {
         let _ = Frame::read_from(&mut &junk[..], 4096);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Protocol v2: tagged frames, streaming submits, incremental parsing.
+// ---------------------------------------------------------------------------
+
+use pres_suite::svc::proto::{AnyFrame, Frame2, VERSION_V2};
+
+fn gen_request_v2(rng: &mut ChaCha8Rng) -> Request {
+    match rng.gen_range(0..8usize) {
+        0 => Request::Submit {
+            bug: gen_string(rng, 40),
+            sketch: gen_bytes(rng, 2048),
+        },
+        1 => Request::SubmitBegin {
+            bug: gen_string(rng, 40),
+        },
+        2 => Request::SubmitChunk {
+            data: gen_bytes(rng, 2048),
+        },
+        3 => Request::SubmitEnd,
+        4 => Request::Status {
+            job: rng.next_u64(),
+        },
+        5 => Request::Result {
+            job: rng.next_u64(),
+        },
+        6 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+/// A version byte that is neither 1 nor 2 (both are live on the wire now).
+fn gen_bad_version(rng: &mut ChaCha8Rng) -> u8 {
+    loop {
+        let v = rng.next_u32() as u8;
+        if v != 1 && v != 2 {
+            return v;
+        }
+    }
+}
+
+#[test]
+fn tagged_requests_roundtrip_and_echo_their_tag() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5c_78);
+    for case in 0..300 {
+        let req = gen_request_v2(&mut rng);
+        let tag = rng.next_u32();
+        let bytes = req.to_frame2(tag).unwrap().encode();
+        // Through the blocking reader...
+        let mut cursor = &bytes[..];
+        let frame = AnyFrame::read_from(&mut cursor, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert!(cursor.is_empty(), "case {case}: frame consumed exactly");
+        assert_eq!(frame.tag(), tag, "case {case}");
+        assert_eq!(Request::from_any(&frame).unwrap(), req, "case {case}");
+        // ...and through the incremental parser, byte identical.
+        let (parsed, used) = AnyFrame::parse(&bytes, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(used, bytes.len(), "case {case}");
+        assert_eq!(parsed.tag(), tag, "case {case}");
+        assert_eq!(Request::from_any(&parsed).unwrap(), req, "case {case}");
+    }
+}
+
+#[test]
+fn responses_carry_tags_without_touching_payload_bytes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5c_79);
+    for case in 0..300 {
+        let resp = gen_response(&mut rng);
+        let tag = rng.next_u32();
+        let v1 = resp.to_frame().unwrap();
+        let v2 = resp.to_frame2(tag).unwrap();
+        // The payload encoding is version-independent: v2 adds a tag to
+        // the header, nothing else.
+        assert_eq!(v1.payload, v2.payload, "case {case}");
+        let frame = AnyFrame::read_from(&mut &v2.encode()[..], DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.tag(), tag);
+        assert_eq!(Response::from_any(&frame).unwrap(), resp, "case {case}");
+    }
+}
+
+#[test]
+fn mixed_version_streams_parse_incrementally_at_every_split() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5c_7a);
+    // A pipelined client may interleave v1 and v2 frames on one
+    // connection; the incremental parser must walk the mix regardless of
+    // how the transport fragments it.
+    let mut stream = Vec::new();
+    let mut expect: Vec<(u32, Request)> = Vec::new();
+    for _ in 0..12 {
+        let req = gen_request_v2(&mut rng);
+        // v1 cannot carry the streaming triple.
+        let forced_v2 = matches!(
+            req,
+            Request::SubmitBegin { .. } | Request::SubmitChunk { .. } | Request::SubmitEnd
+        );
+        if forced_v2 || rng.next_u32() & 1 == 0 {
+            let tag = rng.next_u32();
+            stream.extend_from_slice(&req.to_frame2(tag).unwrap().encode());
+            expect.push((tag, req));
+        } else {
+            stream.extend_from_slice(&req.to_frame().unwrap().encode());
+            expect.push((0, req));
+        }
+    }
+    // Feed the stream in random-sized slices, collecting complete frames
+    // exactly as the connection workers do.
+    for _ in 0..20 {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut fed = 0usize;
+        let mut got = Vec::new();
+        while got.len() < expect.len() {
+            match AnyFrame::parse(&buf, DEFAULT_MAX_FRAME).unwrap() {
+                Some((frame, used)) => {
+                    buf.drain(..used);
+                    got.push((frame.tag(), Request::from_any(&frame).unwrap()));
+                }
+                None => {
+                    assert!(fed < stream.len(), "parser starved with input left");
+                    let step = (rng.gen_range(1..=64u32) as usize).min(stream.len() - fed);
+                    buf.extend_from_slice(&stream[fed..fed + step]);
+                    fed += step;
+                }
+            }
+        }
+        assert_eq!(got, expect);
+        assert!(AnyFrame::parse(&buf, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+}
+
+#[test]
+fn truncated_v2_frames_are_incomplete_never_garbage() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5c_7b);
+    for _ in 0..50 {
+        let bytes = gen_request_v2(&mut rng)
+            .to_frame2(rng.next_u32())
+            .unwrap()
+            .encode();
+        for cut in 0..bytes.len() {
+            // Every proper prefix of a valid frame is "read more", never a
+            // parse and never a framing error.
+            assert!(
+                AnyFrame::parse(&bytes[..cut], DEFAULT_MAX_FRAME)
+                    .unwrap()
+                    .is_none(),
+                "cut at {cut}/{}",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_v2_headers_fail_with_framing_severity() {
+    use pres_suite::svc::proto::Severity;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5c_7c);
+    for _ in 0..100 {
+        let good = gen_request_v2(&mut rng)
+            .to_frame2(rng.next_u32())
+            .unwrap()
+            .encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[rng.gen_range(0..2usize)] ^= 1 << rng.gen_range(0..8usize);
+        let err = AnyFrame::parse(&bad_magic, DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, ProtoError::BadMagic(_)));
+        assert_eq!(err.severity(), Severity::Framing);
+
+        let mut bad_version = good.clone();
+        bad_version[2] = gen_bad_version(&mut rng);
+        let err = AnyFrame::parse(&bad_version, DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, ProtoError::BadVersion(_)));
+        assert_eq!(err.severity(), Severity::Framing);
+
+        let mut oversize = good.clone();
+        let cap = rng.gen_range(0..=1024u32);
+        let len = cap.saturating_add(rng.gen_range(1..=u32::MAX - 1024));
+        oversize[4..8].copy_from_slice(&len.to_be_bytes());
+        let err = AnyFrame::parse(&oversize, cap).unwrap_err();
+        assert!(matches!(err, ProtoError::Oversized { .. }));
+        assert_eq!(err.severity(), Severity::Framing);
+    }
+}
+
+#[test]
+fn v2_payload_mutations_fail_with_payload_severity_not_panics() {
+    use pres_suite::svc::proto::Severity;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5c_7d);
+    let mut survivors = 0u32;
+    for _ in 0..500 {
+        let req = gen_request_v2(&mut rng);
+        let mut frame = req.to_frame2(rng.next_u32()).unwrap();
+        match rng.gen_range(0..3usize) {
+            0 => frame.kind = rng.next_u32() as u8,
+            1 if !frame.payload.is_empty() => {
+                let i = rng.gen_range(0..frame.payload.len());
+                frame.payload[i] ^= 1 << rng.gen_range(0..8usize);
+            }
+            _ => {
+                let new_len = rng.gen_range(0..frame.payload.len() + 9);
+                frame.payload.resize(new_len, rng.next_u32() as u8);
+            }
+        }
+        match Request::from_any(&AnyFrame::V2(frame)) {
+            Ok(_) => survivors += 1,
+            // Whatever the decode error, it costs one request, not the
+            // connection: pipelined peers depend on that.
+            Err(e) => assert_eq!(e.severity(), Severity::Payload),
+        }
+    }
+    assert!(survivors < 400, "decoder accepted {survivors}/500 mutants");
+}
+
+#[test]
+fn v2_frames_reach_the_legacy_reader_as_a_version_error() {
+    // The legacy front end reads with `Frame::read_from`, which must
+    // refuse a v2 frame cleanly (BadVersion) rather than misparse the tag
+    // as payload.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5c_7e);
+    for _ in 0..50 {
+        let bytes = gen_request_v2(&mut rng)
+            .to_frame2(rng.next_u32())
+            .unwrap()
+            .encode();
+        assert!(matches!(
+            Frame::read_from(&mut &bytes[..], DEFAULT_MAX_FRAME)
+                .unwrap()
+                .unwrap_err(),
+            ProtoError::BadVersion(VERSION_V2)
+        ));
+    }
+}
+
+#[test]
+fn empty_chunks_and_empty_streams_are_legal_frames() {
+    let chunk = Request::SubmitChunk { data: Vec::new() };
+    let bytes = chunk.to_frame2(7).unwrap().encode();
+    let (frame, used) = AnyFrame::parse(&bytes, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    assert_eq!(used, bytes.len());
+    assert_eq!(Request::from_any(&frame).unwrap(), chunk);
+    // Frame2 with an empty payload is exactly the 12-byte header.
+    assert_eq!(
+        Frame2 {
+            tag: 7,
+            kind: 0x08,
+            payload: Vec::new()
+        }
+        .encode()
+        .len(),
+        12
+    );
+}

@@ -1,0 +1,469 @@
+//! End-to-end tests of the v2 front end over real loopback TCP: chunked
+//! streaming submits, pipelined tagged requests, v1/v2 coexistence on one
+//! daemon, the payload-vs-framing error severity contract, and the
+//! connection cap — the properties the sharded connection workers add on
+//! top of the PR 5 request/response pipeline.
+
+use pres_suite::apps::registry::all_bugs;
+use pres_suite::core::api::Pres;
+use pres_suite::core::codec::encode_sketch;
+use pres_suite::core::sketch::Mechanism;
+use pres_suite::svc::digest::sha256;
+use pres_suite::svc::proto::{AnyFrame, Frame, Frame2, Request, Response, DEFAULT_MAX_FRAME};
+use pres_suite::svc::queue::QueueConfig;
+use pres_suite::svc::server::{FrontendKind, ServeOptions, Server};
+use pres_suite::svc::{Client, JobStatus};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const BUG: &str = "pbzip-order";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pres-svc-stream-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_with(data_dir: &std::path::Path, opts: ServeOptions) -> Server {
+    Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.to_path_buf(),
+        log_interval: None,
+        ..opts
+    })
+    .expect("daemon starts")
+}
+
+fn start(data_dir: &std::path::Path) -> Server {
+    start_with(data_dir, ServeOptions::default())
+}
+
+/// A quick queue config for tests that only exercise the submit path.
+fn quick_queue() -> QueueConfig {
+    QueueConfig {
+        max_attempts: 1,
+        max_retries: 0,
+        ..QueueConfig::default()
+    }
+}
+
+fn recorded_sketch_bytes(bug: &str) -> Vec<u8> {
+    let case = all_bugs().into_iter().find(|b| b.id == bug).unwrap();
+    let program = case.program();
+    let pres = Pres::new(Mechanism::Sync);
+    let run = pres
+        .record_until_failure(program.as_ref(), 0..5000)
+        .expect("bug manifests in production");
+    encode_sketch(&run.sketch)
+}
+
+/// Raw-socket helpers for tests that need frame-level control.
+fn send_v2(s: &mut TcpStream, tag: u32, req: &Request) {
+    req.to_frame2(tag).unwrap().write_to(s).unwrap();
+}
+
+fn recv_v2(s: &mut TcpStream) -> (u32, Response) {
+    let frame = AnyFrame::read_from(s, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    (frame.tag(), Response::from_any(&frame).unwrap())
+}
+
+#[test]
+fn streamed_submit_matches_monolithic_digest_and_certificate() {
+    let dir = scratch("digest");
+    let server = start(&dir);
+    let sketch_bytes = recorded_sketch_bytes(BUG);
+
+    // Stream at an adversarially small chunk size: the digest must land on
+    // the content hash of the whole message regardless of the split.
+    let mut v2 = Client::connect(server.addr()).unwrap();
+    v2.set_chunk_bytes(1024);
+    let streamed = v2.submit(BUG, &sketch_bytes).unwrap();
+    assert_eq!(streamed.sketch, sha256(&sketch_bytes));
+    assert!(streamed.fresh_object);
+    assert!(streamed.fresh_job);
+
+    // A legacy monolithic submit of the same bytes dedups onto the same
+    // object and job: both paths computed the same content address.
+    let mut v1 = Client::connect(server.addr()).unwrap();
+    v1.use_v1();
+    let mono = v1.submit(BUG, &sketch_bytes).unwrap();
+    assert_eq!(mono.sketch, streamed.sketch);
+    assert_eq!(mono.job, streamed.job);
+    assert!(!mono.fresh_object);
+    assert!(!mono.fresh_job);
+
+    // The certificate minted from a streamed sketch is the same bytes
+    // either client fetches.
+    let status = v2.wait(streamed.job, Duration::from_secs(120)).unwrap();
+    assert!(matches!(status, JobStatus::Succeeded { .. }), "{status:?}");
+    let cert_v2 = v2.fetch_certificate(streamed.job).unwrap();
+    let cert_v1 = v1.fetch_certificate(mono.job).unwrap();
+    assert!(!cert_v2.is_empty());
+    assert_eq!(cert_v2, cert_v1);
+
+    let stats = v2.stats().unwrap();
+    assert!(stats.contains("streaming_submits  1"), "stats:\n{stats}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn status_is_answered_while_a_submit_is_still_streaming() {
+    let dir = scratch("pipeline");
+    let server = start_with(
+        &dir,
+        ServeOptions {
+            queue: quick_queue(),
+            ..ServeOptions::default()
+        },
+    );
+
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Open a stream and push one chunk, but do NOT close it...
+    send_v2(&mut s, 1, &Request::SubmitBegin { bug: BUG.into() });
+    send_v2(
+        &mut s,
+        1,
+        &Request::SubmitChunk {
+            data: vec![0xaa; 4096],
+        },
+    );
+    // ...then ask an unrelated question on the same connection.
+    send_v2(&mut s, 2, &Request::Status { job: 999 });
+    let (tag, response) = recv_v2(&mut s);
+    assert_eq!(tag, 2, "the status answer must not wait for the stream");
+    assert_eq!(response, Response::Status { status: None });
+
+    // Now finish the stream; its receipt arrives on the stream's tag.
+    send_v2(
+        &mut s,
+        1,
+        &Request::SubmitChunk {
+            data: vec![0xbb; 4096],
+        },
+    );
+    send_v2(&mut s, 1, &Request::SubmitEnd);
+    let (tag, response) = recv_v2(&mut s);
+    assert_eq!(tag, 1);
+    let Response::Submitted { sketch, .. } = response else {
+        panic!("expected a receipt, got {response:?}");
+    };
+    let mut whole = vec![0xaa; 4096];
+    whole.extend_from_slice(&vec![0xbb; 4096]);
+    assert_eq!(sketch, sha256(&whole));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn two_streams_interleave_on_one_connection() {
+    let dir = scratch("interleave");
+    let server = start_with(
+        &dir,
+        ServeOptions {
+            queue: quick_queue(),
+            ..ServeOptions::default()
+        },
+    );
+
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let body_a: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+    let body_b: Vec<u8> = (0..7_777u32).map(|i| (i * 3 + 1) as u8).collect();
+
+    // Two submits in flight at once, chunks strictly alternating: the
+    // server must key stream state by tag, not by connection.
+    send_v2(&mut s, 10, &Request::SubmitBegin { bug: BUG.into() });
+    send_v2(&mut s, 20, &Request::SubmitBegin { bug: BUG.into() });
+    let (mut ca, mut cb) = (body_a.chunks(1000), body_b.chunks(1000));
+    loop {
+        let (a, b) = (ca.next(), cb.next());
+        if let Some(a) = a {
+            send_v2(&mut s, 10, &Request::SubmitChunk { data: a.to_vec() });
+        }
+        if let Some(b) = b {
+            send_v2(&mut s, 20, &Request::SubmitChunk { data: b.to_vec() });
+        }
+        if a.is_none() && b.is_none() {
+            break;
+        }
+    }
+    send_v2(&mut s, 20, &Request::SubmitEnd);
+    send_v2(&mut s, 10, &Request::SubmitEnd);
+
+    // Both receipts arrive, tagged, in completion order (B closed first).
+    let (tag_first, resp_first) = recv_v2(&mut s);
+    let (tag_second, resp_second) = recv_v2(&mut s);
+    assert_eq!((tag_first, tag_second), (20, 10));
+    let Response::Submitted { sketch: got_b, .. } = resp_first else {
+        panic!("expected a receipt, got {resp_first:?}");
+    };
+    let Response::Submitted { sketch: got_a, .. } = resp_second else {
+        panic!("expected a receipt, got {resp_second:?}");
+    };
+    assert_eq!(got_a, sha256(&body_a));
+    assert_eq!(got_b, sha256(&body_b));
+    assert_ne!(got_a, got_b);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_the_store_clean() {
+    let dir = scratch("disconnect");
+    let server = start(&dir);
+    let objects_before = server.queue().store().len().unwrap();
+
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        send_v2(&mut s, 1, &Request::SubmitBegin { bug: BUG.into() });
+        send_v2(
+            &mut s,
+            1,
+            &Request::SubmitChunk {
+                data: vec![0xcd; 100_000],
+            },
+        );
+        // Hang up with the stream open: the staging file must go with us.
+    }
+
+    // The worker notices the EOF on its next poll round; wait for the
+    // live-connection gauge to drop before inspecting the staging dir.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let live = server.metrics().snapshot().connections_live;
+        if live == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "connection never reaped (live {live})");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Give the Drop a moment past the gauge update, then: no objects
+    // gained, no staging litter.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(server.queue().store().len().unwrap(), objects_before);
+    let tmp_entries: Vec<_> = std::fs::read_dir(dir.join("store").join("tmp"))
+        .unwrap()
+        .collect();
+    assert!(tmp_entries.is_empty(), "staging litter: {tmp_entries:?}");
+
+    // And the daemon still serves.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.status(0).unwrap().is_none());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn payload_errors_keep_the_connection_framing_errors_drop_it() {
+    let dir = scratch("severity");
+    let server = start(&dir);
+
+    // Payload severity on the sharded front end: an unknown kind costs
+    // one tagged ERROR, then the same connection keeps serving.
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    Frame2 {
+        tag: 7,
+        kind: 0x6e,
+        payload: vec![],
+    }
+    .write_to(&mut s)
+    .unwrap();
+    let (tag, response) = recv_v2(&mut s);
+    assert_eq!(tag, 7);
+    assert!(matches!(response, Response::Error { .. }));
+    send_v2(&mut s, 8, &Request::Status { job: 1 });
+    let (tag, response) = recv_v2(&mut s);
+    assert_eq!(tag, 8, "connection must survive a payload error");
+    assert_eq!(response, Response::Status { status: None });
+
+    // Chunks without a BEGIN are payload errors too, and named as such.
+    send_v2(&mut s, 9, &Request::SubmitEnd);
+    let (tag, response) = recv_v2(&mut s);
+    assert_eq!(tag, 9);
+    let Response::Error { message } = response else {
+        panic!("expected an error, got {response:?}");
+    };
+    assert!(message.contains("no open stream"), "{message}");
+
+    // Framing severity: garbage magic gets one ERROR frame, then EOF.
+    let mut bad = TcpStream::connect(server.addr()).unwrap();
+    bad.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    bad.write_all(b"XXXXXXXXXXXX").unwrap();
+    let frame = Frame::read_from(&mut bad, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    assert!(matches!(
+        Response::from_frame(&frame),
+        Ok(Response::Error { .. })
+    ));
+    let mut rest = Vec::new();
+    bad.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "framing error must close the connection");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn legacy_frontend_applies_the_same_severity_contract() {
+    let dir = scratch("legacy");
+    let server = start_with(
+        &dir,
+        ServeOptions {
+            frontend: FrontendKind::Legacy,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Unknown kind over v1: one ERROR, connection kept (this was a drop
+    // before the severity split).
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    Frame {
+        kind: 0x6e,
+        payload: vec![],
+    }
+    .write_to(&mut s)
+    .unwrap();
+    let frame = Frame::read_from(&mut s, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    assert!(matches!(
+        Response::from_frame(&frame),
+        Ok(Response::Error { .. })
+    ));
+    Request::Status { job: 5 }
+        .to_frame()
+        .unwrap()
+        .write_to(&mut s)
+        .unwrap();
+    let frame = Frame::read_from(&mut s, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    assert_eq!(
+        Response::from_frame(&frame).unwrap(),
+        Response::Status { status: None },
+        "legacy connection must survive a payload error"
+    );
+
+    // Bad magic over v1: one ERROR, then EOF.
+    let mut bad = TcpStream::connect(server.addr()).unwrap();
+    bad.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    bad.write_all(b"XXXXXXXX").unwrap();
+    let frame = Frame::read_from(&mut bad, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    assert!(matches!(
+        Response::from_frame(&frame),
+        Ok(Response::Error { .. })
+    ));
+    let mut rest = Vec::new();
+    bad.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // A v2 client degrades loudly, not silently: the legacy front end
+    // rejects the versioned frame as a framing error.
+    let mut v2 = TcpStream::connect(server.addr()).unwrap();
+    v2.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    send_v2(&mut v2, 1, &Request::Stats);
+    let frame = Frame::read_from(&mut v2, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    let Ok(Response::Error { message }) = Response::from_frame(&frame) else {
+        panic!("expected an error frame");
+    };
+    assert!(message.contains("version"), "{message}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn connection_cap_refuses_with_an_error_frame() {
+    let dir = scratch("cap");
+    let server = start_with(
+        &dir,
+        ServeOptions {
+            max_connections: 2,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Two live connections, proven live with a roundtrip each.
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+    assert!(a.status(0).unwrap().is_none());
+    assert!(b.status(0).unwrap().is_none());
+
+    // The third is answered with one ERROR frame and closed.
+    let mut c = TcpStream::connect(server.addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let frame = Frame::read_from(&mut c, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    let Ok(Response::Error { message }) = Response::from_frame(&frame) else {
+        panic!("expected a refusal frame");
+    };
+    assert!(message.contains("connection limit"), "{message}");
+    let mut rest = Vec::new();
+    c.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    let stats = a.stats().unwrap();
+    assert!(stats.contains("connections_refused 1"), "stats:\n{stats}");
+
+    // Freeing a slot readmits new clients.
+    drop(b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if server.metrics().snapshot().connections_live < 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "closed connection never reaped");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut d = Client::connect(server.addr()).unwrap();
+    assert!(d.status(0).unwrap().is_none());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn a_filled_pipeline_window_stalls_and_recovers() {
+    let dir = scratch("window");
+    let server = start_with(
+        &dir,
+        ServeOptions {
+            inflight_window: 2,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Fire a burst of pipelined requests without reading a single
+    // response: the tiny window must stall reads rather than buffer
+    // unboundedly — and every response must still arrive, tagged, once we
+    // start draining.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let tags: Vec<u32> = (0..50u64)
+        .map(|job| client.send(&Request::Status { job }).unwrap())
+        .collect();
+    let mut got = Vec::new();
+    for _ in &tags {
+        let (tag, response) = client.recv().unwrap();
+        assert_eq!(response, Response::Status { status: None });
+        got.push(tag);
+    }
+    assert_eq!(got, tags, "responses arrive in dispatch order");
+
+    assert!(
+        server.metrics().snapshot().window_stalls >= 1,
+        "a 2-deep window under a 50-deep burst must stall at least once"
+    );
+
+    server.shutdown();
+    server.join();
+}
