@@ -10,6 +10,7 @@
 //!
 //! pres serve       --addr 127.0.0.1:7557 --data-dir DIR [--job-workers N]
 //!                  [--frontend sharded|legacy] [--conn-workers N] [--max-connections N]
+//!                  [--journal-batch N] [--journal-batch-usecs N] [--sketch-cache-bytes N]
 //! pres submit      --addr HOST:PORT --bug <id> --sketch sketch.pres [--wait-secs N]
 //!                  [--chunk-bytes N]
 //! pres status      --addr HOST:PORT --job N
@@ -55,6 +56,7 @@ const USAGE: &str = "usage:
   pres serve       [--addr HOST:PORT] [--data-dir DIR] [--job-workers N]
                    [--max-attempts N] [--job-timeout-secs N] [--log-interval-secs N]
                    [--frontend sharded|legacy] [--conn-workers N] [--max-connections N]
+                   [--journal-batch N] [--journal-batch-usecs N] [--sketch-cache-bytes N]
   pres submit      --addr HOST:PORT --bug <id> --sketch FILE [--wait-secs N]
                    [--chunk-bytes N]
   pres status      --addr HOST:PORT --job N
@@ -413,6 +415,15 @@ fn cmd_serve(args: &Args) -> Result<(), UsageError> {
     }
     if let Some(secs) = args.get_parsed::<u64>("job-timeout-secs")? {
         queue.job_timeout = Duration::from_secs(secs);
+    }
+    if let Some(n) = args.get_parsed::<usize>("journal-batch")? {
+        queue.journal_batch = n.max(1);
+    }
+    if let Some(usecs) = args.get_parsed::<u64>("journal-batch-usecs")? {
+        queue.journal_hold = Duration::from_micros(usecs);
+    }
+    if let Some(bytes) = args.get_parsed::<u64>("sketch-cache-bytes")? {
+        queue.sketch_cache_bytes = bytes;
     }
     if let Some(secs) = args.get_parsed::<u64>("log-interval-secs")? {
         opts.log_interval = (secs > 0).then(|| Duration::from_secs(secs));

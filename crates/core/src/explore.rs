@@ -674,10 +674,27 @@ pub fn reproduce_with_oracle_and_pool(
     // sketch is scanned exactly once per reproduction, not once per
     // scheduler construction.
     let index = Arc::new(SketchIndex::new(sketch));
+    reproduce_with_index(program, &index, oracle, vm_config, explore, pool)
+}
+
+/// As [`reproduce_with_oracle_and_pool`], but against a caller-built
+/// [`SketchIndex`]. The index is a pure function of the sketch, so a
+/// caller that runs many reproductions of one sketch (the `pres-svc`
+/// decode cache) can build it once and share it; the search — and the
+/// minted certificate — is byte-identical to the sketch-taking entry
+/// points.
+pub fn reproduce_with_index(
+    program: &dyn Program,
+    index: &Arc<SketchIndex>,
+    oracle: &dyn FailureOracle,
+    vm_config: &VmConfig,
+    explore: &ExploreConfig,
+    pool: Option<&VthreadPool>,
+) -> Reproduction {
     if explore.workers > 1 {
-        reproduce_parallel(program, &index, oracle, vm_config, explore)
+        reproduce_parallel(program, index, oracle, vm_config, explore)
     } else {
-        reproduce_serial(program, &index, oracle, vm_config, explore, pool)
+        reproduce_serial(program, index, oracle, vm_config, explore, pool)
     }
 }
 

@@ -1,0 +1,232 @@
+//! The digest-keyed sketch decode cache.
+//!
+//! Every job execution needs a decoded [`Sketch`] plus the
+//! [`SketchIndex`] the replay schedulers consume. Without a cache the
+//! worker pays `Store::get` (a disk read **and** a full SHA-256
+//! re-verification), a container decode, and an index build for every
+//! try — even when the try is a retry of the same job, a second bug over
+//! the same sketch, or a duplicate submission. Content addressing makes
+//! caching these trivial to get right: a digest's bytes never change, so
+//! a cached decode can never go stale and there is no invalidation
+//! protocol at all — the only policy is eviction.
+//!
+//! The cache is a byte-budgeted LRU. Entries are charged at their
+//! *encoded container length* — a deterministic, already-known proxy for
+//! the decoded footprint (the decoded entry table is proportional to the
+//! container's entry section). A budget of `0` disables the cache
+//! outright, which is the E19 cache-cold baseline and the byte-identity
+//! pin's control arm: hits and misses must produce bit-identical
+//! certificates, and `--sketch-cache-bytes 0` is how the tests prove it.
+//!
+//! Eviction scans for the least-recently-used entry (O(entries) per
+//! eviction). The map holds at most `budget / min_sketch_size` entries —
+//! tens, not thousands — so a scan beats the constant factor and code
+//! weight of an intrusive LRU list at every realistic size.
+
+use crate::digest::Digest;
+use pres_core::sketch::{Sketch, SketchIndex};
+use pres_tvm::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A decoded sketch and its derived replay index, shared immutably
+/// between the cache and every worker using it.
+#[derive(Debug)]
+pub struct CachedSketch {
+    /// The decoded sketch (workers read `meta` for validation).
+    pub sketch: Sketch,
+    /// The index every replay attempt borrows (built once per digest,
+    /// not once per job execution).
+    pub index: Arc<SketchIndex>,
+}
+
+struct Entry {
+    value: Arc<CachedSketch>,
+    charge: u64,
+    /// Logical access clock at last touch; smallest = evict first.
+    stamp: u64,
+}
+
+struct Inner {
+    map: BTreeMap<Digest, Entry>,
+    clock: u64,
+    bytes: u64,
+}
+
+/// A byte-budgeted LRU of `sketch digest → Arc<(Sketch, SketchIndex)>`.
+///
+/// All methods are `&self`; the cache carries its own lock. Counters
+/// (hits/misses/evictions) are the caller's job — [`crate::queue`] bumps
+/// [`crate::metrics::Metrics`] at the call sites — so this type stays a
+/// pure policy container.
+pub struct SketchCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+impl SketchCache {
+    /// A cache holding at most `budget` charged bytes. `0` disables
+    /// caching entirely: every `get` misses, every `insert` is a no-op.
+    pub fn new(budget: u64) -> SketchCache {
+        SketchCache {
+            budget,
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Looks `digest` up, bumping its recency on a hit.
+    pub fn get(&self, digest: &Digest) -> Option<Arc<CachedSketch>> {
+        if self.budget == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.map.get_mut(digest)?;
+        entry.stamp = clock;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Inserts `value` under `digest`, charged at `charge` bytes,
+    /// evicting least-recently-used entries until the budget holds.
+    /// Returns how many entries were evicted. A value larger than the
+    /// whole budget is not cached (and evicts nothing); re-inserting a
+    /// present digest only refreshes its recency (the bytes under a
+    /// digest are immutable, so the values are interchangeable).
+    pub fn insert(&self, digest: Digest, value: Arc<CachedSketch>, charge: u64) -> u64 {
+        if self.budget == 0 || charge > self.budget {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(entry) = inner.map.get_mut(&digest) {
+            entry.stamp = clock;
+            return 0;
+        }
+        let mut evicted = 0;
+        while inner.bytes + charge > self.budget {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(d, _)| *d)
+                .expect("over budget implies a resident entry");
+            let gone = inner.map.remove(&lru).expect("lru key resident");
+            inner.bytes -= gone.charge;
+            evicted += 1;
+        }
+        inner.bytes += charge;
+        inner.map.insert(
+            digest,
+            Entry {
+                value,
+                charge,
+                stamp: clock,
+            },
+        );
+        evicted
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Charged bytes currently resident.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+    use pres_core::sketch::Mechanism;
+
+    fn cached() -> Arc<CachedSketch> {
+        let sketch = Sketch {
+            mechanism: Mechanism::Sync,
+            entries: Vec::new(),
+            meta: Default::default(),
+        };
+        let index = Arc::new(SketchIndex::new(&sketch));
+        Arc::new(CachedSketch { sketch, index })
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let c = SketchCache::new(0);
+        let d = sha256(b"a");
+        assert_eq!(c.insert(d, cached(), 10), 0);
+        assert!(c.get(&d).is_none());
+        assert_eq!((c.len(), c.bytes()), (0, 0));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let c = SketchCache::new(100);
+        let (a, b, d) = (sha256(b"a"), sha256(b"b"), sha256(b"c"));
+        assert_eq!(c.insert(a, cached(), 40), 0);
+        assert_eq!(c.insert(b, cached(), 40), 0);
+        // Touch `a`: `b` becomes the LRU.
+        assert!(c.get(&a).is_some());
+        assert_eq!(c.insert(d, cached(), 40), 1);
+        assert!(c.get(&a).is_some());
+        assert!(c.get(&b).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(&d).is_some());
+        assert_eq!(c.bytes(), 80);
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        let c = SketchCache::new(100);
+        let (a, b) = (sha256(b"a"), sha256(b"big"));
+        c.insert(a, cached(), 60);
+        assert_eq!(c.insert(b, cached(), 101), 0, "must not evict for an uncacheable value");
+        assert!(c.get(&a).is_some());
+        assert!(c.get(&b).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_digest_refreshes_without_double_charging() {
+        let c = SketchCache::new(100);
+        let (a, b, d) = (sha256(b"a"), sha256(b"b"), sha256(b"c"));
+        c.insert(a, cached(), 40);
+        c.insert(b, cached(), 40);
+        // Re-insert `a` (same digest ⇒ interchangeable value): recency
+        // refreshed, bytes unchanged.
+        assert_eq!(c.insert(a, cached(), 40), 0);
+        assert_eq!(c.bytes(), 80);
+        assert_eq!(c.insert(d, cached(), 40), 1);
+        assert!(c.get(&a).is_some());
+        assert!(c.get(&b).is_none());
+    }
+
+    #[test]
+    fn a_single_entry_can_fill_the_whole_budget() {
+        let c = SketchCache::new(50);
+        let (a, b) = (sha256(b"a"), sha256(b"b"));
+        c.insert(a, cached(), 50);
+        assert!(c.get(&a).is_some());
+        // The next full-budget entry evicts the first.
+        assert_eq!(c.insert(b, cached(), 50), 1);
+        assert!(c.get(&a).is_none());
+        assert!(c.get(&b).is_some());
+    }
+}

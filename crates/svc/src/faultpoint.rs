@@ -49,11 +49,20 @@ pub enum FaultPoint {
     JournalWriteTorn,
     /// `journal::append`, frame written but `fdatasync` not yet issued.
     JournalSyncCrash,
+    /// Group commit: the leader claimed a cohort but has not yet written
+    /// any of its bytes — the whole cohort vanishes, none of it acked.
+    JournalCohortWriteCrash,
+    /// Group commit: every cohort frame is written but the cohort's single
+    /// `fdatasync` has not been issued — the batch-boundary twin of
+    /// [`FaultPoint::JournalSyncCrash`]. Nothing in the cohort was acked,
+    /// so the records may surface after replay (as unacknowledged work)
+    /// or not, but never as garbage.
+    JournalCohortSyncCrash,
 }
 
 impl FaultPoint {
     /// Every crash point, in write-path order — the coverage matrix.
-    pub const ALL: [FaultPoint; 8] = [
+    pub const ALL: [FaultPoint; 10] = [
         FaultPoint::StoreStageCrash,
         FaultPoint::StoreStageTorn,
         FaultPoint::StoreTmpSyncCrash,
@@ -62,6 +71,8 @@ impl FaultPoint {
         FaultPoint::JournalWriteCrash,
         FaultPoint::JournalWriteTorn,
         FaultPoint::JournalSyncCrash,
+        FaultPoint::JournalCohortWriteCrash,
+        FaultPoint::JournalCohortSyncCrash,
     ];
 
     /// Stable human-readable name (used in injected-error messages).
@@ -75,6 +86,8 @@ impl FaultPoint {
             FaultPoint::JournalWriteCrash => "journal.append.write",
             FaultPoint::JournalWriteTorn => "journal.append.torn",
             FaultPoint::JournalSyncCrash => "journal.append.sync",
+            FaultPoint::JournalCohortWriteCrash => "journal.commit.cohort-write",
+            FaultPoint::JournalCohortSyncCrash => "journal.commit.cohort-sync",
         }
     }
 

@@ -1,15 +1,39 @@
-//! The append-only job journal.
+//! The append-only job journal, group-committed.
 //!
 //! Every state transition the queue cares about across restarts is one
-//! framed record appended — and `fdatasync`ed — before the transition is
-//! acknowledged: SUBMIT when a job is accepted, RETRY when a job is
-//! requeued after exhausting its attempt budget, RESULT when a job
-//! reaches a terminal status. On startup the queue replays the journal
-//! front to back; a crash can leave at most one partially-written record
-//! at the tail, which replay tolerates by *truncating* it (the
+//! framed record appended — and covered by an `fdatasync` — before the
+//! transition is acknowledged: SUBMIT when a job is accepted, RETRY when
+//! a job is requeued after exhausting its attempt budget, RESULT when a
+//! job reaches a terminal status. On startup the queue replays the
+//! journal front to back; a crash can leave at most one partially-written
+//! record at the tail, which replay tolerates by *truncating* it (the
 //! corresponding transition was never acknowledged, so dropping it is
 //! correct — and physically truncating means later appends land after the
 //! last clean record instead of behind unreadable garbage).
+//!
+//! ## Group commit
+//!
+//! `fdatasync` is the most expensive instruction on the append path, and
+//! it costs the same whether it makes one record durable or sixty-four.
+//! [`Journal::append`] therefore runs the classic WAL group-commit
+//! protocol: an appender encodes its frame, enqueues it under the journal
+//! lock, and blocks on a condvar; the first appender to find no active
+//! leader *becomes* the leader, optionally holds the door open for
+//! [`GroupCommit::max_hold`] so concurrent appenders can join, then
+//! writes every pending frame with one `write` sequence and exactly one
+//! `fdatasync`, and wakes the whole cohort. No appender returns `Ok`
+//! before the sync that covers its record — the PR 6 acknowledgement
+//! contract is unchanged; only the number of syncs per acknowledged
+//! record changes (from 1 to 1/cohort). `GroupCommit { max_records: 1 }`
+//! restores the exact per-record behavior and is the measured baseline
+//! of experiment E19.
+//!
+//! A cohort that fails — torn write, injected crash, real I/O error —
+//! fails *every* member: none were acked, so none may believe they were
+//! made durable. A failure that can leave a partial frame on disk wedges
+//! the journal for this process lifetime (subsequent appends fail fast);
+//! reopening the file is the recovery path, exactly as it is for a real
+//! crash.
 //!
 //! Record framing (format 2, header magic `PSJ2`):
 //!
@@ -32,11 +56,17 @@
 use crate::crc::crc32;
 use crate::digest::Digest;
 use crate::faultpoint::{FaultPoint, Faults};
+use crate::metrics::Metrics;
 use crate::queue::JobStatus;
 use crate::wire::{self, LenOverflow, Reader};
+use pres_tvm::sync::{Condvar, Mutex, MutexGuard};
+use std::collections::{BTreeMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Format-2 header magic.
 pub const MAGIC: [u8; 4] = *b"PSJ2";
@@ -193,11 +223,93 @@ fn parse_v1(data: &[u8], path: &Path) -> io::Result<Parsed> {
     })
 }
 
-/// An open journal, positioned for appends (always format 2).
-#[derive(Debug)]
-pub struct Journal {
+/// Group-commit tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Most records one `fdatasync` may cover. `1` = per-record syncing,
+    /// byte-for-byte the PR 6 append path (and the E19 baseline).
+    pub max_records: usize,
+    /// How long a leader holds the cohort open for concurrent appenders
+    /// to join before it writes and syncs. `0` = never wait: the leader
+    /// commits whatever is already enqueued (opportunistic batching
+    /// only). The hold is cut short the moment the cohort fills.
+    pub max_hold: Duration,
+}
+
+impl Default for GroupCommit {
+    fn default() -> Self {
+        GroupCommit {
+            max_records: 64,
+            max_hold: Duration::from_micros(500),
+        }
+    }
+}
+
+impl GroupCommit {
+    /// The per-record baseline: every append is its own cohort and its
+    /// own `fdatasync` — exactly the pre-group-commit behavior.
+    pub fn per_record() -> Self {
+        GroupCommit {
+            max_records: 1,
+            max_hold: Duration::ZERO,
+        }
+    }
+}
+
+/// One enqueued-but-uncommitted frame.
+struct Pending {
+    seq: u64,
+    frame: Vec<u8>,
+}
+
+/// Everything the commit protocol mutates, under one lock. The file
+/// lives here too: the leader writes and syncs while holding the lock,
+/// which is what makes "one leader at a time" and "file order == seq
+/// order" trivially true. Appenders that arrive during a sync block on
+/// the lock, enqueue the moment it is released, and form the next
+/// cohort — the sync is never idle-waited on.
+struct CommitState {
     file: File,
+    /// Frames appended but not yet claimed by a leader, in seq order.
+    pending: VecDeque<Pending>,
+    /// The next sequence number to hand out (seqs are per-process).
+    next_seq: u64,
+    /// Every seq `<=` this has an outcome (synced, or an entry in
+    /// `failed`).
+    resolved: u64,
+    /// Outcomes of failed cohorts, removed by their owners on observation
+    /// — bounded by the number of appenders currently in flight.
+    failed: BTreeMap<u64, String>,
+    /// A leader is holding the door or writing (lock released during the
+    /// hold, so the flag — not the lock — is what serializes leaders).
+    leader: bool,
+    /// Set when a failed cohort write may have left a partial frame on
+    /// disk: the in-memory append position no longer matches a clean
+    /// file tail, so every later append fails fast until reopen.
+    wedged: Option<String>,
+}
+
+/// An open journal, positioned for appends (always format 2). Appends
+/// take `&self`: the journal owns its synchronization, because the
+/// group-commit protocol *is* that synchronization.
+pub struct Journal {
+    shared: Mutex<CommitState>,
+    /// Woken when a cohort resolves and when the leader role frees up.
+    commit: Condvar,
+    /// Woken when the pending queue fills during a leader's hold window.
+    /// Separate from `commit` so a cohort-full enqueue wakes exactly the
+    /// holding leader, not every parked follower (with tens of
+    /// concurrent appenders that thundering herd is real CPU).
+    hold: Condvar,
     faults: Faults,
+    config: GroupCommit,
+    metrics: Arc<Metrics>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("config", &self.config).finish_non_exhaustive()
+    }
 }
 
 impl Journal {
@@ -216,6 +328,18 @@ impl Journal {
         path: impl AsRef<Path>,
         faults: Faults,
     ) -> io::Result<(Journal, Vec<Record>)> {
+        Journal::open_with(path, faults, GroupCommit::default(), Arc::new(Metrics::new()))
+    }
+
+    /// [`Journal::open`] with everything injectable: crash points,
+    /// group-commit tuning, and the metrics block the commit path counts
+    /// records/syncs/cohorts into (the daemon passes its shared one).
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        faults: Faults,
+        config: GroupCommit,
+        metrics: Arc<Metrics>,
+    ) -> io::Result<(Journal, Vec<Record>)> {
         let path = path.as_ref();
         let mut file = OpenOptions::new()
             .create(true)
@@ -233,7 +357,7 @@ impl Journal {
             if let Some(dir) = path.parent() {
                 let _ = File::open(dir).and_then(|d| d.sync_all());
             }
-            return Ok((Journal { file, faults }, Vec::new()));
+            return Ok((Journal::assemble(file, faults, config, metrics), Vec::new()));
         }
 
         if data.starts_with(&MAGIC) {
@@ -244,7 +368,7 @@ impl Journal {
                 file.set_len(parsed.clean_len)?;
                 file.sync_data()?;
             }
-            return Ok((Journal { file, faults }, parsed.records));
+            return Ok((Journal::assemble(file, faults, config, metrics), parsed.records));
         }
 
         // Legacy format 1: replay tolerantly, then upgrade the file to
@@ -269,27 +393,216 @@ impl Journal {
             let _ = File::open(dir).and_then(|d| d.sync_all());
         }
         let file = OpenOptions::new().read(true).append(true).open(path)?;
-        Ok((Journal { file, faults }, parsed.records))
+        Ok((Journal::assemble(file, faults, config, metrics), parsed.records))
     }
 
-    /// Appends one record and `fdatasync`s it before returning — callers
-    /// may acknowledge the transition the moment this returns `Ok`.
-    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+    fn assemble(file: File, faults: Faults, config: GroupCommit, metrics: Arc<Metrics>) -> Journal {
+        Journal {
+            shared: Mutex::new(CommitState {
+                file,
+                pending: VecDeque::new(),
+                next_seq: 1,
+                resolved: 0,
+                failed: BTreeMap::new(),
+                leader: false,
+                wedged: None,
+            }),
+            commit: Condvar::new(),
+            hold: Condvar::new(),
+            faults,
+            config,
+            metrics,
+        }
+    }
+
+    /// The metrics block the commit path counts into (the journal's own
+    /// unless one was shared via [`Journal::open_with`]).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Appends one record, returning once an `fdatasync` covers it —
+    /// callers may acknowledge the transition the moment this returns
+    /// `Ok`. Concurrent appenders are group-committed: their frames ride
+    /// one cohort and share one sync.
+    pub fn append(&self, record: &Record) -> io::Result<()> {
         let payload = record.encode().map_err(io::Error::from)?;
         let mut framed = Vec::with_capacity(8 + payload.len());
         frame_into(&mut framed, &payload)?;
-        self.faults.check(FaultPoint::JournalWriteCrash)?;
-        if let Some(keep) = self.faults.torn(FaultPoint::JournalWriteTorn, framed.len()) {
-            self.file.write_all(&framed[..keep])?;
-            let _ = self.file.sync_data();
-            return Err(Faults::torn_error(FaultPoint::JournalWriteTorn));
+        self.commit_frames(vec![framed])
+    }
+
+    /// Appends several records as members of the same commit cohort(s):
+    /// they are enqueued atomically and in order, so with
+    /// [`GroupCommit::max_records`] `>=` the batch length they share a
+    /// single `fdatasync`. All-or-nothing acknowledgement: `Ok` means
+    /// every record is covered by a sync; `Err` means none may be
+    /// treated as durable.
+    pub fn append_batch(&self, records: &[Record]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
         }
-        self.file.write_all(&framed)?;
-        self.faults.check(FaultPoint::JournalSyncCrash)?;
+        let mut frames = Vec::with_capacity(records.len());
+        for record in records {
+            let payload = record.encode().map_err(io::Error::from)?;
+            let mut framed = Vec::with_capacity(8 + payload.len());
+            frame_into(&mut framed, &payload)?;
+            frames.push(framed);
+        }
+        self.commit_frames(frames)
+    }
+
+    /// The commit protocol: enqueue `frames`, then wait for their outcome
+    /// — leading (writing cohorts) whenever no other appender is.
+    fn commit_frames(&self, frames: Vec<Vec<u8>>) -> io::Result<()> {
+        let count = frames.len() as u64;
+        let mut shared = self.shared.lock();
+        if let Some(msg) = &shared.wedged {
+            return Err(wedged_error(msg));
+        }
+        let first = shared.next_seq;
+        for frame in frames {
+            let seq = shared.next_seq;
+            shared.next_seq += 1;
+            shared.pending.push_back(Pending { seq, frame });
+        }
+        let last = first + count - 1;
+        if shared.pending.len() >= self.config.max_records {
+            // A leader may be holding the door open for exactly this:
+            // cut its hold short.
+            self.hold.notify_all();
+        }
+        loop {
+            if shared.resolved >= last {
+                return Self::take_outcome(&mut shared, first, last);
+            }
+            if !shared.leader {
+                shared.leader = true;
+                self.lead(&mut shared, last);
+                shared.leader = false;
+                // Wake both cohort members (their outcome is in) and the
+                // next leader candidate (pending may be non-empty).
+                self.commit.notify_all();
+            } else {
+                self.commit.wait(&mut shared);
+            }
+        }
+    }
+
+    /// Runs commit cohorts until every seq up to `upto` has an outcome.
+    /// Called with the `leader` flag held; the lock is released only
+    /// during the hold window (so joiners can enqueue), never during the
+    /// write+sync itself — appenders arriving mid-sync park on the lock
+    /// and form the next cohort the moment it is released.
+    fn lead(&self, shared: &mut MutexGuard<'_, CommitState>, upto: u64) {
+        while shared.resolved < upto && shared.wedged.is_none() {
+            // Hold the door: give concurrent appenders up to `max_hold`
+            // to join this cohort, stopping early once it is full.
+            if !self.config.max_hold.is_zero() && shared.pending.len() < self.config.max_records {
+                let deadline = Instant::now() + self.config.max_hold;
+                while shared.pending.len() < self.config.max_records {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    self.hold.wait_timeout(shared, left);
+                }
+            }
+            let take = shared.pending.len().min(self.config.max_records.max(1));
+            let cohort: Vec<Pending> = shared.pending.drain(..take).collect();
+            let hi = cohort.last().expect("leader leads only with pending frames").seq;
+            match self.write_cohort(shared, &cohort) {
+                Ok(()) => {
+                    self.metrics.journal_records.fetch_add(cohort.len() as u64, Ordering::Relaxed);
+                    self.metrics.journal_syncs.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .journal_cohort_max
+                        .fetch_max(cohort.len() as u64, Ordering::Relaxed);
+                }
+                Err(WriteFailure { error, tail_dirty }) => {
+                    // The cohort was not synced: every member errors, none
+                    // acks. A possibly-partial frame on disk additionally
+                    // wedges the journal — later appends would land behind
+                    // unreadable bytes.
+                    let msg = error.to_string();
+                    for p in &cohort {
+                        shared.failed.insert(p.seq, msg.clone());
+                    }
+                    if tail_dirty {
+                        shared.wedged = Some(msg.clone());
+                        // Unclaimed frames can never be written either.
+                        while let Some(p) = shared.pending.pop_front() {
+                            shared.failed.insert(p.seq, msg.clone());
+                            shared.resolved = shared.resolved.max(p.seq);
+                        }
+                    }
+                }
+            }
+            shared.resolved = shared.resolved.max(hi);
+            self.commit.notify_all();
+        }
+    }
+
+    /// Writes one cohort's frames and issues its single `fdatasync`,
+    /// threading the crash-injection points through: the per-record
+    /// points fire per frame (so a single-record cohort crashes exactly
+    /// like a PR 6 append), the cohort points at the batch boundaries.
+    fn write_cohort(
+        &self,
+        shared: &mut MutexGuard<'_, CommitState>,
+        cohort: &[Pending],
+    ) -> Result<(), WriteFailure> {
+        let clean = |e: io::Error| WriteFailure { error: e, tail_dirty: false };
+        let dirty = |e: io::Error| WriteFailure { error: e, tail_dirty: true };
+        self.faults.check(FaultPoint::JournalCohortWriteCrash).map_err(clean)?;
+        for p in cohort {
+            // Every earlier frame is complete: a crash at this check
+            // leaves whole (if unsynced) records, not a torn tail.
+            self.faults.check(FaultPoint::JournalWriteCrash).map_err(clean)?;
+            if let Some(keep) = self.faults.torn(FaultPoint::JournalWriteTorn, p.frame.len()) {
+                let _ = shared.file.write_all(&p.frame[..keep]);
+                let _ = shared.file.sync_data();
+                return Err(dirty(Faults::torn_error(FaultPoint::JournalWriteTorn)));
+            }
+            shared.file.write_all(&p.frame).map_err(dirty)?;
+        }
+        self.faults.check(FaultPoint::JournalSyncCrash).map_err(clean)?;
+        self.faults.check(FaultPoint::JournalCohortSyncCrash).map_err(clean)?;
         // A buffered flush only reaches the kernel; the acknowledgement
         // contract is power-loss durability, which needs fdatasync.
-        self.file.sync_data()
+        shared.file.sync_data().map_err(clean)
     }
+
+    /// Collects the outcome for seqs `first..=last` once resolved: the
+    /// first failure wins, success otherwise. Failed entries are removed
+    /// here — each seq has exactly one owner — so the map stays bounded
+    /// by the number of in-flight appenders.
+    fn take_outcome(
+        shared: &mut MutexGuard<'_, CommitState>,
+        first: u64,
+        last: u64,
+    ) -> io::Result<()> {
+        let mut outcome = Ok(());
+        for seq in first..=last {
+            if let Some(msg) = shared.failed.remove(&seq) {
+                if outcome.is_ok() {
+                    outcome = Err(io::Error::other(msg));
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// A cohort write error plus whether it may have left a partial frame on
+/// disk (in which case the journal must wedge).
+struct WriteFailure {
+    error: io::Error,
+    tail_dirty: bool,
+}
+
+fn wedged_error(msg: &str) -> io::Error {
+    io::Error::other(format!("journal is wedged by an earlier failed write: {msg}"))
 }
 
 /// Appends one format-2 frame (`len | payload | crc`) to `out`, with the
@@ -306,6 +619,7 @@ fn frame_into(out: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::digest::sha256;
+    use crate::faultpoint::{FaultMode, INJECTED};
     use std::path::PathBuf;
 
     fn scratch(tag: &str) -> PathBuf {
@@ -344,7 +658,7 @@ mod tests {
     }
 
     fn write_all(path: &Path, records: &[Record]) {
-        let (mut j, _) = Journal::open(path).unwrap();
+        let (j, _) = Journal::open(path).unwrap();
         for r in records {
             j.append(r).unwrap();
         }
@@ -409,7 +723,7 @@ mod tests {
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
         let extra = Record::Retry { job: 9, retries: 2 };
         {
-            let (mut j, replayed) = Journal::open(&path).unwrap();
+            let (j, replayed) = Journal::open(&path).unwrap();
             assert_eq!(replayed, records[..records.len() - 1]);
             j.append(&extra).unwrap();
         }
@@ -453,7 +767,7 @@ mod tests {
         let path = scratch("v1-upgrade");
         let records = sample_records();
         std::fs::write(&path, v1_image(&records)).unwrap();
-        let (mut j, replayed) = Journal::open(&path).unwrap();
+        let (j, replayed) = Journal::open(&path).unwrap();
         assert_eq!(replayed, records);
         // The file is now format 2 and keeps working across appends.
         assert!(std::fs::read(&path).unwrap().starts_with(&MAGIC));
@@ -484,6 +798,170 @@ mod tests {
         image[4] = 0xee; // first record's kind byte
         std::fs::write(&path, &image).unwrap();
         assert!(Journal::open(&path).is_err());
+    }
+
+    #[test]
+    fn concurrent_appends_share_syncs_and_all_replay() {
+        let path = scratch("group");
+        let (j, _) = Journal::open_with(
+            &path,
+            Faults::none(),
+            GroupCommit {
+                max_records: 64,
+                max_hold: Duration::from_millis(5),
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let j = Arc::new(j);
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 25;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let j = Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        j.append(&Record::Retry {
+                            job: t * PER_THREAD + i,
+                            retries: 1,
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = j.metrics().snapshot();
+        assert_eq!(snap.journal_records, THREADS * PER_THREAD);
+        assert!(snap.journal_syncs >= 1 && snap.journal_syncs <= snap.journal_records);
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), (THREADS * PER_THREAD) as usize);
+        // Every acked record replays exactly once, whatever the cohorts.
+        let mut jobs: Vec<u64> = replayed
+            .iter()
+            .map(|r| match r {
+                Record::Retry { job, .. } => *job,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        jobs.sort_unstable();
+        assert_eq!(jobs, (0..THREADS * PER_THREAD).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_record_config_syncs_every_append() {
+        let path = scratch("per-record");
+        let (j, _) = Journal::open_with(
+            &path,
+            Faults::none(),
+            GroupCommit::per_record(),
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        for r in &sample_records() {
+            j.append(r).unwrap();
+        }
+        let snap = j.metrics().snapshot();
+        assert_eq!(snap.journal_records, 4);
+        assert_eq!(snap.journal_syncs, 4);
+        assert_eq!(snap.journal_cohort_max, 1);
+    }
+
+    #[test]
+    fn append_batch_commits_one_cohort() {
+        let path = scratch("batch");
+        let (j, _) = Journal::open_with(
+            &path,
+            Faults::none(),
+            GroupCommit {
+                max_records: 64,
+                max_hold: Duration::ZERO,
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let records = sample_records();
+        j.append_batch(&records).unwrap();
+        let snap = j.metrics().snapshot();
+        assert_eq!(snap.journal_records, 4);
+        assert_eq!(snap.journal_syncs, 1);
+        assert_eq!(snap.journal_cohort_max, 4);
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, records);
+    }
+
+    #[test]
+    fn a_torn_cohort_wedges_the_journal_until_reopen() {
+        let path = scratch("wedge");
+        let faults = Faults::new();
+        let (j, _) = Journal::open_with(
+            &path,
+            faults.clone(),
+            GroupCommit {
+                max_records: 64,
+                max_hold: Duration::ZERO,
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let records = sample_records();
+        j.append(&records[0]).unwrap();
+        // Tear the second frame of a three-record cohort: the first
+        // member's bytes are on disk (unsynced), the tail is garbage.
+        faults.arm(FaultPoint::JournalWriteTorn, FaultMode::Torn { keep: 6 }, 2);
+        let err = j.append_batch(&records[1..]).unwrap_err();
+        assert!(err.to_string().contains(INJECTED), "{err}");
+        // Wedged: the in-memory position sits behind torn bytes, so a
+        // later append must refuse rather than write unreadable records.
+        let err = j.append(&records[1]).unwrap_err();
+        assert!(err.to_string().contains("wedged"), "{err}");
+        drop(j);
+        // Reopen = recovery: the torn tail is truncated. The first
+        // cohort frame was written before the tear and never synced, so
+        // it may legitimately survive; no member was acked, and nothing
+        // is garbage.
+        let (j, replayed) = Journal::open(&path).unwrap();
+        assert!(!replayed.is_empty() && replayed[0] == records[0]);
+        assert!(replayed.len() <= 2);
+        j.append(&records[3]).unwrap();
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.last(), Some(&records[3]));
+    }
+
+    #[test]
+    fn a_failed_cohort_fails_every_member() {
+        let path = scratch("cohort-fail");
+        let faults = Faults::new();
+        let (j, _) = Journal::open_with(
+            &path,
+            faults.clone(),
+            GroupCommit {
+                max_records: 64,
+                max_hold: Duration::ZERO,
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let records = sample_records();
+        faults.arm(FaultPoint::JournalCohortSyncCrash, FaultMode::Crash, 1);
+        let err = j.append_batch(&records).unwrap_err();
+        assert!(err.to_string().contains("cohort-sync"), "{err}");
+        assert_eq!(j.metrics().snapshot().journal_syncs, 0);
+        // A sync crash leaves complete frames behind: not wedged, the
+        // journal keeps accepting work.
+        j.append(&records[0]).unwrap();
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        // The unacked cohort's bytes were written (sync was the crash),
+        // so it replays — as unacknowledged work, which is allowed —
+        // followed by the acked append.
+        assert_eq!(replayed.last(), Some(&records[0]));
+        assert_eq!(replayed.len(), records.len() + 1);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! | [`digest`] | SHA-256, in-repo (the workspace is dependency-free) |
 //! | [`crc`] | CRC-32 (IEEE), in-repo — per-record journal checksums |
 //! | [`store`] | content-addressed object store (sketches + certificates) |
-//! | [`journal`] | append-only, crash-tolerant job journal |
+//! | [`journal`] | append-only, crash-tolerant job journal (group commit) |
+//! | [`cache`] | digest-keyed, byte-budgeted sketch decode cache |
 //! | [`queue`] | FIFO job queue: dedup, retries with backoff, timeouts |
 //! | [`metrics`] | atomic counters + latency histogram |
 //! | [`wire`] | byte-level field encoding shared by journal and protocol |
@@ -35,6 +36,7 @@
 //!   acknowledging it, so recovery after a crash is a directory walk plus
 //!   a journal replay — there is no separate index to rebuild or trust.
 
+pub mod cache;
 pub mod client;
 pub mod crc;
 pub mod digest;
@@ -48,9 +50,11 @@ pub mod server;
 pub mod store;
 pub mod wire;
 
+pub use cache::{CachedSketch, SketchCache};
 pub use client::{Client, SubmitReceipt};
 pub use digest::{sha256, Digest, Sha256};
 pub use faultpoint::{FaultMode, FaultPoint, Faults};
+pub use journal::GroupCommit;
 pub use metrics::Metrics;
 pub use proto::{AnyFrame, Frame, Frame2, ProtoError, Request, Response, Severity};
 pub use queue::{JobQueue, JobStatus, QueueConfig};

@@ -49,6 +49,24 @@ pub struct Metrics {
     pub retries: AtomicU64,
     /// Total exploration attempts spent across all jobs.
     pub attempts: AtomicU64,
+    /// Records group-committed to the journal.
+    pub journal_records: AtomicU64,
+    /// `fdatasync` calls the journal issued — one per commit cohort, so
+    /// `journal_records / journal_syncs` is the mean cohort size.
+    pub journal_syncs: AtomicU64,
+    /// Largest cohort a single sync covered (updated with `fetch_max`).
+    pub journal_cohort_max: AtomicU64,
+    /// Journal appends that returned an error (submit refused, or a
+    /// retry/result record lost for this process lifetime) — the "is the
+    /// disk dying?" counter.
+    pub journal_append_failures: AtomicU64,
+    /// Job executions served a decoded sketch + index from the cache
+    /// (no disk read, no SHA-256 re-verify, no decode).
+    pub sketch_cache_hits: AtomicU64,
+    /// Job executions that went to the store and decoded the sketch.
+    pub sketch_cache_misses: AtomicU64,
+    /// Cache entries evicted to fit the byte budget.
+    pub sketch_cache_evictions: AtomicU64,
     /// Submit→terminal-status latency histogram.
     latency: [AtomicU64; LATENCY_BOUNDS_MS.len() + 1],
 }
@@ -87,6 +105,13 @@ impl Metrics {
             jobs_failed: load(&self.jobs_failed),
             retries: load(&self.retries),
             attempts: load(&self.attempts),
+            journal_records: load(&self.journal_records),
+            journal_syncs: load(&self.journal_syncs),
+            journal_cohort_max: load(&self.journal_cohort_max),
+            journal_append_failures: load(&self.journal_append_failures),
+            sketch_cache_hits: load(&self.sketch_cache_hits),
+            sketch_cache_misses: load(&self.sketch_cache_misses),
+            sketch_cache_evictions: load(&self.sketch_cache_evictions),
             latency: std::array::from_fn(|i| load(&self.latency[i])),
         }
     }
@@ -109,6 +134,13 @@ pub struct Snapshot {
     pub jobs_failed: u64,
     pub retries: u64,
     pub attempts: u64,
+    pub journal_records: u64,
+    pub journal_syncs: u64,
+    pub journal_cohort_max: u64,
+    pub journal_append_failures: u64,
+    pub sketch_cache_hits: u64,
+    pub sketch_cache_misses: u64,
+    pub sketch_cache_evictions: u64,
     pub latency: [u64; LATENCY_BOUNDS_MS.len() + 1],
 }
 
@@ -141,6 +173,16 @@ impl Snapshot {
         self.jobs_succeeded + self.jobs_exhausted + self.jobs_timed_out + self.jobs_failed
     }
 
+    /// Mean records per journal `fdatasync` — the group-commit win, as a
+    /// ratio (1.0 = per-record syncing, the PR 6 behavior).
+    pub fn journal_mean_cohort(&self) -> f64 {
+        if self.journal_syncs == 0 {
+            0.0
+        } else {
+            self.journal_records as f64 / self.journal_syncs as f64
+        }
+    }
+
     /// The bucket the `p`th percentile (0 < p <= 100) of observed
     /// latencies falls in.
     pub fn latency_percentile(&self, p: f64) -> LatencyEstimate {
@@ -167,7 +209,7 @@ impl Snapshot {
     /// The compact one-line form used by the periodic server log.
     pub fn log_line(&self) -> String {
         format!(
-            "svc: conns={} (live {} / refused {}) submits={} (dedup {}, streamed {}) done={} (ok {} / exhausted {} / timeout {} / failed {}) retries={} attempts={} stalls={} rejected-frames={} p50={} p95={} p99={}",
+            "svc: conns={} (live {} / refused {}) submits={} (dedup {}, streamed {}) done={} (ok {} / exhausted {} / timeout {} / failed {}) retries={} attempts={} stalls={} rejected-frames={} journal={}r/{}s (mean {:.1}, max {}, failures {}) cache={}h/{}m (evicted {}) p50={} p95={} p99={}",
             self.connections,
             self.connections_live,
             self.connections_refused,
@@ -183,6 +225,14 @@ impl Snapshot {
             self.attempts,
             self.window_stalls,
             self.frames_rejected,
+            self.journal_records,
+            self.journal_syncs,
+            self.journal_mean_cohort(),
+            self.journal_cohort_max,
+            self.journal_append_failures,
+            self.sketch_cache_hits,
+            self.sketch_cache_misses,
+            self.sketch_cache_evictions,
             self.latency_percentile(50.0),
             self.latency_percentile(95.0),
             self.latency_percentile(99.0),
@@ -207,6 +257,14 @@ impl std::fmt::Display for Snapshot {
         writeln!(f, "jobs_failed        {}", self.jobs_failed)?;
         writeln!(f, "retries            {}", self.retries)?;
         writeln!(f, "attempts           {}", self.attempts)?;
+        writeln!(f, "journal_records    {}", self.journal_records)?;
+        writeln!(f, "journal_syncs      {}", self.journal_syncs)?;
+        writeln!(f, "journal_mean_cohort {:.2}", self.journal_mean_cohort())?;
+        writeln!(f, "journal_cohort_max {}", self.journal_cohort_max)?;
+        writeln!(f, "journal_append_failures {}", self.journal_append_failures)?;
+        writeln!(f, "sketch_cache_hits  {}", self.sketch_cache_hits)?;
+        writeln!(f, "sketch_cache_misses {}", self.sketch_cache_misses)?;
+        writeln!(f, "sketch_cache_evictions {}", self.sketch_cache_evictions)?;
         writeln!(f, "latency_p50        {}", self.latency_percentile(50.0))?;
         writeln!(f, "latency_p95        {}", self.latency_percentile(95.0))?;
         writeln!(f, "latency_p99        {}", self.latency_percentile(99.0))?;

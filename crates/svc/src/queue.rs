@@ -8,11 +8,16 @@
 //! a restarted daemon resumes exactly the unfinished work.
 //!
 //! Each worker thread owns one warm [`VthreadPool`] and hands it to every
-//! exploration it runs ([`explore::reproduce_with_oracle_and_pool`]), so
-//! steady-state job turnover performs zero OS thread spawns. Exploration
-//! runs the serial loop (the same path as [`pres_core::Pres::reproduce`]
-//! with default settings), which keeps a daemon-minted certificate
-//! byte-identical to an in-process reproduction of the same sketch.
+//! exploration it runs ([`explore::reproduce_with_index`]), so
+//! steady-state job turnover performs zero OS thread spawns. The decoded
+//! sketch and its replay index come from the digest-keyed
+//! [`SketchCache`], so repeated executions over one sketch (retries,
+//! multi-bug jobs, duplicate submissions) skip the store read, the
+//! SHA-256 re-verification, the decode, and the index build entirely.
+//! Exploration runs the serial loop (the same path as
+//! [`pres_core::Pres::reproduce`] with default settings), which keeps a
+//! daemon-minted certificate byte-identical to an in-process
+//! reproduction of the same sketch — cached or not.
 //!
 //! A job that exhausts its attempt budget is retried with exponential
 //! backoff up to [`QueueConfig::max_retries`] times; each retry offsets
@@ -23,9 +28,10 @@
 //! the jobs they are running, queued jobs stay journaled for the next
 //! start.
 
+use crate::cache::{CachedSketch, SketchCache};
 use crate::digest::Digest;
 use crate::faultpoint::Faults;
-use crate::journal::{Journal, Record};
+use crate::journal::{GroupCommit, Journal, Record};
 use crate::metrics::Metrics;
 use crate::store::Store;
 use crate::wire::{self, Reader};
@@ -33,10 +39,11 @@ use pres_apps::registry::all_bugs;
 use pres_core::codec::decode_sketch;
 use pres_core::explore::{self, ExploreConfig, StopToken};
 use pres_core::oracle::StatusOracle;
+use pres_core::sketch::SketchIndex;
 use pres_tvm::pool::VthreadPool;
 use pres_tvm::sync::{Condvar, Mutex};
 use pres_tvm::vm::VmConfig;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -151,6 +158,16 @@ pub struct QueueConfig {
     pub max_retries: u32,
     /// Backoff before retry `r` is eligible: `retry_backoff << (r - 1)`.
     pub retry_backoff: Duration,
+    /// Most records one journal `fdatasync` may cover (group commit).
+    /// `1` restores per-record syncing — the measured E19 baseline.
+    pub journal_batch: usize,
+    /// How long a commit leader holds a cohort open for concurrent
+    /// appenders to join (`0` = commit immediately; concurrent appends
+    /// still batch opportunistically).
+    pub journal_hold: Duration,
+    /// Byte budget of the digest-keyed sketch decode cache (`0` disables
+    /// it — every execution re-reads, re-verifies, and re-decodes).
+    pub sketch_cache_bytes: u64,
 }
 
 impl Default for QueueConfig {
@@ -161,6 +178,9 @@ impl Default for QueueConfig {
             job_timeout: Duration::from_secs(60),
             max_retries: 2,
             retry_backoff: Duration::from_millis(50),
+            journal_batch: GroupCommit::default().max_records,
+            journal_hold: GroupCommit::default().max_hold,
+            sketch_cache_bytes: 64 << 20,
         }
     }
 }
@@ -179,6 +199,11 @@ struct Shared {
     jobs: BTreeMap<u64, Job>,
     /// `(bug, sketch digest)` → job id: the dedup index.
     dedup: BTreeMap<(String, Digest), u64>,
+    /// `(bug, sketch digest)` keys whose SUBMIT record is being journaled
+    /// right now. A concurrent duplicate submit must wait for the
+    /// original's sync (joining it before would acknowledge a job whose
+    /// record may never become durable) — see [`JobQueue::submit`].
+    submit_inflight: BTreeSet<(String, Digest)>,
     /// Ready-to-run job ids, FIFO.
     ready: VecDeque<u64>,
     /// Backoff parking lot: `(eligible_at, job id)`, unordered (scanned).
@@ -194,8 +219,14 @@ pub struct JobQueue {
     shared: Mutex<Shared>,
     work_ready: Condvar,
     idle: Condvar,
-    journal: Mutex<Journal>,
+    /// Woken when an in-flight submit settles (journaled or failed).
+    submit_settled: Condvar,
+    /// The journal owns its own synchronization (the group-commit
+    /// protocol), so concurrent submitters and workers append without an
+    /// outer lock — that is what lets their records share cohorts.
+    journal: Journal,
     store: Arc<Store>,
+    cache: SketchCache,
     metrics: Arc<Metrics>,
     config: QueueConfig,
 }
@@ -223,10 +254,16 @@ impl JobQueue {
         config: QueueConfig,
         faults: Faults,
     ) -> io::Result<JobQueue> {
-        let (journal, records) = Journal::open_with_faults(journal_path, faults)?;
+        let group = GroupCommit {
+            max_records: config.journal_batch.max(1),
+            max_hold: config.journal_hold,
+        };
+        let (journal, records) =
+            Journal::open_with(journal_path, faults, group, Arc::clone(&metrics))?;
         let mut shared = Shared {
             jobs: BTreeMap::new(),
             dedup: BTreeMap::new(),
+            submit_inflight: BTreeSet::new(),
             ready: VecDeque::new(),
             parked: Vec::new(),
             next_id: 1,
@@ -274,11 +311,18 @@ impl JobQueue {
             shared: Mutex::new(shared),
             work_ready: Condvar::new(),
             idle: Condvar::new(),
-            journal: Mutex::new(journal),
+            submit_settled: Condvar::new(),
+            journal,
             store,
+            cache: SketchCache::new(config.sketch_cache_bytes),
             metrics,
             config,
         })
+    }
+
+    /// The decode cache (read-mostly introspection for tests and stats).
+    pub fn cache(&self) -> &SketchCache {
+        &self.cache
     }
 
     /// The store this queue resolves sketches from and mints certificates
@@ -289,26 +333,57 @@ impl JobQueue {
 
     /// Submits a job. Returns `(job id, freshly created?)`; a duplicate
     /// `(bug, sketch)` joins the existing job whatever its state.
+    ///
+    /// The journal append runs *outside* the queue lock — that is what
+    /// lets concurrent submits ride one group-commit cohort and share a
+    /// single `fdatasync` instead of serializing on it. The job becomes
+    /// visible (dedup-joinable, claimable) only after its SUBMIT record
+    /// is covered by a sync; a concurrent duplicate arriving in that
+    /// window waits for the original to settle rather than acking a job
+    /// whose durability is still in flight.
     pub fn submit(&self, bug: &str, sketch: Digest) -> io::Result<(u64, bool)> {
-        let mut s = self.shared.lock();
-        if let Some(&existing) = s.dedup.get(&(bug.to_string(), sketch)) {
-            self.metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((existing, false));
-        }
-        if s.draining {
-            return Err(io::Error::new(
-                io::ErrorKind::ConnectionRefused,
-                "daemon is draining; not accepting new jobs",
-            ));
-        }
-        let id = s.next_id;
-        s.next_id += 1;
-        self.journal.lock().append(&Record::Submit {
+        let key = (bug.to_string(), sketch);
+        let id = loop {
+            let mut s = self.shared.lock();
+            if let Some(&existing) = s.dedup.get(&key) {
+                self.metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((existing, false));
+            }
+            if s.draining {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "daemon is draining; not accepting new jobs",
+                ));
+            }
+            if s.submit_inflight.contains(&key) {
+                // The same (bug, sketch) is being journaled right now:
+                // wait for its outcome, then re-evaluate (dedup hit if
+                // it succeeded, fresh submit if it failed).
+                self.submit_settled.wait(&mut s);
+                continue;
+            }
+            let id = s.next_id;
+            s.next_id += 1;
+            s.submit_inflight.insert(key.clone());
+            break id;
+        };
+        let appended = self.journal.append(&Record::Submit {
             job: id,
             bug: bug.to_string(),
             sketch,
-        })?;
-        s.dedup.insert((bug.to_string(), sketch), id);
+        });
+        let mut s = self.shared.lock();
+        s.submit_inflight.remove(&key);
+        if let Err(e) = appended {
+            // The record is not durable, so the job must not exist: an
+            // acknowledgement here would promise a durability the
+            // journal no longer has.
+            self.metrics.journal_append_failures.fetch_add(1, Ordering::Relaxed);
+            drop(s);
+            self.submit_settled.notify_all();
+            return Err(e);
+        }
+        s.dedup.insert(key, id);
         s.jobs.insert(
             id,
             Job {
@@ -320,6 +395,7 @@ impl JobQueue {
         );
         s.ready.push_back(id);
         drop(s);
+        self.submit_settled.notify_all();
         self.work_ready.notify_one();
         Ok((id, true))
     }
@@ -401,6 +477,48 @@ impl JobQueue {
         }
     }
 
+    /// Loads `digest`'s decoded sketch + replay index, from the cache
+    /// when resident, from the store (read + SHA-256 verify + decode +
+    /// index build) otherwise. The decode is a pure function of the
+    /// digest's immutable bytes, so a hit is observationally identical
+    /// to a miss — that is the byte-identity pin `tests/svc_cache.rs`
+    /// holds the daemon to.
+    fn load_sketch(&self, digest: &Digest) -> Result<Arc<CachedSketch>, JobStatus> {
+        if let Some(cached) = self.cache.get(digest) {
+            self.metrics.sketch_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached);
+        }
+        self.metrics.sketch_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let data = match self.store.get(digest) {
+            Ok(Some(data)) => data,
+            Ok(None) => {
+                return Err(JobStatus::Failed {
+                    message: format!("sketch {digest} not in store"),
+                })
+            }
+            Err(e) => {
+                return Err(JobStatus::Failed {
+                    message: format!("sketch {digest}: {e}"),
+                })
+            }
+        };
+        let sketch = match decode_sketch(&data) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(JobStatus::Failed {
+                    message: format!("sketch {digest} does not decode: {e}"),
+                })
+            }
+        };
+        let index = Arc::new(SketchIndex::new(&sketch));
+        let cached = Arc::new(CachedSketch { sketch, index });
+        // Charged at the encoded length — known without a deep-size
+        // walk, and proportional to the decoded footprint.
+        let evicted = self.cache.insert(*digest, Arc::clone(&cached), data.len() as u64);
+        self.metrics.sketch_cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(cached)
+    }
+
     /// Runs one exploration try for `job`.
     fn execute(&self, job: &Job, retries: u32, pool: &VthreadPool) -> JobStatus {
         let Some(bug) = all_bugs().into_iter().find(|b| b.id == job.bug) else {
@@ -409,27 +527,11 @@ impl JobQueue {
             };
         };
         let program = bug.program();
-        let data = match self.store.get(&job.sketch) {
-            Ok(Some(data)) => data,
-            Ok(None) => {
-                return JobStatus::Failed {
-                    message: format!("sketch {} not in store", job.sketch),
-                }
-            }
-            Err(e) => {
-                return JobStatus::Failed {
-                    message: format!("sketch {}: {e}", job.sketch),
-                }
-            }
+        let cached = match self.load_sketch(&job.sketch) {
+            Ok(cached) => cached,
+            Err(status) => return status,
         };
-        let sketch = match decode_sketch(&data) {
-            Ok(s) => s,
-            Err(e) => {
-                return JobStatus::Failed {
-                    message: format!("sketch {} does not decode: {e}", job.sketch),
-                }
-            }
-        };
+        let sketch = &cached.sketch;
         if sketch.meta.program != program.name() {
             return JobStatus::Failed {
                 message: format!(
@@ -459,9 +561,12 @@ impl JobQueue {
             .base_seed
             .wrapping_add(u64::from(retries).wrapping_mul(0x9e37_79b9));
 
-        let repro = explore::reproduce_with_oracle_and_pool(
+        // The cached index is exactly what `reproduce_with_oracle_and_pool`
+        // would build from the sketch, so the search — and the minted
+        // certificate — is byte-identical to the uncached path.
+        let repro = explore::reproduce_with_index(
             program.as_ref(),
-            &sketch,
+            &cached.index,
             &StatusOracle::new(&sketch.meta.failure_signature),
             &VmConfig::default(),
             &explore,
@@ -502,10 +607,13 @@ impl JobQueue {
             JobStatus::Exhausted { .. } if retries < self.config.max_retries => {
                 let retries = retries + 1;
                 self.metrics.retries.fetch_add(1, Ordering::Relaxed);
-                if let Err(e) = self.journal.lock().append(&Record::Retry { job: id, retries }) {
+                if let Err(e) = self.journal.append(&Record::Retry { job: id, retries }) {
                     // A lost RETRY record only costs seed-offset fidelity
                     // after a crash (the job replays as retry 0); requeue
-                    // regardless — dropping the job would be worse.
+                    // regardless — dropping the job would be worse. But a
+                    // failing journal is an operator's problem either
+                    // way: count it where STATS can surface it.
+                    self.metrics.journal_append_failures.fetch_add(1, Ordering::Relaxed);
                     eprintln!("pres-svc: journal append (retry, job {id}) failed: {e}");
                 }
                 let backoff = self.config.retry_backoff * 2u32.pow(retries - 1);
@@ -536,10 +644,11 @@ impl JobQueue {
         // lifetime (the work is done and the certificate, if any, is
         // already content-addressed in the store); a restart re-runs the
         // job and converges on the identical result.
-        if let Err(e) = self.journal.lock().append(&Record::Result {
+        if let Err(e) = self.journal.append(&Record::Result {
             job: id,
             status: next.clone(),
         }) {
+            self.metrics.journal_append_failures.fetch_add(1, Ordering::Relaxed);
             eprintln!("pres-svc: journal append (result, job {id}) failed: {e}");
         }
         let mut s = self.shared.lock();

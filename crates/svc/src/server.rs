@@ -38,6 +38,20 @@
 //! benchmark measures against and as the historically simplest reference
 //! implementation of the protocol.
 //!
+//! ## Hot-path economics
+//!
+//! Two costs dominate a loaded daemon and both are amortized here rather
+//! than paid per request. Every state transition is journaled, but the
+//! journal group-commits ([`crate::journal::GroupCommit`], tuned by
+//! `--journal-batch` / `--journal-batch-usecs`): concurrent submits from
+//! the connection workers land in one cohort and share a single
+//! `fdatasync`, with no record acknowledged before its cohort is on disk.
+//! Every execution needs a decoded sketch plus its replay index, but
+//! repeat executions of a digest are served from the queue's
+//! byte-budgeted decode cache ([`crate::cache::SketchCache`], tuned by
+//! `--sketch-cache-bytes`) instead of re-reading and re-indexing from the
+//! store.
+//!
 //! Shutdown — whether from [`Server::shutdown`] or a SHUTDOWN frame — is a
 //! drain: the queue stops accepting, running jobs finish, queued jobs stay
 //! journaled for the next start, and [`Server::join`] returns once every

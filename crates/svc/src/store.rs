@@ -25,6 +25,11 @@
 //!
 //! Each fallible step is guarded by a [`Faults`] crash point so tests can
 //! stop the sequence at any link and assert what a restart observes.
+//!
+//! Immutability is also what makes the queue's decode cache
+//! ([`crate::cache::SketchCache`]) sound: a digest's bytes never change,
+//! so a hot sketch skips [`Store::get`] — and the read + hash-verify +
+//! decode behind it — entirely, with no invalidation protocol needed.
 
 use crate::digest::{sha256, Digest, Sha256};
 use crate::faultpoint::{FaultPoint, Faults};

@@ -61,7 +61,11 @@ fn store_matrix() -> Vec<(FaultPoint, FaultMode, bool)> {
 
 /// The journal half: every point interrupts the append of a second
 /// record. `keep: 6` leaves a plausible length prefix plus partial
-/// payload — the torn shape only the CRC trailer can unmask.
+/// payload — the torn shape only the CRC trailer can unmask. The cohort
+/// points are the group-commit batch boundaries: before any cohort byte
+/// is written, and between the cohort write and its single `fdatasync`
+/// (a single-record append is a one-member cohort, so they fire on plain
+/// `append` too).
 fn journal_matrix() -> Vec<(FaultPoint, FaultMode)> {
     vec![
         (FaultPoint::JournalWriteCrash, FaultMode::Crash),
@@ -70,6 +74,8 @@ fn journal_matrix() -> Vec<(FaultPoint, FaultMode)> {
             FaultMode::Torn { keep: 6 },
         ),
         (FaultPoint::JournalSyncCrash, FaultMode::Crash),
+        (FaultPoint::JournalCohortWriteCrash, FaultMode::Crash),
+        (FaultPoint::JournalCohortSyncCrash, FaultMode::Crash),
     ]
 }
 
@@ -170,7 +176,7 @@ fn journal_append_recovers_from_a_crash_at_every_point() {
         let path = dir.join("journal.log");
 
         let faults = Faults::new();
-        let (mut journal, records) =
+        let (journal, records) =
             Journal::open_with_faults(&path, faults.clone()).expect("fresh journal opens");
         assert!(records.is_empty());
         journal.append(&first).expect("unarmed append succeeds");
@@ -185,13 +191,13 @@ fn journal_append_recovers_from_a_crash_at_every_point() {
         drop(journal);
 
         // Restart. The acknowledged record must be there; the interrupted
-        // one may be (sync-crash: bytes written, fdatasync lost) or not
-        // (write-crash, torn write) — but never as garbage.
-        let (mut journal, records) = Journal::open(&path).expect("journal reopens after crash");
+        // one may be (sync-crash points: bytes written, fdatasync lost)
+        // or not (write-crash points, torn write) — but never as garbage.
+        let (journal, records) = Journal::open(&path).expect("journal reopens after crash");
         assert!(!records.is_empty() && records[0] == first,
             "{}: acknowledged record lost", point.name());
         match point {
-            FaultPoint::JournalSyncCrash => {
+            FaultPoint::JournalSyncCrash | FaultPoint::JournalCohortSyncCrash => {
                 assert_eq!(records, vec![first.clone(), second.clone()]);
             }
             _ => assert_eq!(records, vec![first.clone()], "{}: phantom record", point.name()),
@@ -202,6 +208,71 @@ fn journal_append_recovers_from_a_crash_at_every_point() {
         drop(journal);
         let (_, records) = Journal::open(&path).unwrap();
         assert_eq!(records.last(), Some(&third), "{}: post-crash append lost", point.name());
+    }
+}
+
+/// The batch-boundary invariants for *multi-record* cohorts: a cohort
+/// that crashes between claim and write vanishes wholesale; one that
+/// crashes between write and sync may replay wholesale (its bytes are on
+/// disk, unsynced) — but either way no member was acknowledged, every
+/// appender got the error, and nothing replays as garbage or out of
+/// order.
+#[test]
+fn a_crashed_cohort_is_all_unacked_and_never_garbage() {
+    use pres_suite::svc::journal::GroupCommit;
+    use pres_suite::svc::Metrics;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let acked = Record::Submit {
+        job: 1,
+        bug: "pbzip-order".into(),
+        sketch: sha256(b"acked"),
+    };
+    let cohort = [
+        Record::Retry { job: 1, retries: 1 },
+        Record::Result {
+            job: 1,
+            status: JobStatus::Exhausted { attempts: 3 },
+        },
+        Record::Retry { job: 2, retries: 2 },
+    ];
+    for (point, surfaces) in [
+        (FaultPoint::JournalCohortWriteCrash, false),
+        (FaultPoint::JournalCohortSyncCrash, true),
+    ] {
+        let dir = scratch(&format!("cohort-{}", point.name().replace('.', "-")));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.log");
+        let faults = Faults::new();
+        let (journal, _) = Journal::open_with(
+            &path,
+            faults.clone(),
+            GroupCommit {
+                max_records: 64,
+                max_hold: Duration::ZERO,
+            },
+            Arc::new(Metrics::new()),
+        )
+        .expect("journal opens");
+        journal.append(&acked).expect("unarmed append succeeds");
+        faults.arm(point, FaultMode::Crash, 1);
+        let err = journal
+            .append_batch(&cohort)
+            .expect_err("armed cohort commit crashes");
+        assert!(err.to_string().contains(INJECTED), "{}: {err}", point.name());
+        assert!(faults.fired(), "{}: fault never hit", point.name());
+        drop(journal);
+
+        let (_, records) = Journal::open(&path).expect("journal reopens after cohort crash");
+        assert_eq!(records.first(), Some(&acked), "{}: acked record lost", point.name());
+        if surfaces {
+            // Written-but-unsynced: the whole cohort may replay, intact
+            // and in order — unacknowledged work, never phantoms.
+            assert_eq!(records[1..], cohort, "{}: cohort mangled", point.name());
+        } else {
+            assert_eq!(records.len(), 1, "{}: phantom cohort records", point.name());
+        }
     }
 }
 
