@@ -57,15 +57,21 @@ const USAGE: &str = "usage:
                    [--max-attempts N] [--job-timeout-secs N] [--log-interval-secs N]
                    [--frontend sharded|legacy] [--conn-workers N] [--max-connections N]
                    [--journal-batch N] [--journal-batch-usecs N] [--sketch-cache-bytes N]
+                   [--peer HOST:PORT]... [--advertise HOST:PORT] [--replicas N]
+                   [--auth-token SECRET]
   pres submit      --addr HOST:PORT --bug <id> --sketch FILE [--wait-secs N]
-                   [--chunk-bytes N]
-  pres status      --addr HOST:PORT --job N
-  pres fetch-cert  --addr HOST:PORT --job N [--out FILE]
-  pres shutdown    --addr HOST:PORT
-  pres fsck        --data-dir DIR";
+                   [--chunk-bytes N] [--auth-token SECRET] [--connect-attempts N]
+  pres status      --addr HOST:PORT --job N [--auth-token SECRET]
+  pres fetch-cert  --addr HOST:PORT --job N [--out FILE] [--auth-token SECRET]
+  pres stats       --addr HOST:PORT [--auth-token SECRET]
+  pres shutdown    --addr HOST:PORT [--auth-token SECRET]
+  pres fsck        --data-dir DIR [--self HOST:PORT --peer HOST:PORT...
+                   [--replicas N] [--auth-token SECRET]]";
 
 fn main() -> ExitCode {
-    let args = match Args::parse(std::env::args().skip(1)) {
+    // `--peer` repeats (one occurrence per cluster peer); everything else
+    // keeps the duplicate-flag typo check.
+    let args = match Args::parse_with_repeats(std::env::args().skip(1), &["peer"]) {
         Ok(a) => a,
         Err(e) => return fail(&e.to_string()),
     };
@@ -80,6 +86,7 @@ fn main() -> ExitCode {
         Some("submit") => cmd_submit(&args),
         Some("status") => cmd_status(&args),
         Some("fetch-cert") => cmd_fetch_cert(&args),
+        Some("stats") => cmd_stats(&args),
         Some("shutdown") => cmd_shutdown(&args),
         Some("fsck") => cmd_fsck(&args),
         Some(other) => Err(UsageError(format!("unknown command '{other}'\n{USAGE}"))),
@@ -395,7 +402,20 @@ fn io_err(context: &str, e: std::io::Error) -> UsageError {
 
 fn connect(args: &Args) -> Result<Client, UsageError> {
     let addr = args.required("addr")?;
-    Client::connect(&addr).map_err(|e| io_err(&format!("cannot connect to {addr}"), e))
+    let attempts: u32 = args
+        .get_parsed("connect-attempts")?
+        .unwrap_or(pres_svc::client::DEFAULT_CONNECT_ATTEMPTS)
+        .max(1);
+    let token = args.get("auth-token");
+    let mut client =
+        Client::connect_with_retry(&addr, attempts, pres_svc::client::DEFAULT_CONNECT_BACKOFF)
+            .map_err(|e| io_err(&format!("cannot connect to {addr}"), e))?;
+    if let Some(token) = token {
+        client
+            .hello(token.as_bytes())
+            .map_err(|e| io_err("authentication failed", e))?;
+    }
+    Ok(client)
 }
 
 fn cmd_serve(args: &Args) -> Result<(), UsageError> {
@@ -445,11 +465,18 @@ fn cmd_serve(args: &Args) -> Result<(), UsageError> {
     if let Some(n) = args.get_parsed::<usize>("max-connections")? {
         opts.max_connections = n.max(1);
     }
+    opts.peers = args.get_all("peer");
+    opts.advertise = args.get("advertise");
+    opts.auth_token = args.get("auth-token");
+    if let Some(n) = args.get_parsed::<usize>("replicas")? {
+        opts.replicas = n.max(1);
+    }
     opts.queue = queue;
     args.finish()?;
 
     let data_dir = opts.data_dir.clone();
     let workers = opts.queue.workers;
+    let peer_count = opts.peers.len();
     let server = Server::start(opts).map_err(|e| io_err("cannot start daemon", e))?;
     println!(
         "pres-svc listening on {} (data dir {}, {} job worker(s))",
@@ -457,6 +484,14 @@ fn cmd_serve(args: &Args) -> Result<(), UsageError> {
         data_dir.display(),
         workers
     );
+    if let Some(cluster) = server.cluster() {
+        println!(
+            "cluster member {} ({} node(s), {} replica(s) per object)",
+            cluster.self_id(),
+            1 + peer_count,
+            cluster.replicas()
+        );
+    }
     // Runs until a SHUTDOWN frame arrives; `pres shutdown --addr ...` is
     // the remote off switch.
     server.join();
@@ -534,6 +569,14 @@ fn cmd_fetch_cert(args: &Args) -> Result<(), UsageError> {
     Ok(())
 }
 
+fn cmd_stats(args: &Args) -> Result<(), UsageError> {
+    let mut client = connect(args)?;
+    args.finish()?;
+    let text = client.stats().map_err(|e| io_err("stats failed", e))?;
+    println!("{text}");
+    Ok(())
+}
+
 fn cmd_shutdown(args: &Args) -> Result<(), UsageError> {
     let mut client = connect(args)?;
     args.finish()?;
@@ -544,7 +587,16 @@ fn cmd_shutdown(args: &Args) -> Result<(), UsageError> {
 
 fn cmd_fsck(args: &Args) -> Result<(), UsageError> {
     let data_dir: std::path::PathBuf = args.required("data-dir")?.into();
+    let peers = args.get_all("peer");
+    let self_id = args.get("self");
+    let auth_token = args.get("auth-token");
+    let replicas: Option<usize> = args.get_parsed("replicas")?;
     args.finish()?;
+    if !peers.is_empty() && self_id.is_none() {
+        return Err(UsageError(
+            "--peer requires --self HOST:PORT (this data dir's ring identity)".into(),
+        ));
+    }
     // Offline check: run it against a *stopped* daemon's data directory
     // (a live daemon quarantines on read and fscks at startup anyway).
     let (store, objects) = pres_svc::Store::open(data_dir.join("store"))
@@ -554,6 +606,37 @@ fn cmd_fsck(args: &Args) -> Result<(), UsageError> {
         "store: {objects} object(s), {} verified, {} quarantined",
         report.verified, report.quarantined
     );
+    // Cluster mode: repair replication against live peers, then report
+    // this node's share of the ring. Under-replication the pass could
+    // not cure (an owner offline) is an error — operators script on the
+    // exit code.
+    let mut unhealthy = None;
+    if let Some(self_id) = self_id {
+        let mut config = pres_svc::ClusterConfig::new(self_id, peers);
+        config.auth_token = auth_token;
+        if let Some(n) = replicas {
+            config.replicas = n.max(1);
+        }
+        let cluster = pres_svc::Cluster::new(config, std::sync::Arc::new(pres_svc::Metrics::new()));
+        let repair = cluster
+            .repair(&store)
+            .map_err(|e| io_err("cluster repair failed", e))?;
+        let (primary, replica, foreign) = cluster
+            .census(&store)
+            .map_err(|e| io_err("cluster census failed", e))?;
+        println!(
+            "cluster: {} owned as primary, {replica} as replica, {foreign} foreign (N={})",
+            primary,
+            cluster.replicas()
+        );
+        println!(
+            "repair: {} pulled, {} pushed, {} under-replicated, {} peer(s) unreachable",
+            repair.pulled, repair.pushed, repair.under_replicated, repair.peers_unreachable
+        );
+        if !repair.healthy() {
+            unhealthy = Some(repair);
+        }
+    }
     let journal_path = data_dir.join("journal.log");
     if journal_path.exists() {
         let (_, records) = pres_svc::journal::Journal::open(&journal_path)
@@ -578,6 +661,12 @@ fn cmd_fsck(args: &Args) -> Result<(), UsageError> {
             "{} corrupt object(s) moved to {}",
             report.quarantined,
             store.quarantine_dir().display()
+        )));
+    }
+    if let Some(repair) = unhealthy {
+        return Err(UsageError(format!(
+            "replication invariant not restored: {} under-replicated object(s), {} peer(s) unreachable",
+            repair.under_replicated, repair.peers_unreachable
         )));
     }
     println!("fsck clean");

@@ -12,12 +12,21 @@
 
 use crate::digest::Digest;
 use crate::proto::{
-    AnyFrame, ProtoError, Request, Response, DEFAULT_CHUNK_BYTES, DEFAULT_MAX_FRAME,
+    AnyFrame, PeerJob, ProtoError, Request, Response, DEFAULT_CHUNK_BYTES, DEFAULT_MAX_FRAME,
 };
 use crate::queue::JobStatus;
 use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Default attempt count for [`Client::connect_with_retry`]: with the
+/// default base backoff the last attempt lands ~3 s after the first —
+/// enough to ride out a daemon restart, short enough to fail a dead
+/// address promptly.
+pub const DEFAULT_CONNECT_ATTEMPTS: u32 = 6;
+/// Default base backoff for [`Client::connect_with_retry`]; doubles per
+/// attempt (100 ms, 200 ms, 400 ms, ...).
+pub const DEFAULT_CONNECT_BACKOFF: Duration = Duration::from_millis(100);
 
 /// What a submit returned: the job joined (created or existing) and how
 /// the dedup went.
@@ -67,6 +76,32 @@ impl Client {
             next_tag: 0,
             v1: false,
         })
+    }
+
+    /// [`Client::connect`], retried with bounded exponential backoff: up
+    /// to `attempts` tries, sleeping `base_backoff * 2^i` (capped at 2 s)
+    /// between them. A refused connection during a daemon restart is the
+    /// expected case — peers reconnecting and CLI commands racing a
+    /// `serve` both land here; only a persistently dead address errors.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        attempts: u32,
+        base_backoff: Duration,
+    ) -> io::Result<Client> {
+        let attempts = attempts.max(1);
+        let mut backoff = base_backoff;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(2));
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no connect attempts made")))
     }
 
     /// Switches this connection to the legacy v1 dialect: untagged frames,
@@ -275,6 +310,133 @@ impl Client {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected response to shutdown: {other:?}"),
+            )),
+        }
+    }
+
+    /// Authenticates the connection with the daemon's shared secret.
+    /// Must be the first request when the daemon runs with
+    /// `--auth-token`; harmless (answered `HelloOk`) when it runs open.
+    pub fn hello(&mut self, token: &[u8]) -> io::Result<()> {
+        match self.roundtrip(&Request::Hello {
+            token: token.to_vec(),
+        })? {
+            Response::HelloOk => Ok(()),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to hello: {other:?}"),
+            )),
+        }
+    }
+
+    /// Streams an object (which must hash to `digest`) to a peer's local
+    /// store over the chunked path. Returns `fresh` (`false` = the peer
+    /// already held it). Requires v2.
+    pub fn peer_put(&mut self, digest: &Digest, reader: &mut impl Read) -> io::Result<bool> {
+        if self.v1 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "peer object transfer requires protocol v2",
+            ));
+        }
+        let tag = self.take_tag();
+        self.write_tagged(tag, &Request::PeerPutBegin { digest: *digest })?;
+        let mut buf = vec![0u8; self.chunk_bytes];
+        loop {
+            let n = match reader.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            self.write_tagged(
+                tag,
+                &Request::SubmitChunk {
+                    data: buf[..n].to_vec(),
+                },
+            )?;
+        }
+        self.write_tagged(tag, &Request::SubmitEnd)?;
+        match self.recv_expect(tag)? {
+            Response::PeerPut {
+                digest: echoed,
+                fresh,
+            } => {
+                if echoed != *digest {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "peer acknowledged a different digest than was sent",
+                    ));
+                }
+                Ok(fresh)
+            }
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to peer-put: {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches a peer's local copy of an object (`None` = it has none).
+    pub fn peer_get(&mut self, digest: &Digest) -> io::Result<Option<Vec<u8>>> {
+        match self.roundtrip(&Request::PeerGet { digest: *digest })? {
+            Response::PeerObject { body } => Ok(body),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to peer-get: {other:?}"),
+            )),
+        }
+    }
+
+    /// Whether a peer holds a local copy of `digest`.
+    pub fn peer_stat(&mut self, digest: &Digest) -> io::Result<bool> {
+        match self.roundtrip(&Request::PeerStat { digest: *digest })? {
+            Response::PeerStatIs { present } => Ok(present),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to peer-stat: {other:?}"),
+            )),
+        }
+    }
+
+    /// Every digest in a peer's local store.
+    pub fn peer_list(&mut self) -> io::Result<Vec<Digest>> {
+        match self.roundtrip(&Request::PeerList)? {
+            Response::PeerDigests { digests } => Ok(digests),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to peer-list: {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks a peer for up to `max` of its queued jobs.
+    pub fn peer_steal(&mut self, max: u32) -> io::Result<Vec<PeerJob>> {
+        match self.roundtrip(&Request::PeerSteal { max })? {
+            Response::PeerJobs { jobs } => Ok(jobs),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to peer-steal: {other:?}"),
+            )),
+        }
+    }
+
+    /// Reports a stolen job's terminal status back to its origin.
+    /// Returns whether the origin accepted it (a `false` means the lease
+    /// expired and the origin re-queued the job — not an error).
+    pub fn peer_done(&mut self, job: u64, status: JobStatus) -> io::Result<bool> {
+        match self.roundtrip(&Request::PeerDone { job, status })? {
+            Response::PeerDoneOk { accepted } => Ok(accepted),
+            Response::Error { message } => Err(server_error(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to peer-done: {other:?}"),
             )),
         }
     }

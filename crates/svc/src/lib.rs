@@ -21,6 +21,7 @@
 //! | [`proto`] | length-prefixed framed protocol (versioned, size-capped) |
 //! | [`netpoll`] | std-only `poll(2)` shim for the connection workers |
 //! | [`server`] | the daemon: accept loop, connection workers, lifecycle |
+//! | [`cluster`] | rendezvous-hashed sharding, N-way replication, stealing |
 //! | [`client`] | the client the CLI and the tests both use |
 //! | [`faultpoint`] | deterministic crash injection for durability tests |
 //!
@@ -38,6 +39,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod crc;
 pub mod digest;
 pub mod faultpoint;
@@ -51,6 +53,7 @@ pub mod store;
 pub mod wire;
 
 pub use cache::{CachedSketch, SketchCache};
+pub use cluster::{Cluster, ClusterConfig, ObjectRole, RepairReport};
 pub use client::{Client, SubmitReceipt};
 pub use digest::{sha256, Digest, Sha256};
 pub use faultpoint::{FaultMode, FaultPoint, Faults};

@@ -37,6 +37,22 @@
 //! only `SUBMIT_END` is answered (with the usual `Submitted` response).
 //! A monolithic v1-style `SUBMIT` remains valid in a v2 frame.
 //!
+//! ## Cluster kinds
+//!
+//! The node-to-node layer ([`crate::cluster`]) speaks the same v2 frames.
+//! `HELLO` carries a shared-secret auth token and must be the first frame
+//! on a connection when the daemon was started with `--auth-token`
+//! (mandatory on peer links). Object transfer between peers routes the
+//! content-addressed store: `PEER_PUT_BEGIN` (expected digest) opens a
+//! stream that reuses the `SUBMIT_CHUNK`/`SUBMIT_END` path — same tag,
+//! same incremental-digest spill — so a multi-MB sketch never
+//! materializes whole on the receiving node; `PEER_GET` / `PEER_STAT` /
+//! `PEER_LIST` read a peer's **local** objects only (never re-routed, so
+//! lookups cannot cycle). Work stealing uses `PEER_STEAL` (an idle node
+//! asks a busy one for queued jobs) and `PEER_DONE` (the stolen job's
+//! terminal status flows back to the origin, which owns the journal
+//! record and the retry ladder).
+//!
 //! ## Error severity
 //!
 //! Decode failures split into two severities, and connection handling
@@ -85,11 +101,25 @@ const REQ_SHUTDOWN: u8 = 0x05;
 const REQ_SUBMIT_BEGIN: u8 = 0x06;
 const REQ_SUBMIT_CHUNK: u8 = 0x07;
 const REQ_SUBMIT_END: u8 = 0x08;
+const REQ_HELLO: u8 = 0x09;
+const REQ_PEER_PUT_BEGIN: u8 = 0x0A;
+const REQ_PEER_GET: u8 = 0x0B;
+const REQ_PEER_STAT: u8 = 0x0C;
+const REQ_PEER_LIST: u8 = 0x0D;
+const REQ_PEER_STEAL: u8 = 0x0E;
+const REQ_PEER_DONE: u8 = 0x0F;
 const RESP_SUBMIT: u8 = 0x81;
 const RESP_STATUS: u8 = 0x82;
 const RESP_RESULT: u8 = 0x83;
 const RESP_STATS: u8 = 0x84;
 const RESP_SHUTDOWN: u8 = 0x85;
+const RESP_HELLO: u8 = 0x86;
+const RESP_PEER_PUT: u8 = 0x87;
+const RESP_PEER_OBJECT: u8 = 0x88;
+const RESP_PEER_STAT: u8 = 0x89;
+const RESP_PEER_LIST: u8 = 0x8A;
+const RESP_PEER_JOBS: u8 = 0x8B;
+const RESP_PEER_DONE: u8 = 0x8C;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Why a frame or message failed to decode.
@@ -371,6 +401,42 @@ impl AnyFrame {
     }
 }
 
+/// One queued job offered to a stealing peer: everything the thief needs
+/// to run [`crate::queue::JobQueue::execute_stolen`] and nothing more.
+/// `retries` rides along because the retry counter perturbs the
+/// exploration seed — the thief must run the *same* attempt the origin
+/// would have, or certificates stop being byte-identical across nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerJob {
+    /// The job id in the *origin's* queue (echoed in `PEER_DONE`).
+    pub job: u64,
+    /// Bug id to reproduce.
+    pub bug: String,
+    /// Digest of the sketch object (fetched through the routed store).
+    pub sketch: Digest,
+    /// The origin-side retry counter at steal time.
+    pub retries: u32,
+}
+
+impl PeerJob {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), ProtoError> {
+        wire::put_u64(out, self.job);
+        wire::put_str(out, &self.bug)?;
+        wire::put_digest(out, &self.sketch);
+        wire::put_u32(out, self.retries);
+        Ok(())
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<PeerJob> {
+        Some(PeerJob {
+            job: r.u64()?,
+            bug: r.str()?.to_string(),
+            sketch: r.digest()?,
+            retries: r.u32()?,
+        })
+    }
+}
+
 /// A client→daemon message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -392,6 +458,23 @@ pub enum Request {
     Stats,
     /// Drain and exit (the SIGTERM equivalent, deliverable over the wire).
     Shutdown,
+    /// Authenticate the connection with a shared-secret token. Must be
+    /// the first frame when the daemon enforces `--auth-token`.
+    Hello { token: Vec<u8> },
+    /// Opens a streaming peer object transfer on this frame's tag: the
+    /// chunks arrive as [`Request::SubmitChunk`] / [`Request::SubmitEnd`]
+    /// and must hash to `digest` or the object is refused.
+    PeerPutBegin { digest: Digest },
+    /// Fetch a peer's *local* copy of an object (never re-routed).
+    PeerGet { digest: Digest },
+    /// Does the peer hold a local copy of `digest`?
+    PeerStat { digest: Digest },
+    /// Every digest in the peer's local store (the repair pull phase).
+    PeerList,
+    /// Offer up to `max` queued jobs to this (idle) caller.
+    PeerSteal { max: u32 },
+    /// A stolen job's terminal status, reported back to its origin.
+    PeerDone { job: u64, status: JobStatus },
 }
 
 impl Request {
@@ -423,6 +506,38 @@ impl Request {
             }
             Request::Stats => (REQ_STATS, Vec::new()),
             Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
+            Request::Hello { token } => {
+                let mut p = Vec::new();
+                wire::put_bytes(&mut p, token)?;
+                (REQ_HELLO, p)
+            }
+            Request::PeerPutBegin { digest } => {
+                let mut p = Vec::new();
+                wire::put_digest(&mut p, digest);
+                (REQ_PEER_PUT_BEGIN, p)
+            }
+            Request::PeerGet { digest } => {
+                let mut p = Vec::new();
+                wire::put_digest(&mut p, digest);
+                (REQ_PEER_GET, p)
+            }
+            Request::PeerStat { digest } => {
+                let mut p = Vec::new();
+                wire::put_digest(&mut p, digest);
+                (REQ_PEER_STAT, p)
+            }
+            Request::PeerList => (REQ_PEER_LIST, Vec::new()),
+            Request::PeerSteal { max } => {
+                let mut p = Vec::new();
+                wire::put_u32(&mut p, *max);
+                (REQ_PEER_STEAL, p)
+            }
+            Request::PeerDone { job, status } => {
+                let mut p = Vec::new();
+                wire::put_u64(&mut p, *job);
+                status.encode(&mut p)?;
+                (REQ_PEER_DONE, p)
+            }
         };
         wire::check_len(payload.len())?;
         Ok((kind, payload))
@@ -467,6 +582,26 @@ impl Request {
             },
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_HELLO => Request::Hello {
+                token: r.bytes().ok_or(bad("hello token"))?.to_vec(),
+            },
+            REQ_PEER_PUT_BEGIN => Request::PeerPutBegin {
+                digest: r.digest().ok_or(bad("peer-put digest"))?,
+            },
+            REQ_PEER_GET => Request::PeerGet {
+                digest: r.digest().ok_or(bad("peer-get digest"))?,
+            },
+            REQ_PEER_STAT => Request::PeerStat {
+                digest: r.digest().ok_or(bad("peer-stat digest"))?,
+            },
+            REQ_PEER_LIST => Request::PeerList,
+            REQ_PEER_STEAL => Request::PeerSteal {
+                max: r.u32().ok_or(bad("peer-steal max"))?,
+            },
+            REQ_PEER_DONE => Request::PeerDone {
+                job: r.u64().ok_or(bad("peer-done job id"))?,
+                status: JobStatus::decode(&mut r).ok_or(bad("peer-done status"))?,
+            },
             k => return Err(ProtoError::UnknownKind(k)),
         };
         if !r.is_done() {
@@ -506,6 +641,22 @@ pub enum Response {
     Stats { text: String },
     /// Shutdown acknowledged; the daemon drains after answering.
     ShuttingDown,
+    /// The connection is authenticated (or the daemon runs open).
+    HelloOk,
+    /// A peer object transfer landed. `fresh` is `false` when the store
+    /// already held the object (dedup, not an error).
+    PeerPut { digest: Digest, fresh: bool },
+    /// A peer's local copy of an object, or `None` if it has none.
+    PeerObject { body: Option<Vec<u8>> },
+    /// Whether the peer holds a local copy.
+    PeerStatIs { present: bool },
+    /// Every digest in the peer's local store.
+    PeerDigests { digests: Vec<Digest> },
+    /// Queued jobs handed to a stealing peer (possibly empty).
+    PeerJobs { jobs: Vec<PeerJob> },
+    /// Whether the origin accepted a stolen job's result (`false` =
+    /// unknown job or expired lease; the origin re-ran or will re-run it).
+    PeerDoneOk { accepted: bool },
     /// The request could not be served.
     Error { message: String },
 }
@@ -549,6 +700,48 @@ impl Response {
                 (RESP_STATS, p)
             }
             Response::ShuttingDown => (RESP_SHUTDOWN, Vec::new()),
+            Response::HelloOk => (RESP_HELLO, Vec::new()),
+            Response::PeerPut { digest, fresh } => {
+                let mut p = Vec::new();
+                wire::put_digest(&mut p, digest);
+                p.push(u8::from(*fresh));
+                (RESP_PEER_PUT, p)
+            }
+            Response::PeerObject { body } => {
+                let mut p = Vec::new();
+                match body {
+                    None => p.push(0),
+                    Some(bytes) => {
+                        p.push(1);
+                        wire::put_bytes(&mut p, bytes)?;
+                    }
+                }
+                (RESP_PEER_OBJECT, p)
+            }
+            Response::PeerStatIs { present } => (RESP_PEER_STAT, vec![u8::from(*present)]),
+            Response::PeerDigests { digests } => {
+                let mut p = Vec::new();
+                wire::put_u32(
+                    &mut p,
+                    u32::try_from(digests.len()).map_err(|_| ProtoError::TooLarge(digests.len()))?,
+                );
+                for d in digests {
+                    wire::put_digest(&mut p, d);
+                }
+                (RESP_PEER_LIST, p)
+            }
+            Response::PeerJobs { jobs } => {
+                let mut p = Vec::new();
+                wire::put_u32(
+                    &mut p,
+                    u32::try_from(jobs.len()).map_err(|_| ProtoError::TooLarge(jobs.len()))?,
+                );
+                for job in jobs {
+                    job.encode(&mut p)?;
+                }
+                (RESP_PEER_JOBS, p)
+            }
+            Response::PeerDoneOk { accepted } => (RESP_PEER_DONE, vec![u8::from(*accepted)]),
             Response::Error { message } => {
                 let mut p = Vec::new();
                 wire::put_str(&mut p, message)?;
@@ -597,6 +790,42 @@ impl Response {
                 text: r.str().ok_or(bad("stats text"))?.to_string(),
             },
             RESP_SHUTDOWN => Response::ShuttingDown,
+            RESP_HELLO => Response::HelloOk,
+            RESP_PEER_PUT => Response::PeerPut {
+                digest: r.digest().ok_or(bad("peer-put digest"))?,
+                fresh: r.u8().ok_or(bad("peer-put fresh byte"))? != 0,
+            },
+            RESP_PEER_OBJECT => Response::PeerObject {
+                body: match r.u8().ok_or(bad("peer-object presence byte"))? {
+                    0 => None,
+                    1 => Some(r.bytes().ok_or(bad("peer-object bytes"))?.to_vec()),
+                    _ => return Err(bad("peer-object presence byte")),
+                },
+            },
+            RESP_PEER_STAT => Response::PeerStatIs {
+                present: r.u8().ok_or(bad("peer-stat presence byte"))? != 0,
+            },
+            RESP_PEER_LIST => {
+                let count = r.u32().ok_or(bad("peer-list count"))?;
+                // No up-front reservation: an adversarial count fails on
+                // the first missing digest, having allocated nothing.
+                let mut digests = Vec::new();
+                for _ in 0..count {
+                    digests.push(r.digest().ok_or(bad("peer-list digest"))?);
+                }
+                Response::PeerDigests { digests }
+            }
+            RESP_PEER_JOBS => {
+                let count = r.u32().ok_or(bad("peer-jobs count"))?;
+                let mut jobs = Vec::new();
+                for _ in 0..count {
+                    jobs.push(PeerJob::decode(&mut r).ok_or(bad("peer-jobs entry"))?);
+                }
+                Response::PeerJobs { jobs }
+            }
+            RESP_PEER_DONE => Response::PeerDoneOk {
+                accepted: r.u8().ok_or(bad("peer-done accepted byte"))? != 0,
+            },
             RESP_ERROR => Response::Error {
                 message: r.str().ok_or(bad("error message"))?.to_string(),
             },
@@ -853,6 +1082,86 @@ mod tests {
         assert!(matches!(
             Frame::read_from(&mut &bytes[..], 1024).unwrap().unwrap_err(),
             ProtoError::BadVersion(2)
+        ));
+    }
+
+    #[test]
+    fn cluster_requests_and_responses_roundtrip() {
+        let requests = [
+            Request::Hello {
+                token: b"sesame".to_vec(),
+            },
+            Request::Hello { token: vec![] },
+            Request::PeerPutBegin {
+                digest: sha256(b"obj"),
+            },
+            Request::PeerGet {
+                digest: sha256(b"obj"),
+            },
+            Request::PeerStat {
+                digest: sha256(b"obj"),
+            },
+            Request::PeerList,
+            Request::PeerSteal { max: 4 },
+            Request::PeerDone {
+                job: 9,
+                status: JobStatus::Succeeded {
+                    attempts: 3,
+                    certificate: sha256(b"cert"),
+                },
+            },
+        ];
+        for req in requests {
+            assert_eq!(Request::from_frame(&req.to_frame().unwrap()).unwrap(), req);
+            let any = AnyFrame::V2(req.to_frame2(77).unwrap());
+            assert_eq!(any.tag(), 77);
+            assert_eq!(Request::from_any(&any).unwrap(), req);
+        }
+        let responses = [
+            Response::HelloOk,
+            Response::PeerPut {
+                digest: sha256(b"obj"),
+                fresh: true,
+            },
+            Response::PeerObject { body: None },
+            Response::PeerObject {
+                body: Some(vec![7; 100]),
+            },
+            Response::PeerStatIs { present: false },
+            Response::PeerDigests { digests: vec![] },
+            Response::PeerDigests {
+                digests: vec![sha256(b"a"), sha256(b"b")],
+            },
+            Response::PeerJobs {
+                jobs: vec![PeerJob {
+                    job: 12,
+                    bug: "pbzip-order".into(),
+                    sketch: sha256(b"s"),
+                    retries: 2,
+                }],
+            },
+            Response::PeerJobs { jobs: vec![] },
+            Response::PeerDoneOk { accepted: true },
+        ];
+        for resp in responses {
+            assert_eq!(Response::from_frame(&resp.to_frame().unwrap()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn peer_list_with_lying_count_is_rejected_without_allocation() {
+        // count says 2^32-1 digests, body holds one: decode must fail on
+        // the missing second digest, not allocate count * 32 bytes.
+        let mut payload = Vec::new();
+        crate::wire::put_u32(&mut payload, u32::MAX);
+        crate::wire::put_digest(&mut payload, &sha256(b"only"));
+        let frame = Frame {
+            kind: RESP_PEER_LIST,
+            payload,
+        };
+        assert!(matches!(
+            Response::from_frame(&frame).unwrap_err(),
+            ProtoError::BadPayload(_)
         ));
     }
 

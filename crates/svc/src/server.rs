@@ -57,6 +57,9 @@
 //! journaled for the next start, and [`Server::join`] returns once every
 //! worker is idle.
 
+use crate::client::{DEFAULT_CONNECT_ATTEMPTS, DEFAULT_CONNECT_BACKOFF};
+use crate::cluster::{token_matches, Cluster, ClusterConfig};
+use crate::digest::Digest;
 use crate::metrics::Metrics;
 use crate::proto::{AnyFrame, Frame, Request, Response, Severity, DEFAULT_MAX_FRAME};
 use crate::queue::{JobQueue, JobStatus, QueueConfig};
@@ -105,6 +108,10 @@ const POLL_TICK: Duration = Duration::from_millis(5);
 /// dropping its connections.
 const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(2);
 
+/// How long the stealer thread sleeps between raids while every peer's
+/// ready queue is empty (or this node has local work of its own).
+const STEAL_IDLE_TICK: Duration = Duration::from_millis(50);
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -134,6 +141,20 @@ pub struct ServeOptions {
     /// queued unflushed, the connection is not read again until the
     /// client drains them.
     pub inflight_window: usize,
+    /// The other cluster nodes' advertised addresses (`--peer`, repeat
+    /// per node). Empty = standalone daemon, no cluster layer at all.
+    pub peers: Vec<String>,
+    /// The address peers dial *this* node at — its ring identity. Must
+    /// match what the peers pass as `--peer` byte-for-byte. Defaults to
+    /// the bound address, which is only right when every node binds a
+    /// routable address (loopback clusters in tests do).
+    pub advertise: Option<String>,
+    /// Shared secret: when set, every connection (client or peer) must
+    /// open with a HELLO carrying it.
+    pub auth_token: Option<String>,
+    /// Owners per object (clamped to the node count). 2 survives one
+    /// node loss.
+    pub replicas: usize,
 }
 
 impl Default for ServeOptions {
@@ -149,6 +170,10 @@ impl Default for ServeOptions {
             conn_workers: 4,
             max_connections: 4096,
             inflight_window: 128,
+            peers: Vec::new(),
+            advertise: None,
+            auth_token: None,
+            replicas: 2,
         }
     }
 }
@@ -164,6 +189,11 @@ struct Frontend {
     max_frame: u32,
     read_timeout: Duration,
     inflight_window: usize,
+    /// The configured shared secret, raw. `Some` ⇒ every connection must
+    /// HELLO before anything else.
+    auth_token: Option<Vec<u8>>,
+    /// The cluster view, when this daemon was started with `--peer`.
+    cluster: Option<Arc<Cluster>>,
 }
 
 type Mailbox = Arc<Mutex<Vec<TcpStream>>>;
@@ -178,6 +208,9 @@ pub struct Server {
     conn_workers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     logger: Option<JoinHandle<()>>,
+    cluster: Option<Arc<Cluster>>,
+    stealer: Option<JoinHandle<()>>,
+    repairer: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -185,10 +218,35 @@ impl Server {
     /// jobs, binds the listener, and starts accepting.
     pub fn start(opts: ServeOptions) -> io::Result<Server> {
         let metrics = Arc::new(Metrics::new());
+        // Bind before opening the store: the resolved address (port 0
+        // becomes concrete here) is this node's default ring identity.
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
         let (store, _) = Store::open(opts.data_dir.join("store"))?;
+        let cluster = if opts.peers.is_empty() {
+            None
+        } else {
+            let self_id = opts.advertise.clone().unwrap_or_else(|| addr.to_string());
+            Some(Arc::new(Cluster::new(
+                ClusterConfig {
+                    self_id,
+                    peers: opts.peers.clone(),
+                    replicas: opts.replicas,
+                    auth_token: opts.auth_token.clone(),
+                    connect_attempts: DEFAULT_CONNECT_ATTEMPTS,
+                    connect_backoff: DEFAULT_CONNECT_BACKOFF,
+                },
+                Arc::clone(&metrics),
+            )))
+        };
+        if let Some(cluster) = &cluster {
+            store.attach_cluster(Arc::clone(cluster));
+        }
         // Self-verify the whole store before serving: any object that
         // rotted on disk is quarantined now, so every post-start read
-        // either verifies or is a clean miss (a resubmission repairs it).
+        // either verifies or is a clean miss (a resubmission — or, in a
+        // cluster, the startup repair pass — repairs it). fsck reads are
+        // strictly local, so this never routes to peers.
         let fsck = store.fsck()?;
         if fsck.quarantined > 0 {
             eprintln!(
@@ -202,8 +260,6 @@ impl Server {
             Arc::clone(&metrics),
             opts.queue.clone(),
         )?);
-        let listener = TcpListener::bind(&opts.addr)?;
-        let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let workers: Vec<JoinHandle<()>> = (0..opts.queue.workers.max(1))
@@ -229,6 +285,8 @@ impl Server {
             max_frame: opts.max_frame,
             read_timeout: opts.read_timeout,
             inflight_window: opts.inflight_window.max(1),
+            auth_token: opts.auth_token.as_ref().map(|t| t.as_bytes().to_vec()),
+            cluster: cluster.clone(),
         });
 
         let (accept, conn_workers) = match opts.frontend {
@@ -335,6 +393,83 @@ impl Server {
                 .expect("spawn metrics logger")
         });
 
+        // The stealer: while this node is strictly idle, raid peers'
+        // ready queues one job at a time, execute with the origin's
+        // retry counter (same seed-offset rule ⇒ same certificate), and
+        // report the terminal status back. Also the reaper driving
+        // expired steal leases back into our own ready queue.
+        let stealer = cluster.as_ref().map(|cluster| {
+            let cluster = Arc::clone(cluster);
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("svc-steal".into())
+                .spawn(move || {
+                    let pool = VthreadPool::new(ExploreConfig::default().pool_width);
+                    let mut next_peer = 0usize;
+                    while !shutdown.load(Ordering::SeqCst) {
+                        queue.reap_stolen();
+                        let mut stole = false;
+                        if queue.wants_work() {
+                            let peers = cluster.peer_ids();
+                            for i in 0..peers.len() {
+                                let peer = &peers[(next_peer + i) % peers.len()];
+                                let Ok(jobs) = cluster.steal_from(peer, 1) else {
+                                    continue;
+                                };
+                                if jobs.is_empty() {
+                                    continue;
+                                }
+                                // Rotate the raid order so a hot peer
+                                // does not monopolize the thief.
+                                next_peer = (next_peer + i + 1) % peers.len();
+                                stole = true;
+                                for pj in jobs {
+                                    let status = queue.execute_stolen(
+                                        &pj.bug, pj.sketch, pj.retries, &pool,
+                                    );
+                                    // A failed report is fine: the
+                                    // origin's lease re-queues the job.
+                                    let _ = cluster.report_done(peer, pj.job, status);
+                                }
+                                break;
+                            }
+                        }
+                        if !stole {
+                            thread::sleep(STEAL_IDLE_TICK);
+                        }
+                    }
+                })
+                .expect("spawn stealer")
+        });
+
+        // Startup repair: restore the replication invariant in the
+        // background — pull objects this node owns but lacks, push local
+        // objects to remote owners that lack them. One pass; `pres fsck
+        // --peer` is the operator's on-demand rerun.
+        let repairer = cluster.as_ref().map(|cluster| {
+            let cluster = Arc::clone(cluster);
+            let queue = Arc::clone(&queue);
+            thread::Builder::new()
+                .name("svc-repair".into())
+                .spawn(move || match cluster.repair(queue.store()) {
+                    Ok(report) => {
+                        if report.pulled + report.pushed > 0 || !report.healthy() {
+                            eprintln!(
+                                "pres-svc: startup repair pulled {} pushed {} \
+                                 ({} under-replicated, {} peer(s) unreachable)",
+                                report.pulled,
+                                report.pushed,
+                                report.under_replicated,
+                                report.peers_unreachable
+                            );
+                        }
+                    }
+                    Err(e) => eprintln!("pres-svc: startup repair failed: {e}"),
+                })
+                .expect("spawn repairer")
+        });
+
         Ok(Server {
             addr,
             queue,
@@ -344,6 +479,9 @@ impl Server {
             conn_workers,
             workers,
             logger,
+            cluster,
+            stealer,
+            repairer,
         })
     }
 
@@ -360,6 +498,11 @@ impl Server {
     /// The queue (for in-process inspection in tests and benches).
     pub fn queue(&self) -> &Arc<JobQueue> {
         &self.queue
+    }
+
+    /// The cluster view (`None` for a standalone daemon).
+    pub fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.cluster.as_ref()
     }
 
     /// Initiates the drain-and-exit sequence (idempotent).
@@ -384,6 +527,12 @@ impl Server {
             let _ = h.join();
         }
         if let Some(h) = self.logger.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.stealer.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.repairer.take() {
             let _ = h.join();
         }
         self.queue.await_drained();
@@ -414,9 +563,19 @@ fn raw_fd(_stream: &TcpStream) -> i32 {
     0
 }
 
-/// One in-progress streaming submit, keyed by its tag on the connection.
+/// What an inbound byte stream becomes when its END frame arrives.
+enum StreamKind {
+    /// A client's streaming submit: verify the bug id, enqueue a job.
+    Submit { bug: String },
+    /// A peer's replication push: verify the advertised digest, publish
+    /// locally only — a replica write must never fan out again.
+    PeerPut { expect: Digest },
+}
+
+/// One in-progress inbound stream (streaming submit or peer put), keyed
+/// by its tag on the connection.
 struct InboundStream<'a> {
-    bug: String,
+    kind: StreamKind,
     put: StreamingPut<'a>,
 }
 
@@ -454,6 +613,9 @@ struct Conn<'a> {
     last_activity: Instant,
     /// Open streaming submits by tag (or their failure tombstones).
     streams: HashMap<u32, StreamSlot<'a>>,
+    /// Whether this connection has presented the shared secret; only
+    /// consulted when the daemon has one configured.
+    authed: bool,
 }
 
 impl<'a> Conn<'a> {
@@ -469,6 +631,7 @@ impl<'a> Conn<'a> {
             dead: false,
             last_activity: Instant::now(),
             streams: HashMap::new(),
+            authed: false,
         }
     }
 
@@ -741,6 +904,34 @@ fn dispatch<'a>(frontend: &Frontend, store: &'a Store, conn: &mut Conn<'a>, fram
         }
     };
     let err = |message: String| Response::Error { message };
+    // HELLO is answered before the auth gate — it *is* the auth gate.
+    if let Request::Hello { token } = &request {
+        let ok = match &frontend.auth_token {
+            Some(secret) => token_matches(secret, token),
+            None => true,
+        };
+        if ok {
+            conn.authed = true;
+            conn.enqueue_response(v2, tag, &Response::HelloOk);
+        } else {
+            frontend
+                .metrics
+                .frames_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            conn.enqueue_response(v2, tag, &err("authentication failed".into()));
+            conn.close_after_flush = true;
+        }
+        return;
+    }
+    if frontend.auth_token.is_some() && !conn.authed {
+        frontend
+            .metrics
+            .frames_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        conn.enqueue_response(v2, tag, &err("authentication required: send HELLO first".into()));
+        conn.close_after_flush = true;
+        return;
+    }
     match request {
         Request::SubmitBegin { bug } if v2 => {
             if conn.streams.contains_key(&tag) {
@@ -766,9 +957,47 @@ fn dispatch<'a>(frontend: &Frontend, store: &'a Store, conn: &mut Conn<'a>, fram
             }
             match store.put_streaming() {
                 Ok(put) => {
-                    conn.streams
-                        .insert(tag, StreamSlot::Open(InboundStream { bug, put }));
+                    conn.streams.insert(
+                        tag,
+                        StreamSlot::Open(InboundStream {
+                            kind: StreamKind::Submit { bug },
+                            put,
+                        }),
+                    );
                     // BEGIN is not answered; the response rides SUBMIT_END.
+                }
+                Err(e) => {
+                    conn.enqueue_response(v2, tag, &err(format!("store ingest failed: {e}")));
+                    conn.streams.insert(tag, StreamSlot::Poisoned);
+                }
+            }
+        }
+        Request::PeerPutBegin { digest } if v2 => {
+            if conn.streams.contains_key(&tag) {
+                conn.enqueue_response(v2, tag, &err(format!("stream tag {tag} already open")));
+                return;
+            }
+            if conn.streams.len() >= MAX_STREAMS_PER_CONN {
+                conn.enqueue_response(
+                    v2,
+                    tag,
+                    &err(format!(
+                        "too many open streams on this connection (max {MAX_STREAMS_PER_CONN})"
+                    )),
+                );
+                return;
+            }
+            match store.put_streaming() {
+                Ok(put) => {
+                    conn.streams.insert(
+                        tag,
+                        StreamSlot::Open(InboundStream {
+                            kind: StreamKind::PeerPut { expect: digest },
+                            put,
+                        }),
+                    );
+                    // BEGIN is not answered; the response rides the
+                    // shared SUBMIT_END on this tag.
                 }
                 Err(e) => {
                     conn.enqueue_response(v2, tag, &err(format!("store ingest failed: {e}")));
@@ -815,28 +1044,52 @@ fn dispatch<'a>(frontend: &Frontend, store: &'a Store, conn: &mut Conn<'a>, fram
                     return;
                 }
             };
-            frontend.metrics.submits.fetch_add(1, Ordering::Relaxed);
-            frontend
-                .metrics
-                .streaming_submits
-                .fetch_add(1, Ordering::Relaxed);
-            let resp = match stream.put.finish() {
-                Ok((digest, fresh_object)) => match frontend.queue.submit(&stream.bug, digest) {
-                    Ok((job, fresh_job)) => Response::Submitted {
-                        job,
-                        sketch: digest,
-                        fresh_object,
-                        fresh_job,
-                    },
-                    Err(e) => err(e.to_string()),
-                },
-                Err(e) => err(format!("store ingest failed: {e}")),
+            let resp = match stream.kind {
+                StreamKind::Submit { bug } => {
+                    frontend.metrics.submits.fetch_add(1, Ordering::Relaxed);
+                    frontend
+                        .metrics
+                        .streaming_submits
+                        .fetch_add(1, Ordering::Relaxed);
+                    match stream.put.finish() {
+                        Ok((digest, fresh_object)) => match frontend.queue.submit(&bug, digest) {
+                            Ok((job, fresh_job)) => Response::Submitted {
+                                job,
+                                sketch: digest,
+                                fresh_object,
+                                fresh_job,
+                            },
+                            Err(e) => err(e.to_string()),
+                        },
+                        Err(e) => err(format!("store ingest failed: {e}")),
+                    }
+                }
+                StreamKind::PeerPut { expect } => {
+                    let bytes = stream.put.written();
+                    // `finish_local`, never `finish`: the sender is the
+                    // object's origin and pushes to every owner itself;
+                    // fanning out again here would echo objects around
+                    // the ring.
+                    match stream.put.finish_local() {
+                        Ok((digest, fresh)) if digest == expect => {
+                            frontend
+                                .metrics
+                                .peer_bytes_in
+                                .fetch_add(bytes, Ordering::Relaxed);
+                            Response::PeerPut { digest, fresh }
+                        }
+                        Ok((digest, _)) => err(format!(
+                            "peer put advertised {expect} but the bytes hash to {digest}"
+                        )),
+                        Err(e) => err(format!("store ingest failed: {e}")),
+                    }
+                }
             };
             conn.enqueue_response(v2, tag, &resp);
         }
         request => {
             let is_shutdown = matches!(request, Request::Shutdown);
-            let response = handle(request, &frontend.queue, &frontend.metrics, &frontend.shutdown);
+            let response = handle(request, frontend);
             conn.enqueue_response(v2, tag, &response);
             if is_shutdown {
                 conn.close_after_flush = true;
@@ -855,6 +1108,7 @@ fn dispatch<'a>(frontend: &Frontend, store: &'a Store, conn: &mut Conn<'a>, fram
 fn serve_connection(mut stream: TcpStream, frontend: &Frontend) {
     let _ = stream.set_read_timeout(Some(frontend.read_timeout));
     let _ = stream.set_nodelay(true);
+    let mut authed = false;
     loop {
         let frame = match Frame::read_from(&mut stream, frontend.max_frame) {
             // Transport gone or idle past the timeout: just close.
@@ -898,13 +1152,45 @@ fn serve_connection(mut stream: TcpStream, frontend: &Frontend) {
                 }
             }
         };
+        // HELLO is answered before the auth gate — it *is* the auth gate
+        // (same contract as the sharded front end).
+        if let Request::Hello { token } = &request {
+            let ok = match &frontend.auth_token {
+                Some(secret) => token_matches(secret, token),
+                None => true,
+            };
+            let response = if ok {
+                authed = true;
+                Response::HelloOk
+            } else {
+                frontend
+                    .metrics
+                    .frames_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    message: "authentication failed".into(),
+                }
+            };
+            if write_response(&mut stream, &response).is_err() || !ok {
+                return;
+            }
+            continue;
+        }
+        if frontend.auth_token.is_some() && !authed {
+            frontend
+                .metrics
+                .frames_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                &mut stream,
+                &Response::Error {
+                    message: "authentication required: send HELLO first".into(),
+                },
+            );
+            return;
+        }
         let is_shutdown = matches!(request, Request::Shutdown);
-        let response = handle(
-            request,
-            &frontend.queue,
-            &frontend.metrics,
-            &frontend.shutdown,
-        );
+        let response = handle(request, frontend);
         if write_response(&mut stream, &response).is_err() {
             return;
         }
@@ -932,12 +1218,10 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()>
     }
 }
 
-fn handle(
-    request: Request,
-    queue: &JobQueue,
-    metrics: &Metrics,
-    shutdown: &AtomicBool,
-) -> Response {
+fn handle(request: Request, frontend: &Frontend) -> Response {
+    let queue = &frontend.queue;
+    let metrics = &frontend.metrics;
+    let shutdown = &frontend.shutdown;
     match request {
         Request::Submit { bug, sketch } => {
             metrics.submits.fetch_add(1, Ordering::Relaxed);
@@ -996,13 +1280,81 @@ fn handle(
                 message: format!("unknown job {job}"),
             },
         },
-        Request::Stats => Response::Stats {
-            text: metrics.snapshot().to_string(),
-        },
+        Request::Stats => {
+            let mut text = metrics.snapshot().to_string();
+            if let Some(cluster) = &frontend.cluster {
+                let (primary, replica, foreign) =
+                    cluster.census(queue.store()).unwrap_or((0, 0, 0));
+                text.push_str(&format!(
+                    "\ncluster_self       {}\ncluster_nodes      {}\ncluster_replicas   {}\n\
+                     objects_primary    {primary}\nobjects_replica    {replica}\n\
+                     objects_foreign    {foreign}",
+                    cluster.self_id(),
+                    1 + cluster.peer_ids().len(),
+                    cluster.replicas(),
+                ));
+            }
+            Response::Stats { text }
+        }
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             queue.drain();
             Response::ShuttingDown
+        }
+        // Both front ends intercept HELLO before dispatching (it is the
+        // auth gate); reaching here means the daemon runs open — ack.
+        Request::Hello { .. } => Response::HelloOk,
+        // The peer-put stream needs per-connection state, exactly like
+        // the streaming submit it shares chunk frames with.
+        Request::PeerPutBegin { .. } => Response::Error {
+            message: "peer put requires a protocol v2 frame".into(),
+        },
+        // Peer reads serve *local* objects only: routing a miss onward
+        // would let two nodes chase each other for an object neither
+        // has. The cluster layer's fetch already asks every candidate.
+        Request::PeerGet { digest } => match queue.store().get_local(&digest) {
+            Ok(body) => {
+                if let Some(b) = &body {
+                    metrics
+                        .peer_bytes_out
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
+                }
+                Response::PeerObject { body }
+            }
+            Err(e) => Response::Error {
+                message: format!("peer get failed: {e}"),
+            },
+        },
+        Request::PeerStat { digest } => Response::PeerStatIs {
+            present: queue.store().contains(&digest),
+        },
+        Request::PeerList => match queue.store().local_digests() {
+            Ok(digests) => Response::PeerDigests { digests },
+            Err(e) => Response::Error {
+                message: format!("peer list failed: {e}"),
+            },
+        },
+        // Stealing needs the cluster's reaper running (a lease nobody
+        // reaps would strand the job), so a standalone daemon refuses.
+        Request::PeerSteal { max } => {
+            if frontend.cluster.is_none() {
+                return Response::Error {
+                    message: "this daemon is not a cluster member".into(),
+                };
+            }
+            Response::PeerJobs {
+                jobs: queue.steal_jobs(max),
+            }
+        }
+        Request::PeerDone { job, status } => {
+            if frontend.cluster.is_none() {
+                return Response::Error {
+                    message: "this daemon is not a cluster member".into(),
+                };
+            }
+            Response::PeerDoneOk {
+                accepted: queue.complete_stolen(job, status),
+            }
         }
     }
 }

@@ -6,7 +6,7 @@
 //! reproducible by construction and the suite builds offline.
 
 use pres_suite::svc::digest::{sha256, Digest};
-use pres_suite::svc::proto::{Frame, ProtoError, Request, Response, DEFAULT_MAX_FRAME, VERSION};
+use pres_suite::svc::proto::{Frame, PeerJob, ProtoError, Request, Response, DEFAULT_MAX_FRAME, VERSION};
 use pres_suite::svc::queue::JobStatus;
 use pres_tvm::rng::ChaCha8Rng;
 
@@ -69,8 +69,17 @@ fn gen_request(rng: &mut ChaCha8Rng) -> Request {
     }
 }
 
+fn gen_peer_job(rng: &mut ChaCha8Rng) -> PeerJob {
+    PeerJob {
+        job: rng.next_u64(),
+        bug: gen_string(rng, 40),
+        sketch: gen_digest(rng),
+        retries: rng.gen_range(0..=9u32),
+    }
+}
+
 fn gen_response(rng: &mut ChaCha8Rng) -> Response {
-    match rng.gen_range(0..6usize) {
+    match rng.gen_range(0..13usize) {
         0 => Response::Submitted {
             job: rng.next_u64(),
             sketch: gen_digest(rng),
@@ -87,6 +96,26 @@ fn gen_response(rng: &mut ChaCha8Rng) -> Response {
             text: gen_string(rng, 400),
         },
         4 => Response::ShuttingDown,
+        5 => Response::HelloOk,
+        6 => Response::PeerPut {
+            digest: gen_digest(rng),
+            fresh: rng.next_u32() & 1 == 0,
+        },
+        7 => Response::PeerObject {
+            body: (rng.next_u32() & 1 == 0).then(|| gen_bytes(rng, 4096)),
+        },
+        8 => Response::PeerStatIs {
+            present: rng.next_u32() & 1 == 0,
+        },
+        9 => Response::PeerDigests {
+            digests: (0..rng.gen_range(0..8usize)).map(|_| gen_digest(rng)).collect(),
+        },
+        10 => Response::PeerJobs {
+            jobs: (0..rng.gen_range(0..5usize)).map(|_| gen_peer_job(rng)).collect(),
+        },
+        11 => Response::PeerDoneOk {
+            accepted: rng.next_u32() & 1 == 0,
+        },
         _ => Response::Error {
             message: gen_string(rng, 120),
         },
@@ -251,7 +280,7 @@ fn pure_garbage_streams_never_panic_the_frame_reader() {
 use pres_suite::svc::proto::{AnyFrame, Frame2, VERSION_V2};
 
 fn gen_request_v2(rng: &mut ChaCha8Rng) -> Request {
-    match rng.gen_range(0..8usize) {
+    match rng.gen_range(0..15usize) {
         0 => Request::Submit {
             bug: gen_string(rng, 40),
             sketch: gen_bytes(rng, 2048),
@@ -270,6 +299,26 @@ fn gen_request_v2(rng: &mut ChaCha8Rng) -> Request {
             job: rng.next_u64(),
         },
         6 => Request::Stats,
+        7 => Request::Hello {
+            token: gen_bytes(rng, 64),
+        },
+        8 => Request::PeerPutBegin {
+            digest: gen_digest(rng),
+        },
+        9 => Request::PeerGet {
+            digest: gen_digest(rng),
+        },
+        10 => Request::PeerStat {
+            digest: gen_digest(rng),
+        },
+        11 => Request::PeerList,
+        12 => Request::PeerSteal {
+            max: rng.gen_range(0..=64u32),
+        },
+        13 => Request::PeerDone {
+            job: rng.next_u64(),
+            status: gen_status(rng),
+        },
         _ => Request::Shutdown,
     }
 }
@@ -338,10 +387,15 @@ fn mixed_version_streams_parse_incrementally_at_every_split() {
     let mut expect: Vec<(u32, Request)> = Vec::new();
     for _ in 0..12 {
         let req = gen_request_v2(&mut rng);
-        // v1 cannot carry the streaming triple.
+        // v1 cannot carry the streaming triple, and the server only
+        // honours PEER_PUT_BEGIN on a tagged v2 frame (the chunk stream
+        // that follows needs the tag to multiplex).
         let forced_v2 = matches!(
             req,
-            Request::SubmitBegin { .. } | Request::SubmitChunk { .. } | Request::SubmitEnd
+            Request::SubmitBegin { .. }
+                | Request::SubmitChunk { .. }
+                | Request::SubmitEnd
+                | Request::PeerPutBegin { .. }
         );
         if forced_v2 || rng.next_u32() & 1 == 0 {
             let tag = rng.next_u32();
