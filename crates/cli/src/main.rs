@@ -3,6 +3,7 @@
 //! ```text
 //! pres list                                       # the evaluation corpus
 //! pres record      --bug <id> [--mechanism SYNC] [--out sketch.pres]
+//!                  [--ring-epochs K --epoch-entries N]   # always-on ring mode
 //! pres reproduce   --bug <id> --sketch sketch.pres [--workers N] [--cert cert.pres]
 //! pres replay      --bug <id> --cert cert.pres [--report]
 //! pres sketch-info --sketch sketch.pres
@@ -33,12 +34,15 @@ mod args;
 use args::{Args, UsageError};
 use pres_apps::registry::{all_apps, all_bugs, WorkloadScale};
 use pres_core::api::Pres;
-use pres_core::codec::{container_version, decode_sketch, encode_sketch, encode_sketch_v1, v2_layout};
+use pres_core::codec::{
+    checkpoint_segment_bytes, container_version, decode_sketch, encode_sketch, encode_sketch_v1,
+    v2_layout,
+};
 use pres_core::inspect::{failure_report, InspectOptions};
 use pres_core::stats::{ExploreStats, SketchStats};
 use pres_core::program::Program;
 use pres_core::sketch::Mechanism;
-use pres_core::{Certificate, ExecutorKind, FeedbackMode, StopToken};
+use pres_core::{Certificate, ExecutorKind, FeedbackMode, RingConfig, StopToken};
 use pres_svc::{Client, FrontendKind, QueueConfig, ServeOptions, Server};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -46,7 +50,7 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "usage:
   pres list
   pres record      --bug <id> [--mechanism RW|BB|BB-N|FUNC|SYS|SYNC] [--seed N] [--out FILE]
-                   [--codec v1|v2]
+                   [--codec v1|v2] [--ring-epochs N] [--epoch-entries N] [--epoch-cost N]
   pres reproduce   --bug <id> --sketch FILE [--max-attempts N] [--workers N]
                    [--pool N] [--executor pooled|spawning]
                    [--feedback streaming|buffered] [--timeout-secs N] [--cert FILE]
@@ -157,16 +161,52 @@ fn cmd_record(args: &Args) -> Result<(), UsageError> {
     let mechanism = parse_mechanism(&args.get("mechanism").unwrap_or_else(|| "SYNC".into()))?;
     let seed: Option<u64> = args.get_parsed("seed")?;
     let out = args.get("out").unwrap_or_else(|| format!("{bug}.sketch"));
-    let codec = args.get("codec").unwrap_or_else(|| "v2".into());
-    if codec != "v1" && codec != "v2" {
-        return Err(UsageError(format!(
-            "bad --codec '{codec}' (expected v1 or v2)"
-        )));
-    }
+    let codec = args.get("codec");
+    let ring_epochs: Option<usize> = args.get_parsed("ring-epochs")?;
+    let epoch_entries: Option<u64> = args.get_parsed("epoch-entries")?;
+    let epoch_cost: Option<u64> = args.get_parsed("epoch-cost")?;
     args.finish()?;
 
+    // Any ring flag switches recording to always-on mode; the others
+    // keep their `RingConfig` defaults.
+    let ring = (ring_epochs.is_some() || epoch_entries.is_some() || epoch_cost.is_some()).then(
+        || {
+            let mut ring = RingConfig::default();
+            if let Some(k) = ring_epochs {
+                ring.ring_epochs = k.max(1);
+            }
+            if let Some(n) = epoch_entries {
+                ring.epoch_entries = n;
+            }
+            if let Some(c) = epoch_cost {
+                ring.epoch_cost = c;
+            }
+            ring
+        },
+    );
+    // A ring flush is a v3 container by construction (the checkpoint has
+    // nowhere to live in v1/v2), so --codec only applies to classic mode.
+    let codec = match (&ring, codec.as_deref()) {
+        (Some(_), None) | (Some(_), Some("v3")) => "v3".to_string(),
+        (Some(_), Some(other)) => {
+            return Err(UsageError(format!(
+                "--codec {other} cannot carry a ring checkpoint (ring mode writes v3)"
+            )))
+        }
+        (None, None) => "v2".to_string(),
+        (None, Some(c @ ("v1" | "v2"))) => c.to_string(),
+        (None, Some(other)) => {
+            return Err(UsageError(format!(
+                "bad --codec '{other}' (expected v1 or v2)"
+            )));
+        }
+    };
+
     let prog = bug_program(&bug)?;
-    let pres = Pres::new(mechanism);
+    let mut pres = Pres::new(mechanism);
+    if let Some(ring) = ring.clone() {
+        pres = pres.with_ring(ring);
+    }
     let recorded = match seed {
         Some(s) => {
             let run = pres.record(prog.as_ref(), s);
@@ -188,13 +228,31 @@ fn cmd_record(args: &Args) -> Result<(), UsageError> {
         recorded.sketch.len(),
         recorded.overhead_pct()
     );
+    if let Some(cp) = &recorded.sketch.checkpoint {
+        println!(
+            "ring flush: {} retained epoch(s) from pick {} ({} entries kept, {} epoch(s) / {} entries evicted)",
+            cp.epochs.len(),
+            cp.boundary,
+            cp.retained_entries(),
+            cp.dropped_epochs,
+            cp.dropped_entries,
+        );
+    }
     let bytes = if codec == "v1" {
         encode_sketch_v1(&recorded.sketch)
     } else {
         encode_sketch(&recorded.sketch)
     };
-    std::fs::write(&out, &bytes)
-        .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
+    if ring.is_some() {
+        // The flush file is the failure's only evidence: write it with
+        // the daemon store's durability chain (stage → fsync → rename →
+        // dir sync), never a bare `fs::write`.
+        pres_svc::flush::write_flush(std::path::Path::new(&out), &bytes)
+            .map_err(|e| UsageError(format!("cannot flush {out}: {e}")))?;
+    } else {
+        std::fs::write(&out, &bytes)
+            .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
+    }
     println!("wrote {} ({} bytes, codec {})", out, bytes.len(), codec);
     Ok(())
 }
@@ -350,6 +408,36 @@ fn cmd_sketch_info(args: &Args) -> Result<(), UsageError> {
         }
     );
     print!("{}", SketchStats::of(&sketch));
+    if let Some(cp) = &sketch.checkpoint {
+        let segment = checkpoint_segment_bytes(&data)
+            .map_err(|e| UsageError(e.to_string()))?
+            .unwrap_or(0);
+        if cp.is_genesis() {
+            println!(
+                "checkpoint: genesis (ring never rotated; full run retained, {segment} segment bytes)"
+            );
+        } else {
+            println!(
+                "checkpoint: boundary pick {} | snapshot {} bytes | segment {} bytes | evicted {} epoch(s) / {} entries",
+                cp.boundary,
+                cp.snapshot.len(),
+                segment,
+                cp.dropped_epochs,
+                cp.dropped_entries,
+            );
+        }
+        println!(
+            "epoch directory: {} retained epoch(s), {} entries in window",
+            cp.epochs.len(),
+            cp.retained_entries()
+        );
+        for epoch in &cp.epochs {
+            println!(
+                "  epoch {:>4}: starts at pick {:>8}, {:>8} entries",
+                epoch.index, epoch.start_picks, epoch.entries
+            );
+        }
+    }
     if let Some(layout) = v2_layout(&data).map_err(|e| UsageError(e.to_string()))? {
         println!(
             "shard directory: {} thread(s), {} entries, interleave {} ({} bytes)",

@@ -41,7 +41,7 @@
 //! ```
 
 use crate::explore::{self, ExecutorKind, ExploreConfig, FeedbackMode, Reproduction, Strategy};
-use crate::recorder::{self, RecordedRun, RecordingReport};
+use crate::recorder::{self, RecordedRun, RecordingReport, RingConfig};
 use crate::sketch::Mechanism;
 use crate::program::Program;
 use pres_tvm::vm::VmConfig;
@@ -55,6 +55,11 @@ pub struct Pres {
     pub vm: VmConfig,
     /// Exploration parameters for diagnosis time.
     pub explore: ExploreConfig,
+    /// Always-on ring recording: when set, [`Pres::record`] and
+    /// [`Pres::record_until_failure`] keep only the last
+    /// `ring_epochs` epochs plus a restart checkpoint, and a failing
+    /// run's sketch replays from that retained window.
+    pub ring: Option<RingConfig>,
 }
 
 impl Pres {
@@ -64,7 +69,15 @@ impl Pres {
             mechanism,
             vm: VmConfig::default(),
             explore: ExploreConfig::default(),
+            ring: None,
         }
+    }
+
+    /// Switches recording to always-on ring mode with the given epoch
+    /// budgets and retention.
+    pub fn with_ring(mut self, ring: RingConfig) -> Self {
+        self.ring = Some(ring);
+        self
     }
 
     /// Sets the simulated processor count.
@@ -118,7 +131,12 @@ impl Pres {
     /// Records one production run under this mechanism (running the
     /// workload natively as well, for exact overhead accounting).
     pub fn record(&self, program: &dyn Program, seed: u64) -> RecordedRun {
-        recorder::record(program, self.mechanism, &self.vm, seed)
+        match &self.ring {
+            Some(ring) => {
+                recorder::record_ring(program, self.mechanism, ring.clone(), &self.vm, seed)
+            }
+            None => recorder::record(program, self.mechanism, &self.vm, seed),
+        }
     }
 
     /// Records production runs across `seeds` until one fails.
@@ -127,7 +145,16 @@ impl Pres {
         program: &dyn Program,
         seeds: impl IntoIterator<Item = u64>,
     ) -> Option<RecordedRun> {
-        recorder::record_until_failure(program, self.mechanism, &self.vm, seeds)
+        match &self.ring {
+            Some(ring) => recorder::record_ring_until_failure(
+                program,
+                self.mechanism,
+                ring.clone(),
+                &self.vm,
+                seeds,
+            ),
+            None => recorder::record_until_failure(program, self.mechanism, &self.vm, seeds),
+        }
     }
 
     /// The overhead/log-size report row for a recorded run.
@@ -236,6 +263,22 @@ mod tests {
     fn zero_workers_clamps_to_serial() {
         let pres = Pres::new(Mechanism::Sync).with_workers(0);
         assert_eq!(pres.explore.workers, 1);
+    }
+
+    #[test]
+    fn ring_recording_reproduces_through_the_facade() {
+        let prog = racy();
+        let pres = Pres::new(Mechanism::Sync).with_ring(RingConfig::default());
+        let recorded = pres
+            .record_until_failure(&prog, 0..2000)
+            .expect("failing production run");
+        assert!(
+            recorded.sketch.checkpoint.is_some(),
+            "ring mode always attaches a checkpoint"
+        );
+        let repro = pres.reproduce(&prog, &recorded);
+        assert!(repro.reproduced, "{:#?}", repro.history);
+        repro.certificate.unwrap().replay(&prog).unwrap();
     }
 
     #[test]

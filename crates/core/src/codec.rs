@@ -20,7 +20,10 @@
 //!
 //! The same codec serializes reproduction certificates.
 
-use crate::sketch::{Mechanism, Sketch, SketchEntry, SketchMeta, SketchOp, SyncKind, SysKind};
+use crate::sketch::{
+    EpochInfo, Mechanism, Sketch, SketchCheckpoint, SketchEntry, SketchMeta, SketchOp, SyncKind,
+    SysKind,
+};
 use pres_tvm::ids::ThreadId;
 use pres_tvm::op::{MemLoc, OpResult};
 use std::fmt;
@@ -432,6 +435,10 @@ impl ByteReader<'_> {
 const MAGIC: &[u8; 4] = b"PRES";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
+/// v3 = v2 columnar body prefixed by a checkpoint segment. Only v3
+/// containers carry checkpoints, so corrupt v1/v2 input can never decode
+/// into a phantom checkpoint.
+const VERSION_V3: u8 = 3;
 
 fn mechanism_code(m: Mechanism) -> (u8, u32) {
     match m {
@@ -469,10 +476,15 @@ fn encode_header(w: &mut ByteWriter, sketch: &Sketch, version: u8) {
     w.string(&sketch.meta.failure_signature);
 }
 
-/// Serializes a sketch to its binary log form (the current container,
-/// [v2](self)).
+/// Serializes a sketch to its binary log form: the [v2](self) columnar
+/// container, or v3 (checkpoint segment + v2 body) when the sketch
+/// carries a ring-flush checkpoint.
 pub fn encode_sketch(sketch: &Sketch) -> Vec<u8> {
-    encode_sketch_v2(sketch)
+    if sketch.checkpoint.is_some() {
+        encode_sketch_v3(sketch)
+    } else {
+        encode_sketch_v2(sketch)
+    }
 }
 
 /// Serializes a sketch in the legacy v1 flat-stream container. Kept for
@@ -620,6 +632,98 @@ fn unzigzag(v: u64) -> i64 {
 pub fn encode_sketch_v2(sketch: &Sketch) -> Vec<u8> {
     let mut w = ByteWriter::new();
     encode_header(&mut w, sketch, VERSION_V2);
+    encode_body_v2(&mut w, sketch);
+    w.finish()
+}
+
+/// Serializes a checkpoint-bearing sketch in the v3 container: common
+/// header, checkpoint segment, then the identical v2 columnar body over
+/// the retained window's entries.
+pub fn encode_sketch_v3(sketch: &Sketch) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    encode_header(&mut w, sketch, VERSION_V3);
+    let cp = sketch
+        .checkpoint
+        .as_deref()
+        .expect("v3 container requires a checkpoint");
+    encode_checkpoint(&mut w, cp);
+    encode_body_v2(&mut w, sketch);
+    w.finish()
+}
+
+fn encode_checkpoint(w: &mut ByteWriter, cp: &SketchCheckpoint) {
+    w.varint(cp.boundary);
+    w.varint(cp.production_seed);
+    w.varint(cp.dropped_epochs);
+    w.varint(cp.dropped_entries);
+    w.varint(cp.bbn_counters.len() as u64);
+    for c in &cp.bbn_counters {
+        w.varint(*c);
+    }
+    w.varint(cp.epochs.len() as u64);
+    for e in &cp.epochs {
+        w.varint(e.index);
+        w.varint(e.start_picks);
+        w.varint(e.entries);
+    }
+    w.bytes(&cp.snapshot);
+}
+
+fn decode_checkpoint(r: &mut ByteReader<'_>) -> Result<SketchCheckpoint, DecodeError> {
+    let boundary = r.varint()?;
+    let production_seed = r.varint()?;
+    let dropped_epochs = r.varint()?;
+    let dropped_entries = r.varint()?;
+    let remaining = |r: &ByteReader<'_>| r.buf.len() - r.pos;
+    let nc = r.varint()? as usize;
+    if nc > remaining(r) {
+        return Err(r.err("bbn counter count past eof"));
+    }
+    let mut bbn_counters = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        bbn_counters.push(r.varint()?);
+    }
+    let ne = r.varint()? as usize;
+    if ne > remaining(r) {
+        return Err(r.err("epoch directory count past eof"));
+    }
+    let mut epochs = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        epochs.push(EpochInfo {
+            index: r.varint()?,
+            start_picks: r.varint()?,
+            entries: r.varint()?,
+        });
+    }
+    let snapshot = r.bytes()?;
+    // A checkpoint is only as trustworthy as its snapshot: validate the
+    // embedded blob in full here so corruption surfaces at decode time,
+    // never as a phantom restore target.
+    if boundary == 0 {
+        if !snapshot.is_empty() {
+            return Err(r.err("genesis checkpoint carries a snapshot"));
+        }
+    } else {
+        let snap = pres_tvm::snapshot::VmSnapshot::decode(&snapshot)
+            .map_err(|e| r.err(&format!("embedded vm snapshot: {e}")))?;
+        if snap.picks() != boundary {
+            return Err(r.err("snapshot pick count disagrees with checkpoint boundary"));
+        }
+    }
+    Ok(SketchCheckpoint {
+        boundary,
+        production_seed,
+        dropped_epochs,
+        dropped_entries,
+        bbn_counters,
+        epochs,
+        snapshot,
+    })
+}
+
+/// Writes everything after the header of a v2/v3 container: entry count,
+/// thread directory, interleave stream, and per-thread column blocks.
+fn encode_body_v2(w: &mut ByteWriter, sketch: &Sketch) {
     w.varint(sketch.entries.len() as u64);
 
     // Thread directory: ascending tids, delta-encoded. Per-thread entry
@@ -712,11 +816,10 @@ pub fn encode_sketch_v2(sketch: &Sketch) -> Vec<u8> {
                 None => w.u8(code),
             }
             if matches!(e.op, SketchOp::Sys { .. }) {
-                encode_result(&mut w, &e.result);
+                encode_result(w, &e.result);
             }
         }
     }
-    w.finish()
 }
 
 fn decode_entries_v1(r: &mut ByteReader<'_>) -> Result<Vec<SketchEntry>, DecodeError> {
@@ -950,9 +1053,14 @@ fn decode_header(
 pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
     let mut r = ByteReader::new(data);
     let (version, mechanism, meta) = decode_header(&mut r)?;
+    let mut checkpoint = None;
     let entries = match version {
         VERSION_V1 => decode_entries_v1(&mut r)?,
         VERSION_V2 => decode_entries_v2(&mut r)?,
+        VERSION_V3 => {
+            checkpoint = Some(Box::new(decode_checkpoint(&mut r)?));
+            decode_entries_v2(&mut r)?
+        }
         other => return Err(r.err_pub(&format!("unsupported version {other}"))),
     };
     if !r.at_end() {
@@ -962,11 +1070,12 @@ pub fn decode_sketch(data: &[u8]) -> Result<Sketch, DecodeError> {
         mechanism,
         entries,
         meta,
+        checkpoint,
     })
 }
 
-/// The physical shard directory of a v2 container: per-thread entry and
-/// column-byte counts plus the interleave-stream encoding. Returns
+/// The physical shard directory of a v2/v3 container: per-thread entry
+/// and column-byte counts plus the interleave-stream encoding. Returns
 /// `Ok(None)` for a (shard-free) v1 container; errors mirror
 /// [`decode_sketch`] on corrupt input.
 pub fn v2_layout(data: &[u8]) -> Result<Option<V2Layout>, DecodeError> {
@@ -974,7 +1083,10 @@ pub fn v2_layout(data: &[u8]) -> Result<Option<V2Layout>, DecodeError> {
     let (version, _, _) = decode_header(&mut r)?;
     match version {
         VERSION_V1 => Ok(None),
-        VERSION_V2 => {
+        VERSION_V2 | VERSION_V3 => {
+            if version == VERSION_V3 {
+                decode_checkpoint(&mut r)?;
+            }
             let (_, layout) = decode_entries_v2_with_layout(&mut r)?;
             if !r.at_end() {
                 return Err(r.err_pub("trailing bytes"));
@@ -983,6 +1095,19 @@ pub fn v2_layout(data: &[u8]) -> Result<Option<V2Layout>, DecodeError> {
         }
         other => Err(r.err_pub(&format!("unsupported version {other}"))),
     }
+}
+
+/// The encoded byte span of a v3 container's checkpoint segment (header
+/// excluded), for size reporting — `Ok(None)` for v1/v2 containers.
+pub fn checkpoint_segment_bytes(data: &[u8]) -> Result<Option<u64>, DecodeError> {
+    let mut r = ByteReader::new(data);
+    let (version, _, _) = decode_header(&mut r)?;
+    if version != VERSION_V3 {
+        return Ok(None);
+    }
+    let start = r.position();
+    decode_checkpoint(&mut r)?;
+    Ok(Some((r.position() - start) as u64))
 }
 
 /// The container version byte of an encoded sketch (after validating the
@@ -1103,6 +1228,7 @@ mod tests {
                 total_ops: 12345,
                 failure_signature: "assert:log corrupted".into(),
             },
+            checkpoint: None,
         }
     }
 
@@ -1302,6 +1428,7 @@ mod tests {
             mechanism: Mechanism::Sync,
             entries: vec![],
             meta: SketchMeta::default(),
+            checkpoint: None,
         };
         assert_eq!(decode_sketch(&encode_sketch_v1(&s)).unwrap(), s);
         assert_eq!(decode_sketch(&encode_sketch_v2(&s)).unwrap(), s);
@@ -1339,6 +1466,7 @@ mod tests {
             mechanism: Mechanism::Bb,
             entries,
             meta: SketchMeta::default(),
+            checkpoint: None,
         };
         let v1 = encode_sketch_v1(&s);
         let v2 = encode_sketch_v2(&s);
@@ -1371,6 +1499,7 @@ mod tests {
             mechanism: Mechanism::Rw,
             entries,
             meta: SketchMeta::default(),
+            checkpoint: None,
         };
         assert_eq!(decode_sketch(&encode_sketch_v2(&s)).unwrap(), s);
     }
@@ -1387,6 +1516,103 @@ mod tests {
             .unwrap_err()
             .message
             .contains("version"));
+    }
+
+    /// A checkpoint-bearing sample: genesis boundary, so no VM snapshot
+    /// is needed (snapshots with nonzero boundaries are exercised by the
+    /// recorder's ring-flush round-trip tests, which capture real ones).
+    fn checkpointed_sketch() -> Sketch {
+        let mut s = sample_sketch();
+        s.checkpoint = Some(Box::new(SketchCheckpoint {
+            boundary: 0,
+            production_seed: 42,
+            dropped_epochs: 0,
+            dropped_entries: 0,
+            bbn_counters: vec![],
+            epochs: vec![
+                EpochInfo {
+                    index: 0,
+                    start_picks: 0,
+                    entries: 5,
+                },
+                EpochInfo {
+                    index: 1,
+                    start_picks: 40,
+                    entries: 4,
+                },
+            ],
+            snapshot: vec![],
+        }));
+        s
+    }
+
+    #[test]
+    fn checkpoint_bearing_sketch_selects_v3_and_round_trips() {
+        let s = checkpointed_sketch();
+        let encoded = encode_sketch(&s);
+        assert_eq!(container_version(&encoded).unwrap(), 3);
+        assert_eq!(decode_sketch(&encoded).unwrap(), s);
+        // Checkpoint-free sketches still emit v2.
+        assert_eq!(container_version(&encode_sketch(&sample_sketch())).unwrap(), 2);
+    }
+
+    #[test]
+    fn v3_truncations_are_errors_not_panics() {
+        let encoded = encode_sketch(&checkpointed_sketch());
+        for cut in 0..encoded.len() {
+            assert!(decode_sketch(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn nonzero_boundary_demands_a_valid_snapshot() {
+        let mut s = checkpointed_sketch();
+        {
+            let cp = s.checkpoint.as_deref_mut().unwrap();
+            cp.boundary = 9;
+            cp.snapshot = b"not a vm snapshot".to_vec();
+        }
+        let encoded = encode_sketch_v3(&s);
+        let err = decode_sketch(&encoded).unwrap_err();
+        assert!(err.message.contains("snapshot"), "{}", err.message);
+    }
+
+    #[test]
+    fn genesis_checkpoint_with_a_snapshot_is_rejected() {
+        let mut s = checkpointed_sketch();
+        s.checkpoint.as_deref_mut().unwrap().snapshot = vec![1, 2, 3];
+        let encoded = encode_sketch_v3(&s);
+        let err = decode_sketch(&encoded).unwrap_err();
+        assert!(err.message.contains("genesis"), "{}", err.message);
+    }
+
+    #[test]
+    fn flipping_a_v2_container_to_v3_yields_no_phantom_checkpoint() {
+        // Version-byte corruption must never reinterpret a v2 body as a
+        // believable checkpoint: the first body varint (a nonzero entry
+        // count) lands on `boundary`, and a nonzero boundary demands an
+        // embedded snapshot that decodes — garbage cannot.
+        let mut encoded = encode_sketch_v2(&sample_sketch());
+        encoded[4] = 3;
+        assert!(decode_sketch(&encoded).is_err());
+    }
+
+    #[test]
+    fn checkpoint_segment_bytes_is_v3_only() {
+        let v3 = encode_sketch(&checkpointed_sketch());
+        let seg = checkpoint_segment_bytes(&v3).unwrap().expect("v3 has a segment");
+        assert!(seg > 0 && seg < v3.len() as u64);
+        assert_eq!(checkpoint_segment_bytes(&encode_sketch_v2(&sample_sketch())).unwrap(), None);
+        assert_eq!(checkpoint_segment_bytes(&encode_sketch_v1(&sample_sketch())).unwrap(), None);
+    }
+
+    #[test]
+    fn v2_layout_skips_the_checkpoint_segment() {
+        let s = checkpointed_sketch();
+        let layout = v2_layout(&encode_sketch(&s))
+            .expect("valid container")
+            .expect("v3 has a columnar layout");
+        assert_eq!(layout.entries, s.entries.len() as u64);
     }
 
     #[test]

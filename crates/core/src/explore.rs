@@ -46,12 +46,13 @@ use crate::certificate::Certificate;
 use crate::feedback;
 use crate::oracle::{FailureOracle, StatusOracle};
 use crate::program::Program;
-use crate::replay::{OrderConstraint, PiReplayScheduler};
+use crate::recorder::verify_checkpoint;
+use crate::replay::{FastForwardScheduler, OrderConstraint};
 use crate::sketch::{Sketch, SketchIndex};
 use pres_tvm::error::RunStatus;
 use pres_tvm::pool::VthreadPool;
 use pres_tvm::sync::{Condvar, Mutex};
-use pres_tvm::trace::{NullObserver, Trace, TraceMode};
+use pres_tvm::trace::{Event, NullObserver, Observer, ObserverCharge, Trace, TraceMode};
 use pres_tvm::vm::{self, RunOutcome, VmConfig};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -376,6 +377,25 @@ pub struct Reproduction {
     /// (wall-clock timeout or external cancellation) before the attempt
     /// budget was spent. Always `false` on success.
     pub stopped: bool,
+    /// Fast-forward verification outcome for checkpoint-bearing (ring-
+    /// flushed) sketches; `None` for classic sketches and genesis
+    /// checkpoints. A failed verification aborts the reproduction before
+    /// any attempt is spent.
+    pub checkpoint: Option<CheckpointStatus>,
+}
+
+/// The one-time integrity check run before exploring a ring-flushed
+/// sketch: the production prefix is re-executed
+/// ([`crate::recorder::verify_checkpoint`]) and the state snapshot at the
+/// boundary byte-compared against the one the flush embedded.
+#[derive(Debug, Clone)]
+pub struct CheckpointStatus {
+    /// The checkpoint boundary, in picks.
+    pub boundary: u64,
+    /// Whether the re-derived boundary snapshot matched byte-for-byte.
+    pub verified: bool,
+    /// The mismatch explanation when `verified` is false.
+    pub detail: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -532,16 +552,45 @@ impl SearchState {
 /// mode the extractor already did the happens-before analysis during the
 /// run; in buffered mode it is done here over the retained trace. Either
 /// way, callers finish the work *outside* any shared lock.
+///
+/// `boundary` is the sketch's checkpoint boundary (0 for classic
+/// sketches): fast-forwarded prefix events are production history, not
+/// attempt behavior, so buffered analysis starts at the boundary — the
+/// same window the streaming path sees through [`WindowObserver`].
 fn extract_candidates(
     explore: &ExploreConfig,
     trace: &Trace,
     extractor: Option<feedback::StreamingExtractor>,
+    boundary: u64,
 ) -> Vec<feedback::FlipCandidate> {
     let ranked = match extractor {
         Some(ext) => ext.finish_ranked(explore.ranking),
-        None => feedback::candidates_ranked(trace, explore.ranking),
+        None => {
+            let events = trace.events();
+            let start = events.partition_point(|e| e.gseq < boundary);
+            feedback::candidates_ranked_in(&events[start..], explore.ranking)
+        }
     };
     ranked.into_iter().take(explore.fanout).collect()
+}
+
+/// Forwards only post-boundary events to the wrapped extractor: during
+/// fast-forward the attempt is replaying the production prefix, which must
+/// not contribute flip candidates (their action indices would also
+/// disagree with the replay scheduler's boundary-origin counters).
+struct WindowObserver<'a> {
+    boundary: u64,
+    inner: &'a mut feedback::StreamingExtractor,
+}
+
+impl Observer for WindowObserver<'_> {
+    fn on_event(&mut self, event: &Event) -> ObserverCharge {
+        if event.gseq >= self.boundary {
+            self.inner.on_event(event)
+        } else {
+            ObserverCharge::FREE
+        }
+    }
 }
 
 /// Runs one replay attempt for a plan against the shared sketch index.
@@ -560,13 +609,14 @@ fn run_attempt(
     pool: Option<&VthreadPool>,
 ) -> (RunOutcome, Option<feedback::StreamingExtractor>) {
     let mut sched =
-        PiReplayScheduler::with_index(Arc::clone(index), plan.constraints.clone(), plan.seed);
+        FastForwardScheduler::with_index(Arc::clone(index), plan.constraints.clone(), plan.seed);
+    let boundary = sched.boundary();
     let mut cfg = vm_config.clone();
     cfg.world = program.world();
     // Hosting a vthread on a pooled worker vs. a fresh OS thread is
     // schedule-invisible, so the executor choice cannot perturb outcomes.
     let run_vm = |cfg: VmConfig,
-                  sched: &mut PiReplayScheduler,
+                  sched: &mut FastForwardScheduler,
                   observer: &mut dyn pres_tvm::trace::Observer| {
         let body = program.root();
         match pool {
@@ -587,7 +637,14 @@ fn run_attempt(
         (Strategy::Feedback, FeedbackMode::Streaming) => {
             cfg.trace_mode = TraceMode::Feedback;
             let mut ext = feedback::StreamingExtractor::new();
-            let out = run_vm(cfg, &mut sched, &mut ext);
+            let out = run_vm(
+                cfg,
+                &mut sched,
+                &mut WindowObserver {
+                    boundary,
+                    inner: &mut ext,
+                },
+            );
             (out, Some(ext))
         }
         (Strategy::Feedback, FeedbackMode::Buffered) => {
@@ -691,11 +748,44 @@ pub fn reproduce_with_index(
     explore: &ExploreConfig,
     pool: Option<&VthreadPool>,
 ) -> Reproduction {
-    if explore.workers > 1 {
+    // Ring-flushed sketches are verified once, up front: re-derive the
+    // boundary snapshot from the production seed and byte-compare it with
+    // the one the flush embedded. Exploring past a bogus checkpoint would
+    // replay a window that never happened, so a mismatch aborts before any
+    // attempt is spent.
+    let checkpoint = match index.checkpoint().filter(|cp| !cp.is_genesis()) {
+        Some(cp) => {
+            match verify_checkpoint(program, cp, index.mechanism(), vm_config, pool) {
+                Ok(()) => Some(CheckpointStatus {
+                    boundary: cp.boundary,
+                    verified: true,
+                    detail: None,
+                }),
+                Err(detail) => {
+                    return Reproduction {
+                        reproduced: false,
+                        attempts: 0,
+                        certificate: None,
+                        history: Vec::new(),
+                        stopped: false,
+                        checkpoint: Some(CheckpointStatus {
+                            boundary: cp.boundary,
+                            verified: false,
+                            detail: Some(detail),
+                        }),
+                    };
+                }
+            }
+        }
+        None => None,
+    };
+    let mut rep = if explore.workers > 1 {
         reproduce_parallel(program, index, oracle, vm_config, explore)
     } else {
         reproduce_serial(program, index, oracle, vm_config, explore, pool)
-    }
+    };
+    rep.checkpoint = checkpoint;
+    rep
 }
 
 fn reproduce_serial(
@@ -717,6 +807,7 @@ fn reproduce_serial(
         ExecutorKind::Pooled => external_pool.or(owned_pool.as_ref()),
         ExecutorKind::Spawning => None,
     };
+    let boundary = index.checkpoint().map_or(0, |cp| cp.boundary);
 
     for attempt in 1..=explore.max_attempts {
         if explore.stop.as_ref().is_some_and(StopToken::is_stopped) {
@@ -726,6 +817,7 @@ fn reproduce_serial(
                 certificate: None,
                 history,
                 stopped: true,
+                checkpoint: None,
             };
         }
         let plan = search
@@ -748,11 +840,12 @@ fn reproduce_serial(
                 certificate: Some(certificate),
                 history,
                 stopped: false,
+                checkpoint: None,
             };
         }
 
         if explore.strategy == Strategy::Feedback {
-            let cands = extract_candidates(explore, &out.trace, extractor);
+            let cands = extract_candidates(explore, &out.trace, extractor, boundary);
             search.merge_candidates(explore, &plan, cands);
         }
     }
@@ -763,6 +856,7 @@ fn reproduce_serial(
         certificate: None,
         history,
         stopped: false,
+        checkpoint: None,
     }
 }
 
@@ -872,8 +966,9 @@ fn parallel_worker(
         // Finishing the candidate ranking is the expensive half of
         // feedback; do it before taking the search lock so workers'
         // analyses overlap.
+        let boundary = index.checkpoint().map_or(0, |cp| cp.boundary);
         let cands = (!reproduced && shared.explore.strategy == Strategy::Feedback)
-            .then(|| extract_candidates(shared.explore, &out.trace, extractor));
+            .then(|| extract_candidates(shared.explore, &out.trace, extractor, boundary));
         {
             let mut s = shared.search.lock();
             s.in_flight -= 1;
@@ -934,6 +1029,7 @@ fn reproduce_parallel(
             certificate: None,
             history,
             stopped,
+            checkpoint: None,
         }
     } else {
         Reproduction {
@@ -942,6 +1038,7 @@ fn reproduce_parallel(
             certificate,
             history,
             stopped: false,
+            checkpoint: None,
         }
     }
 }

@@ -72,7 +72,14 @@ pub fn candidates(trace: &Trace) -> Vec<FlipCandidate> {
 
 /// As [`candidates`], with an explicit ranking policy.
 pub fn candidates_ranked(trace: &Trace, ranking: Ranking) -> Vec<FlipCandidate> {
-    let mut out = candidates_in(trace.events());
+    candidates_ranked_in(trace.events(), ranking)
+}
+
+/// As [`candidates_ranked`], over an event slice — e.g. the post-boundary
+/// window of a fast-forwarded attempt, whose prefix is production history
+/// rather than attempt behavior.
+pub fn candidates_ranked_in(events: &[Event], ranking: Ranking) -> Vec<FlipCandidate> {
+    let mut out = candidates_in(events);
     match ranking {
         Ranking::LocksetThenRecency => {}
         Ranking::RecencyOnly => out.sort_by_key(|a| std::cmp::Reverse(a.gseq)),

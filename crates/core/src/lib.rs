@@ -57,7 +57,8 @@ pub use explore::{
 pub use oracle::{AnyOracle, FailureOracle, OutputOracle, StatusOracle};
 pub use program::{ClosureProgram, Program};
 pub use recorder::{
-    LegacySketchRecorder, RecordedRun, RecordingObserver, RecordingReport, SketchRecorder,
+    LegacySketchRecorder, RecordedRun, RecordingObserver, RecordingReport, RingConfig,
+    SketchRecorder,
 };
 pub use replay::{ActionKey, ActionObj, OrderConstraint, PiReplayScheduler};
 pub use sketch::{Mechanism, Sketch, SketchEntry, SketchIndex, SketchMeta, SketchOp};

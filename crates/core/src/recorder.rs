@@ -22,8 +22,8 @@
 
 use crate::codec;
 use crate::sketch::{
-    canonical_order, Mechanism, MechanismFilter, Sketch, SketchEntry, SketchMeta, SketchOp,
-    StampedEntry,
+    canonical_order, EpochInfo, Mechanism, MechanismFilter, Sketch, SketchCheckpoint, SketchEntry,
+    SketchMeta, SketchOp, StampedEntry,
 };
 use crate::program::Program;
 use pres_tvm::cost::CostModel;
@@ -61,48 +61,120 @@ fn implicit_count(mechanism: Mechanism, cost: &CostModel, units: u64) -> u64 {
     units / per.max(1)
 }
 
-/// The sharded sketch-recording observer.
+/// The per-event recording step shared by every production recorder.
+///
+/// Filtering, bucket stamping, implicit-stream accounting, and — crucially
+/// — the recording *charge* live here, so the sharded recorder, the epoch
+/// ring recorder, and the checkpoint verifier's charge mirror bill the
+/// virtual clock identically event for event. Checkpoint snapshots embed
+/// the clock; byte-identical restore verification depends on this charge
+/// parity, so any new recorder must route its events through this core
+/// rather than re-deriving charges.
 #[derive(Debug)]
-pub struct SketchRecorder {
+struct RecorderCore {
     filter: MechanismFilter,
     cost: CostModel,
-    /// Per-thread segment buffers, indexed by `ThreadId::index()`. Each
-    /// shard is in the thread's own program order; entries carry the
-    /// bucket stamps the canonical merge sorts on.
-    shards: Vec<Vec<StampedEntry>>,
     /// Serialized global-order slots claimed so far.
     slots: u64,
     bytes: u64,
     implicit_events: u64,
 }
 
-impl SketchRecorder {
-    /// A recorder for `mechanism` charging per the given cost model.
-    pub fn new(mechanism: Mechanism, cost: CostModel) -> Self {
-        SketchRecorder {
+impl RecorderCore {
+    fn new(mechanism: Mechanism, cost: CostModel) -> Self {
+        RecorderCore {
             filter: MechanismFilter::new(mechanism),
             cost,
-            shards: Vec::new(),
             slots: 0,
             bytes: 0,
             implicit_events: 0,
         }
     }
 
+    /// Processes one applied event exactly as production recording does:
+    /// returns the charge to bill and the stamped entry to log (if the
+    /// mechanism records this event).
+    fn step(&mut self, event: &Event) -> (ObserverCharge, Option<StampedEntry>) {
+        // Thread-local computation: charge the implicit instruction-stream
+        // recording this mechanism performs inside the block. Implicit
+        // events never claim slot numbers — only under RW do they model
+        // shared-memory accesses whose cross-thread order must be pinned,
+        // and only then is the serialized portion charged. Under BB/BB-N/
+        // FUNC the implicit stream is thread-local control flow.
+        if let pres_tvm::op::Op::Compute(units) = event.op {
+            let mechanism = self.filter.mechanism();
+            let n = implicit_count(mechanism, &self.cost, units);
+            if n == 0 {
+                return (ObserverCharge::FREE, None);
+            }
+            self.implicit_events += n;
+            self.bytes += n * self.cost.implicit_bytes;
+            return (self.cost.implicit_cost(n, mechanism == Mechanism::Rw), None);
+        }
+        if !self.filter.record_and_note(event.tid, &event.op) {
+            return (ObserverCharge::FREE, None);
+        }
+        let Some(op) = SketchOp::from_op(&event.op) else {
+            return (ObserverCharge::FREE, None);
+        };
+        // Only cross-thread event classes claim a serialized slot; markers
+        // are stamped with the current slot count and stay thread-local.
+        let serial = op.claims_global_slot();
+        let entry = SketchEntry::for_event(op, event);
+        let payload = codec::entry_size(&entry);
+        self.bytes += payload;
+        let bucket = self.slots;
+        if serial {
+            self.slots += 1;
+        }
+        let (thread_cost, serial_cost) = self.cost.record_cost(payload, serial);
+        (
+            ObserverCharge {
+                thread_cost,
+                serial_cost,
+            },
+            Some(StampedEntry {
+                bucket,
+                serial,
+                entry,
+            }),
+        )
+    }
+}
+
+/// The sharded sketch-recording observer.
+#[derive(Debug)]
+pub struct SketchRecorder {
+    core: RecorderCore,
+    /// Per-thread segment buffers, indexed by `ThreadId::index()`. Each
+    /// shard is in the thread's own program order; entries carry the
+    /// bucket stamps the canonical merge sorts on.
+    shards: Vec<Vec<StampedEntry>>,
+}
+
+impl SketchRecorder {
+    /// A recorder for `mechanism` charging per the given cost model.
+    pub fn new(mechanism: Mechanism, cost: CostModel) -> Self {
+        SketchRecorder {
+            core: RecorderCore::new(mechanism, cost),
+            shards: Vec::new(),
+        }
+    }
+
     /// Serialized global-order slots claimed so far (the length of the
     /// serialized backbone of the log; markers live between slots).
     pub fn serialized_slots(&self) -> u64 {
-        self.slots
+        self.core.slots
     }
 }
 
 impl RecordingObserver for SketchRecorder {
     fn bytes(&self) -> u64 {
-        self.bytes
+        self.core.bytes
     }
 
     fn implicit_events(&self) -> u64 {
-        self.implicit_events
+        self.core.implicit_events
     }
 
     /// Merges the per-thread shards into the canonical order.
@@ -136,61 +208,245 @@ impl RecordingObserver for SketchRecorder {
         }
         debug_assert_eq!(entries.len(), total);
         Sketch {
-            mechanism: self.filter.mechanism(),
+            mechanism: self.core.filter.mechanism(),
             entries,
             meta,
+            checkpoint: None,
         }
     }
 }
 
 impl Observer for SketchRecorder {
     fn on_event(&mut self, event: &Event) -> ObserverCharge {
-        // Thread-local computation: charge the implicit instruction-stream
-        // recording this mechanism performs inside the block. Implicit
-        // events never claim slot numbers — only under RW do they model
-        // shared-memory accesses whose cross-thread order must be pinned,
-        // and only then is the serialized portion charged. Under BB/BB-N/
-        // FUNC the implicit stream is thread-local control flow.
-        if let pres_tvm::op::Op::Compute(units) = event.op {
-            let mechanism = self.filter.mechanism();
-            let n = implicit_count(mechanism, &self.cost, units);
-            if n == 0 {
-                return ObserverCharge::FREE;
+        let (charge, stamped) = self.core.step(event);
+        if let Some(stamped) = stamped {
+            let idx = stamped.entry.tid.index();
+            if idx >= self.shards.len() {
+                self.shards.resize_with(idx + 1, Vec::new);
             }
-            self.implicit_events += n;
-            self.bytes += n * self.cost.implicit_bytes;
-            return self.cost.implicit_cost(n, mechanism == Mechanism::Rw);
+            self.shards[idx].push(stamped);
         }
-        if !self.filter.record_and_note(event.tid, &event.op) {
-            return ObserverCharge::FREE;
+        charge
+    }
+}
+
+/// Epoch budgets and retention for the always-on ring recorder.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Cut an epoch after this many recorded sketch entries (0 disables
+    /// the entry budget).
+    pub epoch_entries: u64,
+    /// Cut an epoch after this much charged recording cost — thread plus
+    /// serial virtual-clock units, implicit stream included (0 disables
+    /// the cost budget).
+    pub epoch_cost: u64,
+    /// Epochs retained, counting the open one; older epochs (entries and
+    /// checkpoint alike) are evicted. Must be at least 1.
+    pub ring_epochs: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            epoch_entries: 4096,
+            epoch_cost: 0,
+            ring_epochs: 4,
         }
-        let Some(op) = SketchOp::from_op(&event.op) else {
-            return ObserverCharge::FREE;
+    }
+}
+
+/// One epoch of the ring: the entries recorded since its starting
+/// checkpoint, plus everything a flush needs to resume replay there.
+#[derive(Debug)]
+struct RingEpoch {
+    /// Absolute epoch ordinal within the run.
+    index: u64,
+    /// Pick boundary of the starting checkpoint.
+    start_picks: u64,
+    /// Encoded starting snapshot; empty for the genesis epoch.
+    start_snapshot: Vec<u8>,
+    /// The mechanism filter's `BB-N` counters at the start boundary.
+    start_bbn: Vec<u64>,
+    /// Entries recorded inside the epoch, in arrival order with absolute
+    /// bucket stamps.
+    entries: Vec<StampedEntry>,
+    /// Recording cost charged inside the epoch (for the cost budget).
+    cost: u64,
+}
+
+impl RingEpoch {
+    fn genesis() -> Self {
+        RingEpoch {
+            index: 0,
+            start_picks: 0,
+            start_snapshot: Vec::new(),
+            start_bbn: Vec::new(),
+            entries: Vec::new(),
+            cost: 0,
+        }
+    }
+}
+
+/// The always-on recording observer: production recording into a bounded
+/// epoch ring instead of an unbounded log.
+///
+/// Recording (filtering, stamping, charging) is byte-for-byte the
+/// sharded recorder's — both route through the same [`RecorderCore`] —
+/// but entries land in the current *epoch*. When the epoch exceeds its
+/// budget the recorder asks the VM for a checkpoint
+/// ([`Observer::checkpoint_due`]), seals the epoch at that pick
+/// boundary, and opens a new one; only the last
+/// [`RingConfig::ring_epochs`] epochs survive, so memory stays bounded
+/// no matter how long the run. On failure, [`RecordingObserver::finish`]
+/// flushes the retained window as a checkpoint-bearing [`Sketch`] whose
+/// checkpoint is the oldest retained epoch's starting snapshot.
+#[derive(Debug)]
+pub struct RingRecorder {
+    core: RecorderCore,
+    config: RingConfig,
+    /// Sealed epochs still retained, oldest first (at most
+    /// `ring_epochs - 1`; the open epoch is the rest of the quota).
+    sealed: std::collections::VecDeque<RingEpoch>,
+    /// The open epoch.
+    current: RingEpoch,
+    next_index: u64,
+    dropped_epochs: u64,
+    dropped_entries: u64,
+}
+
+impl RingRecorder {
+    /// A ring recorder for `mechanism`, charging per `cost`, with the
+    /// given epoch budgets and retention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.ring_epochs` is zero.
+    pub fn new(mechanism: Mechanism, cost: CostModel, config: RingConfig) -> Self {
+        assert!(config.ring_epochs >= 1, "ring must retain at least one epoch");
+        RingRecorder {
+            core: RecorderCore::new(mechanism, cost),
+            config,
+            sealed: std::collections::VecDeque::new(),
+            current: RingEpoch::genesis(),
+            next_index: 1,
+            dropped_epochs: 0,
+            dropped_entries: 0,
+        }
+    }
+
+    /// Epochs currently retained (sealed plus the open one). Never
+    /// exceeds [`RingConfig::ring_epochs`].
+    pub fn retained_epochs(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Entries currently held across the retained epochs.
+    pub fn retained_entries(&self) -> usize {
+        self.sealed.iter().map(|e| e.entries.len()).sum::<usize>() + self.current.entries.len()
+    }
+
+    /// Epochs evicted so far.
+    pub fn dropped_epochs(&self) -> u64 {
+        self.dropped_epochs
+    }
+
+    /// Entries evicted with them.
+    pub fn dropped_entries(&self) -> u64 {
+        self.dropped_entries
+    }
+
+    /// Seals the open epoch at the captured boundary and opens the next
+    /// one, evicting beyond-quota epochs oldest-first.
+    fn rotate(&mut self, snapshot: &pres_tvm::snapshot::VmSnapshot) {
+        let next = RingEpoch {
+            index: self.next_index,
+            start_picks: snapshot.picks(),
+            start_snapshot: snapshot.encode(),
+            start_bbn: self.core.filter.bb_counters().to_vec(),
+            entries: Vec::new(),
+            cost: 0,
         };
-        // Only cross-thread event classes claim a serialized slot; markers
-        // are stamped with the current slot count and stay thread-local.
-        let serial = op.claims_global_slot();
-        let entry = SketchEntry::for_event(op, event);
-        let payload = codec::entry_size(&entry);
-        self.bytes += payload;
-        let bucket = self.slots;
-        if serial {
-            self.slots += 1;
+        self.next_index += 1;
+        self.sealed.push_back(std::mem::replace(&mut self.current, next));
+        while self.sealed.len() > self.config.ring_epochs.saturating_sub(1) {
+            let evicted = self.sealed.pop_front().expect("len checked");
+            self.dropped_epochs += 1;
+            self.dropped_entries += evicted.entries.len() as u64;
         }
-        let idx = event.tid.index();
-        if idx >= self.shards.len() {
-            self.shards.resize_with(idx + 1, Vec::new);
+    }
+}
+
+impl RecordingObserver for RingRecorder {
+    /// Log bytes *recorded* over the whole run (evicted epochs included):
+    /// the ring pays recording cost for everything, it just doesn't keep
+    /// everything.
+    fn bytes(&self) -> u64 {
+        self.core.bytes
+    }
+
+    fn implicit_events(&self) -> u64 {
+        self.core.implicit_events
+    }
+
+    /// Flushes the retained window into a checkpoint-bearing sketch.
+    ///
+    /// Entries of all retained epochs are concatenated and canonically
+    /// ordered — bucket stamps are absolute, so when nothing was evicted
+    /// (a never-rotated or wide-enough ring) the entries equal the
+    /// classic full-run sketch's exactly, and the checkpoint degenerates
+    /// to genesis.
+    fn finish(self, meta: SketchMeta) -> Sketch {
+        let oldest = self.sealed.front().unwrap_or(&self.current);
+        let mut epochs: Vec<EpochInfo> = Vec::with_capacity(self.sealed.len() + 1);
+        for e in self.sealed.iter().chain(std::iter::once(&self.current)) {
+            epochs.push(EpochInfo {
+                index: e.index,
+                start_picks: e.start_picks,
+                entries: e.entries.len() as u64,
+            });
         }
-        self.shards[idx].push(StampedEntry {
-            bucket,
-            serial,
-            entry,
-        });
-        let (thread_cost, serial_cost) = self.cost.record_cost(payload, serial);
-        ObserverCharge {
-            thread_cost,
-            serial_cost,
+        let checkpoint = SketchCheckpoint {
+            boundary: oldest.start_picks,
+            production_seed: meta.seed,
+            dropped_epochs: self.dropped_epochs,
+            dropped_entries: self.dropped_entries,
+            bbn_counters: oldest.start_bbn.clone(),
+            epochs,
+            snapshot: oldest.start_snapshot.clone(),
+        };
+        let mut stamped: Vec<StampedEntry> = Vec::with_capacity(self.retained_entries());
+        for e in self.sealed {
+            stamped.extend(e.entries);
         }
+        stamped.extend(self.current.entries);
+        Sketch {
+            mechanism: self.core.filter.mechanism(),
+            entries: canonical_order(stamped),
+            meta,
+            checkpoint: Some(Box::new(checkpoint)),
+        }
+    }
+}
+
+impl Observer for RingRecorder {
+    fn on_event(&mut self, event: &Event) -> ObserverCharge {
+        let (charge, stamped) = self.core.step(event);
+        self.current.cost += charge.thread_cost + charge.serial_cost;
+        if let Some(stamped) = stamped {
+            self.current.entries.push(stamped);
+        }
+        charge
+    }
+
+    fn checkpoint_due(&mut self) -> bool {
+        let entries_full = self.config.epoch_entries > 0
+            && self.current.entries.len() as u64 >= self.config.epoch_entries;
+        let cost_full = self.config.epoch_cost > 0 && self.current.cost >= self.config.epoch_cost;
+        entries_full || cost_full
+    }
+
+    fn on_checkpoint(&mut self, snapshot: &pres_tvm::snapshot::VmSnapshot) {
+        self.rotate(snapshot);
     }
 }
 
@@ -261,6 +517,7 @@ impl RecordingObserver for LegacySketchRecorder {
             mechanism: self.filter.mechanism(),
             entries: canonical_order(stamped),
             meta,
+            checkpoint: None,
         }
     }
 }
@@ -460,6 +717,180 @@ pub fn record_legacy(
         LegacySketchRecorder::new(mechanism, config.cost_model.clone()),
         None,
     )
+}
+
+/// Records one production run into a bounded epoch ring (always-on
+/// recording) and flushes the retained window into a checkpoint-bearing
+/// sketch — what a production deployment would do on failure. Same
+/// native-vs-recorded overhead pipeline as [`record`].
+pub fn record_ring(
+    program: &dyn Program,
+    mechanism: Mechanism,
+    ring: RingConfig,
+    config: &VmConfig,
+    seed: u64,
+) -> RecordedRun {
+    record_with(
+        program,
+        config,
+        seed,
+        RingRecorder::new(mechanism, config.cost_model.clone(), ring),
+        None,
+    )
+}
+
+/// As [`record_ring`], hosted on a warm vthread pool.
+pub fn record_ring_pooled(
+    program: &dyn Program,
+    mechanism: Mechanism,
+    ring: RingConfig,
+    config: &VmConfig,
+    seed: u64,
+    pool: &pres_tvm::pool::VthreadPool,
+) -> RecordedRun {
+    record_with(
+        program,
+        config,
+        seed,
+        RingRecorder::new(mechanism, config.cost_model.clone(), ring),
+        Some(pool),
+    )
+}
+
+/// Searches production seeds until the bug manifests while ring-recording;
+/// returns the failing run with its flushed, checkpoint-bearing sketch.
+pub fn record_ring_until_failure(
+    program: &dyn Program,
+    mechanism: Mechanism,
+    ring: RingConfig,
+    config: &VmConfig,
+    seeds: impl IntoIterator<Item = u64>,
+) -> Option<RecordedRun> {
+    let pool = pres_tvm::pool::VthreadPool::new(8);
+    for seed in seeds {
+        let run = record_ring_pooled(program, mechanism, ring.clone(), config, seed, &pool);
+        if run.failed() {
+            return Some(run);
+        }
+    }
+    None
+}
+
+/// Byte-verifies a flushed checkpoint against its program.
+///
+/// Re-executes the production prefix — same seed, same recording charges
+/// (a [`SketchRecorder`] mirror routes events through the shared
+/// [`RecorderCore`], so the virtual clock the snapshot embeds is billed
+/// identically) — and compares the state snapshot the VM captures at the
+/// boundary with the snapshot the checkpoint carries. A mismatch means
+/// the sketch does not belong to this program/configuration, and
+/// fast-forwarded replay would explore garbage; callers abort the
+/// reproduction instead. Genesis checkpoints verify trivially.
+///
+/// The verification run is cut off at the boundary (the scheduler aborts
+/// once the capture is in hand), so its cost is one prefix, not one full
+/// production run, and it happens once per reproduction — not per attempt.
+pub fn verify_checkpoint(
+    program: &dyn Program,
+    checkpoint: &crate::sketch::SketchCheckpoint,
+    mechanism: Mechanism,
+    config: &VmConfig,
+    pool: Option<&pres_tvm::pool::VthreadPool>,
+) -> Result<(), String> {
+    if checkpoint.is_genesis() {
+        return Ok(());
+    }
+
+    /// Counts events, mirrors production recording charges, and grabs the
+    /// boundary snapshot's bytes.
+    struct SnapshotProbe {
+        mirror: SketchRecorder,
+        boundary: u64,
+        seen: u64,
+        captured: Option<Vec<u8>>,
+    }
+
+    impl Observer for SnapshotProbe {
+        fn on_event(&mut self, event: &Event) -> ObserverCharge {
+            self.seen += 1;
+            self.mirror.on_event(event)
+        }
+
+        fn checkpoint_due(&mut self) -> bool {
+            self.seen == self.boundary
+        }
+
+        fn on_checkpoint(&mut self, snapshot: &pres_tvm::snapshot::VmSnapshot) {
+            self.captured = Some(snapshot.encode());
+        }
+    }
+
+    /// The production scheduler, cut off one pick past the boundary — by
+    /// then the capture hook has fired, and the rest of the run is not
+    /// needed for verification.
+    struct BoundedScheduler {
+        inner: RandomScheduler,
+        picks_left: u64,
+    }
+
+    impl pres_tvm::sched::Scheduler for BoundedScheduler {
+        fn pick(
+            &mut self,
+            view: &pres_tvm::sched::SchedView<'_>,
+        ) -> pres_tvm::sched::Decision {
+            if self.picks_left == 0 {
+                return pres_tvm::sched::Decision::Abort(
+                    "checkpoint boundary verified".to_string(),
+                );
+            }
+            self.picks_left -= 1;
+            self.inner.pick(view)
+        }
+    }
+
+    let mut probe = SnapshotProbe {
+        mirror: SketchRecorder::new(mechanism, config.cost_model.clone()),
+        boundary: checkpoint.boundary,
+        seen: 0,
+        captured: None,
+    };
+    let mut sched = BoundedScheduler {
+        inner: RandomScheduler::new(checkpoint.production_seed),
+        picks_left: checkpoint.boundary,
+    };
+    let mut cfg = config.clone();
+    cfg.trace_mode = TraceMode::Off;
+    cfg.world = program.world();
+    let body = program.root();
+    match pool {
+        Some(pool) => vm::run_with_pool(
+            cfg,
+            program.resources(),
+            &mut sched,
+            &mut probe,
+            pool,
+            move |ctx| body(ctx),
+        ),
+        None => vm::run(
+            cfg,
+            program.resources(),
+            &mut sched,
+            &mut probe,
+            move |ctx| body(ctx),
+        ),
+    };
+    match probe.captured {
+        None => Err(format!(
+            "program ended after {} events, before the checkpoint boundary {}",
+            probe.seen, checkpoint.boundary
+        )),
+        Some(bytes) if bytes == checkpoint.snapshot => Ok(()),
+        Some(_) => Err(format!(
+            "snapshot mismatch at boundary {}: the sketch was not recorded \
+             from this program/configuration",
+            checkpoint.boundary
+        )),
+    }
 }
 
 fn record_with<R: RecordingObserver>(
@@ -784,6 +1215,278 @@ mod tests {
         let run = found.expect("some seed must lose an update");
         assert!(run.failed());
         assert_eq!(run.sketch.meta.failure_signature, "assert:lost update");
+    }
+
+    /// Serial (slot-claiming) ops of a sketch, for window/suffix checks.
+    fn serial_ops(s: &Sketch) -> Vec<&SketchEntry> {
+        s.entries
+            .iter()
+            .filter(|e| e.op.claims_global_slot())
+            .collect()
+    }
+
+    #[test]
+    fn ring_with_full_retention_matches_classic_sketch() {
+        // A ring wide enough to never evict must flush the classic
+        // sketch's entries exactly, under a genesis checkpoint — Pin A's
+        // foundation.
+        let prog = compute_heavy_program();
+        let config = VmConfig::default();
+        for m in Mechanism::all() {
+            let classic = record(&prog, m, &config, 7);
+            let ring = record_ring(
+                &prog,
+                m,
+                RingConfig {
+                    epoch_entries: 16,
+                    epoch_cost: 0,
+                    ring_epochs: 100_000,
+                },
+                &config,
+                7,
+            );
+            let cp = ring.sketch.checkpoint.as_deref().expect("ring flush bears a checkpoint");
+            assert!(cp.is_genesis(), "{m}: nothing evicted, checkpoint must be genesis");
+            assert_eq!(cp.dropped_epochs, 0);
+            assert_eq!(cp.dropped_entries, 0);
+            assert!(cp.snapshot.is_empty());
+            assert!(cp.bbn_counters.is_empty());
+            assert_eq!(classic.sketch.entries, ring.sketch.entries, "{m}");
+            assert_eq!(classic.sketch.meta, ring.sketch.meta, "{m}");
+            assert_eq!(cp.retained_entries(), ring.sketch.entries.len() as u64);
+        }
+    }
+
+    #[test]
+    fn ring_charges_exactly_like_the_classic_recorder() {
+        // Charge parity: ring recording must bill the virtual clock the
+        // way production recording does, whatever the budgets — the
+        // checkpoint snapshots embed the clock, so verification depends
+        // on it.
+        let prog = marker_heavy_program();
+        let config = VmConfig {
+            processors: 8,
+            ..VmConfig::default()
+        };
+        for m in Mechanism::all() {
+            let classic = record(&prog, m, &config, 9);
+            let ring = record_ring(&prog, m, RingConfig::default(), &config, 9);
+            assert_eq!(classic.outcome.schedule, ring.outcome.schedule, "{m}");
+            assert_eq!(
+                classic.outcome.time.makespan, ring.outcome.time.makespan,
+                "{m}: ring charges diverged from production recording"
+            );
+            assert_eq!(classic.log_bytes, ring.log_bytes, "{m}");
+            assert_eq!(classic.implicit_events, ring.implicit_events, "{m}");
+        }
+    }
+
+    #[test]
+    fn rotated_ring_flushes_the_retained_suffix() {
+        let prog = marker_heavy_program();
+        let config = VmConfig::default();
+        let ring_cfg = RingConfig {
+            epoch_entries: 300,
+            epoch_cost: 0,
+            ring_epochs: 3,
+        };
+        let classic = record(&prog, Mechanism::Bb, &config, 5);
+        let ring = record_ring(&prog, Mechanism::Bb, ring_cfg, &config, 5);
+        let cp = ring.sketch.checkpoint.as_deref().expect("checkpoint");
+        assert!(cp.dropped_epochs > 0, "budgets must force eviction here");
+        assert!(cp.boundary > 0);
+        assert_eq!(
+            cp.dropped_entries + ring.sketch.entries.len() as u64,
+            classic.sketch.entries.len() as u64,
+            "dropped + retained must cover the classic log"
+        );
+        // The epoch directory is contiguous and covers the window.
+        for (a, b) in cp.epochs.iter().zip(cp.epochs.iter().skip(1)) {
+            assert_eq!(a.index + 1, b.index);
+            assert!(a.start_picks <= b.start_picks);
+        }
+        assert_eq!(cp.epochs.first().expect("nonempty").start_picks, cp.boundary);
+        assert_eq!(cp.retained_entries(), ring.sketch.entries.len() as u64);
+        // The boundary snapshot is a decodable VM snapshot at the boundary.
+        let snap = pres_tvm::snapshot::VmSnapshot::decode(&cp.snapshot).expect("valid snapshot");
+        assert_eq!(snap.picks(), cp.boundary);
+        // Slot-claiming entries have unique ascending buckets, so the
+        // retained window's serial backbone is exactly a suffix of the
+        // classic log's.
+        let classic_serial = serial_ops(&classic.sketch);
+        let ring_serial = serial_ops(&ring.sketch);
+        assert!(!ring_serial.is_empty());
+        assert_eq!(
+            &classic_serial[classic_serial.len() - ring_serial.len()..],
+            &ring_serial[..],
+            "retained serial entries must be the classic log's suffix"
+        );
+    }
+
+    #[test]
+    fn ring_memory_stays_bounded_throughout_the_run() {
+        // Wrap the ring recorder in an observer that checks the retention
+        // invariant after every single event — not just at flush time.
+        struct BoundsChecked {
+            inner: RingRecorder,
+            cap_epochs: usize,
+            cap_entries: usize,
+        }
+        impl Observer for BoundsChecked {
+            fn on_event(&mut self, event: &Event) -> ObserverCharge {
+                let charge = self.inner.on_event(event);
+                assert!(self.inner.retained_epochs() <= self.cap_epochs);
+                assert!(self.inner.retained_entries() <= self.cap_entries);
+                charge
+            }
+            fn checkpoint_due(&mut self) -> bool {
+                self.inner.checkpoint_due()
+            }
+            fn on_checkpoint(&mut self, snapshot: &pres_tvm::snapshot::VmSnapshot) {
+                self.inner.on_checkpoint(snapshot);
+            }
+        }
+        let prog = marker_heavy_program();
+        let config = VmConfig::default();
+        let (k, budget) = (2usize, 100u64);
+        let mut obs = BoundsChecked {
+            inner: RingRecorder::new(
+                Mechanism::Bb,
+                config.cost_model.clone(),
+                RingConfig {
+                    epoch_entries: budget,
+                    epoch_cost: 0,
+                    ring_epochs: k,
+                },
+            ),
+            cap_epochs: k,
+            cap_entries: k * budget as usize,
+        };
+        let outcome = run_once(&prog, &config, 3, &mut obs, TraceMode::Off);
+        assert!(!outcome.status.is_failed());
+        assert!(obs.inner.dropped_epochs() > 0, "run must overflow a 2-epoch ring");
+        let sketch = obs.inner.finish(SketchMeta::default());
+        assert!(sketch.entries.len() <= k * budget as usize);
+    }
+
+    #[test]
+    fn cost_budget_cuts_epochs_too() {
+        let prog = compute_heavy_program();
+        let config = VmConfig::default();
+        let ring = record_ring(
+            &prog,
+            Mechanism::Rw,
+            RingConfig {
+                epoch_entries: 0,
+                epoch_cost: 2_000,
+                ring_epochs: 2,
+            },
+            &config,
+            7,
+        );
+        let cp = ring.sketch.checkpoint.as_deref().expect("checkpoint");
+        assert!(
+            cp.dropped_epochs > 0 || cp.epochs.len() > 1,
+            "cost budget must have sealed at least one epoch"
+        );
+    }
+
+    #[test]
+    fn disabled_budgets_never_rotate() {
+        let prog = compute_heavy_program();
+        let config = VmConfig::default();
+        let ring = record_ring(
+            &prog,
+            Mechanism::Sync,
+            RingConfig {
+                epoch_entries: 0,
+                epoch_cost: 0,
+                ring_epochs: 1,
+            },
+            &config,
+            7,
+        );
+        let cp = ring.sketch.checkpoint.as_deref().expect("checkpoint");
+        assert!(cp.is_genesis());
+        assert_eq!(cp.epochs.len(), 1);
+        let classic = record(&prog, Mechanism::Sync, &config, 7);
+        assert_eq!(classic.sketch.entries, ring.sketch.entries);
+    }
+
+    #[test]
+    fn bbn_counters_travel_with_the_checkpoint() {
+        let prog = marker_heavy_program();
+        let config = VmConfig::default();
+        let ring = record_ring(
+            &prog,
+            Mechanism::BbN(4),
+            RingConfig {
+                epoch_entries: 64,
+                epoch_cost: 0,
+                ring_epochs: 2,
+            },
+            &config,
+            5,
+        );
+        let cp = ring.sketch.checkpoint.as_deref().expect("checkpoint");
+        assert!(cp.boundary > 0, "marker-heavy run must rotate a 2x64 ring");
+        assert!(
+            cp.bbn_counters.iter().any(|&c| c > 0),
+            "BB-N sampling counters must be snapshotted at the boundary"
+        );
+    }
+
+    #[test]
+    fn ring_flush_round_trips_through_the_codec() {
+        let prog = marker_heavy_program();
+        let config = VmConfig::default();
+        let ring = record_ring(
+            &prog,
+            Mechanism::Bb,
+            RingConfig {
+                epoch_entries: 300,
+                epoch_cost: 0,
+                ring_epochs: 3,
+            },
+            &config,
+            5,
+        );
+        assert!(ring.sketch.checkpoint.is_some());
+        let encoded = crate::codec::encode_sketch(&ring.sketch);
+        assert_eq!(crate::codec::container_version(&encoded).unwrap(), 3);
+        let decoded = crate::codec::decode_sketch(&encoded).unwrap();
+        assert_eq!(decoded, ring.sketch);
+    }
+
+    #[test]
+    fn record_ring_until_failure_flushes_on_the_failing_seed() {
+        let mut spec = ResourceSpec::new();
+        let x = spec.var("x", 0);
+        let prog = ClosureProgram::new("racy", spec, WorldConfig::default(), move || {
+            Box::new(move |ctx: &mut Ctx| {
+                let t = ctx.spawn("w", move |ctx| {
+                    let v = ctx.read(x);
+                    ctx.compute(20);
+                    ctx.write(x, v + 1);
+                });
+                let v = ctx.read(x);
+                ctx.compute(20);
+                ctx.write(x, v + 1);
+                ctx.join(t);
+                let total = ctx.read(x);
+                ctx.check(total == 2, "lost update");
+            })
+        });
+        let config = VmConfig {
+            processors: 4,
+            ..VmConfig::default()
+        };
+        let found =
+            record_ring_until_failure(&prog, Mechanism::Sync, RingConfig::default(), &config, 0..200);
+        let run = found.expect("some seed must lose an update");
+        assert!(run.failed());
+        assert_eq!(run.sketch.meta.failure_signature, "assert:lost update");
+        assert!(run.sketch.checkpoint.is_some());
     }
 
     #[test]

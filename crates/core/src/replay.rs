@@ -31,6 +31,7 @@ use pres_tvm::op::{MemLoc, Op};
 use pres_tvm::sched::{Decision, SchedView, Scheduler};
 
 use pres_tvm::rng::ChaCha8Rng;
+use pres_tvm::sched::RandomScheduler;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -191,8 +192,16 @@ impl PiReplayScheduler {
         seed: u64,
     ) -> Self {
         let satisfied = vec![false; constraints.len()];
+        // A checkpoint-bearing index describes only the retained window:
+        // its entries start at the boundary, and the BB-N sampling counters
+        // must resume from the recorded mid-run state or every Nth-marker
+        // decision after the boundary would disagree with production.
+        let filter = match index.checkpoint() {
+            Some(cp) => MechanismFilter::with_counters(index.mechanism(), cp.bbn_counters.clone()),
+            None => MechanismFilter::new(index.mechanism()),
+        };
         PiReplayScheduler {
-            filter: MechanismFilter::new(index.mechanism()),
+            filter,
             thread_pos: vec![0; index.threads()],
             index,
             cursor: 0,
@@ -387,6 +396,105 @@ impl Scheduler for PiReplayScheduler {
             }
             *self.counters.entry((tid, obj)).or_insert(0) += 1;
         }
+    }
+}
+
+/// Replay-from-checkpoint: fast-forwards an attempt through the
+/// unretained prefix, then hands control to the sketch-constrained
+/// explorer at the checkpoint boundary.
+///
+/// A ring-flushed sketch covers only the retained window; everything
+/// before its checkpoint boundary was evicted. The VM is deterministic
+/// given a pick sequence, so the prefix needs no log at all: replaying
+/// the production run's own scheduler (reconstructed from the recorded
+/// seed) for exactly `boundary` picks re-derives the checkpointed state —
+/// re-execution *is* restoration, and the embedded snapshot serves as the
+/// integrity witness (see [`crate::recorder::verify_checkpoint`]) rather
+/// than as the restore source.
+///
+/// During the prefix the wrapped [`PiReplayScheduler`] is completely
+/// inert: its `on_applied` is suppressed, so its sketch cursor, flip
+/// bookkeeping, and per-(thread, object) action counters all start
+/// counting at the boundary — the same origin the retained entries and
+/// the feedback extractor's candidates use. A checkpoint-free index has
+/// boundary 0 and delegates from the first pick, so every classic replay
+/// is just the degenerate case of this scheduler.
+pub struct FastForwardScheduler {
+    /// The production scheduler, reconstructed from the recorded seed;
+    /// owns every pick before the boundary.
+    production: RandomScheduler,
+    /// Picks before this boundary fast-forward; picks at or after it
+    /// explore.
+    boundary: u64,
+    /// Events applied so far.
+    applied: u64,
+    inner: PiReplayScheduler,
+}
+
+impl FastForwardScheduler {
+    /// Builds the fast-forwarding explorer over a shared sketch index. The
+    /// boundary and production seed come from the index's checkpoint;
+    /// without one the scheduler is exactly a [`PiReplayScheduler`].
+    pub fn with_index(
+        index: Arc<SketchIndex>,
+        constraints: Vec<OrderConstraint>,
+        seed: u64,
+    ) -> Self {
+        let (boundary, production_seed) = index
+            .checkpoint()
+            .map(|cp| (cp.boundary, cp.production_seed))
+            .unwrap_or((0, 0));
+        FastForwardScheduler {
+            production: RandomScheduler::new(production_seed),
+            boundary,
+            applied: 0,
+            inner: PiReplayScheduler::with_index(index, constraints, seed),
+        }
+    }
+
+    /// The checkpoint boundary in picks (0 for classic sketches).
+    pub fn boundary(&self) -> u64 {
+        self.boundary
+    }
+
+    /// Whether the attempt is still fast-forwarding through the prefix.
+    pub fn in_prefix(&self) -> bool {
+        self.applied < self.boundary
+    }
+
+    /// Makes post-boundary divergence abort instead of relaxing.
+    pub fn strict(mut self) -> Self {
+        self.inner = self.inner.strict();
+        self
+    }
+
+    /// The step at which sketch enforcement was relaxed, if it was.
+    pub fn relaxed_at(&self) -> Option<u64> {
+        self.inner.relaxed_at()
+    }
+
+    /// Whether the full retained window has been replayed.
+    pub fn sketch_exhausted(&self) -> bool {
+        self.inner.sketch_exhausted()
+    }
+}
+
+impl Scheduler for FastForwardScheduler {
+    fn pick(&mut self, view: &SchedView<'_>) -> Decision {
+        if self.applied < self.boundary {
+            self.production.pick(view)
+        } else {
+            self.inner.pick(view)
+        }
+    }
+
+    fn on_applied(&mut self, tid: ThreadId, op: &Op) {
+        if self.applied < self.boundary {
+            self.production.on_applied(tid, op);
+        } else {
+            self.inner.on_applied(tid, op);
+        }
+        self.applied += 1;
     }
 }
 

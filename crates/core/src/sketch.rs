@@ -390,9 +390,27 @@ impl MechanismFilter {
         }
     }
 
+    /// A filter resuming mid-run: per-thread basic-block counters restored
+    /// from a checkpoint, so `BB-N` sampling picks the same blocks the
+    /// production recorder would have past the boundary. Equivalent to
+    /// [`MechanismFilter::new`] when `bb_counters` is empty.
+    pub fn with_counters(mechanism: Mechanism, bb_counters: Vec<u64>) -> Self {
+        MechanismFilter {
+            mechanism,
+            bb_counters,
+        }
+    }
+
     /// The mechanism.
     pub fn mechanism(&self) -> Mechanism {
         self.mechanism
+    }
+
+    /// The per-thread basic-block sampling counters (indexed by
+    /// `ThreadId`; absolute counts since genesis). What a checkpoint
+    /// stores so a window replayer can resume sampling in phase.
+    pub fn bb_counters(&self) -> &[u64] {
+        &self.bb_counters
     }
 
     fn bb_count(&self, tid: ThreadId) -> u64 {
@@ -443,6 +461,66 @@ impl MechanismFilter {
     }
 }
 
+/// Directory entry for one retained epoch of a ring-flushed sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// Epoch ordinal within the production run (0-based, absolute — the
+    /// first retained epoch of a rotated ring has a nonzero index).
+    pub index: u64,
+    /// Pick boundary at which the epoch began.
+    pub start_picks: u64,
+    /// Sketch entries the epoch contributed to the retained window.
+    pub entries: u64,
+}
+
+/// The checkpoint a ring-flushed sketch carries: everything replay needs
+/// to reconstruct the VM at the retained window's start and search only
+/// the window.
+///
+/// Restore is *deterministic fast-forward*: replay the production
+/// scheduler ([`production_seed`](Self::production_seed)) for exactly
+/// [`boundary`](Self::boundary) picks; the embedded snapshot is the
+/// integrity witness a re-capture at the boundary must match
+/// byte-for-byte. A **genesis** checkpoint (`boundary == 0`, empty
+/// snapshot, empty counters) marks a ring that never rotated: the whole
+/// run is retained and replay degenerates to the classic full-sketch
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchCheckpoint {
+    /// Number of scheduler picks (equivalently, applied events) that
+    /// precede the checkpoint.
+    pub boundary: u64,
+    /// Scheduler seed of the production run the fast-forward replays.
+    pub production_seed: u64,
+    /// Epochs evicted from the ring before the retained window.
+    pub dropped_epochs: u64,
+    /// Sketch entries evicted with them.
+    pub dropped_entries: u64,
+    /// Per-thread `BB-N` sampling counters at the boundary (absolute
+    /// counts since genesis), seeding the window replayer's
+    /// [`MechanismFilter`]. Empty for non-sampling mechanisms and for
+    /// genesis checkpoints.
+    pub bbn_counters: Vec<u64>,
+    /// Directory of the retained epochs, oldest first.
+    pub epochs: Vec<EpochInfo>,
+    /// The encoded VM snapshot ([`pres_tvm::snapshot::VmSnapshot`]) at
+    /// the boundary; empty for a genesis checkpoint.
+    pub snapshot: Vec<u8>,
+}
+
+impl SketchCheckpoint {
+    /// Whether this is a genesis checkpoint (nothing was evicted; replay
+    /// needs no fast-forward).
+    pub fn is_genesis(&self) -> bool {
+        self.boundary == 0
+    }
+
+    /// Entries across the retained epoch directory.
+    pub fn retained_entries(&self) -> u64 {
+        self.epochs.iter().map(|e| e.entries).sum()
+    }
+}
+
 /// Metadata describing the recorded production run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SketchMeta {
@@ -466,9 +544,14 @@ pub struct Sketch {
     /// Entries in canonical recorded order (see [`StampedEntry`]): the
     /// serialized global order over slot-claiming entries, with
     /// thread-local markers deterministically bucketed between slots.
+    /// For a ring-flushed sketch these are the *retained window's*
+    /// entries only, with their absolute bucket stamps.
     pub entries: Vec<SketchEntry>,
     /// Production-run metadata.
     pub meta: SketchMeta,
+    /// The checkpoint of a ring-flushed sketch (`None` for classic
+    /// full-run sketches).
+    pub checkpoint: Option<Box<SketchCheckpoint>>,
 }
 
 impl Sketch {
@@ -478,6 +561,7 @@ impl Sketch {
             mechanism,
             entries: Vec::new(),
             meta: SketchMeta::default(),
+            checkpoint: None,
         }
     }
 
@@ -513,6 +597,7 @@ impl Sketch {
             mechanism,
             entries: canonical_order(stamped),
             meta: SketchMeta::default(),
+            checkpoint: None,
         }
     }
 
@@ -543,6 +628,8 @@ pub struct SketchIndex {
     entries_op: Vec<SketchOp>,
     /// Per-thread lists of global entry indices, indexed by `ThreadId`.
     per_thread: Vec<Vec<usize>>,
+    /// The sketch's checkpoint, if ring-flushed.
+    checkpoint: Option<Box<SketchCheckpoint>>,
 }
 
 impl SketchIndex {
@@ -560,12 +647,20 @@ impl SketchIndex {
             mechanism: sketch.mechanism,
             entries_op: sketch.entries.iter().map(|e| e.op.clone()).collect(),
             per_thread,
+            checkpoint: sketch.checkpoint.clone(),
         }
     }
 
     /// The recording mechanism of the indexed sketch.
     pub fn mechanism(&self) -> Mechanism {
         self.mechanism
+    }
+
+    /// The checkpoint of a ring-flushed sketch (`None` for classic
+    /// sketches). Replay uses it to fast-forward to the retained window
+    /// and to seed the mechanism filter's sampling counters.
+    pub fn checkpoint(&self) -> Option<&SketchCheckpoint> {
+        self.checkpoint.as_deref()
     }
 
     /// Number of indexed entries.

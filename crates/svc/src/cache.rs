@@ -164,6 +164,7 @@ mod tests {
             mechanism: Mechanism::Sync,
             entries: Vec::new(),
             meta: Default::default(),
+            checkpoint: None,
         };
         let index = Arc::new(SketchIndex::new(&sketch));
         Arc::new(CachedSketch { sketch, index })

@@ -58,11 +58,25 @@ pub enum FaultPoint {
     /// so the records may surface after replay (as unacknowledged work)
     /// or not, but never as garbage.
     JournalCohortSyncCrash,
+    /// `flush::write_flush`, before any staging byte is written: the
+    /// ring flush leaves no trace (or an empty tmp file).
+    FlushStageCrash,
+    /// `flush::write_flush`, mid-staging-write: a torn tmp file exists,
+    /// never renamed into place. Armed with [`FaultMode::Torn`].
+    FlushStageTorn,
+    /// `flush::write_flush`, staging bytes written but not yet fsynced.
+    FlushTmpSyncCrash,
+    /// `flush::write_flush`, staging file durable but `rename(2)` not
+    /// yet issued.
+    FlushRenameCrash,
+    /// `flush::write_flush`, sketch renamed into place but the directory
+    /// entries not yet fsynced.
+    FlushDirSyncCrash,
 }
 
 impl FaultPoint {
     /// Every crash point, in write-path order — the coverage matrix.
-    pub const ALL: [FaultPoint; 10] = [
+    pub const ALL: [FaultPoint; 15] = [
         FaultPoint::StoreStageCrash,
         FaultPoint::StoreStageTorn,
         FaultPoint::StoreTmpSyncCrash,
@@ -73,6 +87,11 @@ impl FaultPoint {
         FaultPoint::JournalSyncCrash,
         FaultPoint::JournalCohortWriteCrash,
         FaultPoint::JournalCohortSyncCrash,
+        FaultPoint::FlushStageCrash,
+        FaultPoint::FlushStageTorn,
+        FaultPoint::FlushTmpSyncCrash,
+        FaultPoint::FlushRenameCrash,
+        FaultPoint::FlushDirSyncCrash,
     ];
 
     /// Stable human-readable name (used in injected-error messages).
@@ -88,6 +107,11 @@ impl FaultPoint {
             FaultPoint::JournalSyncCrash => "journal.append.sync",
             FaultPoint::JournalCohortWriteCrash => "journal.commit.cohort-write",
             FaultPoint::JournalCohortSyncCrash => "journal.commit.cohort-sync",
+            FaultPoint::FlushStageCrash => "flush.write.stage",
+            FaultPoint::FlushStageTorn => "flush.write.stage-torn",
+            FaultPoint::FlushTmpSyncCrash => "flush.write.tmp-sync",
+            FaultPoint::FlushRenameCrash => "flush.write.rename",
+            FaultPoint::FlushDirSyncCrash => "flush.write.dir-sync",
         }
     }
 
@@ -96,7 +120,7 @@ impl FaultPoint {
     pub fn is_torn(self) -> bool {
         matches!(
             self,
-            FaultPoint::StoreStageTorn | FaultPoint::JournalWriteTorn
+            FaultPoint::StoreStageTorn | FaultPoint::JournalWriteTorn | FaultPoint::FlushStageTorn
         )
     }
 }

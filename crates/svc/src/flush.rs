@@ -1,0 +1,171 @@
+//! Durable flush-on-failure writer for ring-mode sketches.
+//!
+//! When an always-on recorder trips a failure, the retained epoch window
+//! plus its checkpoint is encoded (codec v3) and written to local disk
+//! *before* anything is submitted anywhere — the flush file is the only
+//! evidence of the failure, so a crash mid-flush must never leave a file
+//! that decodes as a valid sketch with silently missing bytes.
+//!
+//! The write sequence mirrors `store::put` step for step: stage into a
+//! sibling tmp file → write → fsync the staged bytes → `rename(2)` into
+//! place → fsync the directory. The same [`Faults`] matrix that proves
+//! the store's contract proves this one (`flush.write.*` points), and the
+//! recovery invariant is binary: after a crash at any point the target
+//! path either does not exist or holds the complete encoded sketch.
+
+use crate::faultpoint::{FaultPoint, Faults};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Opens `dir` and fsyncs it, making the renamed-in flush file's dirent
+/// durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// The staging sibling for `target`: same directory (so the rename is
+/// atomic on every filesystem), name suffixed to never collide with a
+/// published flush.
+fn stage_path(target: &Path) -> std::path::PathBuf {
+    let mut name = target
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "flush".into());
+    name.push(format!(".tmp-{}", std::process::id()));
+    target.with_file_name(name)
+}
+
+/// Writes `data` to `target` with the full durability chain; the
+/// production entry point the recorder's flush path calls.
+pub fn write_flush(target: &Path, data: &[u8]) -> io::Result<()> {
+    write_flush_with_faults(target, data, &Faults::none())
+}
+
+/// [`write_flush`] with an injectable crash-point handle (tests and the
+/// torture harness).
+pub fn write_flush_with_faults(target: &Path, data: &[u8], faults: &Faults) -> io::Result<()> {
+    let parent = match target.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&parent)?;
+    let tmp = stage_path(target);
+    faults.check(FaultPoint::FlushStageCrash)?;
+    {
+        let mut file = File::create(&tmp)?;
+        if let Some(keep) = faults.torn(FaultPoint::FlushStageTorn, data.len()) {
+            file.write_all(&data[..keep])?;
+            let _ = file.sync_all();
+            return Err(Faults::torn_error(FaultPoint::FlushStageTorn));
+        }
+        file.write_all(data)?;
+        faults.check(FaultPoint::FlushTmpSyncCrash)?;
+        // The staged bytes must be durable BEFORE the rename: a rename of
+        // an unsynced file can publish a name whose content is lost by
+        // power failure.
+        file.sync_all()?;
+    }
+    faults.check(FaultPoint::FlushRenameCrash)?;
+    std::fs::rename(&tmp, target)?;
+    faults.check(FaultPoint::FlushDirSyncCrash)?;
+    sync_dir(&parent)?;
+    Ok(())
+}
+
+/// Sweeps staging files a crashed flush left next to `target` — called on
+/// recorder startup, mirroring the store's tmp sweep. Best effort: a
+/// sweep failure leaves garbage, not corruption.
+pub fn sweep_stale(target: &Path) -> usize {
+    let Some(parent) = target.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return 0;
+    };
+    let Some(base) = target.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return 0;
+    };
+    let prefix = format!("{base}.tmp-");
+    let Ok(entries) = std::fs::read_dir(parent) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().starts_with(&prefix)
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        let _ = sync_dir(parent);
+    }
+    swept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultpoint::FaultMode;
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pres-flush-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn flush_lands_complete_and_replaces_prior_flush() {
+        let root = tmp_root("ok");
+        let target = root.join("ring-flush.sketch");
+        write_flush(&target, b"first flush bytes").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first flush bytes");
+        // A later failure overwrites atomically — no torn mix of the two.
+        write_flush(&target, b"second").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn every_crash_point_leaves_target_absent_or_complete() {
+        for point in [
+            FaultPoint::FlushStageCrash,
+            FaultPoint::FlushTmpSyncCrash,
+            FaultPoint::FlushRenameCrash,
+            FaultPoint::FlushDirSyncCrash,
+        ] {
+            let root = tmp_root(point.name().rsplit('.').next().unwrap());
+            let target = root.join("ring-flush.sketch");
+            let faults = Faults::new();
+            faults.arm(point, FaultMode::Crash, 1);
+            let err = write_flush_with_faults(&target, b"payload", &faults).unwrap_err();
+            assert!(err.to_string().contains(point.name()), "{err}");
+            assert!(faults.fired());
+            if target.exists() {
+                // Crash after the rename: the flush is already complete.
+                assert_eq!(std::fs::read(&target).unwrap(), b"payload");
+            }
+            // The restart path cleans any staged leftovers, and a retry
+            // of the same flush then succeeds in full.
+            sweep_stale(&target);
+            write_flush_with_faults(&target, b"payload", &faults).unwrap();
+            assert_eq!(std::fs::read(&target).unwrap(), b"payload");
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn torn_stage_never_publishes_the_target() {
+        let root = tmp_root("torn");
+        let target = root.join("ring-flush.sketch");
+        let faults = Faults::new();
+        faults.arm(FaultPoint::FlushStageTorn, FaultMode::Torn { keep: 3 }, 1);
+        let err = write_flush_with_faults(&target, b"payload", &faults).unwrap_err();
+        assert!(err.to_string().contains("flush.write.stage-torn"), "{err}");
+        assert!(!target.exists(), "torn staging write must never publish");
+        assert_eq!(sweep_stale(&target), 1, "the torn tmp file is swept");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

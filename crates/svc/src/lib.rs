@@ -24,6 +24,7 @@
 //! | [`cluster`] | rendezvous-hashed sharding, N-way replication, stealing |
 //! | [`client`] | the client the CLI and the tests both use |
 //! | [`faultpoint`] | deterministic crash injection for durability tests |
+//! | [`flush`] | durable flush-on-failure writer for ring-mode sketches |
 //!
 //! Two properties anchor the design:
 //!
@@ -43,6 +44,7 @@ pub mod cluster;
 pub mod crc;
 pub mod digest;
 pub mod faultpoint;
+pub mod flush;
 pub mod journal;
 pub mod metrics;
 pub mod netpoll;

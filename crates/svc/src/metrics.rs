@@ -49,6 +49,9 @@ pub struct Metrics {
     pub retries: AtomicU64,
     /// Total exploration attempts spent across all jobs.
     pub attempts: AtomicU64,
+    /// Job executions whose sketch carried a ring-flush checkpoint —
+    /// replay started from a retained-window boundary, not from genesis.
+    pub jobs_from_checkpoint: AtomicU64,
     /// Records group-committed to the journal.
     pub journal_records: AtomicU64,
     /// `fdatasync` calls the journal issued — one per commit cohort, so
@@ -121,6 +124,7 @@ impl Metrics {
             jobs_failed: load(&self.jobs_failed),
             retries: load(&self.retries),
             attempts: load(&self.attempts),
+            jobs_from_checkpoint: load(&self.jobs_from_checkpoint),
             journal_records: load(&self.journal_records),
             journal_syncs: load(&self.journal_syncs),
             journal_cohort_max: load(&self.journal_cohort_max),
@@ -157,6 +161,7 @@ pub struct Snapshot {
     pub jobs_failed: u64,
     pub retries: u64,
     pub attempts: u64,
+    pub jobs_from_checkpoint: u64,
     pub journal_records: u64,
     pub journal_syncs: u64,
     pub journal_cohort_max: u64,
@@ -239,7 +244,7 @@ impl Snapshot {
     /// The compact one-line form used by the periodic server log.
     pub fn log_line(&self) -> String {
         format!(
-            "svc: conns={} (live {} / refused {}) submits={} (dedup {}, streamed {}) done={} (ok {} / exhausted {} / timeout {} / failed {}) retries={} attempts={} stalls={} rejected-frames={} journal={}r/{}s (mean {:.1}, max {}, failures {}) cache={}h/{}m (evicted {}) peers={}rpc ({}B out / {}B in) steals={}/{} repair={}/{} p50={} p95={} p99={}",
+            "svc: conns={} (live {} / refused {}) submits={} (dedup {}, streamed {}) done={} (ok {} / exhausted {} / timeout {} / failed {}) retries={} attempts={} ckpt-jobs={} stalls={} rejected-frames={} journal={}r/{}s (mean {:.1}, max {}, failures {}) cache={}h/{}m (evicted {}) peers={}rpc ({}B out / {}B in) steals={}/{} repair={}/{} p50={} p95={} p99={}",
             self.connections,
             self.connections_live,
             self.connections_refused,
@@ -253,6 +258,7 @@ impl Snapshot {
             self.jobs_failed,
             self.retries,
             self.attempts,
+            self.jobs_from_checkpoint,
             self.window_stalls,
             self.frames_rejected,
             self.journal_records,
@@ -294,6 +300,7 @@ impl std::fmt::Display for Snapshot {
         writeln!(f, "jobs_failed        {}", self.jobs_failed)?;
         writeln!(f, "retries            {}", self.retries)?;
         writeln!(f, "attempts           {}", self.attempts)?;
+        writeln!(f, "jobs_from_checkpoint {}", self.jobs_from_checkpoint)?;
         writeln!(f, "journal_records    {}", self.journal_records)?;
         writeln!(f, "journal_syncs      {}", self.journal_syncs)?;
         writeln!(f, "journal_mean_cohort {:.2}", self.journal_mean_cohort())?;

@@ -711,6 +711,11 @@ impl JobQueue {
                 message: "sketch records a clean run; nothing to reproduce".into(),
             };
         }
+        if sketch.checkpoint.is_some() {
+            self.metrics
+                .jobs_from_checkpoint
+                .fetch_add(1, Ordering::Relaxed);
+        }
 
         let mut explore = ExploreConfig {
             max_attempts: self.config.max_attempts,

@@ -86,6 +86,17 @@ impl VClock {
     pub fn now(&self) -> u64 {
         self.work
     }
+
+    /// Serializes the clock into a snapshot section
+    /// (see [`crate::snapshot`]).
+    pub fn snapshot_into(&self, e: &mut crate::snapshot::Enc) {
+        e.u64(self.per_thread.len() as u64);
+        for t in &self.per_thread {
+            e.u64(*t);
+        }
+        e.u64(self.work);
+        e.u64(self.serial);
+    }
 }
 
 /// Timing summary of a completed run, as reported in [`crate::vm::RunOutcome`].

@@ -56,6 +56,7 @@ pub mod op;
 pub mod pool;
 pub mod rng;
 pub mod sched;
+pub mod snapshot;
 pub mod state;
 pub mod sync;
 pub mod sys;
@@ -77,6 +78,7 @@ pub mod prelude {
         Candidate, Decision, RandomScheduler, RoundRobinScheduler, SchedView, Scheduler,
         ScriptedScheduler,
     };
+    pub use crate::snapshot::VmSnapshot;
     pub use crate::state::ResourceSpec;
     pub use crate::sys::{Session, WorldConfig};
     pub use crate::trace::{Event, NullObserver, Observer, ObserverCharge, Trace, TraceMode};

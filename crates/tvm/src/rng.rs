@@ -120,6 +120,19 @@ impl ChaCha8Rng {
     pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
         range.sample(self)
     }
+
+    /// Serializes the full generator state into a snapshot section
+    /// (see [`crate::snapshot`]): block input, current keystream block,
+    /// and the read cursor.
+    pub fn snapshot_into(&self, e: &mut crate::snapshot::Enc) {
+        for w in &self.state {
+            e.u64(u64::from(*w));
+        }
+        for w in &self.block {
+            e.u64(u64::from(*w));
+        }
+        e.u64(self.word as u64);
+    }
 }
 
 /// Ranges [`ChaCha8Rng::gen_range`] can sample from.

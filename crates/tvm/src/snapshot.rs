@@ -1,0 +1,601 @@
+//! Mid-execution VM snapshots: the checkpoint surface of always-on
+//! recording.
+//!
+//! A [`VmSnapshot`] captures everything the coordinator owns at a pick
+//! boundary — run statistics, the virtual clock, per-vthread control state
+//! (names, per-thread sequence numbers, exit flags), and the full
+//! [`crate::state::VmState`] including the simulated world and its input
+//! RNG — in a versioned binary encoding. The capture point is defined by
+//! *pick count*: a snapshot at boundary `B` reflects the state after
+//! exactly the first `B` scheduler picks have been applied.
+//!
+//! Restoration is by **deterministic fast-forward**: vthread bodies are
+//! native Rust closures, so the way to reconstruct the VM at boundary `B`
+//! is to re-run the program under the recorded production scheduler for
+//! exactly `B` picks. The serialized snapshot is the integrity witness for
+//! that fast-forward — the replayer re-captures at `B` and byte-compares
+//! the encodings, so any drift between the production run and the replay
+//! environment is detected instead of silently corrupting exploration
+//! (see `pres-core`'s checkpoint verification).
+//!
+//! Encoding discipline mirrors the sketch codec: decoding is strictly
+//! structural, never panics, never accepts trailing bytes, and bounds
+//! every collection count against the remaining input so corrupt or
+//! truncated snapshots fail fast with an offset-carrying error.
+
+use std::fmt;
+
+/// Current snapshot encoding version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Section tags of the snapshot payload, in required order.
+pub const SEC_STATS: u8 = 1;
+/// Virtual-clock section.
+pub const SEC_CLOCK: u8 = 2;
+/// Per-vthread control-state section.
+pub const SEC_THREADS: u8 = 3;
+/// Shared state + simulated world section.
+pub const SEC_STATE: u8 = 4;
+
+/// A decode failure: where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Byte offset at which decoding failed (relative to the region being
+    /// parsed).
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Append-only snapshot encoder (LEB128 varints, length-prefixed blobs).
+///
+/// Owning modules ([`crate::state`], [`crate::sys`], [`crate::clock`],
+/// [`crate::rng`]) serialize themselves through this writer so their fields
+/// stay private; the coordinator assembles the sections.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends an LEB128 varint.
+    pub fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn bytes(&mut self, data: &[u8]) {
+        self.u64(data.len() as u64);
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Appends a tagged, length-prefixed section whose body is produced by
+    /// `f` into a fresh encoder.
+    pub fn section(&mut self, tag: u8, f: impl FnOnce(&mut Enc)) {
+        let mut body = Enc::new();
+        f(&mut body);
+        self.u8(tag);
+        self.bytes(&body.buf);
+    }
+
+    /// Consumes the encoder and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked snapshot reader.
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SnapshotError> {
+        Err(SnapshotError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        match self.data.get(self.pos) {
+            Some(b) => {
+                self.pos += 1;
+                Ok(*b)
+            }
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => self.err(format!("invalid bool byte {other}")),
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 63 && byte > 1 {
+                return self.err("varint overflows u64");
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.data.len() - self.pos < len {
+            return self.err(format!(
+                "need {len} bytes, {} remain",
+                self.data.len() - self.pos
+            ));
+        }
+        let slice = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.u64()?;
+        if len > (self.data.len() - self.pos) as u64 {
+            return self.err(format!("blob length {len} exceeds remaining input"));
+        }
+        self.take(len as usize)
+    }
+
+    fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        let raw = self.bytes()?;
+        match std::str::from_utf8(raw) {
+            Ok(s) => Ok(s),
+            Err(_) => self.err("invalid utf-8 in string"),
+        }
+    }
+
+    /// A collection count, rejected when it exceeds the remaining bytes
+    /// (every element consumes at least one byte, so a larger count can
+    /// only come from corruption).
+    fn count(&mut self) -> Result<u64, SnapshotError> {
+        let n = self.u64()?;
+        if n > (self.data.len() - self.pos) as u64 {
+            return self.err(format!("count {n} exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+/// A serialized checkpoint of a VM at a pick boundary.
+///
+/// Opaque to everything except the tvm coordinator (which captures it) and
+/// the verification path (which byte-compares re-captures against it); the
+/// payload layout is internal and versioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmSnapshot {
+    picks: u64,
+    step: u64,
+    threads: u32,
+    payload: Vec<u8>,
+}
+
+impl VmSnapshot {
+    /// Assembles a snapshot from coordinator-captured parts.
+    pub(crate) fn from_parts(picks: u64, step: u64, threads: u32, payload: Vec<u8>) -> Self {
+        VmSnapshot {
+            picks,
+            step,
+            threads,
+            payload,
+        }
+    }
+
+    /// The pick boundary: the number of scheduler picks applied before
+    /// this snapshot was taken.
+    pub fn picks(&self) -> u64 {
+        self.picks
+    }
+
+    /// The VM step counter at capture (>= `picks`: blocked-arrival
+    /// fast-forwards advance steps without picks).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Number of vthreads (spawned so far, exited included) at capture.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// The serialized state payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Serializes the snapshot (version, boundary, step, threads, payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(SNAPSHOT_VERSION);
+        e.u64(self.picks);
+        e.u64(self.step);
+        e.u64(u64::from(self.threads));
+        e.bytes(&self.payload);
+        e.finish()
+    }
+
+    /// Decodes and structurally validates a snapshot. Never panics; errors
+    /// on truncation, corruption, version mismatch, or trailing bytes.
+    pub fn decode(data: &[u8]) -> Result<VmSnapshot, SnapshotError> {
+        let mut d = Dec::new(data);
+        let version = d.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return d.err(format!("unsupported snapshot version {version}"));
+        }
+        let picks = d.u64()?;
+        let step = d.u64()?;
+        let threads = d.u64()?;
+        if threads > u64::from(u32::MAX) {
+            return d.err(format!("thread count {threads} out of range"));
+        }
+        let payload = d.bytes()?.to_vec();
+        if !d.at_end() {
+            return d.err("trailing bytes after snapshot");
+        }
+        let declared = validate_payload(&payload)?;
+        if u64::from(declared) != threads {
+            return Err(SnapshotError {
+                offset: 0,
+                message: format!(
+                    "header thread count {threads} disagrees with payload ({declared})"
+                ),
+            });
+        }
+        Ok(VmSnapshot {
+            picks,
+            step,
+            threads: threads as u32,
+            payload,
+        })
+    }
+}
+
+/// Structurally validates a snapshot payload, returning the thread count
+/// declared by its thread section.
+fn validate_payload(payload: &[u8]) -> Result<u32, SnapshotError> {
+    let mut d = Dec::new(payload);
+    let mut threads: u32 = 0;
+    for expected in [SEC_STATS, SEC_CLOCK, SEC_THREADS, SEC_STATE] {
+        let tag = d.u8()?;
+        if tag != expected {
+            return d.err(format!("expected section {expected}, found {tag}"));
+        }
+        let body = d.bytes()?;
+        let mut s = Dec::new(body);
+        match tag {
+            SEC_STATS => validate_stats(&mut s)?,
+            SEC_CLOCK => validate_clock(&mut s)?,
+            SEC_THREADS => threads = validate_threads(&mut s)?,
+            SEC_STATE => validate_state(&mut s)?,
+            _ => unreachable!(),
+        }
+        if !s.at_end() {
+            return s.err(format!("trailing bytes in section {tag}"));
+        }
+    }
+    if !d.at_end() {
+        return d.err("trailing bytes after final section");
+    }
+    Ok(threads)
+}
+
+/// 7 operation counters: `os_spawns` is executor-dependent and excluded.
+fn validate_stats(d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+    for _ in 0..7 {
+        d.u64()?;
+    }
+    Ok(())
+}
+
+fn validate_clock(d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+    let n = d.count()?;
+    for _ in 0..n {
+        d.u64()?;
+    }
+    d.u64()?; // work
+    d.u64()?; // serial
+    Ok(())
+}
+
+fn validate_threads(d: &mut Dec<'_>) -> Result<u32, SnapshotError> {
+    let n = d.count()?;
+    if n > u64::from(u32::MAX) {
+        return d.err(format!("thread count {n} out of range"));
+    }
+    for _ in 0..n {
+        d.str()?; // name
+        d.u64()?; // tseq
+        d.bool()?; // exited
+    }
+    Ok(n as u32)
+}
+
+/// `Option<ThreadId>` encoding: 0 = None, otherwise tid + 1.
+fn validate_opt_tid(d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+    d.u64()?;
+    Ok(())
+}
+
+fn validate_tid_list(d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+    let n = d.count()?;
+    for _ in 0..n {
+        d.u64()?;
+    }
+    Ok(())
+}
+
+fn validate_state(d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+    // vars
+    let n = d.count()?;
+    for _ in 0..n {
+        d.u64()?;
+    }
+    // bufs
+    let n = d.count()?;
+    for _ in 0..n {
+        d.bytes()?;
+    }
+    // locks
+    let n = d.count()?;
+    for _ in 0..n {
+        validate_opt_tid(d)?;
+    }
+    // rwlocks
+    let n = d.count()?;
+    for _ in 0..n {
+        validate_opt_tid(d)?;
+        validate_tid_list(d)?;
+    }
+    // condvars
+    let n = d.count()?;
+    for _ in 0..n {
+        validate_tid_list(d)?; // waiting
+        validate_tid_list(d)?; // notified
+    }
+    // barriers
+    let n = d.count()?;
+    for _ in 0..n {
+        d.u64()?; // parties
+        validate_tid_list(d)?; // arrived
+        validate_tid_list(d)?; // released
+        d.u64()?; // generation
+    }
+    // semaphores
+    let n = d.count()?;
+    for _ in 0..n {
+        d.u64()?;
+    }
+    // channels
+    let n = d.count()?;
+    for _ in 0..n {
+        let q = d.count()?;
+        for _ in 0..q {
+            d.u64()?;
+        }
+        d.bool()?; // closed
+    }
+    validate_world(d)
+}
+
+fn validate_world(d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+    // files
+    let n = d.count()?;
+    for _ in 0..n {
+        d.str()?;
+        d.bytes()?;
+    }
+    // fds
+    let n = d.count()?;
+    for _ in 0..n {
+        d.str()?; // path
+        d.u64()?; // cursor
+        d.bool()?; // closed
+    }
+    d.u64()?; // next_session
+    // connections
+    let n = d.count()?;
+    for _ in 0..n {
+        d.bytes()?; // inbox
+        d.u64()?; // read_cursor
+        d.bytes()?; // outbox
+        d.bool()?; // closed
+    }
+    // rng: 16 state words + 16 block words + cursor
+    for _ in 0..33 {
+        d.u64()?;
+    }
+    d.bytes()?; // stdout
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A structurally valid payload for an empty VM: zero-count sections
+    /// and a zeroed RNG.
+    fn empty_payload() -> Vec<u8> {
+        let mut e = Enc::new();
+        e.section(SEC_STATS, |e| {
+            for _ in 0..7 {
+                e.u64(0);
+            }
+        });
+        e.section(SEC_CLOCK, |e| {
+            e.u64(0); // per-thread count
+            e.u64(0); // work
+            e.u64(0); // serial
+        });
+        e.section(SEC_THREADS, |e| {
+            e.u64(1);
+            e.str("main");
+            e.u64(0);
+            e.bool(false);
+        });
+        e.section(SEC_STATE, |e| {
+            for _ in 0..8 {
+                e.u64(0); // vars..chans counts
+            }
+            e.u64(0); // files
+            e.u64(0); // fds
+            e.u64(0); // next_session
+            e.u64(0); // conns
+            for _ in 0..33 {
+                e.u64(0); // rng
+            }
+            e.bytes(&[]); // stdout
+        });
+        e.finish()
+    }
+
+    fn sample() -> VmSnapshot {
+        VmSnapshot::from_parts(42, 45, 1, empty_payload())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let back = VmSnapshot::decode(&bytes).expect("decodes");
+        assert_eq!(back, snap);
+        assert_eq!(back.picks(), 42);
+        assert_eq!(back.step(), 45);
+        assert_eq!(back.threads(), 1);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panicking() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                VmSnapshot::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(VmSnapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = SNAPSHOT_VERSION + 1;
+        let err = VmSnapshot::decode(&bytes).unwrap_err();
+        assert!(err.message.contains("version"));
+    }
+
+    #[test]
+    fn header_payload_thread_disagreement_is_rejected() {
+        // Re-encode with a lying header thread count.
+        let snap = sample();
+        let mut e = Enc::new();
+        e.u8(SNAPSHOT_VERSION);
+        e.u64(snap.picks());
+        e.u64(snap.step());
+        e.u64(7); // payload says 1
+        e.bytes(snap.payload());
+        let err = VmSnapshot::decode(&e.finish()).unwrap_err();
+        assert!(err.message.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                // Must return (Ok for benign flips in e.g. stats values,
+                // Err for structural damage) — never panic.
+                let _ = VmSnapshot::decode(&corrupt);
+            }
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.u8(SNAPSHOT_VERSION);
+        // 11-byte varint: overflows u64.
+        for _ in 0..10 {
+            e.u8(0xff);
+        }
+        e.u8(0x7f);
+        assert!(VmSnapshot::decode(&e.finish()).is_err());
+    }
+}

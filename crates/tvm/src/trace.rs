@@ -9,6 +9,7 @@
 
 use crate::ids::ThreadId;
 use crate::op::{Op, OpResult};
+use crate::snapshot::VmSnapshot;
 
 /// One applied operation in global order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +89,19 @@ impl ObserverCharge {
 pub trait Observer: Send {
     /// Called after each event is applied; returns the recording charge.
     fn on_event(&mut self, event: &Event) -> ObserverCharge;
+
+    /// Asked once after every [`Observer::on_event`]: should the VM
+    /// capture a checkpoint at this pick boundary? Epoch-segmented
+    /// recorders answer `true` at epoch cuts; the default never
+    /// checkpoints, so observers that don't opt in pay nothing.
+    fn checkpoint_due(&mut self) -> bool {
+        false
+    }
+
+    /// Delivers the snapshot captured after [`Observer::checkpoint_due`]
+    /// returned `true`. The boundary is `snapshot.picks()`: exactly that
+    /// many scheduler picks (equivalently, observer events) precede it.
+    fn on_checkpoint(&mut self, _snapshot: &VmSnapshot) {}
 }
 
 /// An observer that records nothing and charges nothing (native runs).

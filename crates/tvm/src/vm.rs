@@ -839,6 +839,48 @@ fn finish(coord: &mut Coord, shared: &Shared, status: RunStatus) {
     shared.done.notify_one();
 }
 
+/// Captures a [`VmSnapshot`] at the current pick boundary. Called with the
+/// hub mutex held, immediately after an event was applied: the boundary is
+/// `coord.schedule.len()` and every coordinator-owned structure reflects
+/// exactly those picks.
+fn capture_snapshot(coord: &Coord, slots: &[Slot]) -> crate::snapshot::VmSnapshot {
+    use crate::snapshot::{self, Enc, VmSnapshot};
+    let mut e = Enc::new();
+    e.section(snapshot::SEC_STATS, |e| {
+        // `os_spawns` is deliberately excluded: it depends on executor
+        // choice and pool warmness (both schedule-invisible), and the
+        // snapshot must be byte-identical across them.
+        let s = &coord.stats;
+        for v in [
+            s.total_ops,
+            s.mem_accesses,
+            s.sync_ops,
+            s.syscalls,
+            s.func_markers,
+            s.bb_markers,
+            s.spawns,
+        ] {
+            e.u64(v);
+        }
+    });
+    e.section(snapshot::SEC_CLOCK, |e| coord.clock.snapshot_into(e));
+    e.section(snapshot::SEC_THREADS, |e| {
+        e.u64(slots.len() as u64);
+        for (i, s) in slots.iter().enumerate() {
+            e.str(&s.name);
+            e.u64(u64::from(s.tseq));
+            e.bool(coord.known_exited.get(i).copied().unwrap_or(false));
+        }
+    });
+    e.section(snapshot::SEC_STATE, |e| coord.state.snapshot_into(e));
+    VmSnapshot::from_parts(
+        coord.schedule.len() as u64,
+        coord.step,
+        slots.len() as u32,
+        e.finish(),
+    )
+}
+
 /// Runs scheduling steps while the hub is quiescent (every slot Announced
 /// or Exited). Called — with the hub lock already held — by whichever
 /// virtual thread completed quiescence, right after its announce or exit.
@@ -1089,6 +1131,16 @@ fn coordinate(guard: &mut MutexGuard<'_, Hub>, shared: &Arc<Shared>, me: Option<
         }
         // SAFETY: see `Coord` — hub mutex held, borrow outlives us.
         unsafe { &mut *coord.scheduler }.on_applied(tid, &event.op);
+        // Epoch-boundary checkpoint: asked after every applied event,
+        // captured while the hub is still exclusively ours — state, clock,
+        // and schedule reflect exactly the picks made so far, so the
+        // snapshot's boundary is simply the pick count.
+        // SAFETY: see `Coord` — hub mutex held, borrow outlives us.
+        if unsafe { &mut *coord.observer }.checkpoint_due() {
+            let snap = capture_snapshot(coord, slots);
+            // SAFETY: see `Coord` — hub mutex held, borrow outlives us.
+            unsafe { &mut *coord.observer }.on_checkpoint(&snap);
+        }
         // Only a retained trace forces the grant result to be cloned; in
         // Off/Feedback modes it is moved out of the event.
         let granted = if coord.trace_mode == TraceMode::Full {

@@ -130,6 +130,7 @@ fn gen_sketch(rng: &mut ChaCha8Rng) -> Sketch {
             total_ops: 0,
             failure_signature: String::new(),
         },
+        checkpoint: None,
     }
 }
 
@@ -183,6 +184,121 @@ fn truncation_is_always_detected() {
         let cut = rng.gen_range(0..encoded.len().max(1));
         if cut < encoded.len() {
             assert!(decode_sketch(&encoded[..cut]).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-bearing (v3) container properties.
+// ---------------------------------------------------------------------------
+
+/// Records a generated mini program in always-on ring mode and returns
+/// the flushed sketch. Tiny epoch budgets force real rotation on most
+/// generated programs, so the checkpoint segment is exercised with
+/// nonzero boundaries and evicted epochs — not just the genesis stub.
+fn gen_ring_sketch(rng: &mut ChaCha8Rng) -> Sketch {
+    use pres_core::{ClosureProgram, Pres, RingConfig};
+    let workers = vec![
+        gen_mini_ops(rng),
+        gen_mini_ops(rng),
+        gen_mini_ops(rng),
+    ];
+    let seed = rng.next_u64();
+    let mut spec = ResourceSpec::new();
+    let v0 = spec.var_array("v", 3, 0);
+    let lock = spec.lock("m");
+    let prog = ClosureProgram::new("props-ring", spec, WorldConfig::default(), move || {
+        Box::new(mini_body(workers.clone(), v0, lock))
+    });
+    // RW records every memory access, maximizing entries per op so the
+    // 6-entry epochs rotate even on short generated programs.
+    Pres::new(Mechanism::Rw)
+        .with_ring(RingConfig {
+            epoch_entries: 6,
+            epoch_cost: 0,
+            ring_epochs: 2,
+        })
+        .record(&prog, seed)
+        .sketch
+}
+
+#[test]
+fn v3_round_trips_ring_flushed_sketches() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc0dec3);
+    let mut rotated = 0;
+    for _ in 0..12 {
+        let sketch = gen_ring_sketch(&mut rng);
+        let cp = sketch.checkpoint.as_deref().expect("ring mode attaches a checkpoint");
+        rotated += usize::from(!cp.is_genesis());
+        let encoded = encode_sketch(&sketch);
+        assert_eq!(container_version(&encoded).unwrap(), 3);
+        assert_eq!(decode_sketch(&encoded).unwrap(), sketch);
+    }
+    assert!(rotated > 0, "no generated ring ever rotated; budgets too loose");
+}
+
+#[test]
+fn v3_truncation_at_every_offset_is_detected() {
+    // One rotated ring flush, cut at *every* byte offset: no prefix may
+    // decode — in particular none may yield a sketch with a phantom (or
+    // silently shortened) checkpoint.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x77f);
+    let sketch = loop {
+        let s = gen_ring_sketch(&mut rng);
+        if s.checkpoint.as_deref().is_some_and(|cp| !cp.is_genesis()) {
+            break s;
+        }
+    };
+    let encoded = encode_sketch(&sketch);
+    for cut in 0..encoded.len() {
+        assert!(
+            decode_sketch(&encoded[..cut]).is_err(),
+            "prefix of {cut}/{} bytes decoded",
+            encoded.len()
+        );
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_and_never_forge_a_phantom_checkpoint() {
+    use pres_tvm::snapshot::VmSnapshot;
+    let mut rng = ChaCha8Rng::seed_from_u64(0xf11b);
+    let ring = gen_ring_sketch(&mut rng);
+    let v3 = encode_sketch(&ring);
+    let mut plain = gen_sketch(&mut rng);
+    plain.entries.truncate(64);
+    let v2 = encode_sketch(&plain);
+    for base in [&v3, &v2] {
+        for _ in 0..512 {
+            // Flip 3 random bits: decode must fail cleanly or produce a
+            // sketch whose checkpoint (if any) still satisfies the
+            // invariants the decoder promises to enforce.
+            let mut mutated = base.clone();
+            for _ in 0..3 {
+                let bit = rng.gen_range(0..mutated.len() * 8);
+                mutated[bit / 8] ^= 1 << (bit % 8);
+            }
+            let Ok(decoded) = decode_sketch(&mutated) else {
+                continue;
+            };
+            match container_version(&mutated) {
+                // Only a v3 container can carry a checkpoint at all.
+                Ok(3) => {
+                    if let Some(cp) = decoded.checkpoint.as_deref() {
+                        if cp.is_genesis() {
+                            assert!(cp.snapshot.is_empty());
+                        } else {
+                            let snap = VmSnapshot::decode(&cp.snapshot)
+                                .expect("decoder validated the embedded snapshot");
+                            assert_eq!(snap.picks(), cp.boundary);
+                        }
+                    }
+                }
+                _ => assert!(
+                    decoded.checkpoint.is_none(),
+                    "non-v3 container decoded with a phantom checkpoint"
+                ),
+            }
         }
     }
 }

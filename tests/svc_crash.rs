@@ -79,10 +79,29 @@ fn journal_matrix() -> Vec<(FaultPoint, FaultMode)> {
     ]
 }
 
+/// The ring-flush half: `(point, mode, target complete after crash?)`.
+/// Same contract as the store — the rename is the commit point, so only
+/// [`FaultPoint::FlushDirSyncCrash`] leaves the target visible, and then
+/// it must hold the complete sketch (staging was fsynced first).
+fn flush_matrix() -> Vec<(FaultPoint, FaultMode, bool)> {
+    vec![
+        (FaultPoint::FlushStageCrash, FaultMode::Crash, false),
+        (
+            FaultPoint::FlushStageTorn,
+            FaultMode::Torn { keep: 10 },
+            false,
+        ),
+        (FaultPoint::FlushTmpSyncCrash, FaultMode::Crash, false),
+        (FaultPoint::FlushRenameCrash, FaultMode::Crash, false),
+        (FaultPoint::FlushDirSyncCrash, FaultMode::Crash, true),
+    ]
+}
+
 #[test]
 fn the_matrix_covers_every_injectable_crash_point() {
     let mut covered: Vec<FaultPoint> = store_matrix().iter().map(|&(p, _, _)| p).collect();
     covered.extend(journal_matrix().iter().map(|&(p, _)| p));
+    covered.extend(flush_matrix().iter().map(|&(p, _, _)| p));
     for point in FaultPoint::ALL {
         assert!(
             covered.contains(&point),
@@ -273,6 +292,97 @@ fn a_crashed_cohort_is_all_unacked_and_never_garbage() {
         } else {
             assert_eq!(records.len(), 1, "{}: phantom cohort records", point.name());
         }
+    }
+}
+
+/// The flush-on-failure contract: a crash at any point of the ring-flush
+/// write leaves the target path either absent or holding the complete
+/// encoded sketch — a half-flushed file must never decode as a valid
+/// sketch (same tmp+rename chain as `store::put`).
+#[test]
+fn a_half_flushed_ring_sketch_never_decodes_as_valid() {
+    use pres_suite::core::codec::{decode_sketch, encode_sketch};
+    use pres_suite::core::sketch::Mechanism;
+    use pres_suite::core::{Pres, RingConfig};
+    use pres_suite::svc::flush::{sweep_stale, write_flush_with_faults};
+
+    // A real ring-flushed sketch (rotated ring: nonzero boundary, so the
+    // checkpoint segment is load-bearing, not a genesis stub).
+    let bug = pres_suite::apps::registry::all_bugs()
+        .into_iter()
+        .find(|b| b.id == "httpd-log-atomicity")
+        .expect("corpus bug exists");
+    let prog = bug.program();
+    let ring = RingConfig {
+        epoch_entries: 48,
+        epoch_cost: 0,
+        ring_epochs: 2,
+    };
+    let recorded = Pres::new(Mechanism::Sync)
+        .with_ring(ring)
+        .record_until_failure(prog.as_ref(), 0..2000)
+        .expect("failing production run");
+    let bytes = encode_sketch(&recorded.sketch);
+    assert!(
+        recorded.sketch.checkpoint.is_some(),
+        "ring recording attaches a checkpoint"
+    );
+
+    for (point, mode, complete) in flush_matrix() {
+        let dir = scratch(&format!("flush-{}", point.name().replace('.', "-")));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("ring-flush.sketch");
+
+        let faults = Faults::new();
+        faults.arm(point, mode, 1);
+        let err =
+            write_flush_with_faults(&target, &bytes, &faults).expect_err("armed flush crashes");
+        assert!(err.to_string().contains(INJECTED), "{}: {err}", point.name());
+        assert!(faults.fired(), "{}: fault never hit", point.name());
+
+        // Restart invariant: the target is absent or complete — never a
+        // prefix that parses.
+        if complete {
+            let on_disk = std::fs::read(&target).expect("post-rename crash leaves the flush");
+            assert_eq!(on_disk, bytes, "{}: flush bytes mangled", point.name());
+        } else {
+            assert!(
+                !target.exists(),
+                "{}: half-flushed sketch is visible at the target path",
+                point.name()
+            );
+        }
+        // A torn staging write strands a prefix that must not parse.
+        // (A clean crash *after* `write_all` may strand a complete tmp
+        // file — harmless, because recovery only ever trusts the target
+        // name, and the sweep below removes it.)
+        if point.is_torn() {
+            for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+                if entry.path() != target {
+                    let leftover = std::fs::read(entry.path()).unwrap();
+                    assert!(
+                        decode_sketch(&leftover).is_err(),
+                        "{}: torn staging file decodes as a valid sketch",
+                        point.name()
+                    );
+                }
+            }
+        }
+        sweep_stale(&target);
+        assert_eq!(
+            dir_entry_count(&dir),
+            usize::from(complete),
+            "{}: staging leftovers survived the sweep",
+            point.name()
+        );
+
+        // A retry after restart completes, and the flushed sketch round-
+        // trips with its checkpoint intact.
+        write_flush_with_faults(&target, &bytes, &faults).expect("retry flush succeeds");
+        let decoded =
+            decode_sketch(&std::fs::read(&target).unwrap()).expect("flushed sketch decodes");
+        assert_eq!(decoded.checkpoint, recorded.sketch.checkpoint);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
